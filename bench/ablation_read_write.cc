@@ -1,0 +1,83 @@
+// Ablation A5 — read/write ratio (§4.2.2: "Small read–write ratio. Writes
+// require the update of associated file state ... besides the actual data
+// transfer" — writes always take the RPC path, diluting ODAFS's benefit).
+#include <memory>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "nas/odafs/odafs_client.h"
+
+namespace ordma {
+namespace {
+
+constexpr std::size_t kNumFiles = 256;
+constexpr std::uint64_t kOps = 4000;
+
+double run_cell(bool use_ordma, double read_fraction) {
+  core::ClusterConfig cc;
+  cc.fs.block_size = KiB(4);
+  cc.fs.cache_blocks = 8192;
+  core::Cluster c(cc);
+  c.start_dafs({.piggyback_refs = true});
+
+  nas::odafs::OdafsClientConfig cfg;
+  cfg.cache.block_size = KiB(4);
+  cfg.cache.data_blocks = kNumFiles / 4;  // 25% hit ratio
+  cfg.cache.max_headers = kNumFiles * 4;
+  cfg.use_ordma = use_ordma;
+  cfg.dafs.completion = msg::Completion::block;
+  cfg.read_ahead_window = 1;
+  auto client = c.make_odafs_client(0, cfg);
+
+  double out = 0;
+  bench::drive(c, [&]() -> sim::Task<void> {
+    auto& h = c.client(0);
+    const mem::Vaddr buf = h.map_new(h.user_as(), KiB(4));
+    std::vector<std::uint64_t> fhs;
+    for (std::size_t i = 0; i < kNumFiles; ++i) {
+      const std::string name = "f" + std::to_string(i);
+      co_await c.make_file(name, KiB(4), true, i + 1);
+      auto open = co_await client->open(name);
+      ORDMA_CHECK(open.ok());
+      fhs.push_back(open.value().fh);
+      (void)co_await client->pread(open.value().fh, 0, buf, KiB(4));
+    }
+
+    Rng rng(3);
+    const SimTime t0 = c.engine().now();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      const auto fh = fhs[rng.below(kNumFiles)];
+      if (rng.uniform01() < read_fraction) {
+        ORDMA_CHECK((co_await client->pread(fh, 0, buf, KiB(4))).ok());
+      } else {
+        ORDMA_CHECK((co_await client->pwrite(fh, 0, buf, KiB(4))).ok());
+      }
+    }
+    out = kOps / (c.engine().now() - t0).to_sec();
+  });
+  return out;
+}
+
+}  // namespace
+}  // namespace ordma
+
+int main() {
+  using namespace ordma;
+  using namespace ordma::bench;
+
+  Table t("Ablation A5: ODAFS gain vs read/write mix (4KB ops, 25% client"
+          " cache hit ratio)",
+          {"reads", "DAFS ops/s", "ODAFS ops/s", "ODAFS gain"});
+  for (double rf : {1.0, 0.9, 0.75, 0.5}) {
+    const double dafs = run_cell(false, rf);
+    const double odafs = run_cell(true, rf);
+    t.add_row({pct(rf), fmt("%.0f", dafs), fmt("%.0f", odafs),
+               fmt("%+.0f%%", (odafs - dafs) / dafs * 100.0)});
+  }
+  t.print();
+  std::printf(
+      "\ntakeaway: writes always travel by RPC (server must update file"
+      " state, §4.2.2), so the ODAFS advantage shrinks with the read"
+      " fraction\n");
+  return 0;
+}

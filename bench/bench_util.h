@@ -1,0 +1,96 @@
+// Shared benchmark scaffolding: a driver that runs one coroutine to
+// completion on a cluster, and a table printer that shows each paper
+// number beside the measured value (the deliverable format for every
+// reproduced table/figure).
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cluster.h"
+
+namespace ordma::bench {
+
+// Run `body` to completion on the cluster's engine; aborts on deadlock.
+template <typename F>
+void drive(core::Cluster& c, F&& body) {
+  bool done = false;
+  c.engine().spawn([](F body, bool& done) -> sim::Task<void> {
+    co_await body();
+    done = true;
+  }(std::forward<F>(body), done));
+  c.engine().run();
+  ORDMA_CHECK_MSG(done, "benchmark driver deadlocked");
+}
+
+// Same, for a bare engine.
+template <typename F>
+void drive_engine(sim::Engine& eng, F&& body) {
+  bool done = false;
+  eng.spawn([](F body, bool& done) -> sim::Task<void> {
+    co_await body();
+    done = true;
+  }(std::forward<F>(body), done));
+  eng.run();
+  ORDMA_CHECK_MSG(done, "benchmark driver deadlocked");
+}
+
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> columns)
+      : title_(std::move(title)), columns_(std::move(columns)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::printf("\n=== %s ===\n", title_.c_str());
+    std::vector<std::size_t> width(columns_.size());
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+      width[i] = columns_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size() && i < width.size(); ++i) {
+        width[i] = std::max(width[i], row[i].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (std::size_t i = 0; i < columns_.size(); ++i) {
+        const std::string& s = i < cells.size() ? cells[i] : std::string();
+        std::printf("%-*s  ", static_cast<int>(width[i]), s.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::size_t total = 0;
+    for (auto w : width) total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+inline std::string mbps(double v) { return fmt("%.0f", v); }
+inline std::string us(double v) { return fmt("%.0f", v); }
+inline std::string pct(double v) { return fmt("%.0f%%", v * 100.0); }
+
+// Deviation annotation: measured vs paper.
+inline std::string vs_paper(double measured, double paper) {
+  if (paper == 0) return "-";
+  return fmt("%+.0f%%", (measured - paper) / paper * 100.0);
+}
+
+}  // namespace ordma::bench

@@ -1,0 +1,105 @@
+// Figure 6 — PostMark in the paper's read-only configuration: 4 KB files,
+// each transaction opens a file, reads it, closes it; open delegations make
+// re-opens local; the client cache size sets the hit ratio (25/50/75%).
+// Paper: ODAFS ≈34% more transactions/s than DAFS, and the ODAFS server
+// CPU goes idle once the client holds references to the whole file set,
+// while the DAFS server burns 30/25/20% CPU.
+#include <memory>
+
+#include "bench_util.h"
+#include "nas/odafs/odafs_client.h"
+#include "workload/postmark.h"
+
+namespace ordma {
+namespace {
+
+constexpr std::size_t kNumFiles = 512;  // 4 KB each → 2 MB file set
+constexpr std::uint64_t kTxns = 4000;
+
+struct Cell {
+  double txns_per_sec = 0;
+  double hit_ratio = 0;
+  double server_cpu = 0;
+};
+
+Cell run_cell(bool use_ordma, double target_hit_ratio) {
+  core::ClusterConfig cc;
+  cc.fs.block_size = KiB(4);
+  cc.fs.cache_blocks = 8192;
+  core::Cluster c(cc);
+  c.start_dafs({.piggyback_refs = true});
+
+  nas::odafs::OdafsClientConfig cfg;
+  cfg.cache.block_size = KiB(4);
+  cfg.cache.data_blocks =
+      static_cast<std::size_t>(kNumFiles * target_hit_ratio);
+  cfg.cache.max_headers = kNumFiles * 4;
+  cfg.use_ordma = use_ordma;
+  cfg.dafs.completion = msg::Completion::block;
+  cfg.read_ahead_window = 1;  // synchronous transactions
+  auto client = c.make_odafs_client(0, cfg);
+
+  wl::PostMarkConfig pm;
+  pm.num_files = kNumFiles;
+  pm.min_size = KiB(4);
+  pm.max_size = KiB(4);
+  pm.transactions = kTxns;
+  pm.read_only = true;
+  pm.io_block = KiB(4);
+  wl::PostMark postmark(c.client(0), *client, pm);
+
+  Cell cell;
+  bench::drive(c, [&]() -> sim::Task<void> {
+    ORDMA_CHECK((co_await postmark.setup()).ok());
+    // Steady state: every file touched once → delegations + (ODAFS) refs.
+    ORDMA_CHECK((co_await postmark.warmup()).ok());
+    const auto hits0 = client->block_cache().data_hits();
+    const auto miss0 = client->block_cache().data_misses();
+    const auto cpu0 = c.server().sample_cpu();
+    auto res = co_await postmark.run();
+    ORDMA_CHECK(res.ok());
+    const auto cpu1 = c.server().sample_cpu();
+    cell.txns_per_sec = res.value().txns_per_sec;
+    const double h = static_cast<double>(client->block_cache().data_hits() -
+                                         hits0);
+    const double m = static_cast<double>(
+        client->block_cache().data_misses() - miss0);
+    cell.hit_ratio = h / (h + m);
+    cell.server_cpu = host::Host::utilisation(cpu0, cpu1);
+  });
+  return cell;
+}
+
+}  // namespace
+}  // namespace ordma
+
+int main() {
+  using namespace ordma;
+  using namespace ordma::bench;
+
+  Table t("Figure 6: PostMark read-only throughput (txns/s) vs client cache"
+          " hit ratio",
+          {"target hit", "DAFS txns/s", "ODAFS txns/s", "ODAFS gain",
+           "paper gain", "DAFS srv CPU", "ODAFS srv CPU", "measured hit"});
+  const double ratios[] = {0.25, 0.50, 0.75};
+  const char* paper_cpu[] = {"30%", "25%", "20%"};
+  int i = 0;
+  for (double r : ratios) {
+    Cell dafs = run_cell(false, r);
+    Cell odafs = run_cell(true, r);
+    t.add_row({pct(r), fmt("%.0f", dafs.txns_per_sec),
+               fmt("%.0f", odafs.txns_per_sec),
+               fmt("%+.0f%%", (odafs.txns_per_sec - dafs.txns_per_sec) /
+                                  dafs.txns_per_sec * 100.0),
+               "+34%",
+               pct(dafs.server_cpu) + std::string(" (paper ") +
+                   paper_cpu[i] + ")",
+               pct(odafs.server_cpu), pct((dafs.hit_ratio + odafs.hit_ratio) / 2)});
+    ++i;
+  }
+  t.print();
+  std::printf(
+      "\npaper reference: ODAFS ~34%% higher throughput at every hit ratio;"
+      " ODAFS server CPU → ~0 once references cover the file set\n");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Figure 7 — server throughput with two clients sequentially reading a
+// large file warm in the server cache (second pass measured), as the cache
+// block size — the unit of network I/O — sweeps 4..64 KB.
+//
+// Paper: ODAFS saturates the server link at every block size without using
+// the server CPU; DAFS is server-CPU-bound at small blocks (interrupts),
+// and even an all-polling DAFS server only reaches ~170 MB/s at 4 KB,
+// leaving ODAFS a 32% win.
+#include <memory>
+
+#include "bench_util.h"
+#include "nas/odafs/odafs_client.h"
+#include "workload/streaming.h"
+
+namespace ordma {
+namespace {
+
+constexpr Bytes kFileSize = MiB(48);
+constexpr Bytes kAppBlock = KiB(512);  // "using a large block size"
+
+struct Cell {
+  double throughput_MBps = 0;
+  double server_cpu = 0;
+};
+
+Cell run_cell(bool use_ordma, Bytes cache_block, msg::Completion server_mode) {
+  core::ClusterConfig cc;
+  cc.num_clients = 2;
+  cc.fs.block_size = cache_block;
+  cc.fs.cache_blocks = kFileSize / cache_block + 64;
+  cc.fs.disk_capacity = GiB(1);
+  // The paper "ensure[s] that RDMA ... always hits in the NIC TLB": size
+  // the TLB to cover the exported file (4 KB blocks → 12K+ pages).
+  cc.nic.tlb_entries = 65536;
+  core::Cluster c(cc);
+  c.start_dafs({.piggyback_refs = true, .completion = server_mode});
+  bench::drive(c, [&c]() -> sim::Task<void> {
+    co_await c.make_file("big.dat", kFileSize, /*warm=*/true);
+  });
+
+  std::vector<std::unique_ptr<nas::odafs::OdafsClient>> clients;
+  for (unsigned i = 0; i < 2; ++i) {
+    nas::odafs::OdafsClientConfig cfg;
+    cfg.cache.block_size = cache_block;
+    cfg.cache.data_blocks = 256;  // far smaller than the file
+    cfg.cache.max_headers = 2 * kFileSize / cache_block + 1024;
+    cfg.use_ordma = use_ordma;
+    cfg.dafs.completion = msg::Completion::poll;
+    cfg.read_ahead_window = 8;
+    clients.push_back(c.make_odafs_client(i, cfg));
+  }
+
+  Cell cell;
+  bench::drive(c, [&]() -> sim::Task<void> {
+    struct Done {
+      explicit Done(sim::Engine& eng) : ev(eng) {}
+      unsigned live = 2;
+      Bytes bytes = 0;
+      sim::Event<> ev;
+    };
+    // Pass 1 (unmeasured): collects references / warms delegations.
+    for (int pass = 0; pass < 2; ++pass) {
+      auto done = std::make_shared<Done>(c.engine());
+      const auto t0 = c.engine().now();
+      const auto cpu0 = c.server().sample_cpu();
+      for (unsigned i = 0; i < 2; ++i) {
+        c.engine().spawn(
+            [](core::Cluster& c, nas::odafs::OdafsClient& client, unsigned i,
+               std::shared_ptr<Done> done) -> sim::Task<void> {
+              wl::StreamConfig sc;
+              sc.block = kAppBlock;
+              sc.window = 2;  // 2 app-level requests × 8-block internal RA
+              auto res = co_await wl::stream_read(c.client(i), client,
+                                                  "big.dat", sc);
+              ORDMA_CHECK(res.ok());
+              done->bytes += res.value().bytes;
+              if (--done->live == 0) done->ev.set();
+            }(c, *clients[i], i, done));
+      }
+      co_await done->ev.wait();
+      if (pass == 1) {
+        const auto cpu1 = c.server().sample_cpu();
+        cell.throughput_MBps =
+            throughput_MBps(done->bytes, c.engine().now() - t0);
+        cell.server_cpu = host::Host::utilisation(cpu0, cpu1);
+      }
+    }
+  });
+  return cell;
+}
+
+}  // namespace
+}  // namespace ordma
+
+int main() {
+  using namespace ordma;
+  using namespace ordma::bench;
+
+  Table t("Figure 7: server throughput (MB/s), two clients reading a warm"
+          " file, vs cache block size",
+          {"cache block", "DAFS", "DAFS srv CPU", "ODAFS", "ODAFS srv CPU",
+           "ODAFS gain"});
+  for (Bytes block : {KiB(4), KiB(8), KiB(16), KiB(32), KiB(64)}) {
+    Cell dafs = run_cell(false, block, msg::Completion::block);
+    Cell odafs = run_cell(true, block, msg::Completion::block);
+    t.add_row({std::to_string(block / 1024) + "KB", mbps(dafs.throughput_MBps),
+               pct(dafs.server_cpu), mbps(odafs.throughput_MBps),
+               pct(odafs.server_cpu),
+               fmt("%+.0f%%",
+                   (odafs.throughput_MBps - dafs.throughput_MBps) /
+                       dafs.throughput_MBps * 100.0)});
+  }
+  t.print();
+
+  // The paper's §5.2 coda: switching the DAFS server to polling for all
+  // network events lifts 4 KB DAFS to ~170 MB/s, an ODAFS gain of ~32%.
+  Cell dafs_poll = run_cell(false, KiB(4), msg::Completion::poll);
+  Cell odafs4 = run_cell(true, KiB(4), msg::Completion::block);
+  std::printf(
+      "\nDAFS with all-polling server at 4KB: %.0f MB/s (paper ~170);"
+      " ODAFS gain %.0f%% (paper 32%%)\n",
+      dafs_poll.throughput_MBps,
+      (odafs4.throughput_MBps - dafs_poll.throughput_MBps) /
+          dafs_poll.throughput_MBps * 100.0);
+  return 0;
+}

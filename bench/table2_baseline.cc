@@ -1,0 +1,185 @@
+// Table 2 — baseline network performance of the protocols over the
+// simulated Myrinet: one-byte round-trip time and streaming bandwidth for
+// GM, VI (polling and blocking) and UDP over Ethernet emulation.
+//
+//   paper:  GM       23 us   244 MB/s
+//           VI poll  23 us   244 MB/s
+//           VI block 53 us   244 MB/s
+//           UDP/Eth  80 us   166 MB/s
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "host/host.h"
+#include "msg/udp.h"
+#include "msg/vi.h"
+#include "net/fabric.h"
+#include "nic/nic.h"
+
+namespace ordma {
+namespace {
+
+struct Pair {
+  sim::Engine eng;
+  host::CostModel cm;
+  net::Fabric fabric{eng};
+  host::Host ha{eng, "a", cm};
+  host::Host hb{eng, "b", cm};
+  nic::Nic na{ha, fabric, {}, crypto::SipKey{1, 2}};
+  nic::Nic nb{hb, fabric, {}, crypto::SipKey{3, 4}};
+};
+
+constexpr int kIters = 64;
+
+double gm_rtt_us() {
+  Pair c;
+  c.eng.spawn([](Pair& c) -> sim::Task<void> {
+    auto& port = c.nb.open_port(5);
+    for (;;) {
+      auto m = co_await port.recv();
+      co_await c.hb.cpu_consume(c.cm.vi_poll_pickup);
+      co_await c.nb.gm_send(m.src, 6, 0, std::move(m.data));
+    }
+  }(c));
+  double out = 0;
+  bench::drive_engine(c.eng, [&c, &out]() -> sim::Task<void> {
+    auto& port = c.na.open_port(6);
+    std::vector<std::byte> one(1);
+    const auto t0 = c.eng.now();
+    for (int i = 0; i < kIters; ++i) {
+      co_await c.na.gm_send(c.nb.node_id(), 5, 0, net::Buffer::copy_of(one));
+      (void)co_await port.recv();
+      co_await c.ha.cpu_consume(c.cm.vi_poll_pickup);
+    }
+    out = (c.eng.now() - t0).to_us() / kIters;
+  });
+  return out;
+}
+
+double vi_rtt_us(msg::Completion mode) {
+  Pair c;
+  msg::ViListener listener(c.hb, 100, mode);
+  c.eng.spawn([](msg::ViListener& l) -> sim::Task<void> {
+    auto conn = co_await l.accept();
+    for (;;) {
+      auto m = co_await conn->recv();
+      co_await conn->send(std::move(m));
+    }
+  }(listener));
+  double out = 0;
+  bench::drive_engine(c.eng, [&c, mode, &out]() -> sim::Task<void> {
+    auto conn = co_await msg::vi_connect(c.ha, c.nb.node_id(), 100, mode);
+    std::vector<std::byte> one(1);
+    const auto t0 = c.eng.now();
+    for (int i = 0; i < kIters; ++i) {
+      co_await conn->send(net::Buffer::copy_of(one));
+      (void)co_await conn->recv();
+    }
+    out = (c.eng.now() - t0).to_us() / kIters;
+  });
+  return out;
+}
+
+double udp_rtt_us() {
+  Pair c;
+  msg::UdpStack sa(c.ha), sb(c.hb);
+  auto& cli = sa.bind(1000);
+  auto& srv = sb.bind(53);
+  c.eng.spawn([](msg::UdpStack::Socket& srv) -> sim::Task<void> {
+    for (;;) {
+      auto d = co_await srv.recv();
+      co_await srv.send_to(d.src, d.src_port, std::move(d.data));
+    }
+  }(srv));
+  double out = 0;
+  bench::drive_engine(c.eng, [&c, &cli, &out]() -> sim::Task<void> {
+    std::vector<std::byte> one(1);
+    const auto t0 = c.eng.now();
+    for (int i = 0; i < kIters; ++i) {
+      co_await cli.send_to(c.nb.node_id(), 53, net::Buffer::copy_of(one));
+      (void)co_await cli.recv();
+    }
+    out = (c.eng.now() - t0).to_us() / kIters;
+  });
+  return out;
+}
+
+double gm_bw_MBps() {
+  Pair c;
+  Bytes received = 0;
+  SimTime last{};
+  constexpr int count = 64;
+  c.eng.spawn([](Pair& c, Bytes& received, SimTime& last) -> sim::Task<void> {
+    auto& port = c.nb.open_port(5);
+    for (int i = 0; i < count; ++i) {
+      auto m = co_await port.recv();
+      received += m.data.size();
+      last = c.eng.now();
+    }
+  }(c, received, last));
+  bench::drive_engine(c.eng, [&c]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      co_await c.na.gm_send(c.nb.node_id(), 5, 0,
+                            net::Buffer::take(std::vector<std::byte>(KiB(512))));
+    }
+  });
+  return throughput_MBps(received, last - SimTime{});
+}
+
+double udp_bw_MBps() {
+  Pair c;
+  msg::UdpStack sa(c.ha), sb(c.hb);
+  auto& cli = sa.bind(1000);
+  auto& srv = sb.bind(53);
+  Bytes received = 0;
+  SimTime last{};
+  constexpr int count = 256;
+  c.eng.spawn([](msg::UdpStack::Socket& srv, Pair& c, Bytes& received,
+                 SimTime& last) -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      auto d = co_await srv.recv();
+      received += d.data.size();
+      last = c.eng.now();
+      // netperf-style receiver: one kernel→user copy per datagram.
+      co_await c.hb.copy(d.data.size());
+    }
+  }(srv, c, received, last));
+  bench::drive_engine(c.eng, [&c, &cli]() -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      co_await cli.send_to(c.nb.node_id(), 53,
+                           net::Buffer::take(std::vector<std::byte>(KiB(64))));
+    }
+  });
+  return throughput_MBps(received, last - SimTime{});
+}
+
+}  // namespace
+}  // namespace ordma
+
+int main() {
+  using namespace ordma;
+  bench::Table t("Table 2: baseline network performance (paper vs measured)",
+                 {"protocol", "RTT paper (us)", "RTT measured", "Δ",
+                  "BW paper (MB/s)", "BW measured", "Δ"});
+
+  const double gm_rtt = gm_rtt_us();
+  const double gm_bw = gm_bw_MBps();
+  t.add_row({"GM", "23", bench::us(gm_rtt), bench::vs_paper(gm_rtt, 23),
+             "244", bench::mbps(gm_bw), bench::vs_paper(gm_bw, 244)});
+
+  const double vp = vi_rtt_us(msg::Completion::poll);
+  t.add_row({"VI (poll)", "23", bench::us(vp), bench::vs_paper(vp, 23),
+             "244", bench::mbps(gm_bw), bench::vs_paper(gm_bw, 244)});
+
+  const double vb = vi_rtt_us(msg::Completion::block);
+  t.add_row({"VI (block)", "53", bench::us(vb), bench::vs_paper(vb, 53),
+             "244", bench::mbps(gm_bw), bench::vs_paper(gm_bw, 244)});
+
+  const double ur = udp_rtt_us();
+  const double ub = udp_bw_MBps();
+  t.add_row({"UDP/Ethernet", "80", bench::us(ur), bench::vs_paper(ur, 80),
+             "166", bench::mbps(ub), bench::vs_paper(ub, 166)});
+
+  t.print();
+  return 0;
+}

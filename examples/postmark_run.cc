@@ -1,0 +1,85 @@
+// PostMark example: the small-file/transactional scenario (mail spools,
+// news servers) the paper motivates for ORDMA. Runs the *full* PostMark
+// benchmark — creates, deletes, reads and appends — over DAFS and ODAFS
+// and prints the comparison. (The paper's Fig. 6 uses the read-only
+// configuration; see bench/fig6_postmark.)
+//
+//   ./build/examples/postmark_run [transactions]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cluster.h"
+#include "workload/postmark.h"
+
+using namespace ordma;
+
+namespace {
+
+wl::PostMarkResult run_once(bool use_ordma, std::uint64_t txns) {
+  core::ClusterConfig cfg;
+  cfg.fs.block_size = KiB(4);
+  core::Cluster cluster(cfg);
+  cluster.start_dafs({.piggyback_refs = true});
+
+  nas::odafs::OdafsClientConfig cc;
+  cc.cache.block_size = KiB(4);
+  cc.cache.data_blocks = 128;
+  cc.cache.max_headers = 8192;
+  cc.use_ordma = use_ordma;
+  cc.dafs.completion = msg::Completion::block;
+  cc.read_ahead_window = 1;
+  auto client = cluster.make_odafs_client(0, cc);
+
+  wl::PostMarkConfig pm;
+  pm.num_files = 256;
+  pm.min_size = KiB(1);
+  pm.max_size = KiB(7);
+  pm.transactions = txns;
+  pm.read_only = false;  // the full benchmark
+  wl::PostMark postmark(cluster.client(0), *client, pm);
+
+  wl::PostMarkResult result;
+  bool done = false;
+  cluster.engine().spawn([](wl::PostMark& postmark,
+                            wl::PostMarkResult& result,
+                            bool& done) -> sim::Task<void> {
+    ORDMA_CHECK((co_await postmark.setup()).ok());
+    ORDMA_CHECK((co_await postmark.warmup()).ok());
+    auto res = co_await postmark.run();
+    ORDMA_CHECK(res.ok());
+    result = res.value();
+    done = true;
+  }(postmark, result, done));
+  cluster.engine().run();
+  ORDMA_CHECK(done);
+  return result;
+}
+
+void print(const char* name, const wl::PostMarkResult& r) {
+  std::printf(
+      "%-6s %8.0f txns/s  (%llu reads, %llu appends, %llu creates,"
+      " %llu deletes; %.1f MB read, %.1f MB written)\n",
+      name, r.txns_per_sec, static_cast<unsigned long long>(r.reads),
+      static_cast<unsigned long long>(r.appends),
+      static_cast<unsigned long long>(r.creates),
+      static_cast<unsigned long long>(r.deletes),
+      static_cast<double>(r.bytes_read) / 1e6,
+      static_cast<double>(r.bytes_written) / 1e6);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t txns =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  std::printf("PostMark (full benchmark, %llu transactions)\n\n",
+              static_cast<unsigned long long>(txns));
+  const auto dafs = run_once(false, txns);
+  const auto odafs = run_once(true, txns);
+  print("DAFS", dafs);
+  print("ODAFS", odafs);
+  std::printf("\nODAFS speedup: %+.0f%%\n",
+              (odafs.txns_per_sec - dafs.txns_per_sec) / dafs.txns_per_sec *
+                  100.0);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Replacement policies for the client cache and the ORDMA reference
+// directory. The paper uses LRU for both and suggests the Multi-Queue
+// algorithm (Zhou et al., USENIX '01) would fit the directory better
+// (§4.2); we implement both and compare them in an ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/intrusive_list.h"
+
+namespace ordma::cache {
+
+struct PolicyNode : ListNode {
+  std::uint64_t freq = 0;       // MQ: access count
+  std::uint64_t expire = 0;     // MQ: logical expiry time
+  std::uint8_t queue = 0;       // MQ: current queue index
+};
+
+// Hot/cold ordering over intrusive nodes. All operations O(1) except MQ's
+// occasional demotion scan (amortised O(1)).
+class ReplacementPolicy {
+ public:
+  virtual ~ReplacementPolicy() = default;
+  virtual void insert(PolicyNode* n) = 0;
+  virtual void touch(PolicyNode* n) = 0;
+  virtual void erase(PolicyNode* n) = 0;
+  // Coldest node (not removed); nullptr if empty.
+  virtual PolicyNode* victim() = 0;
+  virtual const char* name() const = 0;
+};
+
+class LruPolicy final : public ReplacementPolicy {
+ public:
+  void insert(PolicyNode* n) override { list_.push_back(n); }
+  void touch(PolicyNode* n) override { list_.touch(n); }
+  void erase(PolicyNode* n) override { list_.erase(n); }
+  PolicyNode* victim() override { return list_.front(); }
+  const char* name() const override { return "lru"; }
+
+ private:
+  IntrusiveList<PolicyNode> list_;
+};
+
+// Multi-Queue: m LRU queues; a node with access frequency f lives in queue
+// min(log2(f), m-1). Nodes idle longer than `lifetime` accesses are demoted
+// one level. Victims come from the head of the lowest non-empty queue.
+class MultiQueuePolicy final : public ReplacementPolicy {
+ public:
+  explicit MultiQueuePolicy(std::size_t num_queues = 8,
+                            std::uint64_t lifetime = 256)
+      : queues_(num_queues), lifetime_(lifetime) {}
+
+  void insert(PolicyNode* n) override {
+    n->freq = 1;
+    place(n);
+  }
+
+  void touch(PolicyNode* n) override {
+    ++now_;
+    queues_[n->queue].erase(n);
+    ++n->freq;
+    place(n);
+    demote_expired();
+  }
+
+  void erase(PolicyNode* n) override { queues_[n->queue].erase(n); }
+
+  PolicyNode* victim() override {
+    demote_expired();
+    for (auto& q : queues_) {
+      if (auto* n = q.front()) return n;
+    }
+    return nullptr;
+  }
+
+  const char* name() const override { return "multi-queue"; }
+
+ private:
+  static std::uint8_t level_of(std::uint64_t freq, std::size_t m) {
+    std::uint8_t l = 0;
+    while ((freq >>= 1) != 0 && l + 1 < m) ++l;
+    return l;
+  }
+
+  void place(PolicyNode* n) {
+    n->queue = level_of(n->freq, queues_.size());
+    n->expire = now_ + lifetime_;
+    queues_[n->queue].push_back(n);
+  }
+
+  void demote_expired() {
+    // Amortised: at most one demotion per touch.
+    for (std::size_t q = queues_.size(); q-- > 1;) {
+      PolicyNode* head = queues_[q].front();
+      if (head && head->expire < now_) {
+        queues_[q].erase(head);
+        head->queue = static_cast<std::uint8_t>(q - 1);
+        head->expire = now_ + lifetime_;
+        queues_[q - 1].push_back(head);
+        return;
+      }
+    }
+  }
+
+  std::vector<IntrusiveList<PolicyNode>> queues_;
+  std::uint64_t lifetime_;
+  std::uint64_t now_ = 0;
+};
+
+inline std::unique_ptr<ReplacementPolicy> make_policy(
+    const std::string& name) {
+  if (name == "lru") return std::make_unique<LruPolicy>();
+  if (name == "mq") return std::make_unique<MultiQueuePolicy>();
+  ORDMA_CHECK_MSG(false, "unknown replacement policy");
+}
+
+}  // namespace ordma::cache

@@ -1,0 +1,30 @@
+// Lightweight always-on invariant checking.
+//
+// The simulator is deterministic; an invariant violation is a programming
+// error, never an environmental condition, so we abort with context rather
+// than throwing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ordma {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "ORDMA_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg && *msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ordma
+
+#define ORDMA_CHECK(expr)                                            \
+  do {                                                               \
+    if (!(expr)) ::ordma::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define ORDMA_CHECK_MSG(expr, msg)                                      \
+  do {                                                                  \
+    if (!(expr)) ::ordma::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

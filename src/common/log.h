@@ -1,0 +1,38 @@
+// Tiny leveled logger. Off by default; enabled per-run for debugging.
+// Protocol tracing goes through this so benches stay quiet and fast.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ordma {
+
+enum class LogLevel { off = 0, error, info, trace };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::error;
+    return lvl;
+  }
+
+  static void write(LogLevel lvl, const char* tag, const char* fmt, ...)
+      __attribute__((format(printf, 3, 4))) {
+    if (lvl > level()) return;
+    std::fprintf(stderr, "[%s] ", tag);
+    va_list ap;
+    va_start(ap, fmt);
+    std::vfprintf(stderr, fmt, ap);
+    va_end(ap);
+    std::fputc('\n', stderr);
+  }
+};
+
+}  // namespace ordma
+
+#define ORDMA_LOG_ERROR(tag, ...) \
+  ::ordma::Log::write(::ordma::LogLevel::error, tag, __VA_ARGS__)
+#define ORDMA_LOG_INFO(tag, ...) \
+  ::ordma::Log::write(::ordma::LogLevel::info, tag, __VA_ARGS__)
+#define ORDMA_LOG_TRACE(tag, ...) \
+  ::ordma::Log::write(::ordma::LogLevel::trace, tag, __VA_ARGS__)

@@ -1,0 +1,106 @@
+// Minimal expected-style result type used across the protocol stacks.
+//
+// Errors in this codebase are *modelled protocol outcomes* (e.g. an ORDMA
+// access fault, a missing file), not programming errors, so they are values,
+// not exceptions. Programming errors use ORDMA_CHECK.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/assert.h"
+
+namespace ordma {
+
+enum class Errc {
+  ok = 0,
+  not_found,         // no such file / inode / key
+  already_exists,    // create over an existing name
+  invalid_argument,  // malformed request
+  no_space,          // disk or table full
+  io_error,          // disk-level failure (fault injection)
+  access_fault,      // ORDMA recoverable remote-memory access fault
+  revoked,           // capability revoked
+  not_supported,     // operation not implemented by this protocol variant
+  stale,             // handle/delegation no longer valid
+  timed_out,
+};
+
+inline const char* errc_name(Errc e) {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::no_space: return "no_space";
+    case Errc::io_error: return "io_error";
+    case Errc::access_fault: return "access_fault";
+    case Errc::revoked: return "revoked";
+    case Errc::not_supported: return "not_supported";
+    case Errc::stale: return "stale";
+    case Errc::timed_out: return "timed_out";
+  }
+  return "unknown";
+}
+
+class Status {
+ public:
+  Status() : code_(Errc::ok) {}
+  explicit Status(Errc code) : code_(code) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == Errc::ok; }
+  Errc code() const { return code_; }
+  const char* name() const { return errc_name(code_); }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Errc code_;
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT implicit
+  Result(Errc code) : v_(Status(code)) {             // NOLINT implicit
+    ORDMA_CHECK(code != Errc::ok);
+  }
+  Result(Status s) : v_(s) { ORDMA_CHECK(!s.ok()); }  // NOLINT implicit
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  Errc code() const {
+    return ok() ? Errc::ok : std::get<Status>(v_).code();
+  }
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    ORDMA_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    ORDMA_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    ORDMA_CHECK_MSG(ok(), "Result::value() on error");
+    return std::get<T>(std::move(v_));
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+}  // namespace ordma

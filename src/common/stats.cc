@@ -1,0 +1,23 @@
+#include "common/stats.h"
+
+#include <cstdio>
+
+namespace ordma {
+
+std::string LatencyHistogram::to_string() const {
+  std::string out;
+  double lo = 0.0, hi = 1.0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] != 0) {
+      char line[128];
+      std::snprintf(line, sizeof line, "[%8.0f, %8.0f) us: %llu\n", lo, hi,
+                    static_cast<unsigned long long>(buckets_[b]));
+      out += line;
+    }
+    lo = hi;
+    hi *= 2.0;
+  }
+  return out;
+}
+
+}  // namespace ordma

@@ -1,0 +1,127 @@
+// Statistics collection used by benchmarks and by instrumented resources:
+// running mean/variance, reservoir-free percentile tracking via a sorted
+// sample vector (workloads here are small enough to keep all samples), and
+// fixed-bucket histograms for latency distributions.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/units.h"
+
+namespace ordma {
+
+// Welford running mean / variance, O(1) memory.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = n_ == 1 ? x : std::min(min_, x);
+    max_ = n_ == 1 ? x : std::max(max_, x);
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double sum() const { return sum_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Keeps every sample; exact percentiles. Fine for the sample counts in this
+// project (<= a few million doubles).
+class Samples {
+ public:
+  void add(double x) {
+    xs_.push_back(x);
+    sorted_ = false;
+    stats_.add(x);
+  }
+
+  std::uint64_t count() const { return stats_.count(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double stddev() const { return stats_.stddev(); }
+
+  // q in [0, 1]; nearest-rank.
+  double percentile(double q) {
+    ORDMA_CHECK(q >= 0.0 && q <= 1.0);
+    if (xs_.empty()) return 0.0;
+    sort();
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(xs_.size() - 1) + 0.5);
+    return xs_[std::min(idx, xs_.size() - 1)];
+  }
+  double median() { return percentile(0.5); }
+
+ private:
+  void sort() {
+    if (!sorted_) {
+      std::sort(xs_.begin(), xs_.end());
+      sorted_ = true;
+    }
+  }
+  std::vector<double> xs_;
+  RunningStats stats_;
+  bool sorted_ = true;
+};
+
+// Log-scaled latency histogram (power-of-two microsecond buckets).
+class LatencyHistogram {
+ public:
+  void add(Duration d) {
+    const double us = d.to_us();
+    std::size_t b = 0;
+    double edge = 1.0;
+    while (b + 1 < kBuckets && us >= edge) {
+      edge *= 2.0;
+      ++b;
+    }
+    ++buckets_[b];
+    stats_.add(us);
+  }
+
+  std::uint64_t count() const { return stats_.count(); }
+  double mean_us() const { return stats_.mean(); }
+  double max_us() const { return stats_.max(); }
+
+  std::string to_string() const;
+
+ private:
+  static constexpr std::size_t kBuckets = 24;  // up to ~2^22 us ≈ 4 s
+  std::uint64_t buckets_[kBuckets] = {};
+  RunningStats stats_;
+};
+
+// Simple event counters keyed by name (benchmark bookkeeping).
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { v_ += by; }
+  std::uint64_t get() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+}  // namespace ordma

@@ -1,0 +1,95 @@
+// Core value types shared by every module: simulated time, byte counts and
+// rates. Simulated time is kept in integer nanoseconds so that event ordering
+// is exact and runs are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace ordma {
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+// A duration in simulated nanoseconds.
+struct Duration {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return {ns + o.ns}; }
+  constexpr Duration operator-(Duration o) const { return {ns - o.ns}; }
+  constexpr Duration& operator+=(Duration o) { ns += o.ns; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns -= o.ns; return *this; }
+  constexpr Duration operator*(std::int64_t k) const { return {ns * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {ns / k}; }
+
+  constexpr double to_us() const { return static_cast<double>(ns) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns) / 1e9; }
+};
+
+constexpr Duration nsec(std::int64_t n) { return {n}; }
+constexpr Duration usec(std::int64_t n) { return {n * 1000}; }
+constexpr Duration msec(std::int64_t n) { return {n * 1000 * 1000}; }
+constexpr Duration sec(std::int64_t n) { return {n * 1000 * 1000 * 1000}; }
+// Fractional microseconds, e.g. usec_f(2.5).
+constexpr Duration usec_f(double us) {
+  return {static_cast<std::int64_t>(us * 1e3 + 0.5)};
+}
+
+// An absolute point on the simulated clock.
+struct SimTime {
+  std::int64_t ns = 0;
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(Duration d) const { return {ns + d.ns}; }
+  constexpr Duration operator-(SimTime o) const { return {ns - o.ns}; }
+
+  constexpr double to_us() const { return static_cast<double>(ns) / 1e3; }
+  constexpr double to_sec() const { return static_cast<double>(ns) / 1e9; }
+};
+
+// ---------------------------------------------------------------------------
+// Bytes and rates
+// ---------------------------------------------------------------------------
+
+using Bytes = std::uint64_t;
+
+constexpr Bytes KiB(std::uint64_t n) { return n << 10; }
+constexpr Bytes MiB(std::uint64_t n) { return n << 20; }
+constexpr Bytes GiB(std::uint64_t n) { return n << 30; }
+
+// A transfer rate. Stored as bytes per second to make time-for-size exact
+// in integer math.
+struct Bandwidth {
+  std::uint64_t bytes_per_sec = 0;
+
+  // Time to move `n` bytes at this rate (rounded up to whole ns).
+  constexpr Duration time_for(Bytes n) const {
+    if (bytes_per_sec == 0) return {0};
+    // n * 1e9 / rate, computed without overflow for n < ~16 GiB.
+    const auto num = static_cast<__int128>(n) * 1'000'000'000;
+    return {static_cast<std::int64_t>((num + bytes_per_sec - 1) /
+                                      bytes_per_sec)};
+  }
+
+  constexpr double to_MBps() const {
+    return static_cast<double>(bytes_per_sec) / 1e6;
+  }
+};
+
+constexpr Bandwidth MBps(std::uint64_t n) { return {n * 1'000'000}; }
+constexpr Bandwidth GBps(std::uint64_t n) { return {n * 1'000'000'000}; }
+// Network link rates are usually quoted in bits.
+constexpr Bandwidth Gbps(std::uint64_t n) { return {n * 1'000'000'000 / 8}; }
+
+// Throughput observed over a window: bytes / elapsed, in MB/s.
+constexpr double throughput_MBps(Bytes bytes, Duration elapsed) {
+  if (elapsed.ns <= 0) return 0.0;
+  return static_cast<double>(bytes) / 1e6 / elapsed.to_sec();
+}
+
+}  // namespace ordma

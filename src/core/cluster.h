@@ -1,0 +1,158 @@
+// Experiment wiring: one server plus N client hosts on a 2 Gb/s fabric,
+// mirroring the paper's 4-node Myrinet cluster. Owns engine, cost model,
+// hosts, NICs, the server file system and whichever protocol services an
+// experiment instantiates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fs/server_fs.h"
+#include "host/cost_model.h"
+#include "host/host.h"
+#include "msg/udp.h"
+#include "nas/dafs/dafs_client.h"
+#include "nas/dafs/dafs_server.h"
+#include "nas/nfs/nfs_client.h"
+#include "nas/nfs/nfs_server.h"
+#include "nas/odafs/odafs_client.h"
+#include "net/fabric.h"
+#include "nic/nic.h"
+#include "sim/engine.h"
+
+namespace ordma::core {
+
+struct ClusterConfig {
+  unsigned num_clients = 1;
+  host::CostModel cm{};
+  host::HostConfig server_host{MiB(768)};
+  host::HostConfig client_host{MiB(512)};
+  fs::ServerFsConfig fs{};
+  nic::NicConfig nic{};
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg = {})
+      : cfg_(cfg), cm_(cfg.cm), fabric_(eng_) {
+    server_host_ = std::make_unique<host::Host>(eng_, "server", cm_,
+                                                cfg.server_host);
+    server_nic_ = std::make_unique<nic::Nic>(*server_host_, fabric_, cfg.nic,
+                                             crypto::SipKey{0xA5, 0x5A});
+    server_fs_ = std::make_unique<fs::ServerFs>(*server_host_, cfg.fs);
+    for (unsigned i = 0; i < cfg.num_clients; ++i) {
+      auto h = std::make_unique<host::Host>(
+          eng_, "client" + std::to_string(i), cm_, cfg.client_host);
+      client_nics_.push_back(std::make_unique<nic::Nic>(
+          *h, fabric_, cfg.nic, crypto::SipKey{0xC0 + i, 0x0C}));
+      client_hosts_.push_back(std::move(h));
+    }
+  }
+
+  sim::Engine& engine() { return eng_; }
+  host::CostModel& costs() { return cm_; }
+  net::Fabric& fabric() { return fabric_; }
+  host::Host& server() { return *server_host_; }
+  host::Host& client(unsigned i = 0) { return *client_hosts_.at(i); }
+  fs::ServerFs& server_fs() { return *server_fs_; }
+  net::NodeId server_node() const { return server_nic_->node_id(); }
+  nic::Nic& server_nic() { return *server_nic_; }
+  unsigned num_clients() const { return cfg_.num_clients; }
+
+  // --- services -------------------------------------------------------------
+  // NFS: one UDP stack per host; server bound at the well-known port.
+  void start_nfs() {
+    server_udp_ = std::make_unique<msg::UdpStack>(*server_host_);
+    nfs_server_ = std::make_unique<nas::nfs::NfsServer>(
+        *server_host_, *server_udp_, *server_fs_);
+    client_udp_.resize(client_hosts_.size());
+  }
+  msg::UdpStack& client_udp(unsigned i) {
+    auto& slot = client_udp_.at(i);
+    if (!slot) slot = std::make_unique<msg::UdpStack>(*client_hosts_[i]);
+    return *slot;
+  }
+
+  void start_dafs(nas::dafs::DafsServerConfig cfg = {}) {
+    dafs_server_ =
+        std::make_unique<nas::dafs::DafsServer>(*server_host_, *server_fs_,
+                                                cfg);
+  }
+  nas::dafs::DafsServer& dafs_server() { return *dafs_server_; }
+  nas::nfs::NfsServer& nfs_server() { return *nfs_server_; }
+
+  // --- client factories ----------------------------------------------------
+  std::unique_ptr<nas::nfs::NfsClient> make_nfs_client(
+      unsigned i, Bytes transfer = KiB(512)) {
+    return std::make_unique<nas::nfs::NfsClient>(
+        *client_hosts_[i], client_udp(i), server_node(),
+        static_cast<std::uint16_t>(700 + next_port_++), transfer);
+  }
+  std::unique_ptr<nas::nfs::NfsPrepostClient> make_prepost_client(
+      unsigned i, Bytes transfer = KiB(512)) {
+    return std::make_unique<nas::nfs::NfsPrepostClient>(
+        *client_hosts_[i], client_udp(i), server_node(),
+        static_cast<std::uint16_t>(700 + next_port_++), transfer);
+  }
+  std::unique_ptr<nas::nfs::NfsHybridClient> make_hybrid_client(
+      unsigned i, Bytes transfer = KiB(512)) {
+    return std::make_unique<nas::nfs::NfsHybridClient>(
+        *client_hosts_[i], client_udp(i), server_node(),
+        static_cast<std::uint16_t>(700 + next_port_++), transfer);
+  }
+  std::unique_ptr<nas::dafs::DafsClient> make_dafs_client(
+      unsigned i, nas::dafs::DafsClientConfig cfg = {}) {
+    return std::make_unique<nas::dafs::DafsClient>(*client_hosts_[i],
+                                                   server_node(), cfg);
+  }
+  std::unique_ptr<nas::odafs::OdafsClient> make_odafs_client(
+      unsigned i, nas::odafs::OdafsClientConfig cfg = {}) {
+    return std::make_unique<nas::odafs::OdafsClient>(*client_hosts_[i],
+                                                     server_node(), cfg);
+  }
+
+  // --- experiment helpers ---------------------------------------------------
+  // Create a file of `size` bytes of deterministic content directly in the
+  // server fs (setup outside measured time) and optionally warm the cache.
+  sim::Task<fs::Ino> make_file(std::string name, Bytes size, bool warm,
+                               std::uint64_t seed = 1) {
+    auto ino =
+        server_fs_->create(fs::ServerFs::kRootIno, name, fs::FileType::regular);
+    ORDMA_CHECK(ino.ok());
+    std::vector<std::byte> chunk(KiB(64));
+    Bytes off = 0;
+    std::uint64_t x = seed;
+    while (off < size) {
+      const Bytes n = std::min<Bytes>(chunk.size(), size - off);
+      for (Bytes i = 0; i < n; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        chunk[i] = static_cast<std::byte>(x >> 56);
+      }
+      auto wrote = co_await server_fs_->write(ino.value(), off,
+                                              {chunk.data(), n});
+      ORDMA_CHECK(wrote.ok());
+      off += n;
+    }
+    if (warm) ORDMA_CHECK((co_await server_fs_->warm(ino.value())).ok());
+    co_return ino.value();
+  }
+
+ private:
+  ClusterConfig cfg_;
+  sim::Engine eng_;
+  host::CostModel cm_;
+  net::Fabric fabric_;
+  std::unique_ptr<host::Host> server_host_;
+  std::unique_ptr<nic::Nic> server_nic_;
+  std::unique_ptr<fs::ServerFs> server_fs_;
+  std::vector<std::unique_ptr<host::Host>> client_hosts_;
+  std::vector<std::unique_ptr<nic::Nic>> client_nics_;
+  std::unique_ptr<msg::UdpStack> server_udp_;
+  std::vector<std::unique_ptr<msg::UdpStack>> client_udp_;
+  std::unique_ptr<nas::nfs::NfsServer> nfs_server_;
+  std::unique_ptr<nas::dafs::DafsServer> dafs_server_;
+  unsigned next_port_ = 0;
+};
+
+}  // namespace ordma::core

@@ -1,0 +1,45 @@
+// The uniform file-access interface every protocol client implements, so
+// workloads (streaming reader, Berkeley-DB stand-in, PostMark) are
+// protocol-agnostic. Reads and writes move real bytes to/from user-space
+// buffers in the client host's address space.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "fs/server_fs.h"
+#include "mem/physical_memory.h"
+#include "sim/task.h"
+
+namespace ordma::core {
+
+struct OpenResult {
+  std::uint64_t fh = 0;
+  Bytes size = 0;
+};
+
+class FileClient {
+ public:
+  virtual ~FileClient() = default;
+
+  virtual sim::Task<Result<OpenResult>> open(const std::string& path) = 0;
+  virtual sim::Task<Status> close(std::uint64_t fh) = 0;
+
+  // Read/write `len` bytes at file offset `off` into/from the user buffer
+  // at `user_va` (in the client host's user address space). Returns bytes
+  // transferred (reads may be short at EOF).
+  virtual sim::Task<Result<Bytes>> pread(std::uint64_t fh, Bytes off,
+                                         mem::Vaddr user_va, Bytes len) = 0;
+  virtual sim::Task<Result<Bytes>> pwrite(std::uint64_t fh, Bytes off,
+                                          mem::Vaddr user_va, Bytes len) = 0;
+
+  virtual sim::Task<Result<fs::Attr>> getattr(std::uint64_t fh) = 0;
+  virtual sim::Task<Result<OpenResult>> create(const std::string& path) = 0;
+  virtual sim::Task<Status> unlink(const std::string& path) = 0;
+
+  virtual const char* protocol_name() const = 0;
+};
+
+}  // namespace ordma::core

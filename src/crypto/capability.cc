@@ -1,0 +1,42 @@
+#include "crypto/capability.h"
+
+#include <cstring>
+
+namespace ordma::crypto {
+
+std::uint64_t CapabilityAuthority::compute_mac(const Capability& cap) const {
+  std::byte buf[8 + 8 + 8 + 1 + 4];
+  std::size_t off = 0;
+  auto put = [&](const void* p, std::size_t n) {
+    std::memcpy(buf + off, p, n);
+    off += n;
+  };
+  put(&cap.segment_id, 8);
+  put(&cap.base, 8);
+  put(&cap.length, 8);
+  put(&cap.perm, 1);
+  put(&cap.generation, 4);
+  return siphash24(key_, std::span<const std::byte>(buf, off));
+}
+
+Capability CapabilityAuthority::mint(std::uint64_t segment_id,
+                                     mem::Vaddr base, Bytes length,
+                                     SegPerm perm,
+                                     std::uint32_t generation) const {
+  Capability cap;
+  cap.segment_id = segment_id;
+  cap.base = base;
+  cap.length = length;
+  cap.perm = perm;
+  cap.generation = generation;
+  cap.mac = compute_mac(cap);
+  return cap;
+}
+
+bool CapabilityAuthority::verify(const Capability& cap,
+                                 std::uint32_t current_generation) const {
+  if (cap.generation != current_generation) return false;  // revoked
+  return compute_mac(cap) == cap.mac;
+}
+
+}  // namespace ordma::crypto

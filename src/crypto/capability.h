@@ -1,0 +1,61 @@
+// Capabilities protecting exported memory segments (paper §4, "Ensuring
+// safety").
+//
+// Each exported segment gets a capability: a keyed MAC over (segment id,
+// base, length, permissions, generation). The server NIC recomputes and
+// compares the MAC on every ORDMA request. Revocation bumps the generation
+// recorded in the TPT entry, instantly invalidating all outstanding
+// capabilities for the segment without tracking clients.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/siphash.h"
+#include "mem/physical_memory.h"
+
+namespace ordma::crypto {
+
+enum class SegPerm : std::uint8_t {
+  read = 1,
+  write = 2,
+  read_write = 3,
+};
+
+constexpr bool allows(SegPerm have, SegPerm want) {
+  return (static_cast<std::uint8_t>(have) & static_cast<std::uint8_t>(want)) ==
+         static_cast<std::uint8_t>(want);
+}
+
+// What the client holds and sends back with every ORDMA (§4): enough to name
+// the segment plus the MAC proving the server NIC granted it.
+struct Capability {
+  std::uint64_t segment_id = 0;
+  mem::Vaddr base = 0;       // in the exporter's NIC-visible address space
+  Bytes length = 0;
+  SegPerm perm = SegPerm::read;
+  std::uint32_t generation = 0;
+  std::uint64_t mac = 0;
+
+  friend bool operator==(const Capability&, const Capability&) = default;
+};
+
+// Held by the exporting NIC. Mints and verifies capabilities with a secret
+// key that never leaves the NIC.
+class CapabilityAuthority {
+ public:
+  explicit CapabilityAuthority(SipKey key) : key_(key) {}
+
+  Capability mint(std::uint64_t segment_id, mem::Vaddr base, Bytes length,
+                  SegPerm perm, std::uint32_t generation) const;
+
+  // True iff the MAC is genuine for the named segment *and* the generation
+  // matches the current one (revocation check).
+  bool verify(const Capability& cap, std::uint32_t current_generation) const;
+
+ private:
+  std::uint64_t compute_mac(const Capability& cap) const;
+  SipKey key_;
+};
+
+}  // namespace ordma::crypto

@@ -1,0 +1,72 @@
+#include "crypto/siphash.h"
+
+#include <cstring>
+
+namespace ordma::crypto {
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int b) {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline void sipround(std::uint64_t& v0, std::uint64_t& v1, std::uint64_t& v2,
+                     std::uint64_t& v3) {
+  v0 += v1;
+  v1 = rotl(v1, 13);
+  v1 ^= v0;
+  v0 = rotl(v0, 32);
+  v2 += v3;
+  v3 = rotl(v3, 16);
+  v3 ^= v2;
+  v0 += v3;
+  v3 = rotl(v3, 21);
+  v3 ^= v0;
+  v2 += v1;
+  v1 = rotl(v1, 17);
+  v1 ^= v2;
+  v2 = rotl(v2, 32);
+}
+
+inline std::uint64_t load_le64(const std::byte* p) {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;  // little-endian host assumed (x86/ARM targets)
+}
+
+}  // namespace
+
+std::uint64_t siphash24(const SipKey& key, std::span<const std::byte> data) {
+  std::uint64_t v0 = 0x736f6d6570736575ull ^ key.k0;
+  std::uint64_t v1 = 0x646f72616e646f6dull ^ key.k1;
+  std::uint64_t v2 = 0x6c7967656e657261ull ^ key.k0;
+  std::uint64_t v3 = 0x7465646279746573ull ^ key.k1;
+
+  const std::size_t n = data.size();
+  const std::size_t full = n / 8;
+  for (std::size_t i = 0; i < full; ++i) {
+    const std::uint64_t m = load_le64(data.data() + i * 8);
+    v3 ^= m;
+    sipround(v0, v1, v2, v3);
+    sipround(v0, v1, v2, v3);
+    v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(n & 0xff) << 56;
+  const std::size_t left = n & 7;
+  for (std::size_t i = 0; i < left; ++i) {
+    last |= static_cast<std::uint64_t>(data[full * 8 + i]) << (8 * i);
+  }
+  v3 ^= last;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  v0 ^= last;
+
+  v2 ^= 0xff;
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  sipround(v0, v1, v2, v3);
+  return v0 ^ v1 ^ v2 ^ v3;
+}
+
+}  // namespace ordma::crypto

@@ -1,0 +1,26 @@
+// SipHash-2-4 — a keyed MAC, implemented from the reference description.
+//
+// The paper's ORDMA safety story (§4) protects each exported memory segment
+// with "a capability, which is a keyed message authentication code (MAC)
+// computed and stored at the server TPT entry". The paper's prototype left
+// capabilities unimplemented; we implement them with SipHash-2-4, which is
+// small enough to be plausible for NIC firmware.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace ordma::crypto {
+
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  friend bool operator==(const SipKey&, const SipKey&) = default;
+};
+
+// 64-bit SipHash-2-4 of `data` under `key`.
+std::uint64_t siphash24(const SipKey& key, std::span<const std::byte> data);
+
+}  // namespace ordma::crypto

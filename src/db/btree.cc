@@ -1,0 +1,438 @@
+#include "db/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace ordma::db {
+
+namespace {
+constexpr std::uint8_t kTypeInternal = 1;
+constexpr std::uint8_t kTypeLeaf = 2;
+constexpr std::uint8_t kTypeOverflow = 3;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Raw field helpers
+// ---------------------------------------------------------------------------
+
+void BTree::put_u16(std::vector<std::byte>& b, std::size_t off,
+                    std::uint16_t v) {
+  b[off] = static_cast<std::byte>(v >> 8);
+  b[off + 1] = static_cast<std::byte>(v & 0xff);
+}
+void BTree::put_u32(std::vector<std::byte>& b, std::size_t off,
+                    std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b[off + i] = static_cast<std::byte>((v >> (8 * (3 - i))) & 0xff);
+  }
+}
+void BTree::put_u64(std::vector<std::byte>& b, std::size_t off,
+                    std::uint64_t v) {
+  put_u32(b, off, static_cast<std::uint32_t>(v >> 32));
+  put_u32(b, off + 4, static_cast<std::uint32_t>(v & 0xffffffffu));
+}
+std::uint16_t BTree::get_u16(const std::vector<std::byte>& b,
+                             std::size_t off) {
+  return static_cast<std::uint16_t>((std::to_integer<unsigned>(b[off]) << 8) |
+                                    std::to_integer<unsigned>(b[off + 1]));
+}
+std::uint32_t BTree::get_u32(const std::vector<std::byte>& b,
+                             std::size_t off) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | std::to_integer<std::uint32_t>(b[off + i]);
+  }
+  return v;
+}
+std::uint64_t BTree::get_u64(const std::vector<std::byte>& b,
+                             std::size_t off) {
+  return (static_cast<std::uint64_t>(get_u32(b, off)) << 32) |
+         get_u32(b, off + 4);
+}
+
+// ---------------------------------------------------------------------------
+// Node (de)serialisation
+// ---------------------------------------------------------------------------
+
+Bytes BTree::leaf_bytes(const Leaf& l) const {
+  Bytes n = 1 + 2 + 4;  // type, nkeys, next
+  for (const auto& e : l.entries) {
+    n += 8 + 4;  // key, vlen
+    n += e.vlen <= inline_limit() ? e.vlen : 8;  // inline or (first,pages)
+  }
+  return n;
+}
+
+void BTree::encode_leaf(const Leaf& l, std::vector<std::byte>& page) const {
+  std::fill(page.begin(), page.end(), std::byte{0});
+  page[0] = static_cast<std::byte>(kTypeLeaf);
+  put_u16(page, 1, static_cast<std::uint16_t>(l.entries.size()));
+  put_u32(page, 3, l.next);
+  std::size_t off = 7;
+  for (const auto& e : l.entries) {
+    put_u64(page, off, e.key);
+    put_u32(page, off + 8, static_cast<std::uint32_t>(e.vlen));
+    off += 12;
+    if (e.vlen <= inline_limit()) {
+      std::memcpy(page.data() + off, e.inline_value.data(), e.vlen);
+      off += e.vlen;
+    } else {
+      put_u32(page, off, e.ovfl_first);
+      put_u32(page, off + 4, e.ovfl_pages);
+      off += 8;
+    }
+    ORDMA_CHECK_MSG(off <= page.size(), "leaf overflow during encode");
+  }
+}
+
+BTree::Leaf BTree::decode_leaf(const std::vector<std::byte>& page) const {
+  ORDMA_CHECK(std::to_integer<std::uint8_t>(page[0]) == kTypeLeaf);
+  Leaf l;
+  const std::uint16_t n = get_u16(page, 1);
+  l.next = get_u32(page, 3);
+  std::size_t off = 7;
+  l.entries.resize(n);
+  for (auto& e : l.entries) {
+    e.key = get_u64(page, off);
+    e.vlen = get_u32(page, off + 8);
+    off += 12;
+    if (e.vlen <= inline_limit()) {
+      e.inline_value.assign(page.begin() + off,
+                            page.begin() + off + e.vlen);
+      off += e.vlen;
+    } else {
+      e.ovfl_first = get_u32(page, off);
+      e.ovfl_pages = get_u32(page, off + 4);
+      off += 8;
+    }
+  }
+  return l;
+}
+
+void BTree::encode_internal(const Internal& nd,
+                            std::vector<std::byte>& page) const {
+  std::fill(page.begin(), page.end(), std::byte{0});
+  page[0] = static_cast<std::byte>(kTypeInternal);
+  put_u16(page, 1, static_cast<std::uint16_t>(nd.keys.size()));
+  std::size_t off = 3;
+  for (std::size_t i = 0; i < nd.keys.size(); ++i) {
+    put_u64(page, off, nd.keys[i]);
+    put_u32(page, off + 8, nd.children[i]);
+    off += 12;
+  }
+  put_u32(page, off, nd.children.back());
+  ORDMA_CHECK(off + 4 <= page.size());
+}
+
+BTree::Internal BTree::decode_internal(
+    const std::vector<std::byte>& page) const {
+  ORDMA_CHECK(std::to_integer<std::uint8_t>(page[0]) == kTypeInternal);
+  Internal nd;
+  const std::uint16_t n = get_u16(page, 1);
+  std::size_t off = 3;
+  nd.keys.resize(n);
+  nd.children.resize(n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    nd.keys[i] = get_u64(page, off);
+    nd.children[i] = get_u32(page, off + 8);
+    off += 12;
+  }
+  nd.children[n] = get_u32(page, off);
+  return nd;
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+sim::Task<Status> BTree::write_meta() {
+  auto meta = co_await pager_.fetch(0);
+  if (!meta.ok()) co_return meta.status();
+  auto& b = meta.value()->bytes;
+  put_u32(b, 0, kMagic);
+  put_u32(b, 4, root_);
+  put_u32(b, 8, pager_.num_pages());
+  put_u32(b, 12, height_);
+  pager_.mark_dirty(*meta.value());
+  co_return Status::Ok();
+}
+
+sim::Task<Status> BTree::create() {
+  // Page 0 = meta; page 1 = empty root leaf.
+  auto meta = co_await pager_.allocate();
+  if (!meta.ok()) co_return meta.status();
+  ORDMA_CHECK_MSG(meta.value()->page == 0, "create on non-empty file");
+  auto rootf = co_await pager_.allocate();
+  if (!rootf.ok()) co_return rootf.status();
+  root_ = rootf.value()->page;
+  height_ = 1;
+  Leaf empty;
+  encode_leaf(empty, rootf.value()->bytes);
+  pager_.mark_dirty(*rootf.value());
+  co_return co_await write_meta();
+}
+
+sim::Task<Status> BTree::open() {
+  auto meta = co_await pager_.fetch(0);
+  if (!meta.ok()) co_return meta.status();
+  const auto& b = meta.value()->bytes;
+  if (get_u32(b, 0) != kMagic) co_return Status(Errc::invalid_argument);
+  root_ = get_u32(b, 4);
+  height_ = get_u32(b, 12);
+  co_return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Descent & reads
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<std::vector<PageNo>>> BTree::descend(Key key) {
+  std::vector<PageNo> path;
+  PageNo cur = root_;
+  for (std::uint32_t level = 1; level < height_; ++level) {
+    path.push_back(cur);
+    auto f = co_await pager_.fetch(cur);
+    if (!f.ok()) co_return f.status();
+    const Internal nd = decode_internal(f.value()->bytes);
+    std::size_t i = 0;
+    while (i < nd.keys.size() && key >= nd.keys[i]) ++i;
+    cur = nd.children[i];
+  }
+  path.push_back(cur);
+  co_return path;
+}
+
+sim::Task<Result<std::vector<std::byte>>> BTree::read_overflow(
+    PageNo first, std::uint32_t pages, Bytes len) {
+  std::vector<std::byte> out;
+  out.reserve(len);
+  PageNo cur = first;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    auto f = co_await pager_.fetch(cur);
+    if (!f.ok()) co_return f.status();
+    const auto& b = f.value()->bytes;
+    ORDMA_CHECK(std::to_integer<std::uint8_t>(b[0]) == kTypeOverflow);
+    const PageNo next = get_u32(b, 1);
+    const std::uint16_t n = get_u16(b, 5);
+    out.insert(out.end(), b.begin() + 7, b.begin() + 7 + n);
+    cur = next;
+  }
+  ORDMA_CHECK_MSG(out.size() == len, "overflow chain length mismatch");
+  co_return out;
+}
+
+sim::Task<Result<std::vector<std::byte>>> BTree::get(Key key) {
+  auto path = co_await descend(key);
+  if (!path.ok()) co_return path.status();
+  auto f = co_await pager_.fetch(path.value().back());
+  if (!f.ok()) co_return f.status();
+  const Leaf leaf = decode_leaf(f.value()->bytes);
+  for (const auto& e : leaf.entries) {
+    if (e.key == key) {
+      if (e.vlen <= inline_limit()) co_return e.inline_value;
+      co_return co_await read_overflow(e.ovfl_first, e.ovfl_pages, e.vlen);
+    }
+  }
+  co_return Errc::not_found;
+}
+
+sim::Task<Result<bool>> BTree::contains(Key key) {
+  auto path = co_await descend(key);
+  if (!path.ok()) co_return path.status();
+  auto f = co_await pager_.fetch(path.value().back());
+  if (!f.ok()) co_return f.status();
+  const Leaf leaf = decode_leaf(f.value()->bytes);
+  for (const auto& e : leaf.entries) {
+    if (e.key == key) co_return true;
+  }
+  co_return false;
+}
+
+sim::Task<Result<std::vector<PageNo>>> BTree::pages_for(Key key) {
+  auto path = co_await descend(key);
+  if (!path.ok()) co_return path.status();
+  std::vector<PageNo> pages = path.value();
+  auto f = co_await pager_.fetch(path.value().back());
+  if (!f.ok()) co_return f.status();
+  const Leaf leaf = decode_leaf(f.value()->bytes);
+  for (const auto& e : leaf.entries) {
+    if (e.key == key && e.vlen > inline_limit()) {
+      // Overflow chains are allocated contiguously by write_overflow.
+      for (std::uint32_t i = 0; i < e.ovfl_pages; ++i) {
+        pages.push_back(e.ovfl_first + i);
+      }
+    }
+  }
+  co_return pages;
+}
+
+sim::Task<Result<std::vector<Key>>> BTree::keys() {
+  // Walk down the leftmost spine, then follow leaf links.
+  PageNo cur = root_;
+  for (std::uint32_t level = 1; level < height_; ++level) {
+    auto f = co_await pager_.fetch(cur);
+    if (!f.ok()) co_return f.status();
+    cur = decode_internal(f.value()->bytes).children.front();
+  }
+  std::vector<Key> out;
+  while (cur != kInvalidPage) {
+    auto f = co_await pager_.fetch(cur);
+    if (!f.ok()) co_return f.status();
+    const Leaf leaf = decode_leaf(f.value()->bytes);
+    for (const auto& e : leaf.entries) out.push_back(e.key);
+    cur = leaf.next;
+  }
+  co_return out;
+}
+
+// ---------------------------------------------------------------------------
+// Inserts
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<std::pair<PageNo, std::uint32_t>>> BTree::write_overflow(
+    std::span<const std::byte> value) {
+  const Bytes per_page = pager_.page_size() - 7;
+  const auto pages =
+      static_cast<std::uint32_t>((value.size() + per_page - 1) / per_page);
+  PageNo first = kInvalidPage;
+  Pager::Frame* prev = nullptr;
+  Bytes off = 0;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    auto f = co_await pager_.allocate();
+    if (!f.ok()) co_return f.status();
+    auto& b = f.value()->bytes;
+    std::fill(b.begin(), b.end(), std::byte{0});
+    b[0] = static_cast<std::byte>(kTypeOverflow);
+    put_u32(b, 1, kInvalidPage);
+    const Bytes n = std::min<Bytes>(per_page, value.size() - off);
+    put_u16(b, 5, static_cast<std::uint16_t>(n));
+    std::memcpy(b.data() + 7, value.data() + off, n);
+    pager_.mark_dirty(*f.value());
+    off += n;
+    if (prev) {
+      put_u32(prev->bytes, 1, f.value()->page);
+      pager_.mark_dirty(*prev);
+    } else {
+      first = f.value()->page;
+    }
+    prev = f.value();
+    Pager::pin(*f.value());  // keep the chain resident while linking
+  }
+  // Unpin the chain (walk again via page numbers is unnecessary: frames may
+  // have been pinned above; release in order).
+  PageNo cur = first;
+  for (std::uint32_t i = 0; i < pages; ++i) {
+    auto f = co_await pager_.fetch(cur);
+    ORDMA_CHECK(f.ok());
+    Pager::unpin(*f.value());
+    cur = get_u32(f.value()->bytes, 1);
+  }
+  co_return std::make_pair(first, pages);
+}
+
+sim::Task<Status> BTree::insert_into_leaf(const std::vector<PageNo>& path,
+                                          LeafEntry entry) {
+  auto leaff = co_await pager_.fetch(path.back());
+  if (!leaff.ok()) co_return leaff.status();
+  Leaf leaf = decode_leaf(leaff.value()->bytes);
+
+  // Insert or replace in sorted position.
+  auto it = std::lower_bound(
+      leaf.entries.begin(), leaf.entries.end(), entry.key,
+      [](const LeafEntry& e, Key k) { return e.key < k; });
+  if (it != leaf.entries.end() && it->key == entry.key) {
+    *it = std::move(entry);
+  } else {
+    leaf.entries.insert(it, std::move(entry));
+  }
+
+  if (leaf_bytes(leaf) <= leaf_capacity()) {
+    encode_leaf(leaf, leaff.value()->bytes);
+    pager_.mark_dirty(*leaff.value());
+    co_return Status::Ok();
+  }
+
+  // Split the leaf.
+  auto rightf = co_await pager_.allocate();
+  if (!rightf.ok()) co_return rightf.status();
+  Leaf right;
+  const std::size_t half = leaf.entries.size() / 2;
+  right.entries.assign(std::make_move_iterator(leaf.entries.begin() + half),
+                       std::make_move_iterator(leaf.entries.end()));
+  leaf.entries.resize(half);
+  right.next = leaf.next;
+  leaf.next = rightf.value()->page;
+  const Key sep = right.entries.front().key;
+
+  encode_leaf(leaf, leaff.value()->bytes);
+  pager_.mark_dirty(*leaff.value());
+  encode_leaf(right, rightf.value()->bytes);
+  pager_.mark_dirty(*rightf.value());
+
+  // Propagate the separator up the path.
+  Key up_key = sep;
+  PageNo up_child = rightf.value()->page;
+  for (std::size_t depth = path.size() - 1; depth-- > 0;) {
+    auto nodef = co_await pager_.fetch(path[depth]);
+    if (!nodef.ok()) co_return nodef.status();
+    Internal nd = decode_internal(nodef.value()->bytes);
+    std::size_t i = 0;
+    while (i < nd.keys.size() && up_key >= nd.keys[i]) ++i;
+    nd.keys.insert(nd.keys.begin() + i, up_key);
+    nd.children.insert(nd.children.begin() + i + 1, up_child);
+
+    const Bytes need = 3 + nd.keys.size() * 12 + 4;
+    if (need <= pager_.page_size()) {
+      encode_internal(nd, nodef.value()->bytes);
+      pager_.mark_dirty(*nodef.value());
+      co_return Status::Ok();
+    }
+    // Split internal node.
+    auto newf = co_await pager_.allocate();
+    if (!newf.ok()) co_return newf.status();
+    Internal rightn;
+    const std::size_t mid = nd.keys.size() / 2;
+    const Key promote = nd.keys[mid];
+    rightn.keys.assign(nd.keys.begin() + mid + 1, nd.keys.end());
+    rightn.children.assign(nd.children.begin() + mid + 1, nd.children.end());
+    nd.keys.resize(mid);
+    nd.children.resize(mid + 1);
+    encode_internal(nd, nodef.value()->bytes);
+    pager_.mark_dirty(*nodef.value());
+    encode_internal(rightn, newf.value()->bytes);
+    pager_.mark_dirty(*newf.value());
+    up_key = promote;
+    up_child = newf.value()->page;
+  }
+
+  // Split reached the root: grow the tree.
+  auto newroot = co_await pager_.allocate();
+  if (!newroot.ok()) co_return newroot.status();
+  Internal rootn;
+  rootn.keys = {up_key};
+  rootn.children = {path.front(), up_child};
+  encode_internal(rootn, newroot.value()->bytes);
+  pager_.mark_dirty(*newroot.value());
+  root_ = newroot.value()->page;
+  ++height_;
+  co_return co_await write_meta();
+}
+
+sim::Task<Status> BTree::insert(Key key, std::span<const std::byte> value) {
+  LeafEntry entry;
+  entry.key = key;
+  entry.vlen = value.size();
+  if (value.size() <= inline_limit()) {
+    entry.inline_value.assign(value.begin(), value.end());
+  } else {
+    auto ovfl = co_await write_overflow(value);
+    if (!ovfl.ok()) co_return ovfl.status();
+    entry.ovfl_first = ovfl.value().first;
+    entry.ovfl_pages = ovfl.value().second;
+  }
+  auto path = co_await descend(key);
+  if (!path.ok()) co_return path.status();
+  co_return co_await insert_into_leaf(path.value(), std::move(entry));
+}
+
+}  // namespace ordma::db

@@ -1,0 +1,112 @@
+// B+-tree with overflow chains for large values — the access method of the
+// Berkeley DB stand-in. Page layout is real marshalled bytes (the tree is
+// readable after a flush/reload), fixed-width u64 keys, values of any size
+// (inline when they fit, otherwise a chain of overflow pages — a 60 KB
+// record occupies ~8 pages, which is what gives Fig. 5 its I/O pattern).
+//
+// Page formats (page size P, all integers big-endian):
+//   meta (page 0):  magic u32 | root u32 | next_free u32 | height u32
+//   internal:       type=1 u8 | nkeys u16 | [key u64, child u32]* | right u32
+//   leaf:           type=2 u8 | nkeys u16 | next_leaf u32 |
+//                   entries: key u64 | vlen u32 | (inline bytes
+//                            | ovfl: first u32, pages u32)
+//   overflow:       type=3 u8 | next u32 | len u16 | bytes
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "db/pager.h"
+
+namespace ordma::db {
+
+using Key = std::uint64_t;
+
+class BTree {
+ public:
+  explicit BTree(Pager& pager) : pager_(pager) {}
+
+  // Create a fresh tree (meta + empty root leaf).
+  sim::Task<Status> create();
+  // Open an existing tree (reads meta).
+  sim::Task<Status> open();
+
+  sim::Task<Status> insert(Key key, std::span<const std::byte> value);
+  sim::Task<Result<std::vector<std::byte>>> get(Key key);
+  sim::Task<Result<bool>> contains(Key key);
+
+  // All pages a get(key) would touch, in access order (meta excluded).
+  // Used by the join workload to pre-compute its prefetch list.
+  sim::Task<Result<std::vector<PageNo>>> pages_for(Key key);
+
+  // In-order key scan (whole tree).
+  sim::Task<Result<std::vector<Key>>> keys();
+
+  std::uint32_t height() const { return height_; }
+
+ private:
+  static constexpr std::uint32_t kMagic = 0x0DDA'F500;
+  // Values longer than this spill to overflow pages.
+  Bytes inline_limit() const { return pager_.page_size() / 4; }
+  Bytes leaf_capacity() const { return pager_.page_size() - 16; }
+
+  struct LeafEntry {
+    Key key = 0;
+    Bytes vlen = 0;
+    std::vector<std::byte> inline_value;  // if vlen <= inline_limit
+    PageNo ovfl_first = kInvalidPage;
+    std::uint32_t ovfl_pages = 0;
+  };
+  struct Leaf {
+    std::vector<LeafEntry> entries;
+    PageNo next = kInvalidPage;
+  };
+  struct Internal {
+    std::vector<Key> keys;        // keys.size() == children.size() - 1
+    std::vector<PageNo> children;
+  };
+
+  // --- page (de)serialisation ------------------------------------------------
+  static void put_u16(std::vector<std::byte>& b, std::size_t off,
+                      std::uint16_t v);
+  static void put_u32(std::vector<std::byte>& b, std::size_t off,
+                      std::uint32_t v);
+  static void put_u64(std::vector<std::byte>& b, std::size_t off,
+                      std::uint64_t v);
+  static std::uint16_t get_u16(const std::vector<std::byte>& b,
+                               std::size_t off);
+  static std::uint32_t get_u32(const std::vector<std::byte>& b,
+                               std::size_t off);
+  static std::uint64_t get_u64(const std::vector<std::byte>& b,
+                               std::size_t off);
+
+  void encode_leaf(const Leaf& l, std::vector<std::byte>& page) const;
+  Leaf decode_leaf(const std::vector<std::byte>& page) const;
+  void encode_internal(const Internal& n, std::vector<std::byte>& page) const;
+  Internal decode_internal(const std::vector<std::byte>& page) const;
+  Bytes leaf_bytes(const Leaf& l) const;
+
+  sim::Task<Status> write_meta();
+
+  // Descend to the leaf that should hold `key`; returns the path of page
+  // numbers (root..leaf).
+  sim::Task<Result<std::vector<PageNo>>> descend(Key key);
+
+  // Store a large value in a fresh overflow chain.
+  sim::Task<Result<std::pair<PageNo, std::uint32_t>>> write_overflow(
+      std::span<const std::byte> value);
+  sim::Task<Result<std::vector<std::byte>>> read_overflow(PageNo first,
+                                                          std::uint32_t pages,
+                                                          Bytes len);
+
+  // Insert into a (possibly full) node chain with splits up the path.
+  sim::Task<Status> insert_into_leaf(const std::vector<PageNo>& path,
+                                     LeafEntry entry);
+
+  Pager& pager_;
+  PageNo root_ = kInvalidPage;
+  std::uint32_t height_ = 1;
+};
+
+}  // namespace ordma::db

@@ -1,0 +1,81 @@
+// The embedded database facade (Berkeley DB stand-in): a key/value store —
+// B+-tree access method over a user-level page cache over any FileClient —
+// "linked into the application address space", as §5.1 describes db.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/file_client.h"
+#include "db/btree.h"
+#include "db/pager.h"
+
+namespace ordma::db {
+
+class Database {
+ public:
+  // Create a new database file (fails if it exists).
+  static sim::Task<Result<std::unique_ptr<Database>>> create(
+      host::Host& host, core::FileClient& file, const std::string& path,
+      PagerConfig cfg = {});
+  // Open an existing database file.
+  static sim::Task<Result<std::unique_ptr<Database>>> open(
+      host::Host& host, core::FileClient& file, const std::string& path,
+      PagerConfig cfg = {});
+
+  sim::Task<Status> put(Key key, std::span<const std::byte> value) {
+    return tree_->insert(key, value);
+  }
+  sim::Task<Result<std::vector<std::byte>>> get(Key key) {
+    return tree_->get(key);
+  }
+  sim::Task<Result<bool>> contains(Key key) { return tree_->contains(key); }
+  sim::Task<Result<std::vector<Key>>> keys() { return tree_->keys(); }
+  sim::Task<Result<std::vector<PageNo>>> pages_for(Key key) {
+    return tree_->pages_for(key);
+  }
+
+  sim::Task<Status> sync() { return pager_->flush(); }
+  // Drop the page cache (cold-start a measurement).
+  sim::Task<Status> reset_cache() { return pager_->reset(); }
+
+  Pager& pager() { return *pager_; }
+  BTree& tree() { return *tree_; }
+
+ private:
+  Database() = default;
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BTree> tree_;
+  std::uint64_t fh_ = 0;
+};
+
+inline sim::Task<Result<std::unique_ptr<Database>>> Database::create(
+    host::Host& host, core::FileClient& file, const std::string& path,
+    PagerConfig cfg) {
+  auto created = co_await file.create(path);
+  if (!created.ok()) co_return created.status();
+  auto dbp = std::unique_ptr<Database>(new Database);
+  dbp->fh_ = created.value().fh;
+  dbp->pager_ = std::make_unique<Pager>(host, file, dbp->fh_, 0, cfg);
+  dbp->tree_ = std::make_unique<BTree>(*dbp->pager_);
+  auto st = co_await dbp->tree_->create();
+  if (!st.ok()) co_return st;
+  co_return std::move(dbp);
+}
+
+inline sim::Task<Result<std::unique_ptr<Database>>> Database::open(
+    host::Host& host, core::FileClient& file, const std::string& path,
+    PagerConfig cfg) {
+  auto opened = co_await file.open(path);
+  if (!opened.ok()) co_return opened.status();
+  auto dbp = std::unique_ptr<Database>(new Database);
+  dbp->fh_ = opened.value().fh;
+  dbp->pager_ = std::make_unique<Pager>(host, file, dbp->fh_,
+                                        opened.value().size, cfg);
+  dbp->tree_ = std::make_unique<BTree>(*dbp->pager_);
+  auto st = co_await dbp->tree_->open();
+  if (!st.ok()) co_return st;
+  co_return std::move(dbp);
+}
+
+}  // namespace ordma::db

@@ -1,0 +1,42 @@
+// The Figure-5 application: "an application uses db to compute a simple
+// equality join with 60KB records. The result of the join is a large list
+// of keys, retrieved from the database file located on the server. Db
+// pre-computes the list of required pages and performs read-ahead,
+// maintaining a window of outstanding I/Os. To vary the computational
+// requirements of the application, we increase the amount of data copied
+// from the db cache into the application buffer for each record."
+#pragma once
+
+#include <vector>
+
+#include "db/database.h"
+
+namespace ordma::db {
+
+struct JoinConfig {
+  Bytes record_size = KiB(60);
+  Bytes copy_per_record = 0;   // 0 .. 64 KiB in the paper's sweep
+  std::size_t window = 8;      // outstanding prefetch I/Os
+};
+
+struct JoinResult {
+  std::uint64_t records = 0;
+  Bytes record_bytes = 0;      // records × record_size (the throughput basis)
+  Duration elapsed{};
+  double throughput_MBps = 0.0;
+};
+
+// Run the equality-join retrieval phase over `keys` (the pre-computed join
+// result). Pages for upcoming records are prefetched `window` records
+// ahead; each retrieved record is partially copied into the application
+// buffer (a real charged memcpy of copy_per_record bytes).
+sim::Task<Result<JoinResult>> run_join(host::Host& host, Database& db,
+                                       const std::vector<Key>& keys,
+                                       JoinConfig cfg);
+
+// Setup helper: bulk-load `count` records of record_size deterministic
+// bytes keyed 1..count, then flush.
+sim::Task<Status> load_records(Database& db, std::uint64_t count,
+                               Bytes record_size, std::uint64_t seed = 42);
+
+}  // namespace ordma::db

@@ -1,0 +1,130 @@
+#include "fs/buffer_cache.h"
+
+namespace ordma::fs {
+
+BufferCache::BufferCache(host::Host& host, Disk& disk,
+                         std::size_t capacity_blocks, Bytes block_size)
+    : host_(host),
+      disk_(disk),
+      capacity_(capacity_blocks),
+      block_size_(block_size),
+      blocks_(capacity_blocks) {
+  ORDMA_CHECK(block_size % mem::kPageSize == 0 ||
+              mem::kPageSize % block_size == 0);
+  ORDMA_CHECK(block_size == disk.block_size());
+  for (auto& b : blocks_) {
+    b.va = host_.map_new(host_.kernel_as(), block_size_);
+    free_.push_back(&b);
+  }
+}
+
+CacheBlock* BufferCache::peek(CacheKey key) {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : it->second;
+}
+
+sim::Task<Result<CacheBlock*>> BufferCache::evict_one() {
+  // First unpinned block from the LRU end.
+  CacheBlock* victim = nullptr;
+  lru_.for_each([&](CacheBlock* cand) {
+    if (!victim && cand->pin == 0) victim = cand;
+  });
+  if (!victim) co_return Errc::no_space;  // everything pinned
+
+  // Detach before any await so a concurrent eviction cannot pick the same
+  // victim; the hook (ODAFS revocation) also fires before the write-back
+  // await, so no ORDMA can observe the block once we commit to reuse.
+  if (evict_hook_) evict_hook_(*victim);
+  map_.erase(victim->key);
+  lru_.erase(victim);
+  victim->valid = false;
+  victim->export_seg = 0;
+
+  if (victim->dirty) {
+    std::vector<std::byte> data(block_size_);
+    ORDMA_CHECK(host_.kernel_as().read(victim->va, data).ok());
+    auto st = co_await disk_.write(victim->disk_block, data);
+    if (!st.ok()) co_return st;
+    victim->dirty = false;
+  }
+  co_return victim;
+}
+
+sim::Task<Result<CacheBlock*>> BufferCache::get(CacheKey key,
+                                                BlockNo disk_block,
+                                                bool zero_fill) {
+  if (auto* b = peek(key)) {
+    ++hits_;
+    lru_.touch(b);
+    co_return b;
+  }
+  ++misses_;
+
+  CacheBlock* b = free_.pop_front();
+  if (!b) {
+    auto evicted = co_await evict_one();
+    if (!evicted.ok()) co_return evicted.status();
+    b = evicted.value();
+  }
+
+  b->key = key;
+  b->disk_block = disk_block;
+  b->dirty = false;
+  b->valid_len = block_size_;
+  if (zero_fill) {
+    const std::vector<std::byte> zeros(block_size_);
+    ORDMA_CHECK(host_.kernel_as().write(b->va, zeros).ok());
+  } else {
+    std::vector<std::byte> data(block_size_);
+    auto st = co_await disk_.read(disk_block, data);
+    if (!st.ok()) {
+      free_.push_back(b);
+      co_return st;
+    }
+    ORDMA_CHECK(host_.kernel_as().write(b->va, data).ok());
+  }
+  b->valid = true;
+
+  // The block may have been faulted in concurrently while we read the disk;
+  // keep the established entry (it may already be pinned or exported) and
+  // return our freshly loaded descriptor to the free list.
+  if (auto* existing = peek(key)) {
+    b->valid = false;
+    free_.push_back(b);
+    lru_.touch(existing);
+    co_return existing;
+  }
+  map_[key] = b;
+  lru_.push_back(b);
+  co_return b;
+}
+
+void BufferCache::invalidate(CacheKey key) {
+  auto* b = peek(key);
+  if (!b) return;
+  ORDMA_CHECK_MSG(b->pin == 0, "invalidate of pinned cache block");
+  if (evict_hook_) evict_hook_(*b);
+  map_.erase(key);
+  lru_.erase(b);
+  b->valid = false;
+  b->dirty = false;
+  b->export_seg = 0;
+  free_.push_back(b);
+}
+
+sim::Task<Status> BufferCache::sync() {
+  std::vector<CacheBlock*> dirty;
+  lru_.for_each([&](CacheBlock* b) {
+    if (b->dirty) dirty.push_back(b);
+  });
+  for (CacheBlock* b : dirty) {
+    std::vector<std::byte> data(block_size_);
+    ORDMA_CHECK(host_.kernel_as().read(b->va, data).ok());
+    auto st = co_await disk_.write(b->disk_block, data);
+    if (!st.ok()) co_return st;
+    b->dirty = false;
+  }
+  co_return Status::Ok();
+}
+
+}  // namespace ordma::fs

@@ -1,0 +1,52 @@
+#include "fs/disk.h"
+
+#include <cstring>
+
+namespace ordma::fs {
+
+sim::Task<void> Disk::access(BlockNo b) {
+  co_await arm_.acquire();
+  sim::Resource::ReleaseGuard guard(arm_);
+  const auto& cm = host_.costs();
+  Duration cost = cm.disk_bw.time_for(block_size_);
+  if (b != next_sequential_) cost += cm.disk_seek;
+  next_sequential_ = b + 1;
+  co_await host_.engine().delay(cost);
+}
+
+sim::Task<Status> Disk::read(BlockNo b, std::span<std::byte> out) {
+  if (b >= num_blocks_ || out.size() > block_size_) {
+    co_return Status(Errc::invalid_argument);
+  }
+  co_await access(b);
+  ++reads_;
+  if (inject_failures_ > 0) {
+    --inject_failures_;
+    co_return Status(Errc::io_error);
+  }
+  auto it = blocks_.find(b);
+  if (it == blocks_.end()) {
+    std::memset(out.data(), 0, out.size());
+  } else {
+    std::memcpy(out.data(), it->second.data(), out.size());
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> Disk::write(BlockNo b, std::span<const std::byte> data) {
+  if (b >= num_blocks_ || data.size() > block_size_) {
+    co_return Status(Errc::invalid_argument);
+  }
+  co_await access(b);
+  ++writes_;
+  if (inject_failures_ > 0) {
+    --inject_failures_;
+    co_return Status(Errc::io_error);
+  }
+  auto& blk = blocks_[b];
+  if (blk.size() != block_size_) blk.assign(block_size_, std::byte{0});
+  std::memcpy(blk.data(), data.data(), data.size());
+  co_return Status::Ok();
+}
+
+}  // namespace ordma::fs

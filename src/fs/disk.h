@@ -1,0 +1,61 @@
+// Block-device model: a single arm (seek cost for non-sequential access) and
+// a streaming transfer rate, storing real bytes lazily. Most of the paper's
+// experiments run with warm server caches, but cold-start paths, write-back
+// and the ORDMA-miss economics (§4.2.2: disk latency masks fallback cost)
+// need a real device underneath.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "host/host.h"
+#include "sim/resource.h"
+#include "sim/task.h"
+
+namespace ordma::fs {
+
+using BlockNo = std::uint64_t;
+
+class Disk {
+ public:
+  Disk(host::Host& host, Bytes capacity, Bytes block_size)
+      : host_(host),
+        block_size_(block_size),
+        num_blocks_(capacity / block_size),
+        arm_(host.engine(), 1, host.name() + ".disk") {}
+  Disk(const Disk&) = delete;
+  Disk& operator=(const Disk&) = delete;
+
+  Bytes block_size() const { return block_size_; }
+  BlockNo num_blocks() const { return num_blocks_; }
+
+  sim::Task<Status> read(BlockNo b, std::span<std::byte> out);
+  sim::Task<Status> write(BlockNo b, std::span<const std::byte> data);
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+  // --- fault injection ------------------------------------------------------
+  // Fail the next `n` I/Os with Errc::io_error (after their simulated
+  // latency, like a real medium error). Used by failure-path tests.
+  void inject_failures(std::uint64_t n) { inject_failures_ = n; }
+  std::uint64_t injected_remaining() const { return inject_failures_; }
+
+ private:
+  sim::Task<void> access(BlockNo b);
+
+  host::Host& host_;
+  Bytes block_size_;
+  BlockNo num_blocks_;
+  sim::Resource arm_;
+  BlockNo next_sequential_ = ~BlockNo{0};
+  std::unordered_map<BlockNo, std::vector<std::byte>> blocks_;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t inject_failures_ = 0;
+};
+
+}  // namespace ordma::fs

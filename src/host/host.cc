@@ -1,0 +1,47 @@
+#include "host/host.h"
+
+#include "nic/nic.h"
+
+namespace ordma::host {
+
+Host::Host(sim::Engine& eng, std::string name, const CostModel& cm,
+           HostConfig cfg)
+    : eng_(eng),
+      name_(std::move(name)),
+      cm_(cm),
+      cpu_(eng, 1, name_ + ".cpu"),
+      phys_(cfg.memory / mem::kPageSize),
+      frames_(0, cfg.memory / mem::kPageSize),
+      kernel_as_(phys_),
+      user_as_(phys_) {}
+
+Host::~Host() = default;
+
+void Host::post_interrupt(std::function<sim::Task<void>()> handler) {
+  eng_.spawn([](Host& h, std::function<sim::Task<void>()> handler)
+                 -> sim::Task<void> {
+    co_await h.cpu_consume(h.costs().cpu_interrupt);
+    co_await handler();
+  }(*this, std::move(handler)));
+}
+
+mem::Vaddr Host::map_new(mem::AddressSpace& as, Bytes len) {
+  const auto pages = (len + mem::kPageSize - 1) / mem::kPageSize;
+  const mem::Vaddr va = next_va_;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    auto frame = frames_.allocate();
+    ORDMA_CHECK_MSG(frame.ok(), "host out of physical memory");
+    as.map(mem::page_of(va) + i, frame.value());
+  }
+  next_va_ += pages * mem::kPageSize;
+  return va;
+}
+
+void Host::unmap(mem::AddressSpace& as, mem::Vaddr va, Bytes len) {
+  const auto pages = (len + mem::kPageSize - 1) / mem::kPageSize;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    frames_.free(as.unmap(mem::page_of(va) + i));
+  }
+}
+
+}  // namespace ordma::host

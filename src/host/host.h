@@ -1,0 +1,93 @@
+// A simulated end-system host: one CPU (a contended resource), physical
+// memory with a frame allocator, kernel and user address spaces, and an
+// attached NIC. All protocol CPU charges flow through cpu(), which is where
+// utilisation (Fig. 4) and server saturation (Fig. 7) come from.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+#include "host/cost_model.h"
+#include "mem/address_space.h"
+#include "mem/physical_memory.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "sim/task.h"
+
+namespace ordma::nic {
+class Nic;
+}
+
+namespace ordma::host {
+
+struct HostConfig {
+  Bytes memory = MiB(512);  // scaled from the paper's 2 GB (see DESIGN.md)
+};
+
+class Host {
+ public:
+  Host(sim::Engine& eng, std::string name, const CostModel& cm,
+       HostConfig cfg = {});
+  ~Host();
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  sim::Engine& engine() { return eng_; }
+  const CostModel& costs() const { return cm_; }
+  const std::string& name() const { return name_; }
+
+  sim::Resource& cpu() { return cpu_; }
+  mem::PhysicalMemory& phys() { return phys_; }
+  mem::FrameAllocator& frames() { return frames_; }
+  mem::AddressSpace& kernel_as() { return kernel_as_; }
+  mem::AddressSpace& user_as() { return user_as_; }
+
+  void attach_nic(nic::Nic* n) { nic_ = n; }
+  nic::Nic& nic() {
+    ORDMA_CHECK_MSG(nic_, "host has no NIC attached");
+    return *nic_;
+  }
+
+  // --- CPU charging helpers ----------------------------------------------
+  sim::Task<void> cpu_consume(Duration d) { return cpu_.consume(d); }
+  // Charge a memory copy of n bytes to this CPU.
+  sim::Task<void> copy(Bytes n) { return cpu_.consume(cm_.copy_cost(n)); }
+
+  // Deliver an interrupt: the handler runs on this CPU after the interrupt
+  // entry cost. Handlers that do more work charge it themselves.
+  void post_interrupt(std::function<sim::Task<void>()> handler);
+
+  // --- memory management --------------------------------------------------
+  // Allocate `len` bytes (rounded up to pages) of fresh, zeroed memory
+  // mapped at a new virtual address in `as`. Aborts on out-of-memory (the
+  // experiments size memory explicitly).
+  mem::Vaddr map_new(mem::AddressSpace& as, Bytes len);
+  // Unmap a map_new'd range and return its frames to the allocator.
+  void unmap(mem::AddressSpace& as, mem::Vaddr va, Bytes len);
+
+  // --- utilisation sampling ----------------------------------------------
+  struct CpuSample {
+    Duration busy;
+    SimTime at;
+  };
+  CpuSample sample_cpu() { return {cpu_.busy_time(), eng_.now()}; }
+  static double utilisation(const CpuSample& a, const CpuSample& b) {
+    return sim::Resource::utilisation(a.busy, b.busy, a.at, b.at, 1);
+  }
+
+ private:
+  sim::Engine& eng_;
+  std::string name_;
+  const CostModel& cm_;
+  sim::Resource cpu_;
+  mem::PhysicalMemory phys_;
+  mem::FrameAllocator frames_;
+  mem::AddressSpace kernel_as_;
+  mem::AddressSpace user_as_;
+  nic::Nic* nic_ = nullptr;
+  mem::Vaddr next_va_ = mem::kPageSize;  // keep 0 unmapped
+};
+
+}  // namespace ordma::host

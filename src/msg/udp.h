@@ -1,0 +1,82 @@
+// UDP/IP over the Ethernet emulation — the transport under standard NFS and
+// the RDDP-RPC variants (§5: "we use UDP as our transport protocol to avoid
+// the higher overhead of TCP", checksum offloading and interrupt coalescing
+// on).
+//
+// Datagrams carry a real 8-byte UDP header (ports + length) marshalled in
+// front of the payload. Send/receive charge the host-CPU stack costs from
+// the cost model; fragmentation and the RDDP header split happen in the NIC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "host/host.h"
+#include "net/packet.h"
+#include "nic/nic.h"
+#include "sim/channel.h"
+#include "sim/task.h"
+
+namespace ordma::msg {
+
+struct UdpDatagram {
+  net::NodeId src = net::kInvalidNode;
+  std::uint16_t src_port = 0;
+  net::Buffer data;          // payload after the UDP header
+  bool rddp_placed = false;  // payload bulk was placed by the NIC
+  Bytes rddp_data_len = 0;
+};
+
+class UdpStack {
+ public:
+  static constexpr Bytes kUdpHeader = 8;
+
+  explicit UdpStack(host::Host& host);
+  UdpStack(const UdpStack&) = delete;
+  UdpStack& operator=(const UdpStack&) = delete;
+
+  class Socket {
+   public:
+    Socket(UdpStack& stack, std::uint16_t port)
+        : stack_(stack), port_(port), rx_(stack.host_.engine()) {}
+
+    // Send `payload` to (dst, dst_port). If rddp_xid != 0, the bulk data at
+    // [rddp_data_offset, +rddp_data_len) of the *payload* is announced for
+    // RDDP placement at the receiver. `gather_send` skips the user→kernel
+    // copy charge (NIC scatter/gather out of pinned pages — §2.2: "Avoiding
+    // memory copies on the outgoing path is relatively easy").
+    sim::Task<void> send_to(net::NodeId dst, std::uint16_t dst_port,
+                            net::Buffer payload, std::uint32_t rddp_xid = 0,
+                            Bytes rddp_data_offset = 0,
+                            Bytes rddp_data_len = 0,
+                            bool gather_send = false);
+
+    sim::Task<UdpDatagram> recv() {
+      co_return co_await rx_.recv();
+    }
+
+    std::uint16_t port() const { return port_; }
+
+   private:
+    friend class UdpStack;
+    UdpStack& stack_;
+    std::uint16_t port_;
+    sim::Channel<UdpDatagram> rx_;
+  };
+
+  // Bind a socket; at most one per port.
+  Socket& bind(std::uint16_t port);
+
+  host::Host& host() { return host_; }
+
+ private:
+  sim::Task<void> on_datagram(nic::Nic::EthDatagram d);
+
+  host::Host& host_;
+  nic::Nic& nic_;
+  std::unordered_map<std::uint16_t, std::unique_ptr<Socket>> sockets_;
+};
+
+}  // namespace ordma::msg

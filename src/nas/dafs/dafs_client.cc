@@ -1,0 +1,329 @@
+#include "nas/dafs/dafs_client.h"
+
+#include <algorithm>
+
+#include "nas/wire_util.h"
+
+namespace ordma::nas::dafs {
+
+DafsClient::DafsClient(host::Host& host, net::NodeId server,
+                       DafsClientConfig cfg)
+    : host_(host), server_(server), cfg_(cfg) {}
+
+sim::Task<Status> DafsClient::ensure_connected() {
+  if (conn_) co_return Status::Ok();
+  conn_ = co_await msg::vi_connect(host_, server_, cfg_.listen_port,
+                                   cfg_.completion);
+  host_.engine().spawn(rx_loop());
+  co_return Status::Ok();
+}
+
+sim::Task<void> DafsClient::rx_loop() {
+  for (;;) {
+    net::Buffer msg = co_await conn_->recv();
+    rpc::XdrDecoder dec(msg);
+    const std::uint32_t req_id = dec.u32();
+    auto it = waiting_.find(req_id);
+    if (it == waiting_.end()) continue;
+    it->second->done.set(msg.slice(4, msg.size() - 4));
+  }
+}
+
+sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
+                                                rpc::XdrEncoder args) {
+  co_await ensure_connected();
+  const auto& cm = host_.costs();
+  co_await host_.cpu_consume(cm.dafs_client_proc);
+
+  const std::uint32_t req_id = next_req_id_++;
+  rpc::XdrEncoder msg;
+  msg.u32(req_id);
+  msg.u32(proc);
+  msg.raw(net::Buffer(args.finish()).view());
+
+  auto waiter = std::make_unique<Waiter>(host_.engine());
+  auto* wp = waiter.get();
+  waiting_.emplace(req_id, std::move(waiter));
+  co_await conn_->send(msg.finish());
+  net::Buffer reply = co_await wp->done.wait();
+  waiting_.erase(req_id);
+  co_return reply;
+}
+
+void DafsClient::decode_refs(rpc::XdrDecoder& dec, std::uint32_t count,
+                             DafsReadResult& out) {
+  out.refs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint64_t fbn = dec.u64();
+    out.refs.emplace_back(fbn, decode_ref(dec));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol operations
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<OpenInfo>> DafsClient::dafs_open(const std::string& path) {
+  rpc::XdrEncoder args;
+  args.str(path);
+  auto reply = co_await call(kOpen, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+  OpenInfo info;
+  info.fh = dec.u64();
+  info.size = dec.u64();
+  info.delegation = dec.u32() != 0;
+  info.server_block = dec.u32();
+  server_block_size_ = info.server_block;
+  if (dec.u32() != 0) {
+    cache::RemoteRef ref;
+    ref.va = dec.u64();
+    ref.cap = decode_cap(dec);
+    ref.len = fs::ServerFs::kAttrRecordSize;
+    ref.seg_id = ref.cap.segment_id;
+    info.attr_ref = ref;
+  }
+  last_open_ = info;
+  co_return info;
+}
+
+sim::Task<Status> DafsClient::dafs_close(std::uint64_t fh) {
+  rpc::XdrEncoder args;
+  args.u64(fh);
+  auto reply = co_await call(kClose, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  co_return Status(static_cast<Errc>(dec.u32()));
+}
+
+sim::Task<Result<DafsReadResult>> DafsClient::read_inline(std::uint64_t fh,
+                                                          Bytes off,
+                                                          Bytes len) {
+  rpc::XdrEncoder args;
+  args.u64(fh);
+  args.u64(off);
+  args.u32(static_cast<std::uint32_t>(len));
+  auto reply = co_await call(kReadInline, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+
+  DafsReadResult out;
+  out.n = dec.u32();
+  const std::uint32_t ref_count = dec.u32();
+  decode_refs(dec, ref_count, out);
+  const auto data = dec.rest();
+  if (data.size() < out.n) co_return Errc::io_error;
+  out.inline_data = net::Buffer::copy_of(data.subspan(0, out.n));
+  co_return out;
+}
+
+sim::Task<Result<DafsReadResult>> DafsClient::read_direct(
+    std::uint64_t fh, Bytes off, Bytes len, mem::Vaddr nic_va,
+    const crypto::Capability& cap) {
+  rpc::XdrEncoder args;
+  args.u64(fh);
+  args.u64(off);
+  args.u32(static_cast<std::uint32_t>(len));
+  args.u64(nic_va);
+  encode_cap(args, cap);
+  auto reply = co_await call(kReadDirect, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+
+  DafsReadResult out;
+  out.n = dec.u32();
+  const std::uint32_t ref_count = dec.u32();
+  decode_refs(dec, ref_count, out);
+  co_return out;
+}
+
+sim::Task<Result<Bytes>> DafsClient::write_inline(
+    std::uint64_t fh, Bytes off, std::span<const std::byte> data) {
+  // Inline write data is copied into the message (user → comm buffer).
+  co_await host_.copy(data.size());
+  rpc::XdrEncoder args;
+  args.u64(fh);
+  args.u64(off);
+  args.opaque(data);
+  auto reply = co_await call(kWriteInline, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+  co_return Bytes{dec.u32()};
+}
+
+sim::Task<Result<Bytes>> DafsClient::write_direct(
+    std::uint64_t fh, Bytes off, Bytes len, mem::Vaddr nic_va,
+    const crypto::Capability& cap) {
+  rpc::XdrEncoder args;
+  args.u64(fh);
+  args.u64(off);
+  args.u32(static_cast<std::uint32_t>(len));
+  args.u64(nic_va);
+  encode_cap(args, cap);
+  auto reply = co_await call(kWriteDirect, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+  co_return Bytes{dec.u32()};
+}
+
+sim::Task<Result<std::vector<Bytes>>> DafsClient::read_batch(
+    const std::vector<BatchEntry>& entries) {
+  rpc::XdrEncoder args;
+  args.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    args.u64(e.fh);
+    args.u64(e.off);
+    args.u32(static_cast<std::uint32_t>(e.len));
+    args.u64(e.nic_va);
+    encode_cap(args, e.cap);
+  }
+  auto reply = co_await call(kReadBatch, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+  std::vector<Bytes> ns;
+  ns.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) ns.push_back(dec.u32());
+  co_return ns;
+}
+
+sim::Task<Result<DafsClient::Registered*>> DafsClient::ensure_registered(
+    mem::Vaddr va, Bytes len) {
+  auto lookup = [&]() -> Registered* {
+    for (auto& r : regs_) {
+      if (va >= r.host_base && va + len <= r.host_base + r.len) return &r;
+    }
+    return nullptr;
+  };
+  if (auto* r = lookup()) co_return r;
+  const mem::Vaddr base = va & ~(mem::kPageSize - 1);
+  const Bytes aligned_len =
+      ((va + len + mem::kPageSize - 1) & ~(mem::kPageSize - 1)) - base;
+  co_await host_.cpu_consume(host_.costs().memory_register);
+  // Re-check after the await: a concurrent caller may have registered the
+  // range while this one waited for the CPU (single-flight; duplicate
+  // exports would flood the NIC TLB with redundant pinned entries).
+  if (auto* r = lookup()) co_return r;
+  auto cap = host_.nic().export_segment(host_.user_as(), base, aligned_len,
+                                        crypto::SegPerm::read_write,
+                                        /*pin_now=*/true);
+  if (!cap.ok()) co_return cap.status();
+  regs_.push_back(Registered{base, aligned_len, cap.value()});
+  co_return &regs_.back();
+}
+
+// ---------------------------------------------------------------------------
+// FileClient interface
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<core::OpenResult>> DafsClient::open(
+    const std::string& path) {
+  // Delegated opens are satisfied locally (§5.2).
+  if (auto it = delegated_opens_.find(path); it != delegated_opens_.end()) {
+    co_await host_.cpu_consume(host_.costs().cpu_syscall);
+    co_return core::OpenResult{it->second.fh, it->second.size};
+  }
+  auto info = co_await dafs_open(path);
+  if (!info.ok()) co_return info.status();
+  if (info.value().delegation) {
+    delegations_.grant(info.value().fh);
+    delegated_opens_[path] = info.value();
+  }
+  co_return core::OpenResult{info.value().fh, info.value().size};
+}
+
+sim::Task<Status> DafsClient::close(std::uint64_t fh) {
+  if (delegations_.has(fh)) {
+    co_await host_.cpu_consume(host_.costs().cpu_syscall);
+    co_return Status::Ok();  // delegation keeps the server-side open alive
+  }
+  co_return co_await dafs_close(fh);
+}
+
+sim::Task<Result<Bytes>> DafsClient::pread(std::uint64_t fh, Bytes off,
+                                           mem::Vaddr user_va, Bytes len) {
+  if (!cfg_.direct_reads) {
+    auto res = co_await read_inline(fh, off, len);
+    if (!res.ok()) co_return res.status();
+    // Copy from the communication buffer into the user buffer.
+    co_await host_.copy(res.value().n);
+    if (res.value().n > 0 &&
+        !host_.user_as()
+             .write(user_va, res.value().inline_data.view().subspan(
+                                 0, res.value().n))
+             .ok()) {
+      co_return Errc::access_fault;
+    }
+    co_return res.value().n;
+  }
+  auto reg = co_await ensure_registered(user_va, len);
+  if (!reg.ok()) co_return reg.status();
+  auto res = co_await read_direct(fh, off, len, reg.value()->nic_va(user_va),
+                                  reg.value()->cap);
+  if (!res.ok()) co_return res.status();
+  co_return res.value().n;
+}
+
+sim::Task<Result<Bytes>> DafsClient::pwrite(std::uint64_t fh, Bytes off,
+                                            mem::Vaddr user_va, Bytes len) {
+  if (!cfg_.direct_reads) {
+    std::vector<std::byte> data(len);
+    if (!host_.user_as().read(user_va, data).ok()) {
+      co_return Errc::access_fault;
+    }
+    co_return co_await write_inline(fh, off, data);
+  }
+  auto reg = co_await ensure_registered(user_va, len);
+  if (!reg.ok()) co_return reg.status();
+  co_return co_await write_direct(fh, off, len, reg.value()->nic_va(user_va),
+                                  reg.value()->cap);
+}
+
+sim::Task<Result<fs::Attr>> DafsClient::getattr(std::uint64_t fh) {
+  rpc::XdrEncoder args;
+  args.u64(fh);
+  auto reply = co_await call(kGetattr, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+  co_return decode_attr(dec);
+}
+
+sim::Task<Result<core::OpenResult>> DafsClient::create(
+    const std::string& path) {
+  rpc::XdrEncoder args;
+  args.str(path);
+  auto reply = co_await call(kCreate, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+  const std::uint64_t fh = dec.u64();
+  const Bytes size = dec.u64();
+  server_block_size_ = dec.u32();
+  co_return core::OpenResult{fh, size};
+}
+
+sim::Task<Status> DafsClient::unlink(const std::string& path) {
+  delegated_opens_.erase(path);
+  rpc::XdrEncoder args;
+  args.str(path);
+  auto reply = co_await call(kRemove, std::move(args));
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  co_return Status(static_cast<Errc>(dec.u32()));
+}
+
+}  // namespace ordma::nas::dafs

@@ -1,0 +1,145 @@
+// The user-level DAFS client [20]: a VI connection to the server, an event
+// loop matching replies to outstanding requests, in-line and direct
+// (server-initiated RDMA) read paths, registration caching for user
+// buffers, batch I/O, and open delegations.
+//
+// Read replies surface any piggybacked server-memory references so the
+// caching/ODAFS layer above can populate its ORDMA directory.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/client_cache.h"
+#include "core/file_client.h"
+#include "host/host.h"
+#include "msg/vi.h"
+#include "nas/dafs/dafs_proto.h"
+#include "rpc/xdr.h"
+#include "sim/event.h"
+
+namespace ordma::nas::dafs {
+
+struct DafsClientConfig {
+  std::uint32_t listen_port = kDafsListenPort;
+  msg::Completion completion = msg::Completion::poll;
+  // Default transport for FileClient::pread: direct (RDMA) or in-line.
+  bool direct_reads = true;
+};
+
+struct OpenInfo {
+  std::uint64_t fh = 0;
+  Bytes size = 0;
+  bool delegation = false;
+  Bytes server_block = 0;
+  // Remote reference to the file's attribute record in server memory
+  // (ODAFS attribute extension; absent when the server is plain DAFS).
+  std::optional<cache::RemoteRef> attr_ref;
+};
+
+struct DafsReadResult {
+  Bytes n = 0;
+  net::Buffer inline_data;  // in-line reads only
+  // Piggybacked references: (server file block number, reference).
+  std::vector<std::pair<std::uint64_t, cache::RemoteRef>> refs;
+};
+
+class DafsClient : public core::FileClient {
+ public:
+  DafsClient(host::Host& host, net::NodeId server, DafsClientConfig cfg = {});
+
+  // --- protocol-level operations (used by OdafsClient and benches) ---------
+  sim::Task<Result<OpenInfo>> dafs_open(const std::string& path);
+  sim::Task<Status> dafs_close(std::uint64_t fh);
+  sim::Task<Result<DafsReadResult>> read_inline(std::uint64_t fh, Bytes off,
+                                                Bytes len);
+  // Data lands at `nic_va` (a registered client buffer) via RDMA write.
+  sim::Task<Result<DafsReadResult>> read_direct(std::uint64_t fh, Bytes off,
+                                                Bytes len, mem::Vaddr nic_va,
+                                                const crypto::Capability& cap);
+  sim::Task<Result<Bytes>> write_inline(std::uint64_t fh, Bytes off,
+                                        std::span<const std::byte> data);
+  sim::Task<Result<Bytes>> write_direct(std::uint64_t fh, Bytes off,
+                                        Bytes len, mem::Vaddr nic_va,
+                                        const crypto::Capability& cap);
+
+  struct BatchEntry {
+    std::uint64_t fh = 0;
+    Bytes off = 0;
+    Bytes len = 0;
+    mem::Vaddr nic_va = 0;
+    crypto::Capability cap;
+  };
+  // Batch I/O (§2.2): one RPC, many server-issued RDMA writes.
+  sim::Task<Result<std::vector<Bytes>>> read_batch(
+      const std::vector<BatchEntry>& entries);
+
+  // Register a user buffer with the NIC (registration-cached). Returns the
+  // entry mapping host addresses to NIC addresses.
+  struct Registered {
+    mem::Vaddr host_base = 0;
+    Bytes len = 0;
+    crypto::Capability cap;
+    mem::Vaddr nic_va(mem::Vaddr host_va) const {
+      return cap.base + (host_va - host_base);
+    }
+  };
+  sim::Task<Result<Registered*>> ensure_registered(mem::Vaddr va, Bytes len);
+
+  // --- FileClient --------------------------------------------------------
+  sim::Task<Result<core::OpenResult>> open(const std::string& path) override;
+  sim::Task<Status> close(std::uint64_t fh) override;
+  sim::Task<Result<Bytes>> pread(std::uint64_t fh, Bytes off,
+                                 mem::Vaddr user_va, Bytes len) override;
+  sim::Task<Result<Bytes>> pwrite(std::uint64_t fh, Bytes off,
+                                  mem::Vaddr user_va, Bytes len) override;
+  sim::Task<Result<fs::Attr>> getattr(std::uint64_t fh) override;
+  sim::Task<Result<core::OpenResult>> create(const std::string& path) override;
+  sim::Task<Status> unlink(const std::string& path) override;
+  const char* protocol_name() const override { return "DAFS"; }
+
+  net::NodeId server_node() const { return server_; }
+  host::Host& host() { return host_; }
+  std::uint64_t rpcs_issued() const { return next_req_id_ - 1; }
+  // Server cache block size, learned from the first open reply (0 before).
+  Bytes server_block_size() const { return server_block_size_; }
+  // Details of the most recent dafs_open reply (attribute reference etc.).
+  const OpenInfo* last_open_info() const {
+    return last_open_ ? &*last_open_ : nullptr;
+  }
+
+ private:
+  // Send `args` as proc `proc` and await the matched reply body (after
+  // req_id; status is the first u32 of the returned buffer).
+  sim::Task<Result<net::Buffer>> call(std::uint32_t proc,
+                                      rpc::XdrEncoder args);
+  sim::Task<Status> ensure_connected();
+  sim::Task<void> rx_loop();
+
+  static void decode_refs(rpc::XdrDecoder& dec, std::uint32_t count,
+                          DafsReadResult& out);
+
+  host::Host& host_;
+  net::NodeId server_;
+  DafsClientConfig cfg_;
+  std::unique_ptr<msg::ViConnection> conn_;
+  std::uint32_t next_req_id_ = 1;
+
+  struct Waiter {
+    explicit Waiter(sim::Engine& eng) : done(eng) {}
+    sim::Event<net::Buffer> done;
+  };
+  std::unordered_map<std::uint32_t, std::unique_ptr<Waiter>> waiting_;
+
+  std::deque<Registered> regs_;
+  cache::DelegationTable delegations_;
+  std::unordered_map<std::string, OpenInfo> delegated_opens_;
+  std::optional<OpenInfo> last_open_;
+  Bytes server_block_size_ = 0;
+};
+
+}  // namespace ordma::nas::dafs

@@ -1,0 +1,31 @@
+// DAFS-style protocol over VI (the DAFS kernel server [21] + user-level
+// client [20] pair). Message framing (all XDR):
+//
+//   request:  req_id u32 | proc u32 | args...
+//   reply:    req_id u32 | status u32 | results... [| inline data]
+//
+// Read replies may piggyback remote memory references to the server cache
+// blocks covering the read (ODAFS, §4.2.1): count u32, then per ref the
+// server file-block index u64 and the reference (va, len, capability).
+#pragma once
+
+#include <cstdint>
+
+namespace ordma::nas::dafs {
+
+inline constexpr std::uint32_t kDafsListenPort = 2050;
+
+enum Proc : std::uint32_t {
+  kOpen = 1,         // (path) → (fh u64, size u64, delegation u32, blk u32)
+  kClose = 2,        // (fh) → ()
+  kReadInline = 3,   // (fh, off u64, len u32) → (n u32, refs | data raw)
+  kReadDirect = 4,   // (fh, off, len, client va u64, cap) → (n u32, refs)
+  kWriteInline = 5,  // (fh, off u64, data opaque) → (n u32)
+  kWriteDirect = 6,  // (fh, off, len u32, client va u64, cap) → (n u32)
+  kGetattr = 7,      // (fh) → (attr)
+  kCreate = 8,       // (path) → (fh u64, size u64)
+  kRemove = 9,       // (path) → ()
+  kReadBatch = 10,   // (count u32, [fh,off,len,va,cap]...) → ([n u32]...)
+};
+
+}  // namespace ordma::nas::dafs

@@ -1,0 +1,383 @@
+#include "nas/dafs/dafs_server.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "nas/wire_util.h"
+
+namespace ordma::nas::dafs {
+
+namespace {
+std::uint32_t err_u32(Errc e) { return static_cast<std::uint32_t>(e); }
+}
+
+DafsServer::DafsServer(host::Host& host, fs::ServerFs& fs,
+                       DafsServerConfig cfg)
+    : host_(host),
+      fs_(fs),
+      cfg_(cfg),
+      listener_(host, cfg.listen_port, cfg.completion) {
+  // Revoke a block's exported segment the moment its memory is reused:
+  // stale client references then fault at the NIC instead of reading
+  // someone else's data (§4.2 consistency mechanism).
+  fs_.cache().set_evict_hook([this](fs::CacheBlock& blk) {
+    if (blk.export_seg != 0) {
+      host_.nic().revoke_segment(blk.export_seg);
+      blk.export_seg = 0;
+    }
+  });
+  host_.engine().spawn(accept_loop());
+}
+
+sim::Task<void> DafsServer::accept_loop() {
+  for (;;) {
+    auto conn = co_await listener_.accept();
+    host_.engine().spawn(serve_connection(std::move(conn)));
+  }
+}
+
+sim::Task<void> DafsServer::serve_connection(
+    std::unique_ptr<msg::ViConnection> conn) {
+  // Requests are served concurrently (they may block on the disk); each
+  // handler sends its own reply on the shared connection and clients match
+  // replies to requests by req_id.
+  msg::ViConnection& c = *conn;
+  for (;;) {
+    net::Buffer msg = co_await c.recv();
+    host_.engine().spawn([](DafsServer& srv, msg::ViConnection& c,
+                            net::Buffer msg) -> sim::Task<void> {
+      net::Buffer reply = co_await srv.handle(c, std::move(msg));
+      co_await c.send(std::move(reply));
+    }(*this, c, std::move(msg)));
+  }
+}
+
+void DafsServer::piggyback(rpc::XdrEncoder& out, fs::Ino ino,
+                           std::uint64_t fbn, fs::CacheBlock& blk) {
+  if (blk.export_seg == 0) {
+    auto cap = host_.nic().export_segment(
+        fs_.cache().space(), blk.va, fs_.block_size(),
+        crypto::SegPerm::read, /*pin_now=*/false);
+    if (!cap.ok()) return;  // can't export (e.g. TPT pressure): no ref
+    blk.export_seg = cap.value().segment_id;
+    ++exported_;
+    out.u64(fbn);
+    encode_ref(out, cache::RemoteRef{cap.value().segment_id,
+                                     cap.value().base, fs_.block_size(),
+                                     cap.value()});
+    return;
+  }
+  auto cap = host_.nic().capability_for(blk.export_seg);
+  if (!cap.ok()) return;
+  out.u64(fbn);
+  encode_ref(out, cache::RemoteRef{blk.export_seg, cap.value().base,
+                                   fs_.block_size(), cap.value()});
+}
+
+void DafsServer::encode_attr_ref(rpc::XdrEncoder& out, fs::Ino ino) {
+  if (!cfg_.piggyback_refs) {
+    out.u32(0);
+    return;
+  }
+  if (!attr_region_cap_) {
+    auto cap = host_.nic().export_segment(
+        host_.kernel_as(), fs_.attr_region(), fs_.attr_region_len(),
+        crypto::SegPerm::read, /*pin_now=*/false);
+    if (!cap.ok()) {
+      out.u32(0);
+      return;
+    }
+    attr_region_cap_ = cap.value();
+  }
+  auto off = fs_.attr_offset(ino);
+  if (!off.ok()) {
+    out.u32(0);
+    return;
+  }
+  out.u32(1);
+  out.u64(attr_region_cap_->base + off.value());
+  encode_cap(out, *attr_region_cap_);
+}
+
+sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
+                                    rpc::XdrDecoder& dec,
+                                    rpc::XdrEncoder& out, bool direct) {
+  const fs::Ino ino = dec.u64();
+  const Bytes off = dec.u64();
+  const Bytes len = dec.u32();
+  mem::Vaddr client_va = 0;
+  crypto::Capability client_cap;
+  if (direct) {
+    client_va = dec.u64();
+    client_cap = decode_cap(dec);
+  }
+
+  auto attr = fs_.getattr(ino);
+  if (!attr.ok()) {
+    out.u32(err_u32(attr.code()));
+    co_return;
+  }
+  const Bytes n =
+      off >= attr.value().size
+          ? 0
+          : std::min<Bytes>(len, attr.value().size - off);
+
+  // Walk the covered cache blocks: collect data and (in ODAFS mode) refs.
+  std::vector<std::byte> data(n);
+  rpc::XdrEncoder refs;
+  std::uint32_t ref_count = 0;
+  const Bytes bs = fs_.block_size();
+  Bytes done = 0;
+  while (done < n) {
+    const Bytes pos = off + done;
+    const std::uint64_t fbn = pos / bs;
+    const Bytes boff = pos % bs;
+    const Bytes chunk = std::min<Bytes>(n - done, bs - boff);
+    auto blk = co_await fs_.get_cache_block(ino, fbn, /*for_write=*/false);
+    if (!blk.ok()) {
+      out.u32(err_u32(blk.code()));
+      co_return;
+    }
+    ORDMA_CHECK(host_.kernel_as()
+                    .read(blk.value()->va + boff,
+                          std::span<std::byte>(data.data() + done, chunk))
+                    .ok());
+    if (cfg_.piggyback_refs) {
+      const auto before = refs.size();
+      piggyback(refs, ino, fbn, *blk.value());
+      if (refs.size() > before) ++ref_count;
+    }
+    done += chunk;
+  }
+
+  out.u32(0);  // status ok
+  out.u32(static_cast<std::uint32_t>(n));
+  out.u32(ref_count);
+  const auto ref_bytes = refs.take();
+  out.raw(ref_bytes);
+
+  if (direct) {
+    if (n > 0) {
+      // Reliable in-order delivery: the reply sent right behind the RDMA
+      // write reaches the client after the data does, so the server does
+      // not wait for the remote ack (the paper's direct read costs 144 us,
+      // not an extra round trip).
+      auto st = co_await host_.nic().gm_put(
+          conn.peer_node(), client_va, net::Buffer::take(std::move(data)),
+          client_cap, /*wait_ack=*/false);
+      ORDMA_CHECK(st.ok());
+    }
+  } else {
+    out.raw(data);
+  }
+}
+
+sim::Task<void> DafsServer::do_write(msg::ViConnection& conn,
+                                     rpc::XdrDecoder& dec,
+                                     rpc::XdrEncoder& out, bool direct) {
+  const fs::Ino ino = dec.u64();
+  const Bytes off = dec.u64();
+
+  std::vector<std::byte> data;
+  if (direct) {
+    const Bytes len = dec.u32();
+    const mem::Vaddr client_va = dec.u64();
+    const crypto::Capability cap = decode_cap(dec);
+    // Server-initiated RDMA read pulls the data from the client buffer.
+    auto res =
+        co_await host_.nic().gm_get(conn.peer_node(), client_va, len, cap);
+    if (!res.ok()) {
+      out.u32(err_u32(res.code()));
+      co_return;
+    }
+    const auto v = res.value().view();
+    data.assign(v.begin(), v.end());
+  } else {
+    const auto v = dec.opaque();
+    data.assign(v.begin(), v.end());
+    // Inline write data is staged through kernel buffers.
+    co_await host_.copy(data.size());
+  }
+
+  auto n = co_await fs_.write(ino, off, data);
+  if (!n.ok()) {
+    out.u32(err_u32(n.code()));
+    co_return;
+  }
+  out.u32(0);
+  out.u32(static_cast<std::uint32_t>(n.value()));
+}
+
+sim::Task<void> DafsServer::do_read_batch(msg::ViConnection& conn,
+                                          rpc::XdrDecoder& dec,
+                                          rpc::XdrEncoder& out) {
+  // Batch I/O (§2.2): one request names many (fh, off, len, buffer) tuples;
+  // the server satisfies each with an RDMA write, then sends one reply.
+  const std::uint32_t count = dec.u32();
+  struct Entry {
+    fs::Ino ino;
+    Bytes off;
+    Bytes len;
+    mem::Vaddr va;
+    crypto::Capability cap;
+  };
+  std::vector<Entry> entries(count);
+  for (auto& e : entries) {
+    e.ino = dec.u64();
+    e.off = dec.u64();
+    e.len = dec.u32();
+    e.va = dec.u64();
+    e.cap = decode_cap(dec);
+  }
+  if (!dec.ok()) {
+    out.u32(err_u32(Errc::invalid_argument));
+    co_return;
+  }
+
+  std::vector<std::uint32_t> ns;
+  ns.reserve(count);
+  for (const auto& e : entries) {
+    std::vector<std::byte> data(e.len);
+    Bytes n = 0;
+    auto attr = fs_.getattr(e.ino);
+    if (attr.ok() && e.off < attr.value().size) {
+      n = std::min<Bytes>(e.len, attr.value().size - e.off);
+      auto r = co_await fs_.read(e.ino, e.off, {data.data(), n});
+      if (!r.ok()) n = 0;
+    }
+    data.resize(n);
+    if (n > 0) {
+      auto st = co_await host_.nic().gm_put(
+          conn.peer_node(), e.va, net::Buffer::take(std::move(data)), e.cap);
+      if (!st.ok()) n = 0;
+    }
+    ns.push_back(static_cast<std::uint32_t>(n));
+  }
+  out.u32(0);
+  for (auto n : ns) out.u32(n);
+}
+
+sim::Task<net::Buffer> DafsServer::handle(msg::ViConnection& conn,
+                                          net::Buffer msg) {
+  const auto& cm = host_.costs();
+  rpc::XdrDecoder dec(msg);
+  const std::uint32_t req_id = dec.u32();
+  const std::uint32_t proc = dec.u32();
+
+  co_await host_.cpu_consume(cm.cpu_schedule + cm.dafs_server_proc);
+  ++served_;
+
+  rpc::XdrEncoder out;
+  out.u32(req_id);
+
+  switch (proc) {
+    case kOpen: {
+      const std::string path = dec.str();
+      // Server-side path walk.
+      fs::Ino cur = fs::ServerFs::kRootIno;
+      std::size_t start = 0;
+      Status st = Status::Ok();
+      while (start < path.size()) {
+        const auto slash = path.find('/', start);
+        const auto end = slash == std::string::npos ? path.size() : slash;
+        if (end > start) {
+          auto next = fs_.lookup(cur, path.substr(start, end - start));
+          if (!next.ok()) {
+            st = next.status();
+            break;
+          }
+          cur = next.value();
+        }
+        start = end + 1;
+      }
+      if (!st.ok()) {
+        out.u32(err_u32(st.code()));
+        break;
+      }
+      const auto attr = fs_.getattr(cur).value();
+      out.u32(0);
+      out.u64(attr.ino);
+      out.u64(attr.size);
+      out.u32(1);  // open delegation granted
+      out.u32(static_cast<std::uint32_t>(fs_.block_size()));
+      encode_attr_ref(out, cur);
+      break;
+    }
+    case kClose:
+      out.u32(0);
+      break;
+    case kReadInline:
+      co_await do_read(conn, dec, out, /*direct=*/false);
+      break;
+    case kReadDirect:
+      co_await do_read(conn, dec, out, /*direct=*/true);
+      break;
+    case kWriteInline:
+      co_await do_write(conn, dec, out, /*direct=*/false);
+      break;
+    case kWriteDirect:
+      co_await do_write(conn, dec, out, /*direct=*/true);
+      break;
+    case kGetattr: {
+      auto attr = fs_.getattr(dec.u64());
+      if (!attr.ok()) {
+        out.u32(err_u32(attr.code()));
+        break;
+      }
+      out.u32(0);
+      encode_attr(out, attr.value());
+      break;
+    }
+    case kCreate: {
+      const std::string path = dec.str();
+      // Create in the root or a subdirectory (path walk on all but leaf).
+      const auto slash = path.rfind('/');
+      fs::Ino dir = fs::ServerFs::kRootIno;
+      std::string leaf = path;
+      if (slash != std::string::npos) {
+        leaf = path.substr(slash + 1);
+        fs::Ino cur = fs::ServerFs::kRootIno;
+        std::size_t start = 0;
+        while (start < slash) {
+          const auto s2 = path.find('/', start);
+          const auto end = std::min(s2 == std::string::npos ? slash : s2,
+                                    static_cast<std::size_t>(slash));
+          if (end > start) {
+            auto next = fs_.lookup(cur, path.substr(start, end - start));
+            if (!next.ok()) break;
+            cur = next.value();
+          }
+          start = end + 1;
+        }
+        dir = cur;
+      }
+      auto ino = fs_.create(dir, leaf, fs::FileType::regular);
+      if (!ino.ok()) {
+        out.u32(err_u32(ino.code()));
+        break;
+      }
+      out.u32(0);
+      out.u64(ino.value());
+      out.u64(0);
+      out.u32(static_cast<std::uint32_t>(fs_.block_size()));
+      break;
+    }
+    case kRemove: {
+      const std::string path = dec.str();
+      if (path.find('/') != std::string::npos) {
+        out.u32(err_u32(Errc::not_supported));  // root-level removal only
+        break;
+      }
+      out.u32(err_u32(fs_.remove(fs::ServerFs::kRootIno, path).code()));
+      break;
+    }
+    case kReadBatch:
+      co_await do_read_batch(conn, dec, out);
+      break;
+    default:
+      out.u32(err_u32(Errc::not_supported));
+  }
+  co_return out.finish();
+}
+
+}  // namespace ordma::nas::dafs

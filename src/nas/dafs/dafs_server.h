@@ -1,0 +1,71 @@
+// The DAFS kernel server: VI transport, open delegations, server-initiated
+// RDMA for direct reads/writes, and — in ODAFS mode — lazy export of file
+// cache blocks into the NIC's private 64-bit address space with remote
+// references piggybacked on every read reply (§4.2.1).
+//
+// Export lifecycle: a cache block is exported on first read, its reference
+// handed to clients, and its segment revoked the moment the buffer cache
+// evicts or invalidates the block — making any stale client reference fault
+// at the NIC instead of reading reused memory.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "fs/server_fs.h"
+#include "host/host.h"
+#include "msg/vi.h"
+#include "nas/dafs/dafs_proto.h"
+#include "rpc/xdr.h"
+
+namespace ordma::nas::dafs {
+
+struct DafsServerConfig {
+  std::uint32_t listen_port = kDafsListenPort;
+  // ODAFS: export cache blocks and piggyback references on read replies.
+  bool piggyback_refs = false;
+  // Completion discipline for the server's VI endpoints (§5.2 compares
+  // interrupt-driven and polling servers).
+  msg::Completion completion = msg::Completion::block;
+};
+
+class DafsServer {
+ public:
+  DafsServer(host::Host& host, fs::ServerFs& fs, DafsServerConfig cfg = {});
+  DafsServer(const DafsServer&) = delete;
+  DafsServer& operator=(const DafsServer&) = delete;
+
+  std::uint64_t requests_served() const { return served_; }
+  std::uint64_t blocks_exported() const { return exported_; }
+  host::Host& host() { return host_; }
+
+ private:
+  sim::Task<void> accept_loop();
+  sim::Task<void> serve_connection(std::unique_ptr<msg::ViConnection> conn);
+  sim::Task<net::Buffer> handle(msg::ViConnection& conn, net::Buffer msg);
+
+  sim::Task<void> do_read(msg::ViConnection& conn, rpc::XdrDecoder& dec,
+                          rpc::XdrEncoder& out, bool direct);
+  sim::Task<void> do_write(msg::ViConnection& conn, rpc::XdrDecoder& dec,
+                           rpc::XdrEncoder& out, bool direct);
+  sim::Task<void> do_read_batch(msg::ViConnection& conn,
+                                rpc::XdrDecoder& dec, rpc::XdrEncoder& out);
+
+  // Ensure a cache block is exported; append (fbn, ref) to `out`.
+  void piggyback(rpc::XdrEncoder& out, fs::Ino ino, std::uint64_t fbn,
+                 fs::CacheBlock& blk);
+  // Export the file system's attribute region (once) and encode a remote
+  // reference to `ino`'s record (the ODAFS attribute extension).
+  void encode_attr_ref(rpc::XdrEncoder& out, fs::Ino ino);
+
+  host::Host& host_;
+  fs::ServerFs& fs_;
+  DafsServerConfig cfg_;
+  msg::ViListener listener_;
+  std::uint64_t served_ = 0;
+  std::uint64_t exported_ = 0;
+  std::optional<crypto::Capability> attr_region_cap_;
+};
+
+}  // namespace ordma::nas::dafs

@@ -1,0 +1,112 @@
+// The three kernel NFS client variants of §3/§5.1, sharing one wire
+// protocol and differing only in how READ data reaches the user buffer:
+//
+//  * NfsClient (standard) — data arrives in-line with the RPC reply and is
+//    staged twice: socket buffers → client buffer cache → user buffer.
+//  * NfsPrepostClient (RDDP-RPC) — the user buffer is pinned and pre-posted
+//    to the NIC per I/O, tagged by the RPC xid; the NIC header-splits the
+//    reply and places the payload directly (zero-copy, uncached).
+//  * NfsHybridClient (RDDP-RDMA) — the client advertises a registered
+//    buffer (registration cached across I/Os) and the server RDMA-writes
+//    the data before replying.
+//
+// All variants resolve paths component-wise with LOOKUP and run over UDP.
+#pragma once
+
+#include <string>
+#include <deque>
+#include <vector>
+
+#include "core/file_client.h"
+#include "host/host.h"
+#include "msg/udp.h"
+#include "nas/nfs/nfs_proto.h"
+#include "rpc/rpc.h"
+
+namespace ordma::nas::nfs {
+
+class NfsClientBase : public core::FileClient {
+ public:
+  NfsClientBase(host::Host& host, msg::UdpStack& stack, net::NodeId server,
+                std::uint16_t local_port, Bytes transfer_size = KiB(512));
+
+  sim::Task<Result<core::OpenResult>> open(const std::string& path) override;
+  sim::Task<Status> close(std::uint64_t fh) override;
+  sim::Task<Result<Bytes>> pread(std::uint64_t fh, Bytes off,
+                                 mem::Vaddr user_va, Bytes len) override;
+  sim::Task<Result<Bytes>> pwrite(std::uint64_t fh, Bytes off,
+                                  mem::Vaddr user_va, Bytes len) override;
+  sim::Task<Result<fs::Attr>> getattr(std::uint64_t fh) override;
+  sim::Task<Result<core::OpenResult>> create(const std::string& path) override;
+  sim::Task<Status> unlink(const std::string& path) override;
+
+  // NFS transfer size ("UDP/IP is modified so that the NFS transfer size
+  // can match the application block size up to 512KB", §5.1).
+  Bytes transfer_size() const { return transfer_size_; }
+
+ protected:
+  // One wire READ of at most transfer_size bytes; returns bytes read.
+  virtual sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
+                                              mem::Vaddr user_va,
+                                              Bytes len) = 0;
+
+  // Resolve a path ("a/b/c", relative to the export root) to (attr).
+  sim::Task<Result<fs::Attr>> resolve(const std::string& path);
+  // Resolve the directory part and return (dir ino, leaf name).
+  sim::Task<Result<std::pair<fs::Ino, std::string>>> resolve_parent(
+      const std::string& path);
+
+  host::Host& host_;
+  rpc::RpcClient rpc_;
+  net::NodeId server_;
+  Bytes transfer_size_;
+};
+
+class NfsClient final : public NfsClientBase {
+ public:
+  using NfsClientBase::NfsClientBase;
+  const char* protocol_name() const override { return "NFS"; }
+
+ protected:
+  sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
+                                      mem::Vaddr user_va,
+                                      Bytes len) override;
+};
+
+class NfsPrepostClient final : public NfsClientBase {
+ public:
+  using NfsClientBase::NfsClientBase;
+  const char* protocol_name() const override { return "NFS pre-posting"; }
+
+ protected:
+  sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
+                                      mem::Vaddr user_va,
+                                      Bytes len) override;
+};
+
+class NfsHybridClient final : public NfsClientBase {
+ public:
+  using NfsClientBase::NfsClientBase;
+  const char* protocol_name() const override { return "NFS hybrid"; }
+
+  std::uint64_t registrations() const { return registrations_; }
+
+ protected:
+  sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
+                                      mem::Vaddr user_va,
+                                      Bytes len) override;
+
+ private:
+  struct Registered {
+    mem::Vaddr host_base = 0;
+    Bytes len = 0;
+    crypto::Capability cap;
+  };
+  // Registration cache (§5.1: "avoid registering application buffers with
+  // the NIC on each I/O by caching registrations").
+  sim::Task<Result<Registered*>> ensure_registered(mem::Vaddr va, Bytes len);
+  std::deque<Registered> regs_;
+  std::uint64_t registrations_ = 0;
+};
+
+}  // namespace ordma::nas::nfs

@@ -1,0 +1,26 @@
+// NFS-derivative wire protocol shared by the server and the three client
+// variants of §3/§5.1. Standard ONC-RPC-over-UDP framing; READ replies
+// carry bulk data that RDDP-capable NICs may place directly (NFS
+// pre-posting), and READ_HYBRID replaces the bulk reply with a
+// server-initiated RDMA write into an advertised client buffer (NFS hybrid,
+// the paper's modified wire protocol with "remote memory pointer exchange").
+#pragma once
+
+#include <cstdint>
+
+namespace ordma::nas::nfs {
+
+inline constexpr std::uint16_t kNfsPort = 2049;
+
+enum Proc : std::uint32_t {
+  kLookup = 1,   // (dir ino, name) → (attr)
+  kGetattr = 2,  // (ino) → (attr)
+  kRead = 3,     // (ino, off u64, len u32) → (n u32 | bulk n bytes)
+  kWrite = 4,    // (ino, off u64, data opaque) → (n u32, attr)
+  kCreate = 5,   // (dir ino, name, type u32) → (attr)
+  kRemove = 6,   // (dir ino, name) → ()
+  kReaddir = 7,  // (dir ino) → (count u32, names...)
+  kReadHybrid = 8,  // (ino, off u64, len u32, client nic-va u64, cap) → (n)
+};
+
+}  // namespace ordma::nas::nfs

@@ -1,0 +1,335 @@
+#include "nas/odafs/odafs_client.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ordma::nas::odafs {
+
+OdafsClient::OdafsClient(host::Host& host, net::NodeId server,
+                         OdafsClientConfig cfg)
+    : host_(host),
+      cfg_(cfg),
+      dafs_(host, server, cfg.dafs),
+      cache_(host, cfg.cache) {}
+
+sim::Task<Status> OdafsClient::ensure_slab_registered() {
+  if (slab_reg_) co_return Status::Ok();
+  auto reg = co_await dafs_.ensure_registered(cache_.slab_base(),
+                                              cache_.slab_len());
+  if (!reg.ok()) co_return reg.status();
+  // Concurrent callers resolve to the same registration (deduplicated by
+  // DafsClient's registration cache).
+  slab_reg_ = *reg.value();
+  co_return Status::Ok();
+}
+
+sim::Task<void> OdafsClient::charge_pickup() {
+  const auto& cm = host_.costs();
+  if (cfg_.dafs.completion == msg::Completion::poll) {
+    co_await host_.cpu_consume(cm.vi_poll_pickup);
+  } else {
+    co_await host_.cpu_consume(cm.cpu_interrupt + cm.vi_block_wakeup);
+  }
+}
+
+void OdafsClient::store_refs(std::uint64_t fh,
+                             const dafs::DafsReadResult& res) {
+  if (!cfg_.use_ordma || server_block_ == 0) return;
+  const Bytes cbs = cache_.block_size();
+  const Bytes sbs = server_block_;
+  if (cbs > sbs) return;  // one client block would need multiple ORDMAs
+  for (const auto& [server_fbn, ref] : res.refs) {
+    const Bytes server_off = server_fbn * sbs;
+    for (Bytes sub = 0; sub + cbs <= sbs; sub += cbs) {
+      const std::uint64_t idx = (server_off + sub) / cbs;
+      auto& hdr = cache_.ensure(cache::BlockKey{fh, idx});
+      cache::RemoteRef sub_ref = ref;
+      sub_ref.va = ref.va + sub;
+      sub_ref.len = cbs;
+      cache_.set_ref(hdr, sub_ref);
+    }
+  }
+}
+
+sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
+    std::uint64_t fh, std::uint64_t idx) {
+  const auto& cm = host_.costs();
+  const Bytes cbs = cache_.block_size();
+  const cache::BlockKey key{fh, idx};
+
+  // A block being filled may already have a data slot attached (it is the
+  // RDMA target), so the in-flight check must come before the hit check —
+  // otherwise a concurrent reader would consume bytes that have not
+  // arrived yet.
+  if (auto it = inflight_.find(key); it != inflight_.end()) {
+    auto shared = it->second;
+    co_await shared->done.wait();
+    auto* again = cache_.find(key);
+    if (again && again->has_data()) co_return again;
+    co_return Errc::io_error;  // the fetch we joined failed
+  }
+  if (auto* hit = cache_.find(key); hit && hit->has_data()) {
+    co_await host_.cpu_consume(cm.cache_hit_proc);
+    co_return hit;
+  }
+  auto flight = std::make_shared<Inflight>(host_.engine());
+  inflight_.emplace(key, flight);
+  struct FlightGuard {
+    OdafsClient* self;
+    cache::BlockKey key;
+    std::shared_ptr<Inflight> flight;
+    ~FlightGuard() {
+      self->inflight_.erase(key);
+      flight->done.set();
+    }
+  } flight_guard{this, key, flight};
+
+  // Pin the header so cache pressure from concurrent read-ahead can't
+  // steal the block out from under this fill.
+  auto& hdr = cache_.ensure(key);
+  ++hdr.pin;
+  struct PinGuard {
+    cache::ClientCache::Header* h;
+    ~PinGuard() { --h->pin; }
+  } pin_guard{&hdr};
+
+  co_await host_.cpu_consume(cm.cache_miss_proc);
+  co_await ensure_slab_registered();
+
+  const Bytes block_off = idx * cbs;
+  auto size_it = sizes_.find(fh);
+  const Bytes file_size =
+      size_it == sizes_.end() ? ~Bytes{0} : size_it->second;
+  const Bytes want =
+      block_off >= file_size ? 0 : std::min<Bytes>(cbs, file_size - block_off);
+  if (want == 0) {
+    // Nothing to read (at or past EOF): an empty valid block.
+    cache_.attach_data(hdr, 0);
+    co_return &hdr;
+  }
+
+  // --- ORDMA fast path (§4.2) --------------------------------------------
+  if (cfg_.use_ordma && hdr.ref) {
+    const auto ref = *hdr.ref;
+    auto res = co_await host_.nic().gm_get(dafs_.server_node(), ref.va,
+                                           want, ref.cap);
+    co_await charge_pickup();
+    if (res.ok()) {
+      ++ordma_reads_;
+      cache_.attach_data(hdr, want);
+      cache_.write_block(hdr, res.value().view());  // NIC-placed: no copy
+      co_return &hdr;
+    }
+    // Recoverable exception: drop the stale reference, retry via RPC.
+    ++ordma_faults_;
+    cache_.clear_ref(hdr);
+  }
+
+  // --- RPC path -------------------------------------------------------------
+  ++rpc_reads_;
+  dafs::DafsReadResult result;
+  if (cfg_.inline_rpc) {
+    auto res = co_await dafs_.read_inline(fh, block_off, want);
+    if (!res.ok()) co_return res.status();
+    result = std::move(res.value());
+    cache_.attach_data(hdr, result.n);
+    // In-line data must be copied from the communication buffer into the
+    // file cache (the Table 3 "in cache" copy).
+    co_await host_.copy(result.n);
+    cache_.write_block(hdr, result.inline_data.view().subspan(0, result.n));
+  } else {
+    const mem::Vaddr va = cache_.attach_data(hdr, want);
+    auto res = co_await dafs_.read_direct(fh, block_off, want,
+                                          slab_reg_->nic_va(va),
+                                          slab_reg_->cap);
+    if (!res.ok()) co_return res.status();
+    result = std::move(res.value());
+    hdr.valid = result.n;
+  }
+  store_refs(fh, result);
+  co_return &hdr;
+}
+
+// ---------------------------------------------------------------------------
+// FileClient
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<core::OpenResult>> OdafsClient::open(
+    const std::string& path) {
+  // Go through dafs_open (not dafs_.open) when undelgated so the attribute
+  // reference in the reply is visible; delegated re-opens stay local.
+  auto res = co_await dafs_.open(path);
+  if (res.ok()) {
+    sizes_[res.value().fh] = res.value().size;
+    server_block_ = dafs_.server_block_size();
+    if (const auto* info = dafs_.last_open_info();
+        info && info->fh == res.value().fh && info->attr_ref) {
+      attr_refs_[info->fh] = *info->attr_ref;
+    }
+  }
+  co_return res;
+}
+
+sim::Task<Status> OdafsClient::close(std::uint64_t fh) {
+  co_return co_await dafs_.close(fh);
+}
+
+sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
+                                            mem::Vaddr user_va, Bytes len) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall);
+  const Bytes cbs = cache_.block_size();
+
+  // Cache-internal read-ahead (§5.2): keep up to `window` block fetches in
+  // flight ahead of the in-order consume position. Prefetched blocks are
+  // consumed (copied out) as soon as the sequential scan reaches them, so a
+  // small cache is never thrashed by its own read-ahead.
+  const std::uint64_t first_idx = off / cbs;
+  const std::uint64_t last_idx = len == 0 ? first_idx : (off + len - 1) / cbs;
+  std::uint64_t prefetched = first_idx;
+  // Clamp so concurrent fills can never pin the whole data pool.
+  const std::uint64_t window = std::max<std::uint64_t>(
+      1, std::min<std::uint64_t>(cfg_.read_ahead_window,
+                                 cache_.data_capacity() / 2));
+
+  struct PrefetchTracker {
+    explicit PrefetchTracker(sim::Engine& eng) : drained(eng) {}
+    unsigned live = 0;
+    bool closing = false;
+    sim::Event<> drained;
+  };
+  auto tracker = std::make_shared<PrefetchTracker>(host_.engine());
+
+  auto issue_prefetches = [&](std::uint64_t consume_idx) {
+    const std::uint64_t limit =
+        std::min<std::uint64_t>(last_idx + 1, consume_idx + window);
+    while (prefetched < limit) {
+      const std::uint64_t idx = prefetched++;
+      ++tracker->live;
+      host_.engine().spawn(
+          [](OdafsClient& self, std::uint64_t fh, std::uint64_t idx,
+             std::shared_ptr<PrefetchTracker> t) -> sim::Task<void> {
+            (void)co_await self.fetch_block(fh, idx);
+            if (--t->live == 0 && t->closing) t->drained.set();
+          }(*this, fh, idx, tracker));
+    }
+  };
+  struct DrainGuard {
+    // pread must not return while its prefetches are still pinning blocks.
+    std::shared_ptr<PrefetchTracker> t;
+    sim::Task<void> drain() {
+      t->closing = true;
+      if (t->live > 0) co_await t->drained.wait();
+    }
+  } drain_guard{tracker};
+
+  Bytes done = 0;
+  while (done < len) {
+    const Bytes pos = off + done;
+    const std::uint64_t idx = pos / cbs;
+    const Bytes boff = pos % cbs;
+    const Bytes chunk = std::min<Bytes>(len - done, cbs - boff);
+
+    if (window > 1) issue_prefetches(idx);
+    auto hdr = co_await fetch_block(fh, idx);
+    if (!hdr.ok()) {
+      co_await drain_guard.drain();
+      co_return hdr.status();
+    }
+    const auto& h = *hdr.value();
+    if (boff >= h.valid) break;  // EOF inside this block
+    const Bytes avail = std::min<Bytes>(chunk, h.valid - boff);
+
+    // Cache block → user buffer copy.
+    std::vector<std::byte> tmp(avail);
+    ORDMA_CHECK(host_.user_as()
+                    .read(cache_.block_va(h) + boff, tmp)
+                    .ok());
+    co_await host_.copy(avail);
+    if (!host_.user_as().write(user_va + done, tmp).ok()) {
+      co_await drain_guard.drain();
+      co_return Errc::access_fault;
+    }
+    done += avail;
+    if (avail < chunk) break;
+  }
+  co_await drain_guard.drain();
+  co_return done;
+}
+
+sim::Task<Result<Bytes>> OdafsClient::pwrite(std::uint64_t fh, Bytes off,
+                                             mem::Vaddr user_va, Bytes len) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall);
+  // Write-through: update the server, then refresh our cached copy. Server
+  // cache blocks are updated in place so outstanding references stay
+  // usable (§4.2.2: writes also update file state server-side).
+  std::vector<std::byte> data(len);
+  if (!host_.user_as().read(user_va, data).ok()) {
+    co_return Errc::access_fault;
+  }
+  auto n = co_await dafs_.write_inline(fh, off, data);
+  if (!n.ok()) co_return n.status();
+
+  auto& size = sizes_[fh];
+  size = std::max<Bytes>(size, off + n.value());
+
+  // Update any cached blocks the write covers.
+  const Bytes cbs = cache_.block_size();
+  Bytes done = 0;
+  while (done < n.value()) {
+    const Bytes pos = off + done;
+    const std::uint64_t idx = pos / cbs;
+    const Bytes boff = pos % cbs;
+    const Bytes chunk = std::min<Bytes>(n.value() - done, cbs - boff);
+    if (auto* h = cache_.find(cache::BlockKey{fh, idx});
+        h && h->has_data()) {
+      ORDMA_CHECK(host_.user_as()
+                      .write(cache_.block_va(*h) + boff,
+                             std::span<const std::byte>(data.data() + done,
+                                                        chunk))
+                      .ok());
+      h->valid = std::max<Bytes>(h->valid, boff + chunk);
+    }
+    done += chunk;
+  }
+  co_return n.value();
+}
+
+sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {
+  // Attribute extension (§4.2.2 motivates "attribute accesses"): read the
+  // file's marshalled attribute record from server memory by ORDMA; any
+  // fault (revoked region) or stale record (reused slot) falls back to RPC.
+  if (cfg_.use_ordma) {
+    if (auto it = attr_refs_.find(fh); it != attr_refs_.end()) {
+      auto res = co_await host_.nic().gm_get(dafs_.server_node(),
+                                             it->second.va,
+                                             fs::ServerFs::kAttrRecordSize,
+                                             it->second.cap);
+      co_await charge_pickup();
+      if (res.ok()) {
+        auto attr = fs::ServerFs::decode_attr_record(res.value().view(), fh);
+        if (attr.ok()) {
+          ++attr_ordma_;
+          co_return attr.value();
+        }
+      }
+      attr_refs_.erase(fh);  // stale: drop and fall through to RPC
+    }
+  }
+  co_return co_await dafs_.getattr(fh);
+}
+
+sim::Task<Result<core::OpenResult>> OdafsClient::create(
+    const std::string& path) {
+  auto res = co_await dafs_.create(path);
+  if (res.ok()) {
+    sizes_[res.value().fh] = 0;
+    server_block_ = dafs_.server_block_size();
+  }
+  co_return res;
+}
+
+sim::Task<Status> OdafsClient::unlink(const std::string& path) {
+  co_return co_await dafs_.unlink(path);
+}
+
+}  // namespace ordma::nas::odafs

@@ -1,0 +1,66 @@
+// Shared XDR encode/decode helpers for NAS protocol messages: file
+// attributes, capabilities and remote memory references.
+#pragma once
+
+#include "cache/client_cache.h"
+#include "crypto/capability.h"
+#include "fs/server_fs.h"
+#include "rpc/xdr.h"
+
+namespace ordma::nas {
+
+inline void encode_attr(rpc::XdrEncoder& enc, const fs::Attr& a) {
+  enc.u64(a.ino);
+  enc.u32(static_cast<std::uint32_t>(a.type));
+  enc.u64(a.size);
+  enc.i64(a.mtime.ns);
+  enc.u32(a.nlink);
+}
+
+inline fs::Attr decode_attr(rpc::XdrDecoder& dec) {
+  fs::Attr a;
+  a.ino = dec.u64();
+  a.type = static_cast<fs::FileType>(dec.u32());
+  a.size = dec.u64();
+  a.mtime = SimTime{dec.i64()};
+  a.nlink = dec.u32();
+  return a;
+}
+
+inline void encode_cap(rpc::XdrEncoder& enc, const crypto::Capability& c) {
+  enc.u64(c.segment_id);
+  enc.u64(c.base);
+  enc.u64(c.length);
+  enc.u32(static_cast<std::uint32_t>(c.perm));
+  enc.u32(c.generation);
+  enc.u64(c.mac);
+}
+
+inline crypto::Capability decode_cap(rpc::XdrDecoder& dec) {
+  crypto::Capability c;
+  c.segment_id = dec.u64();
+  c.base = dec.u64();
+  c.length = dec.u64();
+  c.perm = static_cast<crypto::SegPerm>(dec.u32());
+  c.generation = dec.u32();
+  c.mac = dec.u64();
+  return c;
+}
+
+inline void encode_ref(rpc::XdrEncoder& enc, const cache::RemoteRef& r) {
+  enc.u64(r.seg_id);
+  enc.u64(r.va);
+  enc.u64(r.len);
+  encode_cap(enc, r.cap);
+}
+
+inline cache::RemoteRef decode_ref(rpc::XdrDecoder& dec) {
+  cache::RemoteRef r;
+  r.seg_id = dec.u64();
+  r.va = dec.u64();
+  r.len = dec.u64();
+  r.cap = decode_cap(dec);
+  return r;
+}
+
+}  // namespace ordma::nas

@@ -1,0 +1,74 @@
+// A unidirectional serialising link: packets queue for the wire (bandwidth
+// contention is real — two flows into one port share it), each takes
+// wire_size/bandwidth to serialise, then arrives after the propagation
+// latency. Delivery order is FIFO per link.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/units.h"
+#include "net/packet.h"
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace ordma::net {
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(Packet)>;
+
+  Link(sim::Engine& eng, Bandwidth bw, Duration latency, std::string name)
+      : eng_(eng),
+        bw_(bw),
+        latency_(latency),
+        name_(std::move(name)),
+        queue_(eng) {
+    eng_.spawn(pump());
+  }
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void set_sink(DeliverFn sink) { sink_ = std::move(sink); }
+
+  void send(Packet p) {
+    bytes_offered_ += p.wire_size();
+    queue_.send(std::move(p));
+  }
+
+  const std::string& name() const { return name_; }
+  Bandwidth bandwidth() const { return bw_; }
+  Bytes bytes_offered() const { return bytes_offered_; }
+  Bytes bytes_delivered() const { return bytes_delivered_; }
+  std::size_t backlog() const { return queue_.pending(); }
+
+ private:
+  sim::Task<void> pump() {
+    for (;;) {
+      Packet p = co_await queue_.recv();
+      // Serialise onto the wire (head-of-line for this link)...
+      co_await eng_.delay(bw_.time_for(p.wire_size()));
+      bytes_delivered_ += p.wire_size();
+      // ...then propagate; delivery happens latency later without blocking
+      // the next packet's serialisation (pipelining).
+      if (sink_) {
+        // Copy into the closure; the link does not own packets in flight.
+        eng_.schedule_fn(latency_, [this, p = std::move(p)]() mutable {
+          sink_(std::move(p));
+        });
+      }
+    }
+  }
+
+  sim::Engine& eng_;
+  Bandwidth bw_;
+  Duration latency_;
+  std::string name_;
+  sim::Channel<Packet> queue_;
+  DeliverFn sink_;
+  Bytes bytes_offered_ = 0;
+  Bytes bytes_delivered_ = 0;
+};
+
+}  // namespace ordma::net

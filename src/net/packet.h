@@ -1,0 +1,103 @@
+// Wire units for the simulated fabric.
+//
+// Payload bytes are held in shared immutable buffers; fragments are
+// zero-copy views (offset/length) into the message buffer, exactly like a
+// NIC DMA-ing out of one host buffer. Header bytes are modelled as wire
+// overhead (they cost bandwidth) without being materialised — protocol
+// *contents* that matter (RPC headers) are real marshalled bytes inside the
+// payload.
+#pragma once
+
+#include <any>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/units.h"
+
+namespace ordma::net {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffff;
+
+// Immutable shared byte buffer with cheap sub-views.
+class Buffer {
+ public:
+  Buffer() = default;
+
+  static Buffer copy_of(std::span<const std::byte> data) {
+    Buffer b;
+    b.data_ = std::make_shared<std::vector<std::byte>>(data.begin(),
+                                                       data.end());
+    b.len_ = b.data_->size();
+    return b;
+  }
+  static Buffer take(std::vector<std::byte> data) {
+    Buffer b;
+    b.data_ = std::make_shared<std::vector<std::byte>>(std::move(data));
+    b.len_ = b.data_->size();
+    return b;
+  }
+
+  Buffer slice(std::size_t offset, std::size_t len) const {
+    ORDMA_CHECK(offset + len <= len_);
+    Buffer b = *this;
+    b.off_ += offset;
+    b.len_ = len;
+    return b;
+  }
+
+  std::span<const std::byte> view() const {
+    if (!data_) return {};
+    return std::span<const std::byte>(data_->data() + off_, len_);
+  }
+
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+ private:
+  std::shared_ptr<const std::vector<std::byte>> data_;
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+};
+
+// Link-level protocol carried by a packet; the receiving NIC firmware
+// demuxes on this.
+enum class Proto : std::uint8_t {
+  gm = 0,        // GM messaging (sends, get/put requests & replies)
+  ethernet = 1,  // Ethernet emulation (UDP/IP path)
+};
+
+struct Packet {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  Proto proto = Proto::gm;
+
+  // Wire overhead bytes in front of the payload (link + transport headers).
+  Bytes header_bytes = 0;
+  Buffer payload;
+
+  // Fragmentation metadata (set by the sending NIC).
+  std::uint64_t msg_id = 0;
+  std::uint32_t frag_index = 0;
+  std::uint32_t frag_count = 1;
+  Bytes msg_total = 0;  // payload bytes of the whole message
+
+  // Opaque per-message tag the sender's firmware attaches; receivers use it
+  // for demux above the link layer (e.g. GM opcode).
+  std::uint32_t tag = 0;
+
+  // Link-protocol control words (GmCtrl / EthCtrl from nic/wire.h). Their
+  // wire size is accounted in header_bytes; carrying them as a typed value
+  // instead of re-marshalling keeps the firmware model readable. The NAS
+  // protocols above RPC marshal real bytes.
+  std::any ctrl;
+
+  Bytes wire_size() const { return header_bytes + payload.size(); }
+};
+
+}  // namespace ordma::net

@@ -1,0 +1,651 @@
+#include "nic/nic.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ordma::nic {
+
+namespace {
+constexpr std::uint32_t kMaxU32 = 0xffffffffu;
+}
+
+Nic::Nic(host::Host& host, net::Fabric& fabric, NicConfig cfg,
+         crypto::SipKey cap_key)
+    : host_(host),
+      fabric_(fabric),
+      cfg_(cfg),
+      cm_(host.costs()),
+      eng_(host.engine()),
+      node_id_(kMaxU32),
+      fw_(eng_, 1, host.name() + ".nic.fw"),
+      dma_(eng_, 1, host.name() + ".nic.dma"),
+      rx_queue_(eng_),
+      tlb_(cfg.tlb_entries),
+      authority_(cap_key) {
+  node_id_ = fabric_.add_node(host.name(),
+                              [this](net::Packet p) { rx_queue_.send(std::move(p)); });
+  host_.attach_nic(this);
+  eng_.spawn(rx_loop());
+}
+
+sim::Task<void> Nic::dma_transfer(Bytes n) {
+  co_await dma_.acquire();
+  sim::Resource::ReleaseGuard guard(dma_);
+  co_await eng_.delay(cm_.nic_dma_setup + cm_.nic_dma_bw.time_for(n));
+}
+
+// ---------------------------------------------------------------------------
+// GM send path
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Nic::send_fragments(net::NodeId dst, net::Buffer payload,
+                                    GmCtrl ctrl, bool charge_dma) {
+  const std::uint64_t msg_id = next_msg_id_++;
+  const Bytes total = payload.size();
+  const Bytes mtu = cm_.gm_mtu;
+  const std::uint32_t nfrags =
+      total == 0 ? 1 : static_cast<std::uint32_t>((total + mtu - 1) / mtu);
+
+  for (std::uint32_t i = 0; i < nfrags; ++i) {
+    const Bytes off = static_cast<Bytes>(i) * mtu;
+    const Bytes chunk = std::min<Bytes>(mtu, total - off);
+    co_await fw_.consume(cm_.nic_tx_frag);
+    if (charge_dma && chunk > 0) co_await dma_transfer(chunk);
+
+    net::Packet p;
+    p.src = node_id_;
+    p.dst = dst;
+    p.proto = net::Proto::gm;
+    p.header_bytes = cm_.gm_header;
+    p.payload = total == 0 ? net::Buffer() : payload.slice(off, chunk);
+    p.msg_id = msg_id;
+    p.frag_index = i;
+    p.frag_count = nfrags;
+    p.msg_total = total;
+    p.ctrl = ctrl;
+    fabric_.send(std::move(p));
+  }
+}
+
+void Nic::send_ctrl_packet(net::NodeId dst, GmCtrl ctrl, Bytes extra_bytes) {
+  net::Packet p;
+  p.src = node_id_;
+  p.dst = dst;
+  p.proto = net::Proto::gm;
+  p.header_bytes = cm_.gm_header + extra_bytes;
+  p.msg_id = next_msg_id_++;
+  p.msg_total = 0;
+  p.ctrl = ctrl;
+  fabric_.send(std::move(p));
+}
+
+sim::Channel<Nic::GmMessage>& Nic::open_port(std::uint32_t port) {
+  auto& slot = ports_[port];
+  if (!slot) slot = std::make_unique<sim::Channel<GmMessage>>(eng_);
+  return *slot;
+}
+
+sim::Task<void> Nic::gm_send(net::NodeId dst, std::uint32_t port,
+                             std::uint32_t user_tag, net::Buffer data) {
+  co_await host_.cpu_consume(cm_.nic_doorbell);
+  GmCtrl ctrl;
+  ctrl.op = GmOp::data;
+  ctrl.port = port;
+  ctrl.user_tag = user_tag;
+  co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true);
+}
+
+sim::Task<Result<net::Buffer>> Nic::gm_get(net::NodeId dst, mem::Vaddr va,
+                                           Bytes len,
+                                           const crypto::Capability& cap) {
+  co_await host_.cpu_consume(cm_.nic_doorbell);
+  co_await fw_.consume(cm_.nic_tx_frag);
+
+  const std::uint64_t op_id = next_op_id_++;
+  auto op = std::make_unique<PendingOp>(eng_);
+  auto* op_ptr = op.get();
+  pending_.emplace(op_id, std::move(op));
+
+  GmCtrl ctrl;
+  ctrl.op = GmOp::get_req;
+  ctrl.op_id = op_id;
+  ctrl.remote_va = va;
+  ctrl.rdma_len = len;
+  ctrl.cap = cap;
+  send_ctrl_packet(dst, ctrl, /*extra_bytes=*/40);  // capability on the wire
+
+  Result<net::Buffer> result = co_await op_ptr->done.wait();
+  pending_.erase(op_id);
+  co_return result;
+}
+
+sim::Task<Status> Nic::gm_put(net::NodeId dst, mem::Vaddr va,
+                              net::Buffer data,
+                              const crypto::Capability& cap,
+                              bool wait_ack) {
+  co_await host_.cpu_consume(cm_.nic_doorbell);
+
+  const std::uint64_t op_id = next_op_id_++;
+  GmCtrl ctrl;
+  ctrl.op = GmOp::put_req;
+  ctrl.op_id = op_id;
+  ctrl.remote_va = va;
+  ctrl.rdma_len = data.size();
+  ctrl.cap = cap;
+
+  if (!wait_ack) {
+    co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true);
+    co_return Status::Ok();  // the ack, when it arrives, is ignored
+  }
+
+  auto op = std::make_unique<PendingOp>(eng_);
+  auto* op_ptr = op.get();
+  pending_.emplace(op_id, std::move(op));
+  co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true);
+  Result<net::Buffer> result = co_await op_ptr->done.wait();
+  pending_.erase(op_id);
+  co_return result.status();
+}
+
+// ---------------------------------------------------------------------------
+// Receive demux
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Nic::rx_loop() {
+  for (;;) {
+    net::Packet p = co_await rx_queue_.recv();
+    co_await fw_.consume(cm_.nic_rx_frag);
+    if (p.proto == net::Proto::ethernet) {
+      co_await handle_eth(std::move(p));
+      continue;
+    }
+    const auto& ctrl = std::any_cast<const GmCtrl&>(p.ctrl);
+    switch (ctrl.op) {
+      case GmOp::data:
+        co_await handle_gm_data(std::move(p));
+        break;
+      case GmOp::get_req:
+        // Service asynchronously; the fw resource serialises actual work.
+        eng_.spawn(service_get(std::move(p)));
+        break;
+      case GmOp::get_reply:
+        co_await handle_get_reply(std::move(p));
+        break;
+      case GmOp::put_req:
+        co_await handle_put_req(std::move(p));
+        break;
+      case GmOp::put_ack:
+        handle_put_ack(std::move(p));
+        break;
+    }
+  }
+}
+
+sim::Task<void> Nic::handle_gm_data(net::Packet p) {
+  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  const RxKey key{p.src, p.msg_id};
+  auto& buf = gm_rx_[key];
+  if (buf.size() != p.msg_total) buf.resize(p.msg_total);
+
+  if (!p.payload.empty()) {
+    co_await dma_transfer(p.payload.size());  // into host receive buffer
+    const auto v = p.payload.view();
+    const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
+    std::copy(v.begin(), v.end(), buf.begin() + off);
+  }
+  auto& got = gm_rx_received_[key];
+  got += 1;
+  if (got == p.frag_count) {
+    GmMessage msg;
+    msg.src = p.src;
+    msg.user_tag = ctrl.user_tag;
+    msg.data = net::Buffer::take(std::move(buf));
+    gm_rx_.erase(key);
+    gm_rx_received_.erase(key);
+    auto it = ports_.find(ctrl.port);
+    if (it != ports_.end()) {
+      it->second->send(std::move(msg));
+    } else {
+      ORDMA_LOG_ERROR("nic", "%s: GM message to closed port %u dropped",
+                      host_.name().c_str(), ctrl.port);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ORDMA target paths
+// ---------------------------------------------------------------------------
+
+void Nic::tlb_insert_pinned(const Segment& seg, mem::Vpn nic_vpn,
+                            mem::Pfn pfn) {
+  seg.as->pin(mem::page_of(seg.host_va) + (nic_vpn - mem::page_of(seg.nic_va)));
+  NicTlb::Entry e;
+  e.nic_vpn = nic_vpn;
+  e.pfn = pfn;
+  e.seg_id = seg.id;
+  e.as = seg.as;
+  e.host_vpn =
+      mem::page_of(seg.host_va) + (nic_vpn - mem::page_of(seg.nic_va));
+  if (auto evicted = tlb_.insert(e)) unpin_evicted(*evicted);
+}
+
+void Nic::unpin_evicted(const NicTlb::Entry& e) { e.as->unpin(e.host_vpn); }
+
+sim::Task<Result<NicTlb::Entry*>> Nic::tlb_load(const Segment& seg,
+                                                mem::Vpn nic_vpn) {
+  tlb_.count_miss();
+  const mem::Vpn host_vpn =
+      mem::page_of(seg.host_va) + (nic_vpn - mem::page_of(seg.nic_va));
+  const auto* pte = seg.as->lookup(host_vpn);
+  if (!pte || !pte->present) co_return Errc::access_fault;
+  if (pte->locked) co_return Errc::access_fault;
+
+  // Miss path (§4.1): the NIC interrupts the host, which loads the TPT
+  // entry into the TLB by programmed I/O. The full penalty (interrupt,
+  // scheduling, PIO) is the paper's measured ~9 ms; only the CPU-visible
+  // part is charged to the host CPU.
+  host_.post_interrupt([this]() -> sim::Task<void> {
+    co_await host_.cpu_consume(cm_.cpu_schedule);
+  });
+  co_await eng_.delay(cm_.nic_tlb_miss);
+
+  // Revalidate after the delay: the segment may have been revoked while we
+  // waited (the race the exception mechanism exists for), or a concurrent
+  // miss for the same page may have loaded the entry already.
+  if (NicTlb::Entry* raced = tlb_.lookup(nic_vpn)) co_return raced;
+  const Segment* fresh = tpt_.segment_of_page(nic_vpn);
+  if (!fresh || fresh->id != seg.id) co_return Errc::access_fault;
+  const auto* pte2 = fresh->as->lookup(host_vpn);
+  if (!pte2 || !pte2->present || pte2->locked) co_return Errc::access_fault;
+
+  tlb_insert_pinned(*fresh, nic_vpn, pte2->pfn);
+  NicTlb::Entry* e = tlb_.lookup(nic_vpn);
+  ORDMA_CHECK(e != nullptr);
+  co_return e;
+}
+
+sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
+    mem::Vaddr va, Bytes len, const crypto::Capability& cap, bool write) {
+  if (len == 0) co_return Errc::invalid_argument;
+
+  // Locate the segment named by the capability.
+  const Segment* seg = tpt_.find_segment(cap.segment_id);
+  if (!seg) co_return Errc::access_fault;
+
+  // Verify the capability (MAC + generation) — firmware cost.
+  if (cm_.capabilities_enabled) {
+    co_await fw_.consume(cm_.nic_cap_verify);
+    if (!authority_.verify(cap, seg->generation)) co_return Errc::revoked;
+    if (!crypto::allows(cap.perm, write ? crypto::SegPerm::write
+                                        : crypto::SegPerm::read)) {
+      co_return Errc::access_fault;
+    }
+  }
+
+  // Range check against the segment.
+  if (va < seg->nic_va || va + len > seg->nic_va + seg->len) {
+    co_return Errc::access_fault;
+  }
+
+  std::vector<PageRun> runs;
+  Bytes done = 0;
+  while (done < len) {
+    const mem::Vaddr cur = va + done;
+    const mem::Vpn nic_vpn = mem::page_of(cur);
+    const std::uint64_t off = mem::page_offset(cur);
+    const Bytes chunk = std::min<Bytes>(len - done, mem::kPageSize - off);
+
+    NicTlb::Entry* e = tlb_.lookup(nic_vpn);
+    if (e) {
+      co_await fw_.consume(cm_.nic_tlb_hit);
+    } else {
+      // Confirm the page still belongs to this segment, then take the miss.
+      const Segment* owner = tpt_.segment_of_page(nic_vpn);
+      if (!owner || owner->id != seg->id) co_return Errc::access_fault;
+      auto loaded = co_await tlb_load(*owner, nic_vpn);
+      if (!loaded.ok()) co_return loaded.status();
+      e = loaded.value();
+    }
+
+    // Write permission is also enforced at the host page level.
+    if (write) {
+      const auto* pte = e->as->lookup(e->host_vpn);
+      if (!pte || !pte->writable) co_return Errc::access_fault;
+    }
+    runs.push_back(PageRun{e->pfn, off, chunk});
+    done += chunk;
+  }
+  co_return runs;
+}
+
+sim::Task<void> Nic::service_get(net::Packet p) {
+  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  co_await fw_.consume(cm_.nic_get_service);
+
+  auto runs = co_await resolve_ordma(ctrl.remote_va, ctrl.rdma_len, ctrl.cap,
+                                     /*write=*/false);
+  GmCtrl reply;
+  reply.op = GmOp::get_reply;
+  reply.op_id = ctrl.op_id;
+
+  if (!runs.ok()) {
+    ++ordma_faults_;
+    reply.fault = runs.code();
+    send_ctrl_packet(p.src, reply);
+    co_return;
+  }
+
+  // The segment may have been revoked while resolve awaited (TLB miss
+  // path); treat that as a fault too.
+  const Segment* seg = tpt_.find_segment(ctrl.cap.segment_id);
+  if (!seg) {
+    ++ordma_faults_;
+    reply.fault = Errc::access_fault;
+    send_ctrl_packet(p.src, reply);
+    co_return;
+  }
+
+  ++ordma_served_;
+  // Gather the real bytes out of host physical memory.
+  std::vector<std::byte> data(ctrl.rdma_len);
+  Bytes off = 0;
+  auto& phys = seg->as->phys();
+  for (const auto& run : runs.value()) {
+    phys.read(mem::frame_base(run.pfn) + run.offset,
+              std::span<std::byte>(data.data() + off, run.chunk));
+    off += run.chunk;
+  }
+  co_await send_fragments(p.src, net::Buffer::take(std::move(data)), reply,
+                          /*charge_dma=*/true);
+}
+
+sim::Task<void> Nic::handle_put_req(net::Packet p) {
+  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  const RxKey key{p.src, p.msg_id};
+  auto& buf = gm_rx_[key];
+  if (buf.size() != p.msg_total) buf.resize(p.msg_total);
+  if (!p.payload.empty()) {
+    // Each fragment is DMA'd towards host memory as it arrives, so the
+    // bulk transfer overlaps with reception of later fragments.
+    co_await dma_transfer(p.payload.size());
+    const auto v = p.payload.view();
+    const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
+    std::copy(v.begin(), v.end(), buf.begin() + off);
+  }
+  auto& got = gm_rx_received_[key];
+  got += 1;
+  if (got != p.frag_count) co_return;
+
+  std::vector<std::byte> data = std::move(buf);
+  gm_rx_.erase(key);
+  gm_rx_received_.erase(key);
+
+  co_await fw_.consume(cm_.nic_put_service);
+  auto runs = co_await resolve_ordma(ctrl.remote_va, data.size(), ctrl.cap,
+                                     /*write=*/true);
+  GmCtrl reply;
+  reply.op = GmOp::put_ack;
+  reply.op_id = ctrl.op_id;
+  if (!runs.ok()) {
+    ++ordma_faults_;
+    reply.fault = runs.code();
+    send_ctrl_packet(p.src, reply);
+    co_return;
+  }
+  const Segment* seg = tpt_.find_segment(ctrl.cap.segment_id);
+  if (!seg) {
+    ++ordma_faults_;
+    reply.fault = Errc::access_fault;
+    send_ctrl_packet(p.src, reply);
+    co_return;
+  }
+  ++ordma_served_;
+  Bytes off = 0;
+  auto& phys = seg->as->phys();
+  for (const auto& run : runs.value()) {
+    phys.write(mem::frame_base(run.pfn) + run.offset,
+               std::span<const std::byte>(data.data() + off, run.chunk));
+    off += run.chunk;
+  }
+  send_ctrl_packet(p.src, reply);
+}
+
+sim::Task<void> Nic::handle_get_reply(net::Packet p) {
+  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  auto it = pending_.find(ctrl.op_id);
+  if (it == pending_.end()) co_return;  // initiator gave up
+  PendingOp& op = *it->second;
+
+  if (ctrl.fault != Errc::ok) {
+    op.done.set(Result<net::Buffer>(ctrl.fault));
+    co_return;
+  }
+  if (op.reassembly.size() != p.msg_total) op.reassembly.resize(p.msg_total);
+  if (!p.payload.empty()) {
+    // Fragments are DMA'd into the initiator's buffer as they arrive.
+    co_await dma_transfer(p.payload.size());
+    const auto v = p.payload.view();
+    const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
+    std::copy(v.begin(), v.end(), op.reassembly.begin() + off);
+  }
+  op.received += 1;
+  if (op.received == p.frag_count) {
+    op.done.set(Result<net::Buffer>(
+        net::Buffer::take(std::move(op.reassembly))));
+  }
+}
+
+void Nic::handle_put_ack(net::Packet p) {
+  const auto& ctrl = std::any_cast<const GmCtrl&>(p.ctrl);
+  auto it = pending_.find(ctrl.op_id);
+  if (it == pending_.end()) return;
+  if (ctrl.fault != Errc::ok) {
+    it->second->done.set(Result<net::Buffer>(ctrl.fault));
+  } else {
+    it->second->done.set(Result<net::Buffer>(net::Buffer()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Export / revoke
+// ---------------------------------------------------------------------------
+
+Result<crypto::Capability> Nic::export_segment(mem::AddressSpace& as,
+                                               mem::Vaddr host_va, Bytes len,
+                                               crypto::SegPerm perm,
+                                               bool pin_now) {
+  if (mem::page_offset(host_va) != 0 || len == 0) {
+    return Errc::invalid_argument;
+  }
+  const Bytes aligned = (len + mem::kPageSize - 1) & ~(mem::kPageSize - 1);
+
+  Segment seg;
+  seg.id = next_seg_id_++;
+  seg.as = &as;
+  seg.host_va = host_va;
+  seg.nic_va = next_nic_va_;
+  seg.len = aligned;
+  seg.perm = perm;
+  seg.generation = 1;
+  seg.pinned_on_export = pin_now;
+  next_nic_va_ += aligned;
+
+  // Validate pages exist before installing.
+  const auto pages = aligned / mem::kPageSize;
+  for (std::uint64_t i = 0; i < pages; ++i) {
+    const auto* pte = as.lookup(mem::page_of(host_va) + i);
+    if (!pte || !pte->present) return Errc::access_fault;
+  }
+
+  tpt_.install(seg);
+
+  if (pin_now || cfg_.preload_tlb) {
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      const mem::Vpn nic_vpn = mem::page_of(seg.nic_va) + i;
+      if (tlb_.lookup(nic_vpn)) continue;
+      const auto* pte = as.lookup(mem::page_of(host_va) + i);
+      tlb_insert_pinned(seg, nic_vpn, pte->pfn);
+    }
+  }
+  return authority_.mint(seg.id, seg.nic_va, seg.len, perm, seg.generation);
+}
+
+void Nic::revoke_segment(std::uint64_t seg_id) {
+  for (const auto& e : tlb_.invalidate_segment(seg_id)) unpin_evicted(e);
+  tpt_.remove(seg_id);
+}
+
+Result<crypto::Capability> Nic::capability_for(std::uint64_t seg_id) const {
+  const Segment* seg = tpt_.find_segment(seg_id);
+  if (!seg) return Errc::not_found;
+  return authority_.mint(seg->id, seg->nic_va, seg->len, seg->perm,
+                         seg->generation);
+}
+
+// ---------------------------------------------------------------------------
+// Ethernet emulation & RDDP-RPC
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Nic::eth_send(net::NodeId dst, net::Buffer dgram,
+                              std::uint32_t rddp_xid, Bytes rddp_data_offset,
+                              Bytes rddp_data_len) {
+  const std::uint64_t dgram_id = next_dgram_id_++;
+  const Bytes total = dgram.size();
+  const Bytes mtu = cm_.eth_mtu;
+  const std::uint32_t nfrags =
+      total == 0 ? 1 : static_cast<std::uint32_t>((total + mtu - 1) / mtu);
+
+  for (std::uint32_t i = 0; i < nfrags; ++i) {
+    const Bytes off = static_cast<Bytes>(i) * mtu;
+    const Bytes chunk = std::min<Bytes>(mtu, total - off);
+    co_await fw_.consume(cm_.nic_tx_frag);
+    if (chunk > 0) co_await dma_transfer(chunk);
+
+    EthCtrl ctrl;
+    ctrl.dgram_id = dgram_id;
+    ctrl.dgram_total = total;
+    ctrl.frag_offset = off;
+    ctrl.rddp_xid = rddp_xid;
+    ctrl.rddp_data_offset = rddp_data_offset;
+    ctrl.rddp_data_len = rddp_data_len;
+
+    net::Packet p;
+    p.src = node_id_;
+    p.dst = dst;
+    p.proto = net::Proto::ethernet;
+    p.header_bytes = cm_.eth_header;
+    p.payload = total == 0 ? net::Buffer() : dgram.slice(off, chunk);
+    p.msg_id = dgram_id;
+    p.frag_index = i;
+    p.frag_count = nfrags;
+    p.msg_total = total;
+    p.ctrl = ctrl;
+    fabric_.send(std::move(p));
+  }
+}
+
+void Nic::prepost(std::uint32_t xid, mem::AddressSpace& as, mem::Vaddr va,
+                  Bytes len) {
+  preposts_[xid] = PrepostEntry{&as, va, len};
+}
+
+void Nic::cancel_prepost(std::uint32_t xid) { preposts_.erase(xid); }
+
+sim::Task<void> Nic::handle_eth(net::Packet p) {
+  const auto ctrl = std::any_cast<EthCtrl>(p.ctrl);
+  const RxKey key{p.src, p.msg_id};
+  auto& r = eth_rx_[key];
+  if (r.bytes.size() != p.msg_total) {
+    r.bytes.resize(p.msg_total);
+    r.rddp_xid = ctrl.rddp_xid;
+    r.rddp_data_len = ctrl.rddp_data_len;
+    // Header splitting is active iff a matching buffer was pre-posted.
+    if (ctrl.rddp_xid != 0 && ctrl.rddp_data_len > 0) {
+      auto it = preposts_.find(ctrl.rddp_xid);
+      if (it != preposts_.end() && it->second.len >= ctrl.rddp_data_len) {
+        r.rddp_active = true;
+      }
+    }
+  }
+
+  const auto v = p.payload.view();
+  if (!v.empty()) {
+    const Bytes frag_start = ctrl.frag_offset;
+    const Bytes frag_end = frag_start + v.size();
+    const Bytes data_start = ctrl.rddp_data_offset;
+    const Bytes data_end = data_start + ctrl.rddp_data_len;
+
+    if (r.rddp_active) {
+      // Split the fragment into up to three disjoint pieces relative to the
+      // bulk-data window [data_start, data_end): head (headers before the
+      // data), body (data → pre-posted buffer), tail (trailer after it).
+      const Bytes head_end = std::min(frag_end, data_start);
+      if (head_end > frag_start) {
+        const Bytes n = head_end - frag_start;
+        co_await dma_transfer(n);
+        std::copy(v.begin(), v.begin() + n, r.bytes.begin() + frag_start);
+      }
+      const Bytes body_start = std::max(frag_start, data_start);
+      const Bytes body_end = std::min(frag_end, data_end);
+      if (body_end > body_start) {
+        const auto& entry = preposts_.at(ctrl.rddp_xid);
+        const Bytes n = body_end - body_start;
+        co_await dma_transfer(n);  // direct placement into the user buffer
+        const Status st =
+            entry.as->write(entry.va + (body_start - data_start),
+                            v.subspan(body_start - frag_start, n));
+        ORDMA_CHECK_MSG(st.ok(), "pre-posted buffer not writable");
+        r.placed += n;
+      }
+      const Bytes tail_start = std::max(frag_start, data_end);
+      if (frag_end > tail_start) {
+        const Bytes n = frag_end - tail_start;
+        co_await dma_transfer(n);
+        std::copy(v.begin() + (tail_start - frag_start), v.end(),
+                  r.bytes.begin() + tail_start);
+      }
+    } else {
+      co_await dma_transfer(v.size());
+      std::copy(v.begin(), v.end(), r.bytes.begin() + frag_start);
+    }
+    r.received += v.size();
+  }
+
+  if (r.received == p.msg_total) {
+    EthDatagram d;
+    d.src = p.src;
+    d.rddp_xid = r.rddp_xid;
+    d.rddp_placed = r.rddp_active;
+    d.rddp_data_len = r.rddp_active ? r.rddp_data_len : 0;
+    if (r.rddp_active) {
+      preposts_.erase(r.rddp_xid);
+      // Deliver only the header bytes (the payload was placed directly).
+      const Bytes hdr = p.msg_total - r.rddp_data_len;
+      std::vector<std::byte> header(r.bytes.begin(),
+                                    r.bytes.begin() + hdr);
+      d.data = net::Buffer::take(std::move(header));
+    } else {
+      d.data = net::Buffer::take(std::move(r.bytes));
+    }
+    eth_rx_.erase(key);
+    eth_pending_.push_back(std::move(d));
+    raise_eth_interrupt();
+  }
+}
+
+void Nic::raise_eth_interrupt() {
+  if (eth_intr_pending_) return;  // coalesced into the pending interrupt
+  eth_intr_pending_ = true;
+  host_.post_interrupt([this]() -> sim::Task<void> {
+    while (!eth_pending_.empty()) {
+      EthDatagram d = std::move(eth_pending_.front());
+      eth_pending_.pop_front();
+      if (eth_sink_) co_await eth_sink_(std::move(d));
+    }
+    eth_intr_pending_ = false;
+    if (!eth_pending_.empty()) raise_eth_interrupt();
+  });
+}
+
+}  // namespace ordma::nic

@@ -1,0 +1,264 @@
+// The simulated network interface controller — the analogue of the paper's
+// LANai9.2 running modified GM-2.0 firmware.
+//
+// Exposes three personalities used by the NAS systems above it:
+//  * GM messaging: tagged message sends to ports, plus RDMA get/put with the
+//    paper's recoverable-exception extension (ORDMA, §4.1);
+//  * segment export: a private 64-bit NIC-only address space backed by a
+//    host-resident TPT and a bounded on-NIC TLB with pin-while-loaded
+//    semantics (§4.1, §4.2.1);
+//  * Ethernet emulation: datagram fragmentation for the UDP/IP path, with
+//    RDDP-RPC support — pre-posted, tagged application buffers into which
+//    the NIC header-splits RPC payloads (§3.2).
+//
+// All firmware work runs on a single fw resource (the 200 MHz LANai) and all
+// host-memory transfers on a single DMA engine, so the NIC saturates
+// realistically and independently of the host CPU.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/units.h"
+#include "crypto/capability.h"
+#include "host/host.h"
+#include "mem/address_space.h"
+#include "net/fabric.h"
+#include "nic/tpt.h"
+#include "nic/wire.h"
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/event.h"
+#include "sim/resource.h"
+
+namespace ordma::nic {
+
+struct NicConfig {
+  std::size_t tlb_entries = 8192;
+  // Load TPT entries into the TLB at export time (the paper's benchmarks
+  // "ensure that RDMA ... always hits in the NIC TLB"; the TLB ablation
+  // bench turns this off).
+  bool preload_tlb = true;
+};
+
+class Nic {
+ public:
+  Nic(host::Host& host, net::Fabric& fabric, NicConfig cfg,
+      crypto::SipKey cap_key);
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  net::NodeId node_id() const { return node_id_; }
+  host::Host& host() { return host_; }
+  NicTlb& tlb() { return tlb_; }
+  Tpt& tpt() { return tpt_; }
+
+  // ---------------------------------------------------------------------
+  // GM messaging
+  // ---------------------------------------------------------------------
+  struct GmMessage {
+    net::NodeId src = net::kInvalidNode;
+    std::uint32_t user_tag = 0;
+    net::Buffer data;
+  };
+
+  // Open a receive port; messages sent to (this node, port) arrive on the
+  // returned channel. Completion-pickup CPU cost is charged by the consumer
+  // (poll vs block — the VI layer's business).
+  sim::Channel<GmMessage>& open_port(std::uint32_t port);
+
+  // Allocate a fresh (unused) port number for dynamic endpoints.
+  std::uint32_t alloc_port() { return next_port_++; }
+
+  // Send a message. Returns when the local NIC has pushed the last fragment
+  // onto the wire (GM send-completion semantics).
+  sim::Task<void> gm_send(net::NodeId dst, std::uint32_t port,
+                          std::uint32_t user_tag, net::Buffer data);
+
+  // RDMA read/write against a remote exported segment. Completes when the
+  // data (or ack) has fully arrived; a remote access fault completes with
+  // Errc::access_fault (the recoverable NIC-to-NIC exception of §4.1).
+  sim::Task<Result<net::Buffer>> gm_get(net::NodeId dst, mem::Vaddr va,
+                                        Bytes len,
+                                        const crypto::Capability& cap);
+  // wait_ack=false returns once the last fragment is pushed (VI
+  // reliable-delivery semantics: in-order delivery means a subsequent
+  // message arrives after the written data); the ack is then ignored.
+  sim::Task<Status> gm_put(net::NodeId dst, mem::Vaddr va, net::Buffer data,
+                           const crypto::Capability& cap,
+                           bool wait_ack = true);
+
+  // ---------------------------------------------------------------------
+  // Segment export (TPT / capabilities)
+  // ---------------------------------------------------------------------
+  // Export [host_va, host_va+len) of `as` into the NIC address space and
+  // mint its capability. If pin_now, pages are pinned and TLB entries
+  // loaded immediately (classic buffer registration); otherwise entries load
+  // lazily on first access with the TLB-miss penalty (ODAFS cache exports).
+  // host_va and len must be page-aligned.
+  Result<crypto::Capability> export_segment(mem::AddressSpace& as,
+                                            mem::Vaddr host_va, Bytes len,
+                                            crypto::SegPerm perm,
+                                            bool pin_now);
+
+  // Revoke a segment: bump its generation (killing outstanding
+  // capabilities), drop its TPT and TLB entries, unpin. Subsequent ORDMA
+  // against it faults. Safe to call for unknown ids (idempotent).
+  void revoke_segment(std::uint64_t seg_id);
+
+  // Re-mint the current capability of a live segment.
+  Result<crypto::Capability> capability_for(std::uint64_t seg_id) const;
+
+  // ---------------------------------------------------------------------
+  // Ethernet emulation + RDDP-RPC pre-posting
+  // ---------------------------------------------------------------------
+  struct EthDatagram {
+    net::NodeId src = net::kInvalidNode;
+    net::Buffer data;        // full datagram, or header-only if RDDP-placed
+    std::uint32_t rddp_xid = 0;
+    bool rddp_placed = false;  // payload was deposited directly by the NIC
+    Bytes rddp_data_len = 0;
+  };
+  using EthSink = std::function<sim::Task<void>(EthDatagram)>;
+
+  // The host IP stack's input function; runs inside the (coalesced) receive
+  // interrupt on the host CPU.
+  void set_eth_sink(EthSink sink) { eth_sink_ = std::move(sink); }
+
+  // Transmit a datagram; the NIC fragments at the Ethernet MTU. The
+  // rddp_* fields describe where bulk data lies inside the datagram so a
+  // pre-posting receiver NIC can split it out (zero for ordinary traffic).
+  sim::Task<void> eth_send(net::NodeId dst, net::Buffer dgram,
+                           std::uint32_t rddp_xid = 0,
+                           Bytes rddp_data_offset = 0,
+                           Bytes rddp_data_len = 0);
+
+  // Pre-post an application buffer tagged by RPC xid (§3.2). The NIC will
+  // deposit the matching response's payload directly at (as, va). One-shot:
+  // consumed by the match or explicitly cancelled.
+  void prepost(std::uint32_t xid, mem::AddressSpace& as, mem::Vaddr va,
+               Bytes len);
+  void cancel_prepost(std::uint32_t xid);
+
+  // --- observability ------------------------------------------------------
+  std::uint64_t ordma_served() const { return ordma_served_; }
+  std::uint64_t ordma_faults() const { return ordma_faults_; }
+  Duration fw_busy() { return fw_.busy_time(); }
+
+ private:
+  struct PendingOp {
+    explicit PendingOp(sim::Engine& eng) : done(eng) {}
+    sim::Event<Result<net::Buffer>> done;  // get: data; put: empty buffer
+    std::vector<std::byte> reassembly;
+    Bytes received = 0;
+  };
+
+  struct EthReassembly {
+    std::vector<std::byte> bytes;  // header (+payload unless RDDP-placed)
+    Bytes received = 0;
+    Bytes placed = 0;
+    bool rddp_active = false;
+    std::uint32_t rddp_xid = 0;
+    Bytes rddp_data_len = 0;
+  };
+
+  struct PrepostEntry {
+    mem::AddressSpace* as = nullptr;
+    mem::Vaddr va = 0;
+    Bytes len = 0;
+  };
+
+  // --- firmware processes -------------------------------------------------
+  sim::Task<void> rx_loop();
+  sim::Task<void> handle_gm_data(net::Packet p);
+  sim::Task<void> service_get(net::Packet p);
+  sim::Task<void> handle_put_req(net::Packet p);
+  sim::Task<void> handle_get_reply(net::Packet p);
+  void handle_put_ack(net::Packet p);
+  sim::Task<void> handle_eth(net::Packet p);
+
+  // DMA a transfer of n bytes between host memory and the NIC.
+  sim::Task<void> dma_transfer(Bytes n);
+
+  // Send the fragments of one GM message/reply. `make_ctrl` customises the
+  // control word per message.
+  sim::Task<void> send_fragments(net::NodeId dst, net::Buffer payload,
+                                 GmCtrl ctrl, bool charge_dma);
+  void send_ctrl_packet(net::NodeId dst, GmCtrl ctrl, Bytes extra_bytes = 0);
+
+  // Resolve all pages of [va, va+len) for an ORDMA access. On success fills
+  // `frames` with (pfn, offset-in-page, chunk) triples; returns Errc
+  // describing the first fault otherwise. Charges TLB costs on fw_.
+  struct PageRun {
+    mem::Pfn pfn;
+    std::uint64_t offset;
+    Bytes chunk;
+  };
+  sim::Task<Result<std::vector<PageRun>>> resolve_ordma(
+      mem::Vaddr va, Bytes len, const crypto::Capability& cap, bool write);
+
+  // Load a TPT translation into the TLB (miss path: host interrupt + PIO).
+  sim::Task<Result<NicTlb::Entry*>> tlb_load(const Segment& seg,
+                                             mem::Vpn nic_vpn);
+  void tlb_insert_pinned(const Segment& seg, mem::Vpn nic_vpn, mem::Pfn pfn);
+  void unpin_evicted(const NicTlb::Entry& e);
+
+  void raise_eth_interrupt();
+
+  host::Host& host_;
+  net::Fabric& fabric_;
+  NicConfig cfg_;
+  const host::CostModel& cm_;
+  sim::Engine& eng_;
+
+  net::NodeId node_id_;
+  sim::Resource fw_;   // LANai processor
+  sim::Resource dma_;  // DMA engine on the PCI bus
+  sim::Channel<net::Packet> rx_queue_;
+
+  // GM
+  std::unordered_map<std::uint32_t, std::unique_ptr<sim::Channel<GmMessage>>>
+      ports_;
+  std::uint32_t next_port_ = 1024;
+  std::unordered_map<std::uint64_t, std::unique_ptr<PendingOp>> pending_;
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t next_msg_id_ = 1;
+  struct RxKey {
+    net::NodeId src;
+    std::uint64_t msg_id;
+    bool operator==(const RxKey&) const = default;
+  };
+  struct RxKeyHash {
+    std::size_t operator()(const RxKey& k) const {
+      return std::hash<std::uint64_t>()((std::uint64_t(k.src) << 48) ^
+                                        k.msg_id);
+    }
+  };
+  std::unordered_map<RxKey, std::vector<std::byte>, RxKeyHash> gm_rx_;
+  std::unordered_map<RxKey, Bytes, RxKeyHash> gm_rx_received_;
+
+  // Export
+  Tpt tpt_;
+  NicTlb tlb_;
+  crypto::CapabilityAuthority authority_;
+  std::uint64_t next_seg_id_ = 1;
+  mem::Vaddr next_nic_va_ = mem::kPageSize;
+
+  // Ethernet
+  EthSink eth_sink_;
+  std::unordered_map<RxKey, EthReassembly, RxKeyHash> eth_rx_;
+  std::unordered_map<std::uint32_t, PrepostEntry> preposts_;
+  std::deque<EthDatagram> eth_pending_;
+  bool eth_intr_pending_ = false;
+  std::uint64_t next_dgram_id_ = 1;
+
+  std::uint64_t ordma_served_ = 0;
+  std::uint64_t ordma_faults_ = 0;
+};
+
+}  // namespace ordma::nic

@@ -1,0 +1,119 @@
+#include "rpc/rpc.h"
+
+namespace ordma::rpc {
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
+                                                std::uint16_t server_port,
+                                                std::uint32_t proc,
+                                                net::Buffer args,
+                                                const Prepost* prepost) {
+  const auto& cm = host_.costs();
+  const std::uint32_t xid = next_xid_++;
+
+  co_await host_.cpu_consume(cm.rpc_client_issue);
+  if (prepost) {
+    // Hand the tagged buffer descriptor to the NIC (§3.2).
+    co_await host_.cpu_consume(cm.nic_prepost);
+    host_.nic().prepost(xid, *prepost->as, prepost->va, prepost->len);
+  }
+
+  XdrEncoder enc;
+  enc.u32(xid);
+  enc.u32(kRpcCall);
+  enc.u32(proc);
+  enc.raw(args.view());
+
+  auto waiter = std::make_unique<Waiter>(host_.engine());
+  auto* wp = waiter.get();
+  waiting_.emplace(xid, std::move(waiter));
+
+  co_await socket_.send_to(server, server_port, enc.finish());
+
+  RpcReplyInfo info = co_await wp->done.wait();
+  waiting_.erase(xid);
+  if (prepost && !info.rddp_placed) host_.nic().cancel_prepost(xid);
+  co_await host_.cpu_consume(cm.rpc_client_complete);
+  co_return info;
+}
+
+sim::Task<void> RpcClient::rx_loop() {
+  for (;;) {
+    msg::UdpDatagram d = co_await socket_.recv();
+    XdrDecoder dec(d.data);
+    const std::uint32_t xid = dec.u32();
+    const std::uint32_t type = dec.u32();
+    const std::uint32_t status = dec.u32();
+    if (!dec.ok() || type != kRpcReply) continue;
+    auto it = waiting_.find(xid);
+    if (it == waiting_.end()) continue;  // duplicate/late reply
+
+    RpcReplyInfo info;
+    info.status = status;
+    info.results =
+        d.data.slice(kRpcHeaderBytes, d.data.size() - kRpcHeaderBytes);
+    info.rddp_placed = d.rddp_placed;
+    info.rddp_data_len = d.rddp_data_len;
+    it->second->done.set(std::move(info));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+sim::Task<void> RpcServer::rx_loop() {
+  for (;;) {
+    msg::UdpDatagram d = co_await socket_.recv();
+    // One logical nfsd thread per request; the host CPU serialises work.
+    host_.engine().spawn(serve_one(std::move(d)));
+  }
+}
+
+sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
+  const auto& cm = host_.costs();
+  XdrDecoder dec(d.data);
+  const std::uint32_t xid = dec.u32();
+  const std::uint32_t type = dec.u32();
+  const std::uint32_t proc = dec.u32();
+  if (!dec.ok() || type != kRpcCall) co_return;
+
+  co_await host_.cpu_consume(cm.cpu_schedule + cm.rpc_server_dispatch);
+
+  RpcCallCtx ctx;
+  ctx.client = d.src;
+  ctx.client_port = d.src_port;
+  ctx.xid = xid;
+  ctx.proc = proc;
+  ctx.args = d.data.slice(kRpcHeaderBytes, d.data.size() - kRpcHeaderBytes);
+
+  auto it = handlers_.find(proc);
+  RpcServerReply reply;
+  if (it == handlers_.end()) {
+    reply.status = static_cast<std::uint32_t>(Errc::not_supported);
+  } else {
+    reply = co_await it->second(ctx);
+  }
+  ++served_;
+
+  // Assemble the reply datagram: header | results | bulk.
+  XdrEncoder enc;
+  enc.u32(xid);
+  enc.u32(kRpcReply);
+  enc.u32(reply.status);
+  const auto results_bytes = reply.results.take();
+  enc.raw(results_bytes);
+  const Bytes data_offset = kRpcHeaderBytes + results_bytes.size();
+  const Bytes data_len = reply.bulk.size();
+  enc.raw(reply.bulk.view());
+
+  co_await socket_.send_to(d.src, d.src_port, enc.finish(),
+                           /*rddp_xid=*/data_len > 0 ? xid : 0,
+                           /*rddp_data_offset=*/data_offset,
+                           /*rddp_data_len=*/data_len, reply.gather_send);
+}
+
+}  // namespace ordma::rpc

@@ -1,0 +1,120 @@
+// ONC-RPC-style remote procedure call over the UDP stack, with the
+// RDDP-RPC extension of §3.2: a caller may pre-post an application buffer
+// tagged by the call's transaction id, and a responding server marks where
+// bulk data lies in its reply so the client NIC header-splits it directly
+// into that buffer.
+//
+// Wire format (all XDR):
+//   call:  xid u32 | type=0 u32 | proc u32 | args...
+//   reply: xid u32 | type=1 u32 | status u32 | results... [| bulk data]
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "host/host.h"
+#include "msg/udp.h"
+#include "rpc/xdr.h"
+#include "sim/event.h"
+#include "sim/task.h"
+
+namespace ordma::rpc {
+
+inline constexpr std::uint32_t kRpcCall = 0;
+inline constexpr std::uint32_t kRpcReply = 1;
+inline constexpr Bytes kRpcHeaderBytes = 12;
+
+struct RpcReplyInfo {
+  std::uint32_t status = 0;      // protocol-level status (Errc as u32)
+  net::Buffer results;           // decoded results region (after header)
+  bool rddp_placed = false;      // bulk data landed in the pre-posted buffer
+  Bytes rddp_data_len = 0;
+};
+
+// Optional direct-placement request for one call.
+struct Prepost {
+  mem::AddressSpace* as = nullptr;
+  mem::Vaddr va = 0;
+  Bytes len = 0;
+};
+
+class RpcClient {
+ public:
+  RpcClient(host::Host& host, msg::UdpStack& stack, std::uint16_t local_port)
+      : host_(host), socket_(stack.bind(local_port)) {
+    host.engine().spawn(rx_loop());
+  }
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  // Issue one call and await its reply.
+  sim::Task<Result<RpcReplyInfo>> call(net::NodeId server,
+                                       std::uint16_t server_port,
+                                       std::uint32_t proc, net::Buffer args,
+                                       const Prepost* prepost = nullptr);
+
+  std::uint64_t calls_issued() const { return next_xid_ - 1; }
+
+ private:
+  sim::Task<void> rx_loop();
+
+  struct Waiter {
+    explicit Waiter(sim::Engine& eng) : done(eng) {}
+    sim::Event<RpcReplyInfo> done;
+  };
+
+  host::Host& host_;
+  msg::UdpStack::Socket& socket_;
+  std::uint32_t next_xid_ = 1;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Waiter>> waiting_;
+};
+
+// A server-side reply: results plus an optional bulk-data region that
+// RDDP-capable client NICs may place directly.
+struct RpcServerReply {
+  std::uint32_t status = 0;
+  XdrEncoder results;         // fixed-size result fields
+  net::Buffer bulk;           // bulk data appended after results
+  bool gather_send = true;    // NIC gathers bulk from pinned pages (no copy)
+};
+
+struct RpcCallCtx {
+  net::NodeId client = net::kInvalidNode;
+  std::uint16_t client_port = 0;
+  std::uint32_t xid = 0;
+  std::uint32_t proc = 0;
+  net::Buffer args;
+};
+
+class RpcServer {
+ public:
+  using Handler =
+      std::function<sim::Task<RpcServerReply>(const RpcCallCtx&)>;
+
+  RpcServer(host::Host& host, msg::UdpStack& stack, std::uint16_t port)
+      : host_(host), socket_(stack.bind(port)) {
+    host.engine().spawn(rx_loop());
+  }
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  void register_handler(std::uint32_t proc, Handler h) {
+    handlers_[proc] = std::move(h);
+  }
+
+  std::uint64_t requests_served() const { return served_; }
+
+ private:
+  sim::Task<void> rx_loop();
+  sim::Task<void> serve_one(msg::UdpDatagram d);
+
+  host::Host& host_;
+  msg::UdpStack::Socket& socket_;
+  std::unordered_map<std::uint32_t, Handler> handlers_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace ordma::rpc

@@ -1,0 +1,108 @@
+// XDR-style marshalling: big-endian integers, length-prefixed opaques.
+// Every RPC and NAS protocol message in this codebase is real bytes encoded
+// through these helpers — protocol correctness is testable on the wire.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/assert.h"
+#include "common/result.h"
+#include "net/packet.h"
+
+namespace ordma::rpc {
+
+class XdrEncoder {
+ public:
+  void u32(std::uint32_t x) {
+    for (int i = 3; i >= 0; --i) {
+      buf_.push_back(static_cast<std::byte>((x >> (8 * i)) & 0xff));
+    }
+  }
+  void u64(std::uint64_t x) {
+    u32(static_cast<std::uint32_t>(x >> 32));
+    u32(static_cast<std::uint32_t>(x & 0xffffffffu));
+  }
+  void i64(std::int64_t x) { u64(static_cast<std::uint64_t>(x)); }
+
+  void opaque(std::span<const std::byte> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  void str(std::string_view s) {
+    opaque(std::span<const std::byte>(
+        reinterpret_cast<const std::byte*>(s.data()), s.size()));
+  }
+  // Raw append without length prefix (for framing payloads whose length is
+  // carried elsewhere).
+  void raw(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  std::size_t size() const { return buf_.size(); }
+  net::Buffer finish() { return net::Buffer::take(std::move(buf_)); }
+  std::vector<std::byte> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class XdrDecoder {
+ public:
+  explicit XdrDecoder(std::span<const std::byte> data) : data_(data) {}
+  explicit XdrDecoder(const net::Buffer& b) : data_(b.view()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t x = 0;
+    for (int i = 0; i < 4; ++i) {
+      x = (x << 8) | std::to_integer<std::uint32_t>(data_[pos_ + i]);
+    }
+    pos_ += 4;
+    return x;
+  }
+  std::uint64_t u64() {
+    const std::uint64_t hi = u32();
+    const std::uint64_t lo = u32();
+    return (hi << 32) | lo;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  std::span<const std::byte> opaque() {
+    const std::uint32_t n = u32();
+    if (!need(n)) return {};
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+  std::string str() {
+    auto s = opaque();
+    return std::string(reinterpret_cast<const char*>(s.data()), s.size());
+  }
+  std::span<const std::byte> rest() {
+    auto s = data_.subspan(pos_);
+    pos_ = data_.size();
+    return s;
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace ordma::rpc

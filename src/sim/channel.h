@@ -1,0 +1,105 @@
+// Unbounded FIFO channel between coroutines.
+//
+// send() never blocks; recv() suspends until a value is available. Receivers
+// are served in arrival order. Used for NIC work queues, RPC dispatch
+// queues, interrupt delivery, etc.
+#pragma once
+
+#include <coroutine>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.h"
+#include "common/intrusive_list.h"
+#include "sim/engine.h"
+
+namespace ordma::sim {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Engine& eng) : eng_(eng) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  // Detach suspended receivers so the channel may die before its waiters'
+  // coroutine frames do (the engine destroys those at teardown).
+  ~Channel() {
+    while (waiters_.pop_front()) {
+    }
+  }
+
+  void send(T v) {
+    if (auto* w = waiters_.pop_front()) {
+      w->value.emplace(std::move(v));
+      w->timer = eng_.schedule_coro(Duration{0}, w->h);
+    } else {
+      items_.push_back(std::move(v));
+    }
+  }
+
+  std::size_t pending() const { return items_.size(); }
+  bool has_waiters() const { return !waiters_.empty(); }
+
+  class RecvAwaiter;
+  RecvAwaiter recv() { return RecvAwaiter(*this); }
+
+  // Non-blocking receive.
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  class RecvAwaiter {
+   public:
+    explicit RecvAwaiter(Channel& ch) : ch_(ch) {}
+    RecvAwaiter(const RecvAwaiter&) = delete;
+    RecvAwaiter& operator=(const RecvAwaiter&) = delete;
+    ~RecvAwaiter() {
+      if (node_.linked()) {
+        ch_.waiters_.erase(&node_);
+      } else if (node_.timer) {
+        // Granted a value but the receiver died before resuming: the value
+        // is dropped with the awaiter (the sender cannot tell), and the
+        // timer must not fire.
+        node_.timer->cancelled = true;
+      }
+    }
+
+    bool await_ready() const noexcept { return !ch_.items_.empty(); }
+    void await_suspend(std::coroutine_handle<> h) {
+      node_.h = h;
+      ch_.waiters_.push_back(&node_);
+    }
+    T await_resume() {
+      node_.timer = nullptr;
+      if (node_.value.has_value()) {
+        return std::move(*node_.value);  // handed off directly by send()
+      }
+      ORDMA_CHECK(!ch_.items_.empty());
+      T v = std::move(ch_.items_.front());
+      ch_.items_.pop_front();
+      return v;
+    }
+
+   private:
+    friend class Channel;
+    struct Node : ListNode {
+      std::coroutine_handle<> h{};
+      Engine::TimerNode* timer = nullptr;
+      std::optional<T> value;
+    };
+    Channel& ch_;
+    Node node_;
+  };
+
+ private:
+  friend class RecvAwaiter;
+  Engine& eng_;
+  std::deque<T> items_;
+  IntrusiveList<typename RecvAwaiter::Node> waiters_;
+};
+
+}  // namespace ordma::sim

@@ -1,0 +1,108 @@
+#include "sim/engine.h"
+
+#include "common/assert.h"
+
+namespace ordma::sim {
+
+Engine::~Engine() {
+  // Destroy still-live processes first (their awaiter destructors cancel any
+  // timers / unlink from wait queues), then drain the heap nodes.
+  processes_.clear();
+  while (!heap_.empty()) {
+    delete heap_.top().node;
+    heap_.pop();
+  }
+}
+
+Engine::TimerNode* Engine::push(Duration after, TimerNode* node) {
+  ORDMA_CHECK(after.ns >= 0);
+  heap_.push(HeapEntry{now_ + after, next_seq_++, node});
+  return node;
+}
+
+Engine::TimerNode* Engine::schedule_coro(Duration after,
+                                         std::coroutine_handle<> h) {
+  auto* node = new TimerNode;
+  node->coro = h;
+  return push(after, node);
+}
+
+Engine::TimerNode* Engine::schedule_fn(Duration after,
+                                       std::function<void()> f) {
+  auto* node = new TimerNode;
+  node->fn = std::move(f);
+  return push(after, node);
+}
+
+void Engine::fire(TimerNode* node) {
+  if (!node->cancelled) {
+    if (node->coro) {
+      node->coro.resume();
+    } else if (node->fn) {
+      node->fn();
+    }
+  }
+}
+
+Task<void> Engine::run_process(std::uint64_t pid, Task<void> body) {
+  co_await std::move(body);
+  auto it = processes_.find(pid);
+  ORDMA_CHECK(it != processes_.end());
+  it->second->finished = true;
+  reap_list_.push_back(pid);
+}
+
+std::uint64_t Engine::spawn(Task<void> t) {
+  const std::uint64_t pid = next_pid_++;
+  auto state = std::make_unique<ProcessState>();
+  state->task = run_process(pid, std::move(t));
+  const auto handle = state->task.raw_handle();
+  processes_.emplace(pid, std::move(state));
+  schedule_coro(Duration{0}, handle);
+  return pid;
+}
+
+void Engine::reap_finished() {
+  // A finishing process can itself spawn processes that finish at the same
+  // instant, so drain iteratively.
+  while (!reap_list_.empty()) {
+    const std::uint64_t pid = reap_list_.back();
+    reap_list_.pop_back();
+    auto it = processes_.find(pid);
+    if (it != processes_.end() && it->second->finished) {
+      processes_.erase(it);  // Task dtor destroys the (final-suspended) frame
+    }
+  }
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t fired = 0;
+  while (!heap_.empty()) {
+    HeapEntry e = heap_.top();
+    heap_.pop();
+    ORDMA_CHECK(e.when.ns >= now_.ns);
+    now_ = e.when;
+    fire(e.node);
+    delete e.node;
+    ++fired;
+    reap_finished();
+  }
+  return fired;
+}
+
+std::uint64_t Engine::run_until(SimTime until) {
+  std::uint64_t fired = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    HeapEntry e = heap_.top();
+    heap_.pop();
+    now_ = e.when;
+    fire(e.node);
+    delete e.node;
+    ++fired;
+    reap_finished();
+  }
+  if (now_ < until) now_ = until;
+  return fired;
+}
+
+}  // namespace ordma::sim

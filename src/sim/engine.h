@@ -1,0 +1,132 @@
+// Deterministic discrete-event engine.
+//
+// All simulated activity is driven by one Engine: a min-heap of timed
+// entries, each either a coroutine resumption or a plain callback. Entries
+// scheduled for the same instant fire in scheduling order (monotonic
+// sequence number), so runs are bit-reproducible.
+//
+// Detached top-level activities ("processes") are spawned with spawn(); the
+// engine owns their frames and destroys them when they finish or when the
+// engine is destroyed (in which case any still-suspended process chain is
+// destroyed safely — every awaiter deregisters itself from its wait list or
+// cancels its timer in its destructor).
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace ordma::sim {
+
+class Engine {
+ public:
+  // A cancellable handle to a scheduled entry. The engine owns the node; a
+  // holder may set `cancelled` any time before the node fires.
+  struct TimerNode {
+    std::coroutine_handle<> coro{};   // resumed if set (and not cancelled)
+    std::function<void()> fn{};       // called otherwise
+    bool cancelled = false;
+  };
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  SimTime now() const { return now_; }
+
+  // --- scheduling -----------------------------------------------------
+  TimerNode* schedule_coro(Duration after, std::coroutine_handle<> h);
+  TimerNode* schedule_fn(Duration after, std::function<void()> f);
+
+  // --- coroutine awaitables -------------------------------------------
+  // co_await eng.delay(d): resume this coroutine after d of simulated time.
+  // Always suspends (even for d == 0) so same-tick ordering stays FIFO.
+  class DelayAwaiter {
+   public:
+    DelayAwaiter(Engine& eng, Duration d) : eng_(eng), d_(d) {}
+    DelayAwaiter(const DelayAwaiter&) = delete;
+    DelayAwaiter& operator=(const DelayAwaiter&) = delete;
+    ~DelayAwaiter() {
+      if (node_) node_->cancelled = true;  // frame destroyed mid-wait
+    }
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      node_ = eng_.schedule_coro(d_, h);
+    }
+    void await_resume() noexcept { node_ = nullptr; }
+
+   private:
+    Engine& eng_;
+    Duration d_;
+    TimerNode* node_ = nullptr;
+  };
+  DelayAwaiter delay(Duration d) {
+    ORDMA_CHECK(d.ns >= 0);
+    return DelayAwaiter(*this, d);
+  }
+  // Yield the current tick slice: reschedule at the same instant, behind
+  // everything already queued for it.
+  DelayAwaiter yield() { return DelayAwaiter(*this, Duration{0}); }
+
+  // --- detached processes ----------------------------------------------
+  // Takes ownership of the task and schedules its first resumption at the
+  // current instant. Returns a process id (for debugging only).
+  std::uint64_t spawn(Task<void> t);
+
+  // Number of processes spawned and not yet finished.
+  std::size_t live_processes() const { return processes_.size(); }
+
+  // --- run loop ---------------------------------------------------------
+  // Run until the heap is exhausted. Returns the number of entries fired.
+  std::uint64_t run();
+  // Run until the heap is exhausted or simulated time would pass `until`.
+  std::uint64_t run_until(SimTime until);
+  std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
+
+  bool idle() const { return heap_.empty(); }
+
+ private:
+  struct HeapEntry {
+    SimTime when;
+    std::uint64_t seq;
+    TimerNode* node;  // owned by the heap entry; deleted when popped
+    bool operator>(const HeapEntry& o) const {
+      if (when != o.when) return when > o.when;
+      return seq > o.seq;
+    }
+  };
+
+  struct ProcessRecord;
+
+  TimerNode* push(Duration after, TimerNode* node);
+  void fire(TimerNode* node);
+  void reap_finished();
+
+  SimTime now_{};
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
+      heap_;
+
+  // Detached process bookkeeping -----------------------------------------
+  friend struct ProcessReaper;
+  struct ProcessState {
+    Task<void> task;     // owns the coroutine frame
+    bool finished = false;
+  };
+  std::uint64_t next_pid_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<ProcessState>> processes_;
+  std::vector<std::uint64_t> reap_list_;
+
+  // Wrapper coroutine that runs a task to completion and reports back.
+  Task<void> run_process(std::uint64_t pid, Task<void> body);
+};
+
+}  // namespace ordma::sim

@@ -1,0 +1,132 @@
+#include "workload/postmark.h"
+
+#include <algorithm>
+
+namespace ordma::wl {
+
+PostMark::PostMark(host::Host& host, core::FileClient& client,
+                   PostMarkConfig cfg)
+    : host_(host), client_(client), cfg_(cfg), rng_(cfg.seed) {}
+
+sim::Task<Status> PostMark::setup() {
+  io_buf_len_ = cfg_.max_size + cfg_.io_block;
+  io_buf_ = host_.map_new(host_.user_as(), io_buf_len_);
+  std::vector<std::byte> junk(cfg_.max_size);
+  for (std::size_t i = 0; i < junk.size(); ++i) {
+    junk[i] = static_cast<std::byte>(i * 131);
+  }
+  ORDMA_CHECK(host_.user_as().write(io_buf_, junk).ok());
+
+  files_.reserve(cfg_.num_files);
+  for (std::size_t i = 0; i < cfg_.num_files; ++i) {
+    File f;
+    f.name = "pm" + std::to_string(next_file_id_++);
+    f.size = rng_.range(cfg_.min_size, cfg_.max_size);
+    auto created = co_await client_.create(f.name);
+    if (!created.ok()) co_return created.status();
+    f.fh = created.value().fh;
+    auto n = co_await client_.pwrite(f.fh, 0, io_buf_, f.size);
+    if (!n.ok()) co_return n.status();
+    files_.push_back(std::move(f));
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> PostMark::txn_read(File& f) {
+  // open → read whole file in io_block units → close (§5.2).
+  auto open = co_await client_.open(f.name);
+  if (!open.ok()) co_return open.status();
+  Bytes off = 0;
+  while (off < f.size) {
+    const Bytes chunk = std::min<Bytes>(cfg_.io_block, f.size - off);
+    auto n = co_await client_.pread(open.value().fh, off, io_buf_, chunk);
+    if (!n.ok()) co_return n.status();
+    if (n.value() == 0) break;
+    off += n.value();
+  }
+  stats_.bytes_read += off;
+  ++stats_.reads;
+  co_return co_await client_.close(open.value().fh);
+}
+
+sim::Task<Status> PostMark::txn_append(File& f) {
+  auto open = co_await client_.open(f.name);
+  if (!open.ok()) co_return open.status();
+  const Bytes n = rng_.range(cfg_.min_size, cfg_.max_size) / 4 + 1;
+  auto wrote = co_await client_.pwrite(open.value().fh, f.size, io_buf_, n);
+  if (!wrote.ok()) co_return wrote.status();
+  f.size += wrote.value();
+  stats_.bytes_written += wrote.value();
+  ++stats_.appends;
+  co_return co_await client_.close(open.value().fh);
+}
+
+sim::Task<Status> PostMark::txn_create() {
+  File f;
+  f.name = "pm" + std::to_string(next_file_id_++);
+  f.size = rng_.range(cfg_.min_size, cfg_.max_size);
+  auto created = co_await client_.create(f.name);
+  if (!created.ok()) co_return created.status();
+  f.fh = created.value().fh;
+  auto n = co_await client_.pwrite(f.fh, 0, io_buf_, f.size);
+  if (!n.ok()) co_return n.status();
+  stats_.bytes_written += n.value();
+  files_.push_back(std::move(f));
+  ++stats_.creates;
+  co_return Status::Ok();
+}
+
+sim::Task<Status> PostMark::txn_delete() {
+  if (files_.size() <= 1) co_return Status::Ok();
+  const auto idx = rng_.below(files_.size());
+  const std::string name = files_[idx].name;
+  files_[idx] = std::move(files_.back());
+  files_.pop_back();
+  ++stats_.deletes;
+  co_return co_await client_.unlink(name);
+}
+
+sim::Task<Status> PostMark::warmup() {
+  for (auto& f : files_) {
+    auto st = co_await txn_read(f);
+    if (!st.ok()) co_return st;
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Result<PostMarkResult>> PostMark::run() {
+  ORDMA_CHECK_MSG(!files_.empty(), "setup() must run first");
+  stats_ = PostMarkResult{};
+  const SimTime t0 = host_.engine().now();
+  for (std::uint64_t t = 0; t < cfg_.transactions; ++t) {
+    co_await host_.cpu_consume(cfg_.txn_proc);
+    if (cfg_.read_only) {
+      auto st = co_await txn_read(files_[rng_.below(files_.size())]);
+      if (!st.ok()) co_return st;
+    } else {
+      if (rng_.uniform01() < cfg_.read_bias) {
+        auto st = co_await txn_read(files_[rng_.below(files_.size())]);
+        if (!st.ok()) co_return st;
+      } else {
+        auto st = co_await txn_append(files_[rng_.below(files_.size())]);
+        if (!st.ok()) co_return st;
+      }
+      if (rng_.uniform01() < cfg_.create_bias) {
+        auto st = co_await txn_create();
+        if (!st.ok()) co_return st;
+      } else {
+        auto st = co_await txn_delete();
+        if (!st.ok()) co_return st;
+      }
+    }
+    ++stats_.transactions;
+  }
+  stats_.elapsed = host_.engine().now() - t0;
+  stats_.txns_per_sec =
+      stats_.elapsed.ns > 0
+          ? static_cast<double>(stats_.transactions) / stats_.elapsed.to_sec()
+          : 0.0;
+  co_return stats_;
+}
+
+}  // namespace ordma::wl

@@ -1,0 +1,35 @@
+// The client-throughput workload of Figures 3/4/7: sequential reads with
+// application-level asynchronous read-ahead ("a simple client performing
+// asynchronous read-ahead without any data processing", §5.1), implemented
+// as a window of concurrent pread workers.
+#pragma once
+
+#include <string>
+
+#include "core/file_client.h"
+#include "host/host.h"
+#include "sim/event.h"
+
+namespace ordma::wl {
+
+struct StreamConfig {
+  Bytes block = KiB(64);   // application I/O block size
+  unsigned window = 8;     // outstanding asynchronous reads
+  Bytes limit = 0;         // 0 = whole file
+  unsigned passes = 1;     // sequential passes over the file
+  bool measure_last_pass_only = false;  // Fig. 7 measures the second pass
+};
+
+struct StreamResult {
+  Bytes bytes = 0;
+  Duration elapsed{};
+  double throughput_MBps = 0.0;
+  double client_cpu_util = 0.0;
+};
+
+sim::Task<Result<StreamResult>> stream_read(host::Host& host,
+                                            core::FileClient& client,
+                                            const std::string& path,
+                                            StreamConfig cfg);
+
+}  // namespace ordma::wl

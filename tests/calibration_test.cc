@@ -1,0 +1,203 @@
+// Calibration tests: the cost model must land on the paper's own baseline
+// measurements (Table 2). Tolerances are ±15% — the reproduction's goal is
+// shape fidelity, and these anchors keep every derived experiment honest.
+//
+//   Table 2:  GM       23 us RTT   244 MB/s
+//             VI poll  23 us RTT   244 MB/s
+//             VI block 53 us RTT   244 MB/s
+//             UDP/Eth  80 us RTT   166 MB/s
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "host/host.h"
+#include "msg/udp.h"
+#include "msg/vi.h"
+#include "net/fabric.h"
+#include "nic/nic.h"
+#include "sim/engine.h"
+
+namespace ordma {
+namespace {
+
+std::vector<std::byte> zeros(std::size_t n) {
+  return std::vector<std::byte>(n);
+}
+
+struct Cluster {
+  sim::Engine eng;
+  host::CostModel cm;
+  net::Fabric fabric{eng};
+  host::Host ha{eng, "client", cm};
+  host::Host hb{eng, "server", cm};
+  nic::Nic na{ha, fabric, {}, crypto::SipKey{1, 2}};
+  nic::Nic nb{hb, fabric, {}, crypto::SipKey{3, 4}};
+};
+
+constexpr int kPingIters = 32;
+
+// --- GM ping-pong (polling pickup, as gm_allsize does) ---------------------
+double gm_roundtrip_us() {
+  Cluster c;
+  c.eng.spawn([](Cluster& c) -> sim::Task<void> {  // server echo
+    auto& port = c.nb.open_port(5);
+    for (;;) {
+      auto m = co_await port.recv();
+      co_await c.hb.cpu_consume(c.cm.vi_poll_pickup);
+      co_await c.nb.gm_send(m.src, 6, 0, std::move(m.data));
+    }
+  }(c));
+  double out = 0;
+  c.eng.spawn([](Cluster& c, double& out) -> sim::Task<void> {
+    auto& port = c.na.open_port(6);
+    const auto t0 = c.eng.now();
+    for (int i = 0; i < kPingIters; ++i) {
+      co_await c.na.gm_send(c.nb.node_id(), 5, 0,
+                            net::Buffer::copy_of(zeros(1)));
+      auto m = co_await port.recv();
+      co_await c.ha.cpu_consume(c.cm.vi_poll_pickup);
+      (void)m;
+    }
+    out = (c.eng.now() - t0).to_us() / kPingIters;
+  }(c, out));
+  c.eng.run();
+  return out;
+}
+
+// --- VI ping-pong -----------------------------------------------------------
+double vi_roundtrip_us(msg::Completion mode) {
+  Cluster c;
+  msg::ViListener listener(c.hb, 100, mode);
+  c.eng.spawn([](msg::ViListener& l) -> sim::Task<void> {
+    auto conn = co_await l.accept();
+    for (;;) {
+      auto m = co_await conn->recv();
+      co_await conn->send(std::move(m));
+    }
+  }(listener));
+  double out = 0;
+  c.eng.spawn([](Cluster& c, msg::Completion mode, double& out)
+                  -> sim::Task<void> {
+    auto conn = co_await msg::vi_connect(c.ha, c.nb.node_id(), 100, mode);
+    const auto t0 = c.eng.now();
+    for (int i = 0; i < kPingIters; ++i) {
+      co_await conn->send(net::Buffer::copy_of(zeros(1)));
+      (void)co_await conn->recv();
+    }
+    out = (c.eng.now() - t0).to_us() / kPingIters;
+  }(c, mode, out));
+  c.eng.run();
+  return out;
+}
+
+// --- UDP ping-pong ----------------------------------------------------------
+double udp_roundtrip_us() {
+  Cluster c;
+  msg::UdpStack sa(c.ha), sb(c.hb);
+  auto& cli = sa.bind(1000);
+  auto& srv = sb.bind(53);
+  c.eng.spawn([](msg::UdpStack::Socket& srv) -> sim::Task<void> {
+    for (;;) {
+      auto d = co_await srv.recv();
+      co_await srv.send_to(d.src, d.src_port, std::move(d.data));
+    }
+  }(srv));
+  double out = 0;
+  c.eng.spawn([](Cluster& c, msg::UdpStack::Socket& cli, double& out)
+                  -> sim::Task<void> {
+    const auto t0 = c.eng.now();
+    for (int i = 0; i < kPingIters; ++i) {
+      co_await cli.send_to(c.nb.node_id(), 53, net::Buffer::copy_of(zeros(1)));
+      (void)co_await cli.recv();
+    }
+    out = (c.eng.now() - t0).to_us() / kPingIters;
+  }(c, cli, out));
+  c.eng.run();
+  return out;
+}
+
+// --- streaming bandwidth -----------------------------------------------------
+// Payload MB/s for a one-way stream of `msg_size` messages.
+double gm_bandwidth_MBps(Bytes msg_size, int count) {
+  Cluster c;
+  Bytes received = 0;
+  SimTime last{};
+  c.eng.spawn([](Cluster& c, Bytes& received, SimTime& last, int count)
+                  -> sim::Task<void> {
+    auto& port = c.nb.open_port(5);
+    for (int i = 0; i < count; ++i) {
+      auto m = co_await port.recv();
+      received += m.data.size();
+      last = c.eng.now();
+    }
+  }(c, received, last, count));
+  c.eng.spawn([](Cluster& c, Bytes msg_size, int count) -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      co_await c.na.gm_send(c.nb.node_id(), 5, 0,
+                            net::Buffer::copy_of(zeros(msg_size)));
+    }
+  }(c, msg_size, count));
+  c.eng.run();
+  return throughput_MBps(received, last - SimTime{});
+}
+
+double udp_bandwidth_MBps(Bytes msg_size, int count) {
+  Cluster c;
+  msg::UdpStack sa(c.ha), sb(c.hb);
+  auto& cli = sa.bind(1000);
+  auto& srv = sb.bind(53);
+  Bytes received = 0;
+  SimTime last{};
+  c.eng.spawn([](msg::UdpStack::Socket& srv, Cluster& c, Bytes& received,
+                 SimTime& last, int count) -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      auto d = co_await srv.recv();
+      received += d.data.size();
+      last = c.eng.now();
+    }
+  }(srv, c, received, last, count));
+  c.eng.spawn([](msg::UdpStack::Socket& cli, Cluster& c, Bytes msg_size,
+                 int count) -> sim::Task<void> {
+    for (int i = 0; i < count; ++i) {
+      co_await cli.send_to(c.nb.node_id(), 53,
+                           net::Buffer::copy_of(zeros(msg_size)));
+    }
+  }(cli, c, msg_size, count));
+  c.eng.run();
+  return throughput_MBps(received, last - SimTime{});
+}
+
+TEST(CalibrationTable2, GmRoundTrip23us) {
+  const double rt = gm_roundtrip_us();
+  RecordProperty("measured_us", static_cast<int>(rt * 100));
+  EXPECT_NEAR(rt, 23.0, 23.0 * 0.15) << "GM 1-byte RTT";
+}
+
+TEST(CalibrationTable2, ViPollRoundTrip23us) {
+  const double rt = vi_roundtrip_us(msg::Completion::poll);
+  EXPECT_NEAR(rt, 23.0, 23.0 * 0.15) << "VI poll RTT";
+}
+
+TEST(CalibrationTable2, ViBlockRoundTrip53us) {
+  const double rt = vi_roundtrip_us(msg::Completion::block);
+  EXPECT_NEAR(rt, 53.0, 53.0 * 0.15) << "VI block RTT";
+}
+
+TEST(CalibrationTable2, UdpRoundTrip80us) {
+  const double rt = udp_roundtrip_us();
+  EXPECT_NEAR(rt, 80.0, 80.0 * 0.15) << "UDP/Ethernet RTT";
+}
+
+TEST(CalibrationTable2, GmBandwidth244MBps) {
+  const double bw = gm_bandwidth_MBps(KiB(512), 48);
+  EXPECT_NEAR(bw, 244.0, 244.0 * 0.08) << "GM streaming bandwidth";
+}
+
+TEST(CalibrationTable2, UdpBandwidth166MBps) {
+  const double bw = udp_bandwidth_MBps(KiB(64), 192);
+  EXPECT_NEAR(bw, 166.0, 166.0 * 0.15) << "UDP streaming bandwidth";
+}
+
+}  // namespace
+}  // namespace ordma

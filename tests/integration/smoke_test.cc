@@ -1,0 +1,13 @@
+// Cross-module integration tests live in this directory; this smoke test
+// keeps the binary non-empty while modules land.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+TEST(Smoke, EngineRuns) {
+  ordma::sim::Engine eng;
+  bool fired = false;
+  eng.schedule_fn(ordma::usec(1), [&] { fired = true; });
+  eng.run();
+  EXPECT_TRUE(fired);
+}

@@ -1,0 +1,176 @@
+// Unit tests for the messaging layer: VI connections (both completion
+// modes) and the UDP stack.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "host/host.h"
+#include "msg/udp.h"
+#include "msg/vi.h"
+#include "net/fabric.h"
+#include "nic/nic.h"
+#include "sim/engine.h"
+
+namespace ordma::msg {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 37 + seed) & 0xff);
+  }
+  return v;
+}
+
+class MsgTest : public ::testing::Test {
+ protected:
+  sim::Engine eng_;
+  host::CostModel cm_;
+  net::Fabric fabric_{eng_};
+  host::Host ha_{eng_, "a", cm_};
+  host::Host hb_{eng_, "b", cm_};
+  nic::Nic na_{ha_, fabric_, {}, crypto::SipKey{1, 2}};
+  nic::Nic nb_{hb_, fabric_, {}, crypto::SipKey{3, 4}};
+};
+
+TEST_F(MsgTest, ViConnectAndEcho) {
+  constexpr std::uint32_t kListen = 100;
+  ViListener listener(hb_, kListen, Completion::poll);
+  const auto msg = pattern(10000);
+  std::vector<std::byte> echoed;
+
+  eng_.spawn([](ViListener& l, const std::vector<std::byte>& msg)
+                 -> sim::Task<void> {
+    auto conn = co_await l.accept();
+    auto got = co_await conn->recv();
+    EXPECT_EQ(got.size(), msg.size());
+    co_await conn->send(std::move(got));  // echo back
+  }(listener, msg));
+
+  eng_.spawn([](host::Host& h, net::NodeId server,
+                const std::vector<std::byte>& msg,
+                std::vector<std::byte>& echoed) -> sim::Task<void> {
+    auto conn = co_await vi_connect(h, server, kListen, Completion::poll);
+    co_await conn->send(net::Buffer::copy_of(msg));
+    auto back = co_await conn->recv();
+    echoed.assign(back.view().begin(), back.view().end());
+  }(ha_, nb_.node_id(), msg, echoed));
+
+  eng_.run();
+  EXPECT_EQ(echoed, msg);
+}
+
+TEST_F(MsgTest, ViBlockingModeIsSlowerThanPolling) {
+  constexpr std::uint32_t kListen = 100;
+
+  auto rtt = [&](Completion mode) {
+    // Fresh engine state per run would be cleaner, but ports are distinct
+    // per connection so reusing the cluster is fine.
+    Duration result{};
+    ViListener* listener = new ViListener(hb_, kListen + (mode == Completion::block ? 1 : 0), mode);
+    eng_.spawn([](ViListener& l) -> sim::Task<void> {
+      auto conn = co_await l.accept();
+      for (int i = 0; i < 8; ++i) {
+        auto m = co_await conn->recv();
+        co_await conn->send(std::move(m));
+      }
+    }(*listener));
+    eng_.spawn([](host::Host& h, net::NodeId server, std::uint32_t port,
+                  Completion mode, Duration& out) -> sim::Task<void> {
+      auto conn = co_await vi_connect(h, server, port, mode);
+      const auto t0 = h.engine().now();
+      for (int i = 0; i < 8; ++i) {
+        co_await conn->send(net::Buffer::copy_of(pattern(1)));
+        (void)co_await conn->recv();
+      }
+      out = Duration{(h.engine().now() - t0).ns / 8};
+    }(ha_, nb_.node_id(), kListen + (mode == Completion::block ? 1 : 0),
+      mode, result));
+    eng_.run();
+    delete listener;
+    return result;
+  };
+
+  const Duration poll = rtt(Completion::poll);
+  const Duration block = rtt(Completion::block);
+  EXPECT_GT(block.ns, poll.ns + usec(20).ns);  // 2x ~15us wakeups
+}
+
+TEST_F(MsgTest, UdpRoundTripPreservesData) {
+  UdpStack sa(ha_), sb(hb_);
+  auto& client = sa.bind(2000);
+  auto& server = sb.bind(53);
+  const auto msg = pattern(30000);  // multi-fragment datagram
+  std::vector<std::byte> echoed;
+
+  eng_.spawn([](UdpStack::Socket& server) -> sim::Task<void> {
+    auto d = co_await server.recv();
+    co_await server.send_to(d.src, d.src_port, std::move(d.data));
+  }(server));
+  eng_.spawn([](UdpStack::Socket& client, net::NodeId dst,
+                const std::vector<std::byte>& msg,
+                std::vector<std::byte>& echoed) -> sim::Task<void> {
+    co_await client.send_to(dst, 53, net::Buffer::copy_of(msg));
+    auto d = co_await client.recv();
+    echoed.assign(d.data.view().begin(), d.data.view().end());
+  }(client, nb_.node_id(), msg, echoed));
+
+  eng_.run();
+  EXPECT_EQ(echoed, msg);
+}
+
+TEST_F(MsgTest, UdpToUnboundPortIsDropped) {
+  UdpStack sa(ha_), sb(hb_);
+  auto& client = sa.bind(2000);
+  bool got = false;
+  eng_.spawn([](UdpStack::Socket& client, net::NodeId dst)
+                 -> sim::Task<void> {
+    co_await client.send_to(dst, 999, net::Buffer::copy_of(pattern(64)));
+  }(client, nb_.node_id()));
+  eng_.run();
+  EXPECT_FALSE(got);
+  EXPECT_TRUE(eng_.idle());
+}
+
+TEST_F(MsgTest, UdpRddpPlacementFlowsThroughSocket) {
+  UdpStack sa(ha_), sb(hb_);
+  auto& client = sa.bind(2001);
+  auto& server = sb.bind(54);
+  (void)server;
+
+  // Client pre-posts a buffer for xid 5; "server" (host a→b direction here:
+  // we send b→a, so client a pre-posts) — send from b to a.
+  auto& bsock = sb.bind(2002);
+  const Bytes hdr = 32, dlen = 8192;
+  const auto rpc_hdr = pattern(hdr, 2);
+  const auto data = pattern(dlen, 3);
+  std::vector<std::byte> dgram = rpc_hdr;
+  dgram.insert(dgram.end(), data.begin(), data.end());
+
+  const mem::Vaddr va = ha_.map_new(ha_.user_as(), dlen);
+  na_.prepost(5, ha_.user_as(), va, dlen);
+
+  std::optional<UdpDatagram> got;
+  eng_.spawn([](UdpStack::Socket& s, std::optional<UdpDatagram>& got)
+                 -> sim::Task<void> {
+    got = co_await s.recv();
+  }(client, got));
+  eng_.spawn([](UdpStack::Socket& s, net::NodeId dst,
+                std::vector<std::byte> dgram, Bytes hdr,
+                Bytes dlen) -> sim::Task<void> {
+    co_await s.send_to(dst, 2001, net::Buffer::take(std::move(dgram)), 5,
+                       hdr, dlen);
+  }(bsock, na_.node_id(), std::move(dgram), hdr, dlen));
+  eng_.run();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->rddp_placed);
+  EXPECT_EQ(got->data.size(), hdr);  // header only reached the stack
+  std::vector<std::byte> placed(dlen);
+  ASSERT_TRUE(ha_.user_as().read(va, placed).ok());
+  EXPECT_EQ(placed, data);
+}
+
+}  // namespace
+}  // namespace ordma::msg

@@ -1,0 +1,183 @@
+// Unit tests for the fabric: buffers, link serialisation/latency, switch
+// forwarding, and port contention.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/fabric.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/engine.h"
+
+namespace ordma::net {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 0) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 131 + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(Buffer, CopySliceView) {
+  auto data = pattern(100);
+  Buffer b = Buffer::copy_of(data);
+  EXPECT_EQ(b.size(), 100u);
+  Buffer s = b.slice(10, 20);
+  EXPECT_EQ(s.size(), 20u);
+  EXPECT_TRUE(std::equal(s.view().begin(), s.view().end(),
+                         data.begin() + 10));
+  Buffer s2 = s.slice(5, 5);  // slice of slice
+  EXPECT_TRUE(std::equal(s2.view().begin(), s2.view().end(),
+                         data.begin() + 15));
+}
+
+TEST(Buffer, EmptyBufferIsSafe) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.view().size(), 0u);
+}
+
+TEST(Link, DeliversAfterSerialisationPlusLatency) {
+  sim::Engine eng;
+  Link link(eng, MBps(100), usec(5), "l");
+  SimTime delivered{};
+  link.set_sink([&](Packet) { delivered = eng.now(); });
+
+  Packet p;
+  p.header_bytes = 0;
+  p.payload = Buffer::copy_of(pattern(1000));  // 10us at 100MB/s
+  link.send(std::move(p));
+  eng.run();
+  EXPECT_EQ(delivered, SimTime{} + usec(15));
+}
+
+TEST(Link, BackToBackPacketsPipelineSerialisation) {
+  sim::Engine eng;
+  Link link(eng, MBps(100), usec(5), "l");
+  std::vector<std::int64_t> times;
+  link.set_sink([&](Packet) { times.push_back(eng.now().ns); });
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.payload = Buffer::copy_of(pattern(1000));
+    link.send(std::move(p));
+  }
+  eng.run();
+  ASSERT_EQ(times.size(), 3u);
+  // Serialisations at 10,20,30us; each +5us propagation.
+  EXPECT_EQ(times[0], usec(15).ns);
+  EXPECT_EQ(times[1], usec(25).ns);
+  EXPECT_EQ(times[2], usec(35).ns);
+}
+
+TEST(Link, HeaderBytesCostBandwidth) {
+  sim::Engine eng;
+  Link link(eng, MBps(100), Duration{0}, "l");
+  SimTime delivered{};
+  link.set_sink([&](Packet) { delivered = eng.now(); });
+  Packet p;
+  p.header_bytes = 500;
+  p.payload = Buffer::copy_of(pattern(500));
+  link.send(std::move(p));
+  eng.run();
+  EXPECT_EQ(delivered, SimTime{} + usec(10));  // 1000 wire bytes
+}
+
+class FabricTest : public ::testing::Test {
+ protected:
+  sim::Engine eng_;
+  FabricConfig cfg_;
+  std::unique_ptr<Fabric> fabric_;
+  std::vector<std::vector<Packet>> received_;
+
+  NodeId add(const std::string& name) {
+    const auto idx = received_.size();
+    received_.emplace_back();
+    return fabric_->add_node(name, [this, idx](Packet p) {
+      received_[idx].push_back(std::move(p));
+    });
+  }
+
+  void SetUp() override { fabric_ = std::make_unique<Fabric>(eng_, cfg_); }
+};
+
+TEST_F(FabricTest, DeliversToAddressedNodeOnly) {
+  const NodeId a = add("a"), b = add("b"), c = add("c");
+  Packet p;
+  p.src = a;
+  p.dst = b;
+  p.payload = Buffer::copy_of(pattern(64));
+  fabric_->send(std::move(p));
+  eng_.run();
+  EXPECT_EQ(received_[a].size(), 0u);
+  ASSERT_EQ(received_[b].size(), 1u);
+  EXPECT_EQ(received_[c].size(), 0u);
+  EXPECT_EQ(received_[b][0].payload.size(), 64u);
+}
+
+TEST_F(FabricTest, PayloadBytesSurviveTransit) {
+  const NodeId a = add("a"), b = add("b");
+  const auto data = pattern(5000, 3);
+  Packet p;
+  p.src = a;
+  p.dst = b;
+  p.payload = Buffer::copy_of(data);
+  fabric_->send(std::move(p));
+  eng_.run();
+  ASSERT_EQ(received_[b].size(), 1u);
+  const auto v = received_[b][0].payload.view();
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), data.begin()));
+}
+
+TEST(FabricContention, TwoSendersShareOneDownlink) {
+  // Both a and b stream to c; c's downlink (2 Gb/s) is the bottleneck, so
+  // the total delivery time is roughly double a single sender's.
+  auto run = [](bool both) {
+    sim::Engine eng;
+    Fabric fabric(eng);
+    const NodeId a = fabric.add_node("a", [](Packet) {});
+    const NodeId b = fabric.add_node("b", [](Packet) {});
+    const NodeId c = fabric.add_node("c", [](Packet) {});
+    for (int i = 0; i < 64; ++i) {
+      Packet p;
+      p.src = a;
+      p.dst = c;
+      p.payload = Buffer::copy_of(pattern(4096));
+      fabric.send(std::move(p));
+      if (both) {
+        Packet q;
+        q.src = b;
+        q.dst = c;
+        q.payload = Buffer::copy_of(pattern(4096));
+        fabric.send(std::move(q));
+      }
+    }
+    eng.run();
+    return eng.now().ns;
+  };
+  const auto t1 = run(false);
+  const auto t2 = run(true);
+  EXPECT_GT(t2, t1 * 18 / 10);  // ~2x, allowing pipeline edge effects
+  EXPECT_LT(t2, t1 * 22 / 10);
+}
+
+TEST_F(FabricTest, FifoOrderPreservedPerFlow) {
+  const NodeId a = add("a"), b = add("b");
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    Packet p;
+    p.src = a;
+    p.dst = b;
+    p.frag_index = i;
+    p.payload = Buffer::copy_of(pattern(128));
+    fabric_->send(std::move(p));
+  }
+  eng_.run();
+  ASSERT_EQ(received_[b].size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(received_[b][i].frag_index, i);
+  }
+}
+
+}  // namespace
+}  // namespace ordma::net

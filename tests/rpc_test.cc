@@ -1,0 +1,223 @@
+// Unit tests for XDR marshalling and the RPC layer (including the RDDP-RPC
+// pre-posted direct placement path).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "host/host.h"
+#include "msg/udp.h"
+#include "net/fabric.h"
+#include "nic/nic.h"
+#include "rpc/rpc.h"
+#include "rpc/xdr.h"
+#include "sim/engine.h"
+
+namespace ordma::rpc {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, int seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 41 + seed) & 0xff);
+  }
+  return v;
+}
+
+TEST(Xdr, IntegerRoundTrip) {
+  XdrEncoder enc;
+  enc.u32(0xDEADBEEF);
+  enc.u64(0x0123456789ABCDEFull);
+  enc.i64(-42);
+  auto buf = enc.finish();
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(dec.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(dec.i64(), -42);
+  EXPECT_TRUE(dec.ok());
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(Xdr, BigEndianOnTheWire) {
+  XdrEncoder enc;
+  enc.u32(0x01020304);
+  auto buf = enc.finish();
+  const auto v = buf.view();
+  EXPECT_EQ(v[0], std::byte{1});
+  EXPECT_EQ(v[3], std::byte{4});
+}
+
+TEST(Xdr, OpaqueAndStringRoundTrip) {
+  XdrEncoder enc;
+  enc.str("hello/world");
+  const auto data = pattern(100);
+  enc.opaque(data);
+  auto buf = enc.finish();
+  XdrDecoder dec(buf);
+  EXPECT_EQ(dec.str(), "hello/world");
+  auto got = dec.opaque();
+  EXPECT_TRUE(std::equal(got.begin(), got.end(), data.begin()));
+  EXPECT_TRUE(dec.ok());
+}
+
+TEST(Xdr, TruncatedInputFailsSafely) {
+  XdrEncoder enc;
+  enc.u32(5);  // claims 5-byte opaque follows, but nothing does
+  auto buf = enc.finish();
+  XdrDecoder dec(buf);
+  auto got = dec.opaque();
+  EXPECT_TRUE(got.empty());
+  EXPECT_FALSE(dec.ok());
+}
+
+class RpcTest : public ::testing::Test {
+ public:
+  sim::Engine eng_;
+  host::CostModel cm_;
+  net::Fabric fabric_{eng_};
+  host::Host hc_{eng_, "client", cm_};  // NOLINT
+  host::Host hs_{eng_, "server", cm_};
+  nic::Nic nc_{hc_, fabric_, {}, crypto::SipKey{1, 2}};
+  nic::Nic ns_{hs_, fabric_, {}, crypto::SipKey{3, 4}};
+  msg::UdpStack stc_{hc_};
+  msg::UdpStack sts_{hs_};
+};
+
+TEST_F(RpcTest, EchoCall) {
+  RpcServer server(hs_, sts_, 2049);
+  server.register_handler(7, [](const RpcCallCtx& ctx)
+                                 -> sim::Task<RpcServerReply> {
+    RpcServerReply r;
+    r.results.u32(static_cast<std::uint32_t>(ctx.args.size()));
+    r.results.raw(ctx.args.view());
+    co_return r;
+  });
+  RpcClient client(hc_, stc_, 900);
+
+  std::optional<RpcReplyInfo> got;
+  eng_.spawn([](RpcClient& client, net::NodeId server,
+                std::optional<RpcReplyInfo>& got) -> sim::Task<void> {
+    XdrEncoder args;
+    args.str("ping");
+    auto res = co_await client.call(server, 2049, 7, args.finish());
+    EXPECT_TRUE(res.ok());
+    if (!res.ok()) co_return;
+    got = res.value();
+  }(client, ns_.node_id(), got));
+  eng_.run();
+
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->status, 0u);
+  XdrDecoder dec(got->results);
+  EXPECT_EQ(dec.u32(), 8u);  // "ping" as XDR string: len + 4 bytes
+  XdrDecoder inner(dec.rest());
+  EXPECT_EQ(inner.str(), "ping");
+}
+
+TEST_F(RpcTest, UnknownProcReturnsNotSupported) {
+  RpcServer server(hs_, sts_, 2049);
+  RpcClient client(hc_, stc_, 900);
+  std::optional<std::uint32_t> status;
+  eng_.spawn([](RpcClient& client, net::NodeId server,
+                std::optional<std::uint32_t>& status) -> sim::Task<void> {
+    auto res = co_await client.call(server, 2049, 99, net::Buffer());
+    EXPECT_TRUE(res.ok());
+    if (!res.ok()) co_return;
+    status = res.value().status;
+  }(client, ns_.node_id(), status));
+  eng_.run();
+  ASSERT_TRUE(status.has_value());
+  EXPECT_EQ(*status, static_cast<std::uint32_t>(Errc::not_supported));
+}
+
+TEST_F(RpcTest, ConcurrentCallsMatchByXid) {
+  RpcServer server(hs_, sts_, 2049);
+  server.register_handler(1, [this](const RpcCallCtx& ctx)
+                                 -> sim::Task<RpcServerReply> {
+    XdrDecoder dec(ctx.args);
+    const std::uint32_t v = dec.u32();
+    // Vary service time inversely with v so replies come back out of order.
+    co_await hs_.engine().delay(usec(100 - v * 10));
+    RpcServerReply r;
+    r.results.u32(v * 2);
+    co_return r;
+  });
+  RpcClient client(hc_, stc_, 900);
+
+  std::vector<std::uint32_t> results(5, 0);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    eng_.spawn([](RpcClient& client, net::NodeId server, std::uint32_t i,
+                  std::vector<std::uint32_t>& results) -> sim::Task<void> {
+      XdrEncoder args;
+      args.u32(i);
+      auto res = co_await client.call(server, 2049, 1, args.finish());
+      EXPECT_TRUE(res.ok());
+    if (!res.ok()) co_return;
+      XdrDecoder dec(res.value().results);
+      results[i] = dec.u32();
+    }(client, ns_.node_id(), i, results));
+  }
+  eng_.run();
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(results[i], i * 2);
+}
+
+TEST_F(RpcTest, PrepostedCallPlacesBulkDataDirectly) {
+  const auto payload = pattern(KiB(32), 9);
+  RpcServer server(hs_, sts_, 2049);
+  server.register_handler(2, [&](const RpcCallCtx&)
+                                 -> sim::Task<RpcServerReply> {
+    RpcServerReply r;
+    r.results.u32(static_cast<std::uint32_t>(payload.size()));
+    r.bulk = net::Buffer::copy_of(payload);
+    co_return r;
+  });
+  RpcClient client(hc_, stc_, 900);
+
+  const mem::Vaddr va = hc_.map_new(hc_.user_as(), payload.size());
+  bool placed = false;
+  eng_.spawn([](RpcTest* t, RpcClient& client, net::NodeId server,
+                mem::Vaddr va, Bytes len, bool& placed) -> sim::Task<void> {
+    Prepost pp{&t->hc_.user_as(), va, len};
+    auto res = co_await client.call(server, 2049, 2, net::Buffer(), &pp);
+    EXPECT_TRUE(res.ok());
+    if (!res.ok()) co_return;
+    placed = res.value().rddp_placed;
+    EXPECT_EQ(res.value().rddp_data_len, len);
+    XdrDecoder dec(res.value().results);
+    EXPECT_EQ(dec.u32(), len);
+  }(this, client, ns_.node_id(), va, payload.size(), placed));
+  eng_.run();
+
+  EXPECT_TRUE(placed);
+  std::vector<std::byte> got(payload.size());
+  ASSERT_TRUE(hc_.user_as().read(va, got).ok());
+  EXPECT_EQ(got, payload);
+}
+
+TEST_F(RpcTest, BulkWithoutPrepostArrivesInline) {
+  const auto payload = pattern(KiB(8), 3);
+  RpcServer server(hs_, sts_, 2049);
+  server.register_handler(2, [&](const RpcCallCtx&)
+                                 -> sim::Task<RpcServerReply> {
+    RpcServerReply r;
+    r.bulk = net::Buffer::copy_of(payload);
+    co_return r;
+  });
+  RpcClient client(hc_, stc_, 900);
+
+  std::vector<std::byte> got;
+  eng_.spawn([](RpcClient& client, net::NodeId server,
+                std::vector<std::byte>& got) -> sim::Task<void> {
+    auto res = co_await client.call(server, 2049, 2, net::Buffer());
+    EXPECT_TRUE(res.ok());
+    if (!res.ok()) co_return;
+    EXPECT_FALSE(res.value().rddp_placed);
+    const auto v = res.value().results.view();
+    got.assign(v.begin(), v.end());
+  }(client, ns_.node_id(), got));
+  eng_.run();
+  EXPECT_EQ(got, payload);
+}
+
+}  // namespace
+}  // namespace ordma::rpc
