@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_attr_ordma"
+  "../bench/ablation_attr_ordma.pdb"
+  "CMakeFiles/ablation_attr_ordma.dir/ablation_attr_ordma.cc.o"
+  "CMakeFiles/ablation_attr_ordma.dir/ablation_attr_ordma.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_attr_ordma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_batch_io"
+  "../bench/ablation_batch_io.pdb"
+  "CMakeFiles/ablation_batch_io.dir/ablation_batch_io.cc.o"
+  "CMakeFiles/ablation_batch_io.dir/ablation_batch_io.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_batch_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

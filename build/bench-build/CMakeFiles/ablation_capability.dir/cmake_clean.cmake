@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_capability"
+  "../bench/ablation_capability.pdb"
+  "CMakeFiles/ablation_capability.dir/ablation_capability.cc.o"
+  "CMakeFiles/ablation_capability.dir/ablation_capability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_capability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nic_tlb"
+  "../bench/ablation_nic_tlb.pdb"
+  "CMakeFiles/ablation_nic_tlb.dir/ablation_nic_tlb.cc.o"
+  "CMakeFiles/ablation_nic_tlb.dir/ablation_nic_tlb.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nic_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

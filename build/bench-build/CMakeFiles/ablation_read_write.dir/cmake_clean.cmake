@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_read_write"
+  "../bench/ablation_read_write.pdb"
+  "CMakeFiles/ablation_read_write.dir/ablation_read_write.cc.o"
+  "CMakeFiles/ablation_read_write.dir/ablation_read_write.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_read_write.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_replacement"
+  "../bench/ablation_replacement.pdb"
+  "CMakeFiles/ablation_replacement.dir/ablation_replacement.cc.o"
+  "CMakeFiles/ablation_replacement.dir/ablation_replacement.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_success_rate"
+  "../bench/ablation_success_rate.pdb"
+  "CMakeFiles/ablation_success_rate.dir/ablation_success_rate.cc.o"
+  "CMakeFiles/ablation_success_rate.dir/ablation_success_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_success_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

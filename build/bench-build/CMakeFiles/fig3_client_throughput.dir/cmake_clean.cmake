@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_client_throughput"
+  "../bench/fig3_client_throughput.pdb"
+  "CMakeFiles/fig3_client_throughput.dir/fig3_client_throughput.cc.o"
+  "CMakeFiles/fig3_client_throughput.dir/fig3_client_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_client_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_client_cpu"
+  "../bench/fig4_client_cpu.pdb"
+  "CMakeFiles/fig4_client_cpu.dir/fig4_client_cpu.cc.o"
+  "CMakeFiles/fig4_client_cpu.dir/fig4_client_cpu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_client_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_berkeley_db"
+  "../bench/fig5_berkeley_db.pdb"
+  "CMakeFiles/fig5_berkeley_db.dir/fig5_berkeley_db.cc.o"
+  "CMakeFiles/fig5_berkeley_db.dir/fig5_berkeley_db.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_berkeley_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_postmark"
+  "../bench/fig6_postmark.pdb"
+  "CMakeFiles/fig6_postmark.dir/fig6_postmark.cc.o"
+  "CMakeFiles/fig6_postmark.dir/fig6_postmark.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_postmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

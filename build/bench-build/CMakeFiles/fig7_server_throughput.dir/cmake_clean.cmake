@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_server_throughput"
+  "../bench/fig7_server_throughput.pdb"
+  "CMakeFiles/fig7_server_throughput.dir/fig7_server_throughput.cc.o"
+  "CMakeFiles/fig7_server_throughput.dir/fig7_server_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_server_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

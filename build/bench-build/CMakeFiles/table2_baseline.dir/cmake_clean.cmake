@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_baseline"
+  "../bench/table2_baseline.pdb"
+  "CMakeFiles/table2_baseline.dir/table2_baseline.cc.o"
+  "CMakeFiles/table2_baseline.dir/table2_baseline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_response_time"
+  "../bench/table3_response_time.pdb"
+  "CMakeFiles/table3_response_time.dir/table3_response_time.cc.o"
+  "CMakeFiles/table3_response_time.dir/table3_response_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_response_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/db_analytics.dir/db_analytics.cc.o"
+  "CMakeFiles/db_analytics.dir/db_analytics.cc.o.d"
+  "db_analytics"
+  "db_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/db_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

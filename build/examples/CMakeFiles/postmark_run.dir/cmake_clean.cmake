@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postmark_run.dir/postmark_run.cc.o"
+  "CMakeFiles/postmark_run.dir/postmark_run.cc.o.d"
+  "postmark_run"
+  "postmark_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postmark_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_read.dir/streaming_read.cc.o"
+  "CMakeFiles/streaming_read.dir/streaming_read.cc.o.d"
+  "streaming_read"
+  "streaming_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/client_cache.cc" "src/CMakeFiles/ordma.dir/cache/client_cache.cc.o" "gcc" "src/CMakeFiles/ordma.dir/cache/client_cache.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/ordma.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/ordma.dir/common/stats.cc.o.d"
+  "/root/repo/src/crypto/capability.cc" "src/CMakeFiles/ordma.dir/crypto/capability.cc.o" "gcc" "src/CMakeFiles/ordma.dir/crypto/capability.cc.o.d"
+  "/root/repo/src/crypto/siphash.cc" "src/CMakeFiles/ordma.dir/crypto/siphash.cc.o" "gcc" "src/CMakeFiles/ordma.dir/crypto/siphash.cc.o.d"
+  "/root/repo/src/db/btree.cc" "src/CMakeFiles/ordma.dir/db/btree.cc.o" "gcc" "src/CMakeFiles/ordma.dir/db/btree.cc.o.d"
+  "/root/repo/src/db/join.cc" "src/CMakeFiles/ordma.dir/db/join.cc.o" "gcc" "src/CMakeFiles/ordma.dir/db/join.cc.o.d"
+  "/root/repo/src/db/pager.cc" "src/CMakeFiles/ordma.dir/db/pager.cc.o" "gcc" "src/CMakeFiles/ordma.dir/db/pager.cc.o.d"
+  "/root/repo/src/fs/buffer_cache.cc" "src/CMakeFiles/ordma.dir/fs/buffer_cache.cc.o" "gcc" "src/CMakeFiles/ordma.dir/fs/buffer_cache.cc.o.d"
+  "/root/repo/src/fs/disk.cc" "src/CMakeFiles/ordma.dir/fs/disk.cc.o" "gcc" "src/CMakeFiles/ordma.dir/fs/disk.cc.o.d"
+  "/root/repo/src/fs/server_fs.cc" "src/CMakeFiles/ordma.dir/fs/server_fs.cc.o" "gcc" "src/CMakeFiles/ordma.dir/fs/server_fs.cc.o.d"
+  "/root/repo/src/host/host.cc" "src/CMakeFiles/ordma.dir/host/host.cc.o" "gcc" "src/CMakeFiles/ordma.dir/host/host.cc.o.d"
+  "/root/repo/src/mem/address_space.cc" "src/CMakeFiles/ordma.dir/mem/address_space.cc.o" "gcc" "src/CMakeFiles/ordma.dir/mem/address_space.cc.o.d"
+  "/root/repo/src/mem/physical_memory.cc" "src/CMakeFiles/ordma.dir/mem/physical_memory.cc.o" "gcc" "src/CMakeFiles/ordma.dir/mem/physical_memory.cc.o.d"
+  "/root/repo/src/msg/udp.cc" "src/CMakeFiles/ordma.dir/msg/udp.cc.o" "gcc" "src/CMakeFiles/ordma.dir/msg/udp.cc.o.d"
+  "/root/repo/src/nas/dafs/dafs_client.cc" "src/CMakeFiles/ordma.dir/nas/dafs/dafs_client.cc.o" "gcc" "src/CMakeFiles/ordma.dir/nas/dafs/dafs_client.cc.o.d"
+  "/root/repo/src/nas/dafs/dafs_server.cc" "src/CMakeFiles/ordma.dir/nas/dafs/dafs_server.cc.o" "gcc" "src/CMakeFiles/ordma.dir/nas/dafs/dafs_server.cc.o.d"
+  "/root/repo/src/nas/nfs/nfs_client.cc" "src/CMakeFiles/ordma.dir/nas/nfs/nfs_client.cc.o" "gcc" "src/CMakeFiles/ordma.dir/nas/nfs/nfs_client.cc.o.d"
+  "/root/repo/src/nas/nfs/nfs_server.cc" "src/CMakeFiles/ordma.dir/nas/nfs/nfs_server.cc.o" "gcc" "src/CMakeFiles/ordma.dir/nas/nfs/nfs_server.cc.o.d"
+  "/root/repo/src/nas/odafs/odafs_client.cc" "src/CMakeFiles/ordma.dir/nas/odafs/odafs_client.cc.o" "gcc" "src/CMakeFiles/ordma.dir/nas/odafs/odafs_client.cc.o.d"
+  "/root/repo/src/nic/nic.cc" "src/CMakeFiles/ordma.dir/nic/nic.cc.o" "gcc" "src/CMakeFiles/ordma.dir/nic/nic.cc.o.d"
+  "/root/repo/src/nic/tpt.cc" "src/CMakeFiles/ordma.dir/nic/tpt.cc.o" "gcc" "src/CMakeFiles/ordma.dir/nic/tpt.cc.o.d"
+  "/root/repo/src/rpc/rpc.cc" "src/CMakeFiles/ordma.dir/rpc/rpc.cc.o" "gcc" "src/CMakeFiles/ordma.dir/rpc/rpc.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/ordma.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/ordma.dir/sim/engine.cc.o.d"
+  "/root/repo/src/workload/postmark.cc" "src/CMakeFiles/ordma.dir/workload/postmark.cc.o" "gcc" "src/CMakeFiles/ordma.dir/workload/postmark.cc.o.d"
+  "/root/repo/src/workload/streaming.cc" "src/CMakeFiles/ordma.dir/workload/streaming.cc.o" "gcc" "src/CMakeFiles/ordma.dir/workload/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

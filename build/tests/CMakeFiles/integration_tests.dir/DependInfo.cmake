@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/extensions_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/extensions_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/extensions_test.cc.o.d"
+  "/root/repo/tests/integration/nas_integration_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/nas_integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/nas_integration_test.cc.o.d"
+  "/root/repo/tests/integration/protocol_param_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/protocol_param_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/protocol_param_test.cc.o.d"
+  "/root/repo/tests/integration/smoke_test.cc" "tests/CMakeFiles/integration_tests.dir/integration/smoke_test.cc.o" "gcc" "tests/CMakeFiles/integration_tests.dir/integration/smoke_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ordma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

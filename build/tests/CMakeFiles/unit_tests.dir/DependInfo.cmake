@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache_test.cc" "tests/CMakeFiles/unit_tests.dir/cache_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/cache_test.cc.o.d"
+  "/root/repo/tests/calibration_test.cc" "tests/CMakeFiles/unit_tests.dir/calibration_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/calibration_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/unit_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/unit_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/db_test.cc" "tests/CMakeFiles/unit_tests.dir/db_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/db_test.cc.o.d"
+  "/root/repo/tests/fs_test.cc" "tests/CMakeFiles/unit_tests.dir/fs_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/fs_test.cc.o.d"
+  "/root/repo/tests/mem_test.cc" "tests/CMakeFiles/unit_tests.dir/mem_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/mem_test.cc.o.d"
+  "/root/repo/tests/msg_test.cc" "tests/CMakeFiles/unit_tests.dir/msg_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/msg_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/unit_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/nic_test.cc" "tests/CMakeFiles/unit_tests.dir/nic_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/nic_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/unit_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/rpc_test.cc" "tests/CMakeFiles/unit_tests.dir/rpc_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/rpc_test.cc.o.d"
+  "/root/repo/tests/sim_engine_test.cc" "tests/CMakeFiles/unit_tests.dir/sim_engine_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/sim_engine_test.cc.o.d"
+  "/root/repo/tests/workload_host_test.cc" "tests/CMakeFiles/unit_tests.dir/workload_host_test.cc.o" "gcc" "tests/CMakeFiles/unit_tests.dir/workload_host_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ordma.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

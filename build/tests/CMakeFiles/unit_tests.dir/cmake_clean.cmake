@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unit_tests.dir/cache_test.cc.o"
+  "CMakeFiles/unit_tests.dir/cache_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/calibration_test.cc.o"
+  "CMakeFiles/unit_tests.dir/calibration_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/common_test.cc.o"
+  "CMakeFiles/unit_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/crypto_test.cc.o"
+  "CMakeFiles/unit_tests.dir/crypto_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/db_test.cc.o"
+  "CMakeFiles/unit_tests.dir/db_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/fs_test.cc.o"
+  "CMakeFiles/unit_tests.dir/fs_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/mem_test.cc.o"
+  "CMakeFiles/unit_tests.dir/mem_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/msg_test.cc.o"
+  "CMakeFiles/unit_tests.dir/msg_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/net_test.cc.o"
+  "CMakeFiles/unit_tests.dir/net_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/nic_test.cc.o"
+  "CMakeFiles/unit_tests.dir/nic_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/property_test.cc.o"
+  "CMakeFiles/unit_tests.dir/property_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/rpc_test.cc.o"
+  "CMakeFiles/unit_tests.dir/rpc_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/sim_engine_test.cc.o"
+  "CMakeFiles/unit_tests.dir/sim_engine_test.cc.o.d"
+  "CMakeFiles/unit_tests.dir/workload_host_test.cc.o"
+  "CMakeFiles/unit_tests.dir/workload_host_test.cc.o.d"
+  "unit_tests"
+  "unit_tests.pdb"
+  "unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
