@@ -1,0 +1,228 @@
+// Engine throughput harness — not a paper figure, but the speed limit for
+// every figure: all experiments are bottlenecked by how many simulated
+// events/sec the discrete-event core retires. Drives four microbenchmarks
+// (pure timers, coroutine yields, channel handoffs, a mixed spawn-heavy
+// workload) plus a fig6-style PostMark end-to-end run, prints events/sec
+// and wall-clock for each, and emits BENCH_engine.json so the perf
+// trajectory is tracked PR over PR.
+#include <ctime>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "nas/odafs/odafs_client.h"
+#include "sim/channel.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "workload/postmark.h"
+
+namespace ordma {
+namespace {
+
+// Process CPU time, not wall-clock: the build/CI machines are heavily
+// shared, and the engine is single-threaded CPU-bound work, so CPU seconds
+// are the stable quantity.
+double cpu_now() {
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+struct Clock {
+  using time_point = double;
+  static time_point now() { return cpu_now(); }
+};
+
+double secs_since(Clock::time_point t0) { return cpu_now() - t0; }
+
+struct MicroResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec() const { return events / wall_s; }
+};
+
+// Pure schedule_fn timers at staggered future times: exercises the
+// schedule → heap → fire → recycle cycle with no coroutine machinery.
+MicroResult bench_timers(std::uint64_t n) {
+  sim::Engine eng;
+  // Self-rescheduling chains keep the heap small (like a real run) while
+  // still pushing n total events through it.
+  constexpr int kChains = 64;
+  std::uint64_t fired = 0;
+  const std::uint64_t per_chain = n / kChains;
+  struct Chain {
+    sim::Engine* eng;
+    std::uint64_t left;
+    Duration step;
+    std::uint64_t* fired;
+    void arm() {
+      eng->schedule_fn(step, [this] {
+        ++*fired;
+        if (--left > 0) arm();
+      });
+    }
+  };
+  std::vector<Chain> chains;
+  chains.reserve(kChains);
+  for (int i = 0; i < kChains; ++i) {
+    chains.push_back(Chain{&eng, per_chain, usec(1 + i % 17), &fired});
+  }
+  const auto t0 = Clock::now();
+  for (auto& c : chains) c.arm();
+  eng.run();
+  return {"timer", fired, secs_since(t0)};
+}
+
+// Tight yield loops: every event is a zero-delay coroutine resumption, the
+// dominant event class in NIC/RPC handoff code.
+MicroResult bench_yields(std::uint64_t n) {
+  sim::Engine eng;
+  constexpr int kProcs = 16;
+  const std::uint64_t per_proc = n / kProcs;
+  for (int i = 0; i < kProcs; ++i) {
+    eng.spawn([](sim::Engine& e, std::uint64_t iters) -> sim::Task<void> {
+      for (std::uint64_t k = 0; k < iters; ++k) co_await e.yield();
+    }(eng, per_proc));
+  }
+  const auto t0 = Clock::now();
+  const std::uint64_t fired = eng.run();
+  return {"yield", fired, secs_since(t0)};
+}
+
+// Producer/consumer pairs over Channel<int>: each message is a send, a
+// waiter wake-up (zero-delay event) and a resume.
+MicroResult bench_channels(std::uint64_t n) {
+  sim::Engine eng;
+  constexpr int kPairs = 8;
+  const std::uint64_t per_pair = n / kPairs;
+  std::vector<std::unique_ptr<sim::Channel<int>>> chans;
+  for (int i = 0; i < kPairs; ++i) {
+    chans.push_back(std::make_unique<sim::Channel<int>>(eng));
+    auto& ch = *chans.back();
+    eng.spawn([](sim::Channel<int>& ch, std::uint64_t iters)
+                  -> sim::Task<void> {
+      for (std::uint64_t k = 0; k < iters; ++k) (void)co_await ch.recv();
+    }(ch, per_pair));
+    eng.spawn([](sim::Engine& e, sim::Channel<int>& ch,
+                 std::uint64_t iters) -> sim::Task<void> {
+      for (std::uint64_t k = 0; k < iters; ++k) {
+        ch.send(static_cast<int>(k));
+        co_await e.yield();  // let the consumer drain (ping-pong)
+      }
+    }(eng, ch, per_pair));
+  }
+  const auto t0 = Clock::now();
+  const std::uint64_t fired = eng.run();
+  return {"channel", fired, secs_since(t0)};
+}
+
+// Mixed workload: short-lived spawned processes doing delays and yields —
+// stresses process bookkeeping (spawn/reap) alongside the queues.
+MicroResult bench_mixed(std::uint64_t n) {
+  sim::Engine eng;
+  constexpr int kSpawners = 4;
+  const std::uint64_t children = n / (kSpawners * 8);
+  for (int i = 0; i < kSpawners; ++i) {
+    eng.spawn([](sim::Engine& e, std::uint64_t kids) -> sim::Task<void> {
+      for (std::uint64_t k = 0; k < kids; ++k) {
+        e.spawn([](sim::Engine& e2, std::uint64_t seed) -> sim::Task<void> {
+          co_await e2.delay(usec(seed % 7));
+          co_await e2.yield();
+          co_await e2.delay(usec(seed % 3));
+          co_await e2.yield();
+        }(e, k));
+        co_await e.delay(usec(1));
+      }
+    }(eng, children));
+  }
+  const auto t0 = Clock::now();
+  const std::uint64_t fired = eng.run();
+  return {"mixed", fired, secs_since(t0)};
+}
+
+// Fig6-style PostMark cell (ODAFS, 50% target hit ratio): the end-to-end
+// number — full client/NIC/fabric/server stack per transaction.
+MicroResult bench_postmark() {
+  constexpr std::size_t kNumFiles = 512;
+  constexpr std::uint64_t kTxns = 40000;
+
+  core::ClusterConfig cc;
+  cc.fs.block_size = KiB(4);
+  cc.fs.cache_blocks = 8192;
+  core::Cluster c(cc);
+  c.start_dafs({.piggyback_refs = true});
+
+  nas::odafs::OdafsClientConfig cfg;
+  cfg.cache.block_size = KiB(4);
+  cfg.cache.data_blocks = kNumFiles / 2;
+  cfg.cache.max_headers = kNumFiles * 4;
+  cfg.use_ordma = true;
+  cfg.dafs.completion = msg::Completion::block;
+  cfg.read_ahead_window = 1;
+  auto client = c.make_odafs_client(0, cfg);
+
+  wl::PostMarkConfig pm;
+  pm.num_files = kNumFiles;
+  pm.min_size = KiB(4);
+  pm.max_size = KiB(4);
+  pm.transactions = kTxns;
+  pm.read_only = true;
+  pm.io_block = KiB(4);
+  wl::PostMark postmark(c.client(0), *client, pm);
+
+  const auto t0 = Clock::now();
+  bench::drive(c, [&]() -> sim::Task<void> {
+    ORDMA_CHECK((co_await postmark.setup()).ok());
+    ORDMA_CHECK((co_await postmark.warmup()).ok());
+    ORDMA_CHECK((co_await postmark.run()).ok());
+  });
+  return {"fig6_postmark", kTxns, secs_since(t0)};
+}
+
+}  // namespace
+}  // namespace ordma
+
+int main() {
+  using namespace ordma;
+  using namespace ordma::bench;
+
+  constexpr std::uint64_t kMicroEvents = 4'000'000;
+
+  std::vector<MicroResult> results;
+  results.push_back(bench_timers(kMicroEvents));
+  results.push_back(bench_yields(kMicroEvents));
+  results.push_back(bench_channels(kMicroEvents));
+  results.push_back(bench_mixed(kMicroEvents));
+  results.push_back(bench_postmark());
+
+  Table t("Engine throughput (events/sec, higher is better)",
+          {"workload", "events", "wall (s)", "events/sec"});
+  for (const auto& r : results) {
+    t.add_row({r.name, fmt("%.0f", static_cast<double>(r.events)),
+               fmt("%.3f", r.wall_s), fmt("%.3g", r.events_per_sec())});
+  }
+  t.print();
+
+  // Machine-readable record for the perf trajectory (BENCH_engine.json in
+  // the repo root keeps before/after snapshots across PRs).
+  std::FILE* f = std::fopen("bench_engine_run.json", "w");
+  if (f) {
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(f,
+                   "  \"%s\": {\"events\": %llu, \"wall_s\": %.4f,"
+                   " \"events_per_sec\": %.0f}%s\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.events), r.wall_s,
+                   r.events_per_sec(), i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote bench_engine_run.json\n");
+  }
+  return 0;
+}

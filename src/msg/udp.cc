@@ -5,18 +5,18 @@
 namespace ordma::msg {
 
 namespace {
-void put_u16(std::vector<std::byte>& v, std::uint16_t x) {
-  v.push_back(static_cast<std::byte>(x >> 8));
-  v.push_back(static_cast<std::byte>(x & 0xff));
+void put_u16(std::span<std::byte> v, std::size_t off, std::uint16_t x) {
+  v[off] = static_cast<std::byte>(x >> 8);
+  v[off + 1] = static_cast<std::byte>(x & 0xff);
 }
 std::uint16_t get_u16(std::span<const std::byte> v, std::size_t off) {
   return static_cast<std::uint16_t>(
       (std::to_integer<unsigned>(v[off]) << 8) |
       std::to_integer<unsigned>(v[off + 1]));
 }
-void put_u32(std::vector<std::byte>& v, std::uint32_t x) {
-  put_u16(v, static_cast<std::uint16_t>(x >> 16));
-  put_u16(v, static_cast<std::uint16_t>(x & 0xffff));
+void put_u32(std::span<std::byte> v, std::size_t off, std::uint32_t x) {
+  put_u16(v, off, static_cast<std::uint16_t>(x >> 16));
+  put_u16(v, off + 2, static_cast<std::uint16_t>(x & 0xffff));
 }
 }  // namespace
 
@@ -52,18 +52,19 @@ sim::Task<void> UdpStack::Socket::send_to(net::NodeId dst,
   if (!gather_send) cost += cm.copy_cost(payload.size());
   co_await host.cpu_consume(cost);
 
-  // Real UDP header in front of the payload.
-  std::vector<std::byte> dgram;
-  dgram.reserve(total);
-  put_u16(dgram, port_);
-  put_u16(dgram, dst_port);
-  put_u32(dgram, static_cast<std::uint32_t>(total));
+  // Real UDP header in front of the payload (pooled buffer, filled in
+  // place — no per-datagram heap allocation in steady state).
+  net::Buffer dgram = net::Buffer::alloc(total);
+  const auto w = dgram.mutable_view();
+  put_u16(w, 0, port_);
+  put_u16(w, 2, dst_port);
+  put_u32(w, 4, static_cast<std::uint32_t>(total));
   const auto v = payload.view();
-  dgram.insert(dgram.end(), v.begin(), v.end());
+  if (!v.empty()) std::memcpy(w.data() + kUdpHeader, v.data(), v.size());
 
   // Hand to the NIC; wire serialisation proceeds without the host CPU.
   host.engine().spawn(stack_.nic_.eth_send(
-      dst, net::Buffer::take(std::move(dgram)), rddp_xid,
+      dst, std::move(dgram), rddp_xid,
       rddp_xid ? kUdpHeader + rddp_data_offset : 0, rddp_data_len));
 }
 

@@ -6,12 +6,19 @@
 // overhead (they cost bandwidth) without being materialised — protocol
 // *contents* that matter (RPC headers) are real marshalled bytes inside the
 // payload.
+//
+// Buffer backing store is pooled: each Buffer points at a manually
+// refcounted Rep (the simulation is single-threaded, so the count is a
+// plain integer — no shared_ptr atomics), and Reps whose last reference
+// dies return to a free list with their byte capacity intact. Hot paths
+// allocate with Buffer::alloc(n), fill through mutable_view(), and reach
+// steady state with zero heap allocations per packet.
 #pragma once
 
 #include <any>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <cstring>
 #include <span>
 #include <utility>
 #include <vector>
@@ -24,27 +31,66 @@ namespace ordma::net {
 using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffff;
 
-// Immutable shared byte buffer with cheap sub-views.
+// Immutable-once-shared byte buffer with cheap sub-views.
 class Buffer {
  public:
   Buffer() = default;
+  ~Buffer() { unref(); }
 
-  static Buffer copy_of(std::span<const std::byte> data) {
+  Buffer(const Buffer& o) : rep_(o.rep_), off_(o.off_), len_(o.len_) {
+    if (rep_) ++rep_->refs;
+  }
+  Buffer& operator=(const Buffer& o) {
+    if (this != &o) {
+      if (o.rep_) ++o.rep_->refs;
+      unref();
+      rep_ = o.rep_;
+      off_ = o.off_;
+      len_ = o.len_;
+    }
+    return *this;
+  }
+  Buffer(Buffer&& o) noexcept
+      : rep_(std::exchange(o.rep_, nullptr)),
+        off_(std::exchange(o.off_, 0)),
+        len_(std::exchange(o.len_, 0)) {}
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      unref();
+      rep_ = std::exchange(o.rep_, nullptr);
+      off_ = std::exchange(o.off_, 0);
+      len_ = std::exchange(o.len_, 0);
+    }
+    return *this;
+  }
+
+  // Fresh buffer of `len` zeroed bytes drawn from the pool; fill it through
+  // mutable_view() before sharing. The allocation-free hot path.
+  static Buffer alloc(std::size_t len) {
     Buffer b;
-    b.data_ = std::make_shared<std::vector<std::byte>>(data.begin(),
-                                                       data.end());
-    b.len_ = b.data_->size();
+    b.rep_ = Pool::instance().acquire(len);
+    b.len_ = len;
     return b;
   }
+
+  static Buffer copy_of(std::span<const std::byte> data) {
+    Buffer b = alloc(data.size());
+    if (!data.empty()) {
+      std::memcpy(b.rep_->bytes.data(), data.data(), data.size());
+    }
+    return b;
+  }
+
   static Buffer take(std::vector<std::byte> data) {
     Buffer b;
-    b.data_ = std::make_shared<std::vector<std::byte>>(std::move(data));
-    b.len_ = b.data_->size();
+    b.len_ = data.size();
+    b.rep_ = Pool::instance().acquire_empty();
+    b.rep_->bytes = std::move(data);
     return b;
   }
 
   Buffer slice(std::size_t offset, std::size_t len) const {
-    ORDMA_CHECK(offset + len <= len_);
+    ORDMA_CHECK(offset <= len_ && len <= len_ - offset);
     Buffer b = *this;
     b.off_ += offset;
     b.len_ = len;
@@ -52,15 +98,86 @@ class Buffer {
   }
 
   std::span<const std::byte> view() const {
-    if (!data_) return {};
-    return std::span<const std::byte>(data_->data() + off_, len_);
+    if (!rep_) return {};
+    return std::span<const std::byte>(rep_->bytes.data() + off_, len_);
+  }
+
+  // Writable access; only valid while this Buffer is the sole reference
+  // (i.e. before it has been sliced, copied or sent anywhere).
+  std::span<std::byte> mutable_view() {
+    if (!rep_) return {};
+    ORDMA_CHECK_MSG(rep_->refs == 1, "Buffer::mutable_view on shared buffer");
+    return std::span<std::byte>(rep_->bytes.data() + off_, len_);
   }
 
   std::size_t size() const { return len_; }
   bool empty() const { return len_ == 0; }
 
  private:
-  std::shared_ptr<const std::vector<std::byte>> data_;
+  struct Rep {
+    std::vector<std::byte> bytes;
+    std::uint32_t refs = 0;
+    Rep* next_free = nullptr;
+  };
+
+  // Free list of Reps with their vector capacity retained; single-threaded
+  // by design (thread_local guards against accidental cross-thread use).
+  class Pool {
+   public:
+    static Pool& instance() {
+      static thread_local Pool p;
+      return p;
+    }
+    ~Pool() {
+      while (free_) {
+        Rep* r = free_;
+        free_ = r->next_free;
+        delete r;
+      }
+    }
+
+    Rep* acquire(std::size_t len) {
+      Rep* r = acquire_empty();
+      // resize() zero-fills; capacity from the Rep's previous life is
+      // reused, so steady state costs a memset but no allocation.
+      r->bytes.resize(len);
+      return r;
+    }
+    Rep* acquire_empty() {
+      Rep* r;
+      if (free_) {
+        r = free_;
+        free_ = r->next_free;
+        --free_count_;
+        r->next_free = nullptr;
+        r->bytes.clear();
+      } else {
+        r = new Rep;
+      }
+      r->refs = 1;
+      return r;
+    }
+    void release(Rep* r) {
+      if (free_count_ >= kMaxFree) {
+        delete r;
+        return;
+      }
+      r->next_free = free_;
+      free_ = r;
+      ++free_count_;
+    }
+
+   private:
+    static constexpr std::size_t kMaxFree = 4096;
+    Rep* free_ = nullptr;
+    std::size_t free_count_ = 0;
+  };
+
+  void unref() {
+    if (rep_ && --rep_->refs == 0) Pool::instance().release(rep_);
+  }
+
+  Rep* rep_ = nullptr;
   std::size_t off_ = 0;
   std::size_t len_ = 0;
 };

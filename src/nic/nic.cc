@@ -186,13 +186,13 @@ sim::Task<void> Nic::handle_gm_data(net::Packet p) {
   const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
   const RxKey key{p.src, p.msg_id};
   auto& buf = gm_rx_[key];
-  if (buf.size() != p.msg_total) buf.resize(p.msg_total);
+  if (buf.size() != p.msg_total) buf = net::Buffer::alloc(p.msg_total);
 
   if (!p.payload.empty()) {
     co_await dma_transfer(p.payload.size());  // into host receive buffer
     const auto v = p.payload.view();
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
-    std::copy(v.begin(), v.end(), buf.begin() + off);
+    std::copy(v.begin(), v.end(), buf.mutable_view().begin() + off);
   }
   auto& got = gm_rx_received_[key];
   got += 1;
@@ -200,7 +200,7 @@ sim::Task<void> Nic::handle_gm_data(net::Packet p) {
     GmMessage msg;
     msg.src = p.src;
     msg.user_tag = ctrl.user_tag;
-    msg.data = net::Buffer::take(std::move(buf));
+    msg.data = std::move(buf);
     gm_rx_.erase(key);
     gm_rx_received_.erase(key);
     auto it = ports_.find(ctrl.port);
@@ -348,15 +348,16 @@ sim::Task<void> Nic::service_get(net::Packet p) {
 
   ++ordma_served_;
   // Gather the real bytes out of host physical memory.
-  std::vector<std::byte> data(ctrl.rdma_len);
+  net::Buffer data = net::Buffer::alloc(ctrl.rdma_len);
+  const auto w = data.mutable_view();
   Bytes off = 0;
   auto& phys = seg->as->phys();
   for (const auto& run : runs.value()) {
     phys.read(mem::frame_base(run.pfn) + run.offset,
-              std::span<std::byte>(data.data() + off, run.chunk));
+              w.subspan(off, run.chunk));
     off += run.chunk;
   }
-  co_await send_fragments(p.src, net::Buffer::take(std::move(data)), reply,
+  co_await send_fragments(p.src, std::move(data), reply,
                           /*charge_dma=*/true);
 }
 
@@ -364,20 +365,20 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
   const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
   const RxKey key{p.src, p.msg_id};
   auto& buf = gm_rx_[key];
-  if (buf.size() != p.msg_total) buf.resize(p.msg_total);
+  if (buf.size() != p.msg_total) buf = net::Buffer::alloc(p.msg_total);
   if (!p.payload.empty()) {
     // Each fragment is DMA'd towards host memory as it arrives, so the
     // bulk transfer overlaps with reception of later fragments.
     co_await dma_transfer(p.payload.size());
     const auto v = p.payload.view();
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
-    std::copy(v.begin(), v.end(), buf.begin() + off);
+    std::copy(v.begin(), v.end(), buf.mutable_view().begin() + off);
   }
   auto& got = gm_rx_received_[key];
   got += 1;
   if (got != p.frag_count) co_return;
 
-  std::vector<std::byte> data = std::move(buf);
+  net::Buffer data = std::move(buf);
   gm_rx_.erase(key);
   gm_rx_received_.erase(key);
 
@@ -401,11 +402,12 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
     co_return;
   }
   ++ordma_served_;
+  const auto dv = data.view();
   Bytes off = 0;
   auto& phys = seg->as->phys();
   for (const auto& run : runs.value()) {
     phys.write(mem::frame_base(run.pfn) + run.offset,
-               std::span<const std::byte>(data.data() + off, run.chunk));
+               dv.subspan(off, run.chunk));
     off += run.chunk;
   }
   send_ctrl_packet(p.src, reply);
@@ -421,18 +423,19 @@ sim::Task<void> Nic::handle_get_reply(net::Packet p) {
     op.done.set(Result<net::Buffer>(ctrl.fault));
     co_return;
   }
-  if (op.reassembly.size() != p.msg_total) op.reassembly.resize(p.msg_total);
+  if (op.reassembly.size() != p.msg_total) {
+    op.reassembly = net::Buffer::alloc(p.msg_total);
+  }
   if (!p.payload.empty()) {
     // Fragments are DMA'd into the initiator's buffer as they arrive.
     co_await dma_transfer(p.payload.size());
     const auto v = p.payload.view();
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
-    std::copy(v.begin(), v.end(), op.reassembly.begin() + off);
+    std::copy(v.begin(), v.end(), op.reassembly.mutable_view().begin() + off);
   }
   op.received += 1;
   if (op.received == p.frag_count) {
-    op.done.set(Result<net::Buffer>(
-        net::Buffer::take(std::move(op.reassembly))));
+    op.done.set(Result<net::Buffer>(std::move(op.reassembly)));
   }
 }
 
@@ -557,7 +560,7 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
   const RxKey key{p.src, p.msg_id};
   auto& r = eth_rx_[key];
   if (r.bytes.size() != p.msg_total) {
-    r.bytes.resize(p.msg_total);
+    r.bytes = net::Buffer::alloc(p.msg_total);
     r.rddp_xid = ctrl.rddp_xid;
     r.rddp_data_len = ctrl.rddp_data_len;
     // Header splitting is active iff a matching buffer was pre-posted.
@@ -584,7 +587,8 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
       if (head_end > frag_start) {
         const Bytes n = head_end - frag_start;
         co_await dma_transfer(n);
-        std::copy(v.begin(), v.begin() + n, r.bytes.begin() + frag_start);
+        std::copy(v.begin(), v.begin() + n,
+                  r.bytes.mutable_view().begin() + frag_start);
       }
       const Bytes body_start = std::max(frag_start, data_start);
       const Bytes body_end = std::min(frag_end, data_end);
@@ -603,11 +607,12 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
         const Bytes n = frag_end - tail_start;
         co_await dma_transfer(n);
         std::copy(v.begin() + (tail_start - frag_start), v.end(),
-                  r.bytes.begin() + tail_start);
+                  r.bytes.mutable_view().begin() + tail_start);
       }
     } else {
       co_await dma_transfer(v.size());
-      std::copy(v.begin(), v.end(), r.bytes.begin() + frag_start);
+      std::copy(v.begin(), v.end(),
+                r.bytes.mutable_view().begin() + frag_start);
     }
     r.received += v.size();
   }
@@ -620,13 +625,12 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
     d.rddp_data_len = r.rddp_active ? r.rddp_data_len : 0;
     if (r.rddp_active) {
       preposts_.erase(r.rddp_xid);
-      // Deliver only the header bytes (the payload was placed directly).
+      // Deliver only the header bytes (the payload was placed directly);
+      // a zero-copy view suffices — the rep is recycled when it drops.
       const Bytes hdr = p.msg_total - r.rddp_data_len;
-      std::vector<std::byte> header(r.bytes.begin(),
-                                    r.bytes.begin() + hdr);
-      d.data = net::Buffer::take(std::move(header));
+      d.data = r.bytes.slice(0, hdr);
     } else {
-      d.data = net::Buffer::take(std::move(r.bytes));
+      d.data = std::move(r.bytes);
     }
     eth_rx_.erase(key);
     eth_pending_.push_back(std::move(d));

@@ -154,12 +154,12 @@ class Nic {
   struct PendingOp {
     explicit PendingOp(sim::Engine& eng) : done(eng) {}
     sim::Event<Result<net::Buffer>> done;  // get: data; put: empty buffer
-    std::vector<std::byte> reassembly;
+    net::Buffer reassembly;  // pooled; filled in place as fragments arrive
     Bytes received = 0;
   };
 
   struct EthReassembly {
-    std::vector<std::byte> bytes;  // header (+payload unless RDDP-placed)
+    net::Buffer bytes;  // header (+payload unless RDDP-placed)
     Bytes received = 0;
     Bytes placed = 0;
     bool rddp_active = false;
@@ -239,7 +239,7 @@ class Nic {
                                         k.msg_id);
     }
   };
-  std::unordered_map<RxKey, std::vector<std::byte>, RxKeyHash> gm_rx_;
+  std::unordered_map<RxKey, net::Buffer, RxKeyHash> gm_rx_;
   std::unordered_map<RxKey, Bytes, RxKeyHash> gm_rx_received_;
 
   // Export

@@ -74,6 +74,8 @@ class Channel {
       ch_.waiters_.push_back(&node_);
     }
     T await_resume() {
+      // The engine recycles TimerNodes after firing; the handle must never
+      // be touched once this coroutine has been resumed.
       node_.timer = nullptr;
       if (node_.value.has_value()) {
         return std::move(*node_.value);  // handed off directly by send()

@@ -6,32 +6,46 @@ namespace ordma::sim {
 
 Engine::~Engine() {
   // Destroy still-live processes first (their awaiter destructors cancel any
-  // timers / unlink from wait queues), then drain the heap nodes.
+  // timers / unlink from wait queues — the nodes they touch stay alive until
+  // the slabs are freed below). Pending callbacks in the queues may own
+  // resources; the TimerNode destructors run when the slabs are destroyed.
   processes_.clear();
-  while (!heap_.empty()) {
-    delete heap_.top().node;
-    heap_.pop();
+}
+
+void Engine::grow_pool() {
+  auto slab = std::make_unique<TimerNode[]>(kSlabNodes);
+  for (std::size_t i = 0; i < kSlabNodes; ++i) {
+    slab[i].next = free_nodes_;
+    free_nodes_ = &slab[i];
+  }
+  slabs_.push_back(std::move(slab));
+}
+
+void Engine::grow_table() {
+  std::vector<Bucket> old = std::move(table_);
+  const std::size_t new_cap = old.empty() ? 64 : old.size() * 2;
+  table_.assign(new_cap, Bucket{kNoBucket, nullptr, nullptr});
+  table_mask_ = new_cap - 1;
+  for (const Bucket& b : old) {
+    if (b.when == kNoBucket) continue;
+    std::size_t i = bucket_hash(b.when) & table_mask_;
+    while (table_[i].when != kNoBucket) i = (i + 1) & table_mask_;
+    table_[i] = b;
   }
 }
 
-Engine::TimerNode* Engine::push(Duration after, TimerNode* node) {
-  ORDMA_CHECK(after.ns >= 0);
-  heap_.push(HeapEntry{now_ + after, next_seq_++, node});
-  return node;
-}
-
-Engine::TimerNode* Engine::schedule_coro(Duration after,
-                                         std::coroutine_handle<> h) {
-  auto* node = new TimerNode;
-  node->coro = h;
-  return push(after, node);
-}
-
-Engine::TimerNode* Engine::schedule_fn(Duration after,
-                                       std::function<void()> f) {
-  auto* node = new TimerNode;
-  node->fn = std::move(f);
-  return push(after, node);
+void Engine::grow_ring() {
+  const std::size_t old_cap = ring_.size();
+  const std::size_t new_cap = old_cap == 0 ? 1024 : old_cap * 2;
+  std::vector<TimerNode*> bigger(new_cap);
+  const std::size_t count = ring_tail_ - ring_head_;
+  for (std::size_t i = 0; i < count; ++i) {
+    bigger[i] = ring_[(ring_head_ + i) & ring_mask_];
+  }
+  ring_ = std::move(bigger);
+  ring_mask_ = new_cap - 1;
+  ring_head_ = 0;
+  ring_tail_ = count;
 }
 
 void Engine::fire(TimerNode* node) {
@@ -77,13 +91,28 @@ void Engine::reap_finished() {
 
 std::uint64_t Engine::run() {
   std::uint64_t fired = 0;
-  while (!heap_.empty()) {
-    HeapEntry e = heap_.top();
-    heap_.pop();
-    ORDMA_CHECK(e.when.ns >= now_.ns);
-    now_ = e.when;
-    fire(e.node);
-    delete e.node;
+  for (;;) {
+    TimerNode* node;
+    if (cur_head_) {
+      // Current instant's bucket: scheduled before `now` (positive delay),
+      // so these precede everything in the ring (scheduled at `now`).
+      node = cur_head_;
+      cur_head_ = node->next;
+    } else if (!ring_empty()) {
+      node = ring_pop();
+    } else if (!heap_.empty()) {
+      const std::int64_t when = heap_[0];
+      heap_pop();
+      ORDMA_CHECK(when >= now_.ns);
+      now_.ns = when;
+      cur_head_ = take_bucket(when);
+      node = cur_head_;
+      cur_head_ = node->next;
+    } else {
+      break;
+    }
+    fire(node);
+    recycle(node);
     ++fired;
     reap_finished();
   }
@@ -92,12 +121,29 @@ std::uint64_t Engine::run() {
 
 std::uint64_t Engine::run_until(SimTime until) {
   std::uint64_t fired = 0;
-  while (!heap_.empty() && heap_.top().when <= until) {
-    HeapEntry e = heap_.top();
-    heap_.pop();
-    now_ = e.when;
-    fire(e.node);
-    delete e.node;
+  // Bucket/ring entries fire at `now`, so they are in bounds iff
+  // now_ <= until (run_until may be called with `until` in the past;
+  // nothing fires then).
+  for (;;) {
+    TimerNode* node;
+    if (cur_head_ && now_ <= until) {
+      node = cur_head_;
+      cur_head_ = node->next;
+    } else if (!ring_empty() && now_ <= until) {
+      node = ring_pop();
+    } else if (!heap_.empty() && heap_[0] <= until.ns) {
+      const std::int64_t when = heap_[0];
+      heap_pop();
+      ORDMA_CHECK(when >= now_.ns);
+      now_.ns = when;
+      cur_head_ = take_bucket(when);
+      node = cur_head_;
+      cur_head_ = node->next;
+    } else {
+      break;
+    }
+    fire(node);
+    recycle(node);
     ++fired;
     reap_finished();
   }

@@ -1,9 +1,41 @@
 // Deterministic discrete-event engine.
 //
-// All simulated activity is driven by one Engine: a min-heap of timed
-// entries, each either a coroutine resumption or a plain callback. Entries
-// scheduled for the same instant fire in scheduling order (monotonic
-// sequence number), so runs are bit-reproducible.
+// All simulated activity is driven by one Engine. Scheduling is split by
+// delay into two structures that together preserve exact global (when, seq)
+// order, where seq is the order schedule_* calls were made:
+//
+//  * current-tick ring — a FIFO of entries scheduled with zero delay
+//    (yield(), channel/event/resource wake-ups: the dominant event class).
+//    Pushing and popping is O(1) with no comparisons.
+//  * future calendar — entries scheduled with a positive delay are chained
+//    FIFO into a per-timestamp bucket (open-addressing hash table keyed by
+//    absolute nanosecond), and a min-heap holds each *distinct* timestamp
+//    once. Sim workloads collide heavily on timestamps (cost constants are
+//    quantized), so the O(log n) heap sift — the dominant cost of a classic
+//    event heap, being branch-mispredict bound — amortizes over every event
+//    sharing the instant; the per-event cost is a hash probe and two pointer
+//    writes.
+//
+// Ordering guarantee: entries fire in nondecreasing time; entries for the
+// same instant fire in scheduling order. The split preserves this exactly:
+//
+//  * within one bucket, FIFO chaining is scheduling (seq) order;
+//  * a bucket entry firing at time T was scheduled strictly before T (its
+//    delay is positive), while every ring entry for T was scheduled at T —
+//    so when time advances to T the engine first drains T's bucket (older
+//    seq), then ring entries (newer seq);
+//  * no entry can join T's bucket once time has advanced to T (delays are
+//    strictly positive), so the bucket is detached whole and drained as a
+//    plain list; ring entries only ever fire at the instant they were
+//    scheduled, so the ring is empty whenever time advances.
+//
+// This is bit-identical to the original single-heap (when, seq) engine
+// (tests/engine_determinism_test.cc holds the trace hash of the seed
+// implementation).
+//
+// The hot path is allocation-free in steady state: timer nodes are
+// recycled through a slab-backed free list, and callbacks are stored
+// inline in the node (InlineFn) rather than via std::function.
 //
 // Detached top-level activities ("processes") are spawned with spawn(); the
 // engine owns their frames and destroys them when they finish or when the
@@ -14,13 +46,13 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
+#include "sim/inline_fn.h"
 #include "sim/task.h"
 
 namespace ordma::sim {
@@ -28,11 +60,19 @@ namespace ordma::sim {
 class Engine {
  public:
   // A cancellable handle to a scheduled entry. The engine owns the node; a
-  // holder may set `cancelled` any time before the node fires.
+  // holder may set `cancelled` any time before the node fires. Nodes are
+  // recycled after firing, so a handle must not be touched once its entry
+  // has fired (every awaiter in this codebase clears its handle on resume).
   struct TimerNode {
-    std::coroutine_handle<> coro{};   // resumed if set (and not cancelled)
-    std::function<void()> fn{};       // called otherwise
+    std::coroutine_handle<> coro{};  // resumed if set (and not cancelled)
+    InlineFn fn;                     // called otherwise
     bool cancelled = false;
+
+   private:
+    friend class Engine;
+    // Intrusive link: bucket-FIFO chain while queued, free-list link while
+    // recycled (the two states are disjoint).
+    TimerNode* next = nullptr;
   };
 
   Engine() = default;
@@ -43,8 +83,18 @@ class Engine {
   SimTime now() const { return now_; }
 
   // --- scheduling -----------------------------------------------------
-  TimerNode* schedule_coro(Duration after, std::coroutine_handle<> h);
-  TimerNode* schedule_fn(Duration after, std::function<void()> f);
+  TimerNode* schedule_coro(Duration after, std::coroutine_handle<> h) {
+    TimerNode* node = alloc_node();
+    node->coro = h;
+    return enqueue(after, node);
+  }
+
+  template <typename F>
+  TimerNode* schedule_fn(Duration after, F&& f) {
+    TimerNode* node = alloc_node();
+    node->fn.emplace(std::forward<F>(f));
+    return enqueue(after, node);
+  }
 
   // --- coroutine awaitables -------------------------------------------
   // co_await eng.delay(d): resume this coroutine after d of simulated time.
@@ -85,40 +135,188 @@ class Engine {
   std::size_t live_processes() const { return processes_.size(); }
 
   // --- run loop ---------------------------------------------------------
-  // Run until the heap is exhausted. Returns the number of entries fired.
+  // Run until both queues are exhausted. Returns the number of entries
+  // fired.
   std::uint64_t run();
-  // Run until the heap is exhausted or simulated time would pass `until`.
+  // Run until the queues are exhausted or simulated time would pass
+  // `until`.
   std::uint64_t run_until(SimTime until);
   std::uint64_t run_for(Duration d) { return run_until(now_ + d); }
 
-  bool idle() const { return heap_.empty(); }
+  bool idle() const {
+    return heap_.empty() && ring_empty() && cur_head_ == nullptr;
+  }
 
  private:
-  struct HeapEntry {
-    SimTime when;
-    std::uint64_t seq;
-    TimerNode* node;  // owned by the heap entry; deleted when popped
-    bool operator>(const HeapEntry& o) const {
-      if (when != o.when) return when > o.when;
-      return seq > o.seq;
+  // --- future calendar --------------------------------------------------
+  // Hand-rolled 4-ary min-heap over distinct timestamps: half the depth of
+  // a binary heap, 8-byte entries, and all four children share a cache
+  // line. Each timestamp appears exactly once; the nodes for it hang off
+  // the matching table bucket in FIFO order.
+  void heap_push(std::int64_t when) {
+    std::size_t i = heap_.size();
+    heap_.push_back(when);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) >> 2;
+      if (when >= heap_[parent]) break;
+      heap_[i] = heap_[parent];
+      i = parent;
     }
+    heap_[i] = when;
+  }
+
+  void heap_pop() {  // pre: !heap_.empty(); top is heap_[0]
+    const std::int64_t last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n > 0) {
+      std::size_t i = 0;
+      for (;;) {
+        const std::size_t c = (i << 2) + 1;
+        if (c >= n) break;
+        std::size_t m = c;
+        const std::size_t cend = c + 4 < n ? c + 4 : n;
+        for (std::size_t k = c + 1; k < cend; ++k) {
+          if (heap_[k] < heap_[m]) m = k;
+        }
+        if (heap_[m] >= last) break;
+        heap_[i] = heap_[m];
+        i = m;
+      }
+      heap_[i] = last;
+    }
+  }
+
+  // Open-addressing timestamp → bucket table (linear probing, power-of-two
+  // capacity, backward-shift deletion). Flat storage, no per-bucket
+  // allocation.
+  struct Bucket {
+    std::int64_t when;
+    TimerNode* head;
+    TimerNode* tail;
   };
+  static constexpr std::int64_t kNoBucket =
+      std::numeric_limits<std::int64_t>::min();
+  static std::size_t bucket_hash(std::int64_t when) {
+    auto x = static_cast<std::uint64_t>(when) * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(x ^ (x >> 29));
+  }
 
-  struct ProcessRecord;
+  // Append `node` to the bucket for `when`, creating it (and pushing the
+  // new distinct timestamp onto the heap) if absent.
+  void push_future(std::int64_t when, TimerNode* node) {
+    node->next = nullptr;
+    if ((table_count_ + 1) * 4 >= table_.size() * 3) grow_table();
+    std::size_t i = bucket_hash(when) & table_mask_;
+    for (;;) {
+      Bucket& b = table_[i];
+      if (b.when == when) {
+        b.tail->next = node;
+        b.tail = node;
+        return;
+      }
+      if (b.when == kNoBucket) {
+        b = Bucket{when, node, node};
+        ++table_count_;
+        heap_push(when);
+        return;
+      }
+      i = (i + 1) & table_mask_;
+    }
+  }
 
-  TimerNode* push(Duration after, TimerNode* node);
+  // Detach and return the FIFO chain for `when`, erasing its bucket.
+  TimerNode* take_bucket(std::int64_t when) {
+    std::size_t i = bucket_hash(when) & table_mask_;
+    while (table_[i].when != when) i = (i + 1) & table_mask_;
+    TimerNode* head = table_[i].head;
+    // Backward-shift deletion keeps probe chains contiguous without
+    // tombstones: slide each follower home-ward while legal.
+    std::size_t j = i;
+    for (;;) {
+      j = (j + 1) & table_mask_;
+      const Bucket& bj = table_[j];
+      if (bj.when == kNoBucket) break;
+      const std::size_t home = bucket_hash(bj.when) & table_mask_;
+      if (((j - home) & table_mask_) >= ((j - i) & table_mask_)) {
+        table_[i] = bj;
+        i = j;
+      }
+    }
+    table_[i].when = kNoBucket;
+    --table_count_;
+    return head;
+  }
+  void grow_table();
+
+  // --- node pool --------------------------------------------------------
+  static constexpr std::size_t kSlabNodes = 512;
+
+  TimerNode* alloc_node() {
+    if (!free_nodes_) grow_pool();
+    TimerNode* n = free_nodes_;
+    free_nodes_ = n->next;
+    n->next = nullptr;
+    return n;
+  }
+  void recycle(TimerNode* n) {
+    n->coro = {};
+    n->fn.reset();
+    n->cancelled = false;
+    n->next = free_nodes_;
+    free_nodes_ = n;
+  }
+  void grow_pool();
+
+  // --- current-tick ring ------------------------------------------------
+  bool ring_empty() const { return ring_head_ == ring_tail_; }
+  void ring_push(TimerNode* n) {
+    if (ring_tail_ - ring_head_ == ring_.size()) grow_ring();
+    ring_[ring_tail_ & ring_mask_] = n;
+    ++ring_tail_;
+  }
+  TimerNode* ring_pop() {
+    TimerNode* n = ring_[ring_head_ & ring_mask_];
+    ++ring_head_;
+    return n;
+  }
+  void grow_ring();
+
+  TimerNode* enqueue(Duration after, TimerNode* node) {
+    ORDMA_CHECK(after.ns >= 0);
+    if (after.ns == 0) {
+      ring_push(node);
+    } else {
+      push_future(now_.ns + after.ns, node);
+    }
+    return node;
+  }
+
   void fire(TimerNode* node);
   void reap_finished();
 
   SimTime now_{};
-  std::uint64_t next_seq_ = 0;
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>
-      heap_;
+  std::vector<std::int64_t> heap_;  // distinct future timestamps
+  std::vector<Bucket> table_;       // open-addressing, power-of-two
+  std::size_t table_mask_ = 0;
+  std::size_t table_count_ = 0;
+  // Remainder of the bucket being drained at the current instant. Nothing
+  // can be appended to it (delays are strictly positive), so it lives
+  // outside the table.
+  TimerNode* cur_head_ = nullptr;
+  std::vector<TimerNode*> ring_;  // power-of-two circular buffer
+  std::size_t ring_mask_ = 0;
+  std::size_t ring_head_ = 0;  // monotonically increasing; masked on access
+  std::size_t ring_tail_ = 0;
+
+  // Slabs own every node for the engine's lifetime; fired nodes are
+  // recycled through free_nodes_ instead of delete.
+  std::vector<std::unique_ptr<TimerNode[]>> slabs_;
+  TimerNode* free_nodes_ = nullptr;
 
   // Detached process bookkeeping -----------------------------------------
-  friend struct ProcessReaper;
   struct ProcessState {
-    Task<void> task;     // owns the coroutine frame
+    Task<void> task;  // owns the coroutine frame
     bool finished = false;
   };
   std::uint64_t next_pid_ = 1;

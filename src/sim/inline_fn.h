@@ -1,0 +1,73 @@
+// Small-buffer-optimised one-shot callback for the event engine.
+//
+// std::function<void()> heap-allocates for captures beyond ~2 words and
+// drags in copy machinery the engine never uses. InlineFn stores the
+// callable inline (up to kInlineSize bytes — sized so a captured
+// net::Packet fits), falls back to the heap only for oversized captures,
+// and supports move-only callables. It is deliberately immobile: timer
+// nodes live at stable addresses in the engine's slab pool, so the
+// callback is only ever emplaced, invoked and reset in place.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "common/assert.h"
+
+namespace ordma::sim {
+
+class InlineFn {
+ public:
+  // Large enough for a lambda capturing a net::Packet (the fabric delivery
+  // path) plus a couple of pointers.
+  static constexpr std::size_t kInlineSize = 160;
+
+  InlineFn() = default;
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+  ~InlineFn() { reset(); }
+
+  template <typename F>
+  void emplace(F&& f) {
+    using Fn = std::decay_t<F>;
+    ORDMA_CHECK(invoke_ == nullptr);  // one-shot: reset before reuse
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* s) { (*std::launder(static_cast<Fn*>(s)))(); };
+      if constexpr (std::is_trivially_destructible_v<Fn>) {
+        destroy_ = nullptr;
+      } else {
+        destroy_ = [](void* s) { std::launder(static_cast<Fn*>(s))->~Fn(); };
+      }
+    } else {
+      // Oversized capture: one heap allocation, pointer stored inline.
+      auto* p = new Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(storage_)) Fn*(p);
+      invoke_ = [](void* s) { (**std::launder(static_cast<Fn**>(s)))(); };
+      destroy_ = [](void* s) { delete *std::launder(static_cast<Fn**>(s)); };
+    }
+  }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  void operator()() {
+    ORDMA_CHECK(invoke_ != nullptr);
+    invoke_(storage_);
+  }
+
+  void reset() {
+    if (destroy_) destroy_(storage_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+ private:
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace ordma::sim

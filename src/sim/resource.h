@@ -109,7 +109,6 @@ class Resource {
       if (r_.in_use_ < r_.capacity_ && r_.waiters_.empty()) {
         r_.account();
         ++r_.in_use_;
-        granted_inline_ = true;
         return true;
       }
       return false;
@@ -119,7 +118,10 @@ class Resource {
       r_.waiters_.push_back(&node_);
     }
     void await_resume() noexcept {
-      node_.timer = nullptr;  // slot already counted by release() handoff
+      // Slot already counted by release()'s handoff. Clearing the handle is
+      // mandatory: the engine recycles TimerNodes after firing, so it must
+      // never be touched once this coroutine has been resumed.
+      node_.timer = nullptr;
     }
 
    private:
@@ -130,7 +132,6 @@ class Resource {
     };
     Resource& r_;
     Node node_;
-    bool granted_inline_ = false;
   };
 
  private:

@@ -5,7 +5,9 @@
 // (via symmetric transfer) when it completes. Ownership is strict: the Task
 // object owns the frame; destroying a Task destroys a suspended child chain,
 // and every awaiter in this codebase deregisters itself on destruction, so
-// tearing down a half-finished simulation is safe.
+// tearing down a half-finished simulation is safe. Awaiters that hold an
+// Engine::TimerNode* additionally clear it on resume — the engine recycles
+// nodes after firing, so a handle is only valid while its entry is queued.
 //
 // Simulation code never throws across coroutine boundaries: protocol errors
 // are Result values, programming errors abort (see common/result.h), so
