@@ -12,6 +12,8 @@
 #include "common/rng.h"
 #include "nas/odafs/odafs_client.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -66,7 +68,9 @@ Cell run_cell(bool use_ordma) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

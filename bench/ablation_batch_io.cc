@@ -9,6 +9,8 @@
 #include "bench_util.h"
 #include "nas/dafs/dafs_client.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -72,7 +74,9 @@ Cell run_cell(std::size_t batch) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

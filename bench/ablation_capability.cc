@@ -14,6 +14,8 @@
 #include "crypto/siphash.h"
 #include "nas/odafs/odafs_client.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -90,6 +92,7 @@ BENCHMARK(BM_CapabilityMintVerify);
 }  // namespace ordma
 
 int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
   using namespace ordma;
   using namespace ordma::bench;
 

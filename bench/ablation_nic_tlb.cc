@@ -12,6 +12,8 @@
 #include "nas/odafs/odafs_client.h"
 #include "workload/streaming.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -68,7 +70,9 @@ Cell run_cell(std::size_t tlb_entries, Duration miss_cost) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

@@ -7,6 +7,8 @@
 #include "common/rng.h"
 #include "nas/odafs/odafs_client.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -61,7 +63,9 @@ double run_cell(bool use_ordma, double read_fraction) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

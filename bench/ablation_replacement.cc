@@ -12,6 +12,8 @@
 #include "common/rng.h"
 #include "nas/odafs/odafs_client.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -103,7 +105,9 @@ Cell run_cell(const std::string& ref_policy) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

@@ -18,6 +18,8 @@
 #include "sim/task.h"
 #include "workload/postmark.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -185,7 +187,9 @@ MicroResult bench_postmark() {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

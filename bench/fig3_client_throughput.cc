@@ -5,7 +5,11 @@
 // client-CPU-bound by memory copies.
 #include "fig34_common.h"
 
-int main() {
+#include "obs/cli.h"
+
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

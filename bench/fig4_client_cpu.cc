@@ -5,7 +5,11 @@
 // work is independent of block size.
 #include "fig34_common.h"
 
-int main() {
+#include "obs/cli.h"
+
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

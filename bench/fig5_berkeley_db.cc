@@ -13,6 +13,8 @@
 #include "db/join.h"
 #include "fig34_common.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -75,7 +77,9 @@ double run_cell(bench::System sys, Bytes copy_per_record) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

@@ -10,6 +10,8 @@
 #include "nas/odafs/odafs_client.h"
 #include "workload/postmark.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -73,7 +75,9 @@ Cell run_cell(bool use_ordma, double target_hit_ratio) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

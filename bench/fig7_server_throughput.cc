@@ -12,6 +12,8 @@
 #include "nas/odafs/odafs_client.h"
 #include "workload/streaming.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -92,7 +94,9 @@ Cell run_cell(bool use_ordma, Bytes cache_block, msg::Completion server_mode) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

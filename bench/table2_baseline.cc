@@ -16,6 +16,8 @@
 #include "net/fabric.h"
 #include "nic/nic.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -156,7 +158,9 @@ double udp_bw_MBps() {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   bench::Table t("Table 2: baseline network performance (paper vs measured)",
                  {"protocol", "RTT paper (us)", "RTT measured", "Δ",

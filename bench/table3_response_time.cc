@@ -16,6 +16,8 @@
 #include "bench_util.h"
 #include "nas/odafs/odafs_client.h"
 
+#include "obs/cli.h"
+
 namespace ordma {
 namespace {
 
@@ -118,7 +120,9 @@ double cached_latency_us(bool use_ordma, bool inline_rpc) {
 }  // namespace
 }  // namespace ordma
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   using namespace ordma;
   using namespace ordma::bench;
 

@@ -11,9 +11,12 @@
 #include "db/database.h"
 #include "db/join.h"
 
+#include "obs/cli.h"
+
 using namespace ordma;
 
 int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
   const std::uint64_t records =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
   const Bytes record_size =

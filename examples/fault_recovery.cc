@@ -9,9 +9,13 @@
 
 #include "core/cluster.h"
 
+#include "obs/cli.h"
+
 using namespace ordma;
 
-int main() {
+int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
+
   core::ClusterConfig cfg;
   cfg.fs.block_size = KiB(4);
   cfg.fs.cache_blocks = 48;  // tiny server cache → heavy churn

@@ -11,6 +11,8 @@
 #include "core/cluster.h"
 #include "workload/postmark.h"
 
+#include "obs/cli.h"
+
 using namespace ordma;
 
 namespace {
@@ -70,6 +72,7 @@ void print(const char* name, const wl::PostMarkResult& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
   const std::uint64_t txns =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
   std::printf("PostMark (full benchmark, %llu transactions)\n\n",

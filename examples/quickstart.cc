@@ -4,9 +4,14 @@
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
+//
+// Pass --trace=quickstart.json to record a Chrome trace of every span the
+// I/O below touches (open in https://ui.perfetto.dev), and
+// --metrics=metrics.json for a counter/gauge snapshot of the whole cluster.
 #include <cstdio>
 
 #include "core/cluster.h"
+#include "obs/cli.h"
 
 using namespace ordma;
 
@@ -71,13 +76,16 @@ sim::Task<void> run(core::Cluster& c, nas::odafs::OdafsClient& client,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  obs::ObsSession obs_session(argc, argv);
+
   // A cluster: one server (file system + DAFS/ODAFS service), one client
   // host, a 2 Gb/s fabric — all simulated, all deterministic.
   core::ClusterConfig cfg;
   cfg.fs.block_size = KiB(4);
   core::Cluster cluster(cfg);
   cluster.start_dafs({.piggyback_refs = true});  // ODAFS mode
+  if (obs_session.metrics()) cluster.export_metrics(*obs_session.registry());
 
   nas::odafs::OdafsClientConfig cc;
   cc.cache.block_size = KiB(4);
@@ -93,5 +101,7 @@ int main() {
 
   std::printf("\nsimulated time elapsed: %.1f us\n",
               cluster.engine().now().to_us());
+  // Flush while the cluster (whose components back the gauges) is alive.
+  obs_session.flush();
   return 0;
 }

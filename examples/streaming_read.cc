@@ -12,9 +12,12 @@
 #include "core/cluster.h"
 #include "workload/streaming.h"
 
+#include "obs/cli.h"
+
 using namespace ordma;
 
 int main(int argc, char** argv) {
+  ordma::obs::ObsSession obs_session(argc, argv);
   const std::string proto = argc > 1 ? argv[1] : "dafs";
   const Bytes block = KiB(argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 64);
   const Bytes file_size = MiB(32);

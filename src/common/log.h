@@ -1,5 +1,10 @@
 // Tiny leveled logger. Off by default; enabled per-run for debugging.
 // Protocol tracing goes through this so benches stay quiet and fast.
+//
+// When a simulation clock is installed (the Engine installs itself on
+// construction), every line is prefixed with the *simulated* time in
+// microseconds in addition to the component tag, so ORDMA_LOG_TRACE output
+// lines up with trace spans (obs/trace.h) recorded at the same instants.
 #pragma once
 
 #include <cstdarg>
@@ -16,15 +21,46 @@ class Log {
     return lvl;
   }
 
+  // Simulation clock hook: returns current simulated nanoseconds. Kept as a
+  // plain function pointer + context so this header stays free of sim/
+  // dependencies (sim::Engine installs itself; last constructed wins).
+  using ClockFn = long long (*)(const void* ctx);
+  static void set_clock(ClockFn fn, const void* ctx) {
+    clock_fn() = fn;
+    clock_ctx() = ctx;
+  }
+  static void clear_clock(const void* ctx) {
+    if (clock_ctx() == ctx) {
+      clock_fn() = nullptr;
+      clock_ctx() = nullptr;
+    }
+  }
+
   static void write(LogLevel lvl, const char* tag, const char* fmt, ...)
       __attribute__((format(printf, 3, 4))) {
     if (lvl > level()) return;
-    std::fprintf(stderr, "[%s] ", tag);
+    if (ClockFn fn = clock_fn()) {
+      const long long ns = fn(clock_ctx());
+      std::fprintf(stderr, "[%6lld.%03lldus] [%s] ", ns / 1000,
+                   ns % 1000, tag);
+    } else {
+      std::fprintf(stderr, "[%s] ", tag);
+    }
     va_list ap;
     va_start(ap, fmt);
     std::vfprintf(stderr, fmt, ap);
     va_end(ap);
     std::fputc('\n', stderr);
+  }
+
+ private:
+  static ClockFn& clock_fn() {
+    static ClockFn fn = nullptr;
+    return fn;
+  }
+  static const void*& clock_ctx() {
+    static const void* ctx = nullptr;
+    return ctx;
   }
 };
 

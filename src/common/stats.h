@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -63,14 +64,19 @@ class Samples {
   double max() const { return stats_.max(); }
   double stddev() const { return stats_.stddev(); }
 
-  // q in [0, 1]; nearest-rank.
+  // q in [0, 1]; nearest-rank convention: the result is the smallest sample
+  // x such that at least ceil(q * N) samples are <= x (rank clamped to
+  // [1, N], so percentile(0) is the minimum and percentile(1) the maximum).
+  // Every returned value is an actual sample — no interpolation.
+  // Regression-pinned by tests/stats_test.cc.
   double percentile(double q) {
     ORDMA_CHECK(q >= 0.0 && q <= 1.0);
     if (xs_.empty()) return 0.0;
     sort();
-    const auto idx = static_cast<std::size_t>(
-        q * static_cast<double>(xs_.size() - 1) + 0.5);
-    return xs_[std::min(idx, xs_.size() - 1)];
+    const auto n = static_cast<double>(xs_.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), xs_.size());
+    return xs_[rank - 1];
   }
   double median() { return percentile(0.5); }
 
@@ -87,6 +93,12 @@ class Samples {
 };
 
 // Log-scaled latency histogram (power-of-two microsecond buckets).
+//
+// Bucket convention (regression-pinned by tests/stats_test.cc): bucket 0
+// holds [0, 1) us; bucket b in [1, kBuckets-2] holds [2^(b-1), 2^b) us —
+// lower edge inclusive, upper edge exclusive; the last bucket is the
+// overflow [2^(kBuckets-2), inf). upper_edge_us(b) returns the exclusive
+// upper edge of bucket b.
 class LatencyHistogram {
  public:
   void add(Duration d) {
@@ -104,6 +116,13 @@ class LatencyHistogram {
   std::uint64_t count() const { return stats_.count(); }
   double mean_us() const { return stats_.mean(); }
   double max_us() const { return stats_.max(); }
+
+  static constexpr std::size_t bucket_count() { return kBuckets; }
+  std::uint64_t bucket_value(std::size_t b) const { return buckets_[b]; }
+  static double upper_edge_us(std::size_t b) {
+    if (b + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+    return std::ldexp(1.0, static_cast<int>(b));  // 2^b
+  }
 
   std::string to_string() const;
 

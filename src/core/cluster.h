@@ -19,6 +19,7 @@
 #include "nas/odafs/odafs_client.h"
 #include "net/fabric.h"
 #include "nic/nic.h"
+#include "obs/metrics.h"
 #include "sim/engine.h"
 
 namespace ordma::core {
@@ -110,6 +111,50 @@ class Cluster {
       unsigned i, nas::odafs::OdafsClientConfig cfg = {}) {
     return std::make_unique<nas::odafs::OdafsClient>(*client_hosts_[i],
                                                      server_node(), cfg);
+  }
+
+  // Register pull-gauges for every component's counters under
+  // "<host>/<component>/<stat>" paths. Sampled when the registry writes its
+  // snapshot, so this costs nothing during the run itself.
+  void export_metrics(obs::MetricsRegistry& reg) {
+    auto host_gauges = [&reg](host::Host& h, nic::Nic& n) {
+      const std::string p = h.name();
+      reg.gauge(p + "/cpu/busy_us",
+                [&h] { return h.cpu().busy_time().ns / 1e3; });
+      reg.gauge(p + "/nic/fw_busy_us",
+                [&n] { return n.fw_busy().ns / 1e3; });
+      reg.gauge(p + "/nic/ordma_served",
+                [&n] { return static_cast<double>(n.ordma_served()); });
+      reg.gauge(p + "/nic/ordma_faults",
+                [&n] { return static_cast<double>(n.ordma_faults()); });
+    };
+    host_gauges(*server_host_, *server_nic_);
+    for (std::size_t i = 0; i < client_hosts_.size(); ++i) {
+      host_gauges(*client_hosts_[i], *client_nics_[i]);
+    }
+    fs::ServerFs& sfs = *server_fs_;
+    reg.gauge("server/cache/hits", [&sfs] {
+      return static_cast<double>(sfs.cache().hits());
+    });
+    reg.gauge("server/cache/misses", [&sfs] {
+      return static_cast<double>(sfs.cache().misses());
+    });
+    reg.gauge("server/disk/reads", [&sfs] {
+      return static_cast<double>(sfs.disk().reads());
+    });
+    reg.gauge("server/disk/writes", [&sfs] {
+      return static_cast<double>(sfs.disk().writes());
+    });
+    net::Fabric& fab = fabric_;
+    for (net::NodeId id = 0; id < fab.num_nodes(); ++id) {
+      const std::string p = "net/" + std::to_string(id);
+      reg.gauge(p + "/up_bytes", [&fab, id] {
+        return static_cast<double>(fab.uplink(id).bytes_delivered());
+      });
+      reg.gauge(p + "/down_bytes", [&fab, id] {
+        return static_cast<double>(fab.downlink(id).bytes_delivered());
+      });
+    }
   }
 
   // --- experiment helpers ---------------------------------------------------

@@ -23,7 +23,7 @@ CacheBlock* BufferCache::peek(CacheKey key) {
   return it == map_.end() ? nullptr : it->second;
 }
 
-sim::Task<Result<CacheBlock*>> BufferCache::evict_one() {
+sim::Task<Result<CacheBlock*>> BufferCache::evict_one(obs::OpId trace_op) {
   // First unpinned block from the LRU end.
   CacheBlock* victim = nullptr;
   lru_.for_each([&](CacheBlock* cand) {
@@ -43,7 +43,7 @@ sim::Task<Result<CacheBlock*>> BufferCache::evict_one() {
   if (victim->dirty) {
     std::vector<std::byte> data(block_size_);
     ORDMA_CHECK(host_.kernel_as().read(victim->va, data).ok());
-    auto st = co_await disk_.write(victim->disk_block, data);
+    auto st = co_await disk_.write(victim->disk_block, data, trace_op);
     if (!st.ok()) co_return st;
     victim->dirty = false;
   }
@@ -52,7 +52,8 @@ sim::Task<Result<CacheBlock*>> BufferCache::evict_one() {
 
 sim::Task<Result<CacheBlock*>> BufferCache::get(CacheKey key,
                                                 BlockNo disk_block,
-                                                bool zero_fill) {
+                                                bool zero_fill,
+                                                obs::OpId trace_op) {
   if (auto* b = peek(key)) {
     ++hits_;
     lru_.touch(b);
@@ -62,7 +63,7 @@ sim::Task<Result<CacheBlock*>> BufferCache::get(CacheKey key,
 
   CacheBlock* b = free_.pop_front();
   if (!b) {
-    auto evicted = co_await evict_one();
+    auto evicted = co_await evict_one(trace_op);
     if (!evicted.ok()) co_return evicted.status();
     b = evicted.value();
   }
@@ -76,7 +77,7 @@ sim::Task<Result<CacheBlock*>> BufferCache::get(CacheKey key,
     ORDMA_CHECK(host_.kernel_as().write(b->va, zeros).ok());
   } else {
     std::vector<std::byte> data(block_size_);
-    auto st = co_await disk_.read(disk_block, data);
+    auto st = co_await disk_.read(disk_block, data, trace_op);
     if (!st.ok()) {
       free_.push_back(b);
       co_return st;

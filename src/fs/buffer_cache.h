@@ -70,8 +70,9 @@ class BufferCache {
   // miss (the fs layer resolves file→disk mapping). If `zero_fill`, a miss
   // materialises a zeroed block without touching the disk (fresh writes).
   // The returned pointer stays valid while the caller holds `pin`.
+  // `trace_op` charges any miss-path disk I/O to a file op (obs/trace.h).
   sim::Task<Result<CacheBlock*>> get(CacheKey key, BlockNo disk_block,
-                                     bool zero_fill);
+                                     bool zero_fill, obs::OpId trace_op = 0);
 
   // Pin/unpin across await points.
   static void pin(CacheBlock& b) { ++b.pin; }
@@ -99,7 +100,7 @@ class BufferCache {
   mem::AddressSpace& space() { return host_.kernel_as(); }
 
  private:
-  sim::Task<Result<CacheBlock*>> evict_one();
+  sim::Task<Result<CacheBlock*>> evict_one(obs::OpId trace_op);
 
   host::Host& host_;
   Disk& disk_;

@@ -4,21 +4,25 @@
 
 namespace ordma::fs {
 
-sim::Task<void> Disk::access(BlockNo b) {
+sim::Task<void> Disk::access(BlockNo b, obs::OpId trace_op) {
   co_await arm_.acquire();
   sim::Resource::ReleaseGuard guard(arm_);
   const auto& cm = host_.costs();
   Duration cost = cm.disk_bw.time_for(block_size_);
   if (b != next_sequential_) cost += cm.disk_seek;
   next_sequential_ = b + 1;
+  const SimTime begin = host_.engine().now();
   co_await host_.engine().delay(cost);
+  obs::span(arm_.trace_track(), trace_op, "disk/io", begin,
+            host_.engine().now());
 }
 
-sim::Task<Status> Disk::read(BlockNo b, std::span<std::byte> out) {
+sim::Task<Status> Disk::read(BlockNo b, std::span<std::byte> out,
+                             obs::OpId trace_op) {
   if (b >= num_blocks_ || out.size() > block_size_) {
     co_return Status(Errc::invalid_argument);
   }
-  co_await access(b);
+  co_await access(b, trace_op);
   ++reads_;
   if (inject_failures_ > 0) {
     --inject_failures_;
@@ -33,11 +37,12 @@ sim::Task<Status> Disk::read(BlockNo b, std::span<std::byte> out) {
   co_return Status::Ok();
 }
 
-sim::Task<Status> Disk::write(BlockNo b, std::span<const std::byte> data) {
+sim::Task<Status> Disk::write(BlockNo b, std::span<const std::byte> data,
+                              obs::OpId trace_op) {
   if (b >= num_blocks_ || data.size() > block_size_) {
     co_return Status(Errc::invalid_argument);
   }
-  co_await access(b);
+  co_await access(b, trace_op);
   ++writes_;
   if (inject_failures_ > 0) {
     --inject_failures_;

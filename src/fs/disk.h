@@ -32,8 +32,12 @@ class Disk {
   Bytes block_size() const { return block_size_; }
   BlockNo num_blocks() const { return num_blocks_; }
 
-  sim::Task<Status> read(BlockNo b, std::span<std::byte> out);
-  sim::Task<Status> write(BlockNo b, std::span<const std::byte> data);
+  // `trace_op` ties the arm hold's "disk/io" span to a file op
+  // (obs/trace.h; 0 = untraced).
+  sim::Task<Status> read(BlockNo b, std::span<std::byte> out,
+                         obs::OpId trace_op = 0);
+  sim::Task<Status> write(BlockNo b, std::span<const std::byte> data,
+                          obs::OpId trace_op = 0);
 
   std::uint64_t reads() const { return reads_; }
   std::uint64_t writes() const { return writes_; }
@@ -45,7 +49,7 @@ class Disk {
   std::uint64_t injected_remaining() const { return inject_failures_; }
 
  private:
-  sim::Task<void> access(BlockNo b);
+  sim::Task<void> access(BlockNo b, obs::OpId trace_op);
 
   host::Host& host_;
   Bytes block_size_;

@@ -196,7 +196,8 @@ Result<Attr> ServerFs::getattr(Ino ino) const {
 
 sim::Task<Result<CacheBlock*>> ServerFs::get_cache_block(Ino ino,
                                                          std::uint64_t fbn,
-                                                         bool for_write) {
+                                                         bool for_write,
+                                                         obs::OpId trace_op) {
   Inode* node = inode(ino);
   if (!node) co_return Errc::stale;
   const bool fresh = fbn >= node->blocks.size();
@@ -209,11 +210,12 @@ sim::Task<Result<CacheBlock*>> ServerFs::get_cache_block(Ino ino,
     }
   }
   co_return co_await cache_.get(CacheKey{ino, fbn}, node->blocks[fbn],
-                                /*zero_fill=*/fresh);
+                                /*zero_fill=*/fresh, trace_op);
 }
 
 sim::Task<Result<Bytes>> ServerFs::read(Ino ino, Bytes off,
-                                        std::span<std::byte> out) {
+                                        std::span<std::byte> out,
+                                        obs::OpId trace_op) {
   Inode* node = inode(ino);
   if (!node) co_return Errc::stale;
   if (off >= node->attr.size) co_return Bytes{0};
@@ -225,7 +227,8 @@ sim::Task<Result<Bytes>> ServerFs::read(Ino ino, Bytes off,
     const std::uint64_t fbn = pos / cfg_.block_size;
     const Bytes boff = pos % cfg_.block_size;
     const Bytes chunk = std::min<Bytes>(len - done, cfg_.block_size - boff);
-    auto blk = co_await get_cache_block(ino, fbn, /*for_write=*/false);
+    auto blk = co_await get_cache_block(ino, fbn, /*for_write=*/false,
+                                        trace_op);
     if (!blk.ok()) co_return blk.status();
     CacheBlock* b = blk.value();
     BufferCache::pin(*b);
@@ -239,7 +242,8 @@ sim::Task<Result<Bytes>> ServerFs::read(Ino ino, Bytes off,
 }
 
 sim::Task<Result<Bytes>> ServerFs::write(Ino ino, Bytes off,
-                                         std::span<const std::byte> data) {
+                                         std::span<const std::byte> data,
+                                         obs::OpId trace_op) {
   Inode* node = inode(ino);
   if (!node) co_return Errc::stale;
   if (node->attr.type != FileType::regular) co_return Errc::invalid_argument;
@@ -251,7 +255,8 @@ sim::Task<Result<Bytes>> ServerFs::write(Ino ino, Bytes off,
     const Bytes boff = pos % cfg_.block_size;
     const Bytes chunk =
         std::min<Bytes>(data.size() - done, cfg_.block_size - boff);
-    auto blk = co_await get_cache_block(ino, fbn, /*for_write=*/true);
+    auto blk = co_await get_cache_block(ino, fbn, /*for_write=*/true,
+                                        trace_op);
     if (!blk.ok()) co_return blk.status();
     CacheBlock* b = blk.value();
     BufferCache::pin(*b);

@@ -58,11 +58,14 @@ class ServerFs {
   Result<Attr> getattr(Ino ino) const;
 
   // --- data ------------------------------------------------------------------
+  // `trace_op` charges miss-path disk I/O to a file op (obs/trace.h).
   // Read up to len bytes at off into out; returns bytes read (short at EOF).
-  sim::Task<Result<Bytes>> read(Ino ino, Bytes off, std::span<std::byte> out);
+  sim::Task<Result<Bytes>> read(Ino ino, Bytes off, std::span<std::byte> out,
+                                obs::OpId trace_op = 0);
   // Write (extends the file as needed).
   sim::Task<Result<Bytes>> write(Ino ino, Bytes off,
-                                 std::span<const std::byte> data);
+                                 std::span<const std::byte> data,
+                                 obs::OpId trace_op = 0);
   sim::Task<Status> truncate(Ino ino, Bytes new_size);
 
   // Fault a file's blocks into the cache (warm-cache experiment setup).
@@ -71,7 +74,8 @@ class ServerFs {
   // Resolve (ino, file block) → cache block, loading from disk if needed.
   // Exposed for the DAFS server, which exports cache blocks directly.
   sim::Task<Result<CacheBlock*>> get_cache_block(Ino ino, std::uint64_t fbn,
-                                                 bool for_write);
+                                                 bool for_write,
+                                                 obs::OpId trace_op = 0);
 
   // --- attribute store -------------------------------------------------------
   // Marshalled per-inode attribute records in kernel memory, kept in sync

@@ -20,7 +20,10 @@ Host::~Host() = default;
 void Host::post_interrupt(std::function<sim::Task<void>()> handler) {
   eng_.spawn([](Host& h, std::function<sim::Task<void>()> handler)
                  -> sim::Task<void> {
-    co_await h.cpu_consume(h.costs().cpu_interrupt);
+    // Ambient (op-0) span: interrupts are coalesced across datagrams, so
+    // no single file op owns the entry cost; the attributor charges it to
+    // whichever op's envelope it falls inside.
+    co_await h.cpu_consume(h.costs().cpu_interrupt, 0, "pkt/interrupt");
     co_await handler();
   }(*this, std::move(handler)));
 }

@@ -12,6 +12,7 @@
 #include "host/cost_model.h"
 #include "mem/address_space.h"
 #include "mem/physical_memory.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
 #include "sim/task.h"
@@ -52,8 +53,17 @@ class Host {
 
   // --- CPU charging helpers ----------------------------------------------
   sim::Task<void> cpu_consume(Duration d) { return cpu_.consume(d); }
+  // Traced variant: records a span labelled `label` over the hold,
+  // attributed to file op `op` (see obs/trace.h; no-op when tracing is
+  // disabled).
+  sim::Task<void> cpu_consume(Duration d, obs::OpId op, const char* label) {
+    return cpu_.consume(d, op, label);
+  }
   // Charge a memory copy of n bytes to this CPU.
   sim::Task<void> copy(Bytes n) { return cpu_.consume(cm_.copy_cost(n)); }
+  sim::Task<void> copy(Bytes n, obs::OpId op) {
+    return cpu_.consume(cm_.copy_cost(n), op, "byte/copy");
+  }
 
   // Deliver an interrupt: the handler runs on this CPU after the interrupt
   // entry cost. Handlers that do more work charge it themselves.

@@ -1,5 +1,6 @@
 #include "msg/udp.h"
 
+#include <array>
 #include <cstring>
 
 namespace ordma::msg {
@@ -38,19 +39,29 @@ sim::Task<void> UdpStack::Socket::send_to(net::NodeId dst,
                                           std::uint32_t rddp_xid,
                                           Bytes rddp_data_offset,
                                           Bytes rddp_data_len,
-                                          bool gather_send) {
+                                          bool gather_send,
+                                          obs::OpId trace_op) {
   auto& host = stack_.host_;
   const auto& cm = host.costs();
 
   // Kernel entry + UDP/IP output processing, plus the fragmentation loop for
   // datagrams beyond one MTU (first fragment's cost is in udp_tx_dgram),
   // plus the user→kernel copy unless the NIC gathers from pinned pages.
+  // One CPU hold split into labelled parts for attribution; total duration
+  // is identical whether tracing is on or off.
   const Bytes total = kUdpHeader + payload.size();
   const auto nfrags = (total + cm.eth_mtu - 1) / cm.eth_mtu;
-  Duration cost = cm.cpu_syscall + cm.udp_tx_dgram;
-  if (nfrags > 1) cost += cm.udp_tx_frag * static_cast<std::int64_t>(nfrags - 1);
-  if (!gather_send) cost += cm.copy_cost(payload.size());
-  co_await host.cpu_consume(cost);
+  Duration stack_cost = cm.udp_tx_dgram;
+  if (nfrags > 1)
+    stack_cost += cm.udp_tx_frag * static_cast<std::int64_t>(nfrags - 1);
+  const Duration copy_cost =
+      gather_send ? Duration{} : cm.copy_cost(payload.size());
+  co_await host.cpu().consume_parts(
+      trace_op, std::array<sim::Resource::Part, 3>{{
+                    {cm.cpu_syscall, "io/syscall"},
+                    {stack_cost, "pkt/udp_tx"},
+                    {copy_cost, "byte/copy"},
+                }});
 
   // Real UDP header in front of the payload (pooled buffer, filled in
   // place — no per-datagram heap allocation in steady state).
@@ -65,7 +76,8 @@ sim::Task<void> UdpStack::Socket::send_to(net::NodeId dst,
   // Hand to the NIC; wire serialisation proceeds without the host CPU.
   host.engine().spawn(stack_.nic_.eth_send(
       dst, std::move(dgram), rddp_xid,
-      rddp_xid ? kUdpHeader + rddp_data_offset : 0, rddp_data_len));
+      rddp_xid ? kUdpHeader + rddp_data_offset : 0, rddp_data_len,
+      trace_op));
 }
 
 sim::Task<void> UdpStack::on_datagram(nic::Nic::EthDatagram d) {
@@ -74,8 +86,9 @@ sim::Task<void> UdpStack::on_datagram(nic::Nic::EthDatagram d) {
   // datagram-level socket delivery.
   const Bytes total = d.data.size() + d.rddp_data_len;
   const auto nfrags = (total + cm.eth_mtu - 1) / cm.eth_mtu;
-  co_await host_.cpu_consume(cm.udp_rx_frag * static_cast<std::int64_t>(nfrags) +
-                             cm.udp_rx_dgram);
+  co_await host_.cpu_consume(
+      cm.udp_rx_frag * static_cast<std::int64_t>(nfrags) + cm.udp_rx_dgram,
+      d.trace_op, "pkt/udp_rx");
 
   const auto v = d.data.view();
   if (v.size() < kUdpHeader) co_return;  // malformed; drop
@@ -91,6 +104,7 @@ sim::Task<void> UdpStack::on_datagram(nic::Nic::EthDatagram d) {
   out.data = d.data.slice(kUdpHeader, d.data.size() - kUdpHeader);
   out.rddp_placed = d.rddp_placed;
   out.rddp_data_len = d.rddp_data_len;
+  out.trace_op = d.trace_op;
   it->second->rx_.send(std::move(out));
 }
 

@@ -27,6 +27,7 @@ struct UdpDatagram {
   net::Buffer data;          // payload after the UDP header
   bool rddp_placed = false;  // payload bulk was placed by the NIC
   Bytes rddp_data_len = 0;
+  obs::OpId trace_op = 0;  // file-op trace context from the sender
 };
 
 class UdpStack {
@@ -51,7 +52,8 @@ class UdpStack {
                             net::Buffer payload, std::uint32_t rddp_xid = 0,
                             Bytes rddp_data_offset = 0,
                             Bytes rddp_data_len = 0,
-                            bool gather_send = false);
+                            bool gather_send = false,
+                            obs::OpId trace_op = 0);
 
     sim::Task<UdpDatagram> recv() {
       co_return co_await rx_.recv();

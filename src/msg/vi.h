@@ -37,40 +37,50 @@ class ViConnection {
   Completion mode() const { return mode_; }
   void set_mode(Completion m) { mode_ = m; }
 
-  // Post a message to the peer's receive queue.
-  sim::Task<void> send(net::Buffer msg) {
-    return nic_.gm_send(peer_node_, peer_port_, 0, std::move(msg));
+  // Post a message to the peer's receive queue. `trace_op` rides on the GM
+  // message as trace context (obs/trace.h).
+  sim::Task<void> send(net::Buffer msg, obs::OpId trace_op = 0) {
+    return nic_.gm_send(peer_node_, peer_port_, 0, std::move(msg), trace_op);
   }
 
-  // Take the next message; charges the completion-pickup cost.
-  sim::Task<net::Buffer> recv() {
+  // Take the next message (with its trace context); charges the
+  // completion-pickup cost against the message's file op.
+  sim::Task<nic::Nic::GmMessage> recv_msg() {
     auto msg = co_await rx_.recv();
-    co_await charge_pickup();
+    co_await charge_pickup(msg.trace_op);
+    co_return msg;
+  }
+  sim::Task<net::Buffer> recv() {
+    auto msg = co_await recv_msg();
     co_return std::move(msg.data);
   }
 
   // RDMA through the connection (target side never sees an event — §2.1:
   // "Only the RDMA initiator receives notification of completed events").
   sim::Task<Result<net::Buffer>> rdma_read(mem::Vaddr va, Bytes len,
-                                           const crypto::Capability& cap) {
-    auto res = co_await nic_.gm_get(peer_node_, va, len, cap);
-    co_await charge_pickup();
+                                           const crypto::Capability& cap,
+                                           obs::OpId trace_op = 0) {
+    auto res = co_await nic_.gm_get(peer_node_, va, len, cap, trace_op);
+    co_await charge_pickup(trace_op);
     co_return res;
   }
   sim::Task<Status> rdma_write(mem::Vaddr va, net::Buffer data,
-                               const crypto::Capability& cap) {
-    auto st = co_await nic_.gm_put(peer_node_, va, std::move(data), cap);
-    co_await charge_pickup();
+                               const crypto::Capability& cap,
+                               obs::OpId trace_op = 0) {
+    auto st = co_await nic_.gm_put(peer_node_, va, std::move(data), cap,
+                                   /*wait_ack=*/true, trace_op);
+    co_await charge_pickup(trace_op);
     co_return st;
   }
 
  private:
-  sim::Task<void> charge_pickup() {
+  sim::Task<void> charge_pickup(obs::OpId trace_op) {
     const auto& cm = host_.costs();
     if (mode_ == Completion::poll) {
-      co_await host_.cpu_consume(cm.vi_poll_pickup);
+      co_await host_.cpu_consume(cm.vi_poll_pickup, trace_op, "io/pickup");
     } else {
-      co_await host_.cpu_consume(cm.cpu_interrupt + cm.vi_block_wakeup);
+      co_await host_.cpu_consume(cm.cpu_interrupt + cm.vi_block_wakeup,
+                                 trace_op, "io/pickup");
     }
   }
 

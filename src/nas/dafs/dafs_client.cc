@@ -8,7 +8,10 @@ namespace ordma::nas::dafs {
 
 DafsClient::DafsClient(host::Host& host, net::NodeId server,
                        DafsClientConfig cfg)
-    : host_(host), server_(server), cfg_(cfg) {}
+    : host_(host),
+      server_(server),
+      cfg_(cfg),
+      trk_app_(host.name(), "app") {}
 
 sim::Task<Status> DafsClient::ensure_connected() {
   if (conn_) co_return Status::Ok();
@@ -20,7 +23,7 @@ sim::Task<Status> DafsClient::ensure_connected() {
 
 sim::Task<void> DafsClient::rx_loop() {
   for (;;) {
-    net::Buffer msg = co_await conn_->recv();
+    net::Buffer msg = co_await conn_->recv();  // pickup charged to reply's op
     rpc::XdrDecoder dec(msg);
     const std::uint32_t req_id = dec.u32();
     auto it = waiting_.find(req_id);
@@ -30,10 +33,12 @@ sim::Task<void> DafsClient::rx_loop() {
 }
 
 sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
-                                                rpc::XdrEncoder args) {
+                                                rpc::XdrEncoder args,
+                                                obs::OpId trace_op) {
   co_await ensure_connected();
   const auto& cm = host_.costs();
-  co_await host_.cpu_consume(cm.dafs_client_proc);
+  co_await host_.cpu_consume(cm.dafs_client_proc, trace_op,
+                             "io/dafs_client_proc");
 
   const std::uint32_t req_id = next_req_id_++;
   rpc::XdrEncoder msg;
@@ -44,7 +49,7 @@ sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
   auto waiter = std::make_unique<Waiter>(host_.engine());
   auto* wp = waiter.get();
   waiting_.emplace(req_id, std::move(waiter));
-  co_await conn_->send(msg.finish());
+  co_await conn_->send(msg.finish(), trace_op);
   net::Buffer reply = co_await wp->done.wait();
   waiting_.erase(req_id);
   co_return reply;
@@ -63,10 +68,11 @@ void DafsClient::decode_refs(rpc::XdrDecoder& dec, std::uint32_t count,
 // Protocol operations
 // ---------------------------------------------------------------------------
 
-sim::Task<Result<OpenInfo>> DafsClient::dafs_open(const std::string& path) {
+sim::Task<Result<OpenInfo>> DafsClient::dafs_open(const std::string& path,
+                                                  obs::OpId trace_op) {
   rpc::XdrEncoder args;
   args.str(path);
-  auto reply = co_await call(kOpen, std::move(args));
+  auto reply = co_await call(kOpen, std::move(args), trace_op);
   if (!reply.ok()) co_return reply.status();
   rpc::XdrDecoder dec(reply.value());
   const auto status = static_cast<Errc>(dec.u32());
@@ -89,10 +95,11 @@ sim::Task<Result<OpenInfo>> DafsClient::dafs_open(const std::string& path) {
   co_return info;
 }
 
-sim::Task<Status> DafsClient::dafs_close(std::uint64_t fh) {
+sim::Task<Status> DafsClient::dafs_close(std::uint64_t fh,
+                                         obs::OpId trace_op) {
   rpc::XdrEncoder args;
   args.u64(fh);
-  auto reply = co_await call(kClose, std::move(args));
+  auto reply = co_await call(kClose, std::move(args), trace_op);
   if (!reply.ok()) co_return reply.status();
   rpc::XdrDecoder dec(reply.value());
   co_return Status(static_cast<Errc>(dec.u32()));
@@ -100,12 +107,13 @@ sim::Task<Status> DafsClient::dafs_close(std::uint64_t fh) {
 
 sim::Task<Result<DafsReadResult>> DafsClient::read_inline(std::uint64_t fh,
                                                           Bytes off,
-                                                          Bytes len) {
+                                                          Bytes len,
+                                                          obs::OpId trace_op) {
   rpc::XdrEncoder args;
   args.u64(fh);
   args.u64(off);
   args.u32(static_cast<std::uint32_t>(len));
-  auto reply = co_await call(kReadInline, std::move(args));
+  auto reply = co_await call(kReadInline, std::move(args), trace_op);
   if (!reply.ok()) co_return reply.status();
   rpc::XdrDecoder dec(reply.value());
   const auto status = static_cast<Errc>(dec.u32());
@@ -123,14 +131,14 @@ sim::Task<Result<DafsReadResult>> DafsClient::read_inline(std::uint64_t fh,
 
 sim::Task<Result<DafsReadResult>> DafsClient::read_direct(
     std::uint64_t fh, Bytes off, Bytes len, mem::Vaddr nic_va,
-    const crypto::Capability& cap) {
+    const crypto::Capability& cap, obs::OpId trace_op) {
   rpc::XdrEncoder args;
   args.u64(fh);
   args.u64(off);
   args.u32(static_cast<std::uint32_t>(len));
   args.u64(nic_va);
   encode_cap(args, cap);
-  auto reply = co_await call(kReadDirect, std::move(args));
+  auto reply = co_await call(kReadDirect, std::move(args), trace_op);
   if (!reply.ok()) co_return reply.status();
   rpc::XdrDecoder dec(reply.value());
   const auto status = static_cast<Errc>(dec.u32());
@@ -144,14 +152,15 @@ sim::Task<Result<DafsReadResult>> DafsClient::read_direct(
 }
 
 sim::Task<Result<Bytes>> DafsClient::write_inline(
-    std::uint64_t fh, Bytes off, std::span<const std::byte> data) {
+    std::uint64_t fh, Bytes off, std::span<const std::byte> data,
+    obs::OpId trace_op) {
   // Inline write data is copied into the message (user → comm buffer).
-  co_await host_.copy(data.size());
+  co_await host_.copy(data.size(), trace_op);
   rpc::XdrEncoder args;
   args.u64(fh);
   args.u64(off);
   args.opaque(data);
-  auto reply = co_await call(kWriteInline, std::move(args));
+  auto reply = co_await call(kWriteInline, std::move(args), trace_op);
   if (!reply.ok()) co_return reply.status();
   rpc::XdrDecoder dec(reply.value());
   const auto status = static_cast<Errc>(dec.u32());
@@ -161,14 +170,14 @@ sim::Task<Result<Bytes>> DafsClient::write_inline(
 
 sim::Task<Result<Bytes>> DafsClient::write_direct(
     std::uint64_t fh, Bytes off, Bytes len, mem::Vaddr nic_va,
-    const crypto::Capability& cap) {
+    const crypto::Capability& cap, obs::OpId trace_op) {
   rpc::XdrEncoder args;
   args.u64(fh);
   args.u64(off);
   args.u32(static_cast<std::uint32_t>(len));
   args.u64(nic_va);
   encode_cap(args, cap);
-  auto reply = co_await call(kWriteDirect, std::move(args));
+  auto reply = co_await call(kWriteDirect, std::move(args), trace_op);
   if (!reply.ok()) co_return reply.status();
   rpc::XdrDecoder dec(reply.value());
   const auto status = static_cast<Errc>(dec.u32());
@@ -199,7 +208,7 @@ sim::Task<Result<std::vector<Bytes>>> DafsClient::read_batch(
 }
 
 sim::Task<Result<DafsClient::Registered*>> DafsClient::ensure_registered(
-    mem::Vaddr va, Bytes len) {
+    mem::Vaddr va, Bytes len, obs::OpId trace_op) {
   auto lookup = [&]() -> Registered* {
     for (auto& r : regs_) {
       if (va >= r.host_base && va + len <= r.host_base + r.len) return &r;
@@ -210,7 +219,8 @@ sim::Task<Result<DafsClient::Registered*>> DafsClient::ensure_registered(
   const mem::Vaddr base = va & ~(mem::kPageSize - 1);
   const Bytes aligned_len =
       ((va + len + mem::kPageSize - 1) & ~(mem::kPageSize - 1)) - base;
-  co_await host_.cpu_consume(host_.costs().memory_register);
+  co_await host_.cpu_consume(host_.costs().memory_register, trace_op,
+                             "io/register");
   // Re-check after the await: a concurrent caller may have registered the
   // range while this one waited for the CPU (single-flight; duplicate
   // exports would flood the NIC TLB with redundant pinned entries).
@@ -253,11 +263,21 @@ sim::Task<Status> DafsClient::close(std::uint64_t fh) {
 
 sim::Task<Result<Bytes>> DafsClient::pread(std::uint64_t fh, Bytes off,
                                            mem::Vaddr user_va, Bytes len) {
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await pread_op(fh, off, user_va, len, op);
+  obs::root(trk_app_, op, "op/pread", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<Bytes>> DafsClient::pread_op(std::uint64_t fh, Bytes off,
+                                              mem::Vaddr user_va, Bytes len,
+                                              obs::OpId op) {
   if (!cfg_.direct_reads) {
-    auto res = co_await read_inline(fh, off, len);
+    auto res = co_await read_inline(fh, off, len, op);
     if (!res.ok()) co_return res.status();
     // Copy from the communication buffer into the user buffer.
-    co_await host_.copy(res.value().n);
+    co_await host_.copy(res.value().n, op);
     if (res.value().n > 0 &&
         !host_.user_as()
              .write(user_va, res.value().inline_data.view().subspan(
@@ -267,33 +287,52 @@ sim::Task<Result<Bytes>> DafsClient::pread(std::uint64_t fh, Bytes off,
     }
     co_return res.value().n;
   }
-  auto reg = co_await ensure_registered(user_va, len);
+  auto reg = co_await ensure_registered(user_va, len, op);
   if (!reg.ok()) co_return reg.status();
   auto res = co_await read_direct(fh, off, len, reg.value()->nic_va(user_va),
-                                  reg.value()->cap);
+                                  reg.value()->cap, op);
   if (!res.ok()) co_return res.status();
   co_return res.value().n;
 }
 
 sim::Task<Result<Bytes>> DafsClient::pwrite(std::uint64_t fh, Bytes off,
                                             mem::Vaddr user_va, Bytes len) {
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await pwrite_op(fh, off, user_va, len, op);
+  obs::root(trk_app_, op, "op/pwrite", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<Bytes>> DafsClient::pwrite_op(std::uint64_t fh, Bytes off,
+                                               mem::Vaddr user_va, Bytes len,
+                                               obs::OpId op) {
   if (!cfg_.direct_reads) {
     std::vector<std::byte> data(len);
     if (!host_.user_as().read(user_va, data).ok()) {
       co_return Errc::access_fault;
     }
-    co_return co_await write_inline(fh, off, data);
+    co_return co_await write_inline(fh, off, data, op);
   }
-  auto reg = co_await ensure_registered(user_va, len);
+  auto reg = co_await ensure_registered(user_va, len, op);
   if (!reg.ok()) co_return reg.status();
   co_return co_await write_direct(fh, off, len, reg.value()->nic_va(user_va),
-                                  reg.value()->cap);
+                                  reg.value()->cap, op);
 }
 
 sim::Task<Result<fs::Attr>> DafsClient::getattr(std::uint64_t fh) {
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await getattr_op(fh, op);
+  obs::root(trk_app_, op, "op/getattr", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<fs::Attr>> DafsClient::getattr_op(std::uint64_t fh,
+                                                   obs::OpId op) {
   rpc::XdrEncoder args;
   args.u64(fh);
-  auto reply = co_await call(kGetattr, std::move(args));
+  auto reply = co_await call(kGetattr, std::move(args), op);
   if (!reply.ok()) co_return reply.status();
   rpc::XdrDecoder dec(reply.value());
   const auto status = static_cast<Errc>(dec.u32());

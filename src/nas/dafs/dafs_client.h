@@ -53,19 +53,26 @@ class DafsClient : public core::FileClient {
   DafsClient(host::Host& host, net::NodeId server, DafsClientConfig cfg = {});
 
   // --- protocol-level operations (used by OdafsClient and benches) ---------
-  sim::Task<Result<OpenInfo>> dafs_open(const std::string& path);
-  sim::Task<Status> dafs_close(std::uint64_t fh);
+  // Every operation takes an optional trace-context op id (obs/trace.h)
+  // that rides through the VI/GM transport into server-side work.
+  sim::Task<Result<OpenInfo>> dafs_open(const std::string& path,
+                                        obs::OpId trace_op = 0);
+  sim::Task<Status> dafs_close(std::uint64_t fh, obs::OpId trace_op = 0);
   sim::Task<Result<DafsReadResult>> read_inline(std::uint64_t fh, Bytes off,
-                                                Bytes len);
+                                                Bytes len,
+                                                obs::OpId trace_op = 0);
   // Data lands at `nic_va` (a registered client buffer) via RDMA write.
   sim::Task<Result<DafsReadResult>> read_direct(std::uint64_t fh, Bytes off,
                                                 Bytes len, mem::Vaddr nic_va,
-                                                const crypto::Capability& cap);
+                                                const crypto::Capability& cap,
+                                                obs::OpId trace_op = 0);
   sim::Task<Result<Bytes>> write_inline(std::uint64_t fh, Bytes off,
-                                        std::span<const std::byte> data);
+                                        std::span<const std::byte> data,
+                                        obs::OpId trace_op = 0);
   sim::Task<Result<Bytes>> write_direct(std::uint64_t fh, Bytes off,
                                         Bytes len, mem::Vaddr nic_va,
-                                        const crypto::Capability& cap);
+                                        const crypto::Capability& cap,
+                                        obs::OpId trace_op = 0);
 
   struct BatchEntry {
     std::uint64_t fh = 0;
@@ -88,7 +95,12 @@ class DafsClient : public core::FileClient {
       return cap.base + (host_va - host_base);
     }
   };
-  sim::Task<Result<Registered*>> ensure_registered(mem::Vaddr va, Bytes len);
+  sim::Task<Result<Registered*>> ensure_registered(mem::Vaddr va, Bytes len,
+                                                   obs::OpId trace_op = 0);
+
+  // getattr body with explicit trace context (no root span of its own);
+  // exposed so OdafsClient's RPC fallback stays inside the caller's op.
+  sim::Task<Result<fs::Attr>> getattr_op(std::uint64_t fh, obs::OpId op);
 
   // --- FileClient --------------------------------------------------------
   sim::Task<Result<core::OpenResult>> open(const std::string& path) override;
@@ -116,9 +128,19 @@ class DafsClient : public core::FileClient {
   // Send `args` as proc `proc` and await the matched reply body (after
   // req_id; status is the first u32 of the returned buffer).
   sim::Task<Result<net::Buffer>> call(std::uint32_t proc,
-                                      rpc::XdrEncoder args);
+                                      rpc::XdrEncoder args,
+                                      obs::OpId trace_op = 0);
   sim::Task<Status> ensure_connected();
   sim::Task<void> rx_loop();
+
+  // FileClient bodies with explicit trace context; the public overrides
+  // wrap them in a fresh op id and its root ("op/...") span.
+  sim::Task<Result<Bytes>> pread_op(std::uint64_t fh, Bytes off,
+                                    mem::Vaddr user_va, Bytes len,
+                                    obs::OpId op);
+  sim::Task<Result<Bytes>> pwrite_op(std::uint64_t fh, Bytes off,
+                                     mem::Vaddr user_va, Bytes len,
+                                     obs::OpId op);
 
   static void decode_refs(rpc::XdrDecoder& dec, std::uint32_t count,
                           DafsReadResult& out);
@@ -126,6 +148,7 @@ class DafsClient : public core::FileClient {
   host::Host& host_;
   net::NodeId server_;
   DafsClientConfig cfg_;
+  obs::Track trk_app_;  // root spans for this client's file ops
   std::unique_ptr<msg::ViConnection> conn_;
   std::uint32_t next_req_id_ = 1;
 

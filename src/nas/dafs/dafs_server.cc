@@ -1,6 +1,7 @@
 #include "nas/dafs/dafs_server.h"
 
 #include <algorithm>
+#include <array>
 #include <vector>
 
 #include "nas/wire_util.h"
@@ -43,11 +44,12 @@ sim::Task<void> DafsServer::serve_connection(
   // replies to requests by req_id.
   msg::ViConnection& c = *conn;
   for (;;) {
-    net::Buffer msg = co_await c.recv();
+    nic::Nic::GmMessage msg = co_await c.recv_msg();
     host_.engine().spawn([](DafsServer& srv, msg::ViConnection& c,
-                            net::Buffer msg) -> sim::Task<void> {
-      net::Buffer reply = co_await srv.handle(c, std::move(msg));
-      co_await c.send(std::move(reply));
+                            nic::Nic::GmMessage msg) -> sim::Task<void> {
+      const obs::OpId op = msg.trace_op;
+      net::Buffer reply = co_await srv.handle(c, std::move(msg.data), op);
+      co_await c.send(std::move(reply), op);
     }(*this, c, std::move(msg)));
   }
 }
@@ -101,7 +103,8 @@ void DafsServer::encode_attr_ref(rpc::XdrEncoder& out, fs::Ino ino) {
 
 sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
                                     rpc::XdrDecoder& dec,
-                                    rpc::XdrEncoder& out, bool direct) {
+                                    rpc::XdrEncoder& out, bool direct,
+                                    obs::OpId trace_op) {
   const fs::Ino ino = dec.u64();
   const Bytes off = dec.u64();
   const Bytes len = dec.u32();
@@ -133,7 +136,8 @@ sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
     const std::uint64_t fbn = pos / bs;
     const Bytes boff = pos % bs;
     const Bytes chunk = std::min<Bytes>(n - done, bs - boff);
-    auto blk = co_await fs_.get_cache_block(ino, fbn, /*for_write=*/false);
+    auto blk = co_await fs_.get_cache_block(ino, fbn, /*for_write=*/false,
+                                            trace_op);
     if (!blk.ok()) {
       out.u32(err_u32(blk.code()));
       co_return;
@@ -164,7 +168,7 @@ sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
       // not an extra round trip).
       auto st = co_await host_.nic().gm_put(
           conn.peer_node(), client_va, net::Buffer::take(std::move(data)),
-          client_cap, /*wait_ack=*/false);
+          client_cap, /*wait_ack=*/false, trace_op);
       ORDMA_CHECK(st.ok());
     }
   } else {
@@ -174,7 +178,8 @@ sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
 
 sim::Task<void> DafsServer::do_write(msg::ViConnection& conn,
                                      rpc::XdrDecoder& dec,
-                                     rpc::XdrEncoder& out, bool direct) {
+                                     rpc::XdrEncoder& out, bool direct,
+                                     obs::OpId trace_op) {
   const fs::Ino ino = dec.u64();
   const Bytes off = dec.u64();
 
@@ -184,8 +189,8 @@ sim::Task<void> DafsServer::do_write(msg::ViConnection& conn,
     const mem::Vaddr client_va = dec.u64();
     const crypto::Capability cap = decode_cap(dec);
     // Server-initiated RDMA read pulls the data from the client buffer.
-    auto res =
-        co_await host_.nic().gm_get(conn.peer_node(), client_va, len, cap);
+    auto res = co_await host_.nic().gm_get(conn.peer_node(), client_va, len,
+                                           cap, trace_op);
     if (!res.ok()) {
       out.u32(err_u32(res.code()));
       co_return;
@@ -196,10 +201,10 @@ sim::Task<void> DafsServer::do_write(msg::ViConnection& conn,
     const auto v = dec.opaque();
     data.assign(v.begin(), v.end());
     // Inline write data is staged through kernel buffers.
-    co_await host_.copy(data.size());
+    co_await host_.copy(data.size(), trace_op);
   }
 
-  auto n = co_await fs_.write(ino, off, data);
+  auto n = co_await fs_.write(ino, off, data, trace_op);
   if (!n.ok()) {
     out.u32(err_u32(n.code()));
     co_return;
@@ -210,7 +215,8 @@ sim::Task<void> DafsServer::do_write(msg::ViConnection& conn,
 
 sim::Task<void> DafsServer::do_read_batch(msg::ViConnection& conn,
                                           rpc::XdrDecoder& dec,
-                                          rpc::XdrEncoder& out) {
+                                          rpc::XdrEncoder& out,
+                                          obs::OpId trace_op) {
   // Batch I/O (§2.2): one request names many (fh, off, len, buffer) tuples;
   // the server satisfies each with an RDMA write, then sends one reply.
   const std::uint32_t count = dec.u32();
@@ -242,13 +248,14 @@ sim::Task<void> DafsServer::do_read_batch(msg::ViConnection& conn,
     auto attr = fs_.getattr(e.ino);
     if (attr.ok() && e.off < attr.value().size) {
       n = std::min<Bytes>(e.len, attr.value().size - e.off);
-      auto r = co_await fs_.read(e.ino, e.off, {data.data(), n});
+      auto r = co_await fs_.read(e.ino, e.off, {data.data(), n}, trace_op);
       if (!r.ok()) n = 0;
     }
     data.resize(n);
     if (n > 0) {
       auto st = co_await host_.nic().gm_put(
-          conn.peer_node(), e.va, net::Buffer::take(std::move(data)), e.cap);
+          conn.peer_node(), e.va, net::Buffer::take(std::move(data)), e.cap,
+          /*wait_ack=*/true, trace_op);
       if (!st.ok()) n = 0;
     }
     ns.push_back(static_cast<std::uint32_t>(n));
@@ -258,13 +265,18 @@ sim::Task<void> DafsServer::do_read_batch(msg::ViConnection& conn,
 }
 
 sim::Task<net::Buffer> DafsServer::handle(msg::ViConnection& conn,
-                                          net::Buffer msg) {
+                                          net::Buffer msg,
+                                          obs::OpId trace_op) {
   const auto& cm = host_.costs();
   rpc::XdrDecoder dec(msg);
   const std::uint32_t req_id = dec.u32();
   const std::uint32_t proc = dec.u32();
 
-  co_await host_.cpu_consume(cm.cpu_schedule + cm.dafs_server_proc);
+  co_await host_.cpu().consume_parts(
+      trace_op, std::array<sim::Resource::Part, 2>{{
+                    {cm.cpu_schedule, "io/sched"},
+                    {cm.dafs_server_proc, "io/dafs_server_proc"},
+                }});
   ++served_;
 
   rpc::XdrEncoder out;
@@ -307,16 +319,16 @@ sim::Task<net::Buffer> DafsServer::handle(msg::ViConnection& conn,
       out.u32(0);
       break;
     case kReadInline:
-      co_await do_read(conn, dec, out, /*direct=*/false);
+      co_await do_read(conn, dec, out, /*direct=*/false, trace_op);
       break;
     case kReadDirect:
-      co_await do_read(conn, dec, out, /*direct=*/true);
+      co_await do_read(conn, dec, out, /*direct=*/true, trace_op);
       break;
     case kWriteInline:
-      co_await do_write(conn, dec, out, /*direct=*/false);
+      co_await do_write(conn, dec, out, /*direct=*/false, trace_op);
       break;
     case kWriteDirect:
-      co_await do_write(conn, dec, out, /*direct=*/true);
+      co_await do_write(conn, dec, out, /*direct=*/true, trace_op);
       break;
     case kGetattr: {
       auto attr = fs_.getattr(dec.u64());
@@ -372,7 +384,7 @@ sim::Task<net::Buffer> DafsServer::handle(msg::ViConnection& conn,
       break;
     }
     case kReadBatch:
-      co_await do_read_batch(conn, dec, out);
+      co_await do_read_batch(conn, dec, out, trace_op);
       break;
     default:
       out.u32(err_u32(Errc::not_supported));

@@ -43,14 +43,20 @@ class DafsServer {
  private:
   sim::Task<void> accept_loop();
   sim::Task<void> serve_connection(std::unique_ptr<msg::ViConnection> conn);
-  sim::Task<net::Buffer> handle(msg::ViConnection& conn, net::Buffer msg);
+  // `trace_op` is the request message's trace context; replies and all
+  // server-side work (fs, disk, RDMA) are charged against it.
+  sim::Task<net::Buffer> handle(msg::ViConnection& conn, net::Buffer msg,
+                                obs::OpId trace_op);
 
   sim::Task<void> do_read(msg::ViConnection& conn, rpc::XdrDecoder& dec,
-                          rpc::XdrEncoder& out, bool direct);
+                          rpc::XdrEncoder& out, bool direct,
+                          obs::OpId trace_op);
   sim::Task<void> do_write(msg::ViConnection& conn, rpc::XdrDecoder& dec,
-                           rpc::XdrEncoder& out, bool direct);
+                           rpc::XdrEncoder& out, bool direct,
+                           obs::OpId trace_op);
   sim::Task<void> do_read_batch(msg::ViConnection& conn,
-                                rpc::XdrDecoder& dec, rpc::XdrEncoder& out);
+                                rpc::XdrDecoder& dec, rpc::XdrEncoder& out,
+                                obs::OpId trace_op);
 
   // Ensure a cache block is exported; append (fbn, ref) to `out`.
   void piggyback(rpc::XdrEncoder& out, fs::Ino ino, std::uint64_t fbn,

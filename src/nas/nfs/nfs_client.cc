@@ -27,7 +27,8 @@ NfsClientBase::NfsClientBase(host::Host& host, msg::UdpStack& stack,
     : host_(host),
       rpc_(host, stack, local_port),
       server_(server),
-      transfer_size_(transfer_size) {}
+      transfer_size_(transfer_size),
+      trk_app_(host.name(), "app") {}
 
 sim::Task<Result<fs::Attr>> NfsClientBase::resolve(const std::string& path) {
   fs::Attr cur;
@@ -87,11 +88,21 @@ sim::Task<Status> NfsClientBase::close(std::uint64_t) {
 sim::Task<Result<Bytes>> NfsClientBase::pread(std::uint64_t fh, Bytes off,
                                               mem::Vaddr user_va,
                                               Bytes len) {
-  co_await host_.cpu_consume(host_.costs().cpu_syscall);
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await pread_op(fh, off, user_va, len, op);
+  obs::root(trk_app_, op, "op/pread", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<Bytes>> NfsClientBase::pread_op(std::uint64_t fh, Bytes off,
+                                                 mem::Vaddr user_va,
+                                                 Bytes len, obs::OpId op) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
   Bytes done = 0;
   while (done < len) {
     const Bytes chunk = std::min<Bytes>(len - done, transfer_size_);
-    auto n = co_await read_chunk(fh, off + done, user_va + done, chunk);
+    auto n = co_await read_chunk(fh, off + done, user_va + done, chunk, op);
     if (!n.ok()) co_return n.status();
     done += n.value();
     if (n.value() < chunk) break;  // EOF
@@ -102,7 +113,18 @@ sim::Task<Result<Bytes>> NfsClientBase::pread(std::uint64_t fh, Bytes off,
 sim::Task<Result<Bytes>> NfsClientBase::pwrite(std::uint64_t fh, Bytes off,
                                                mem::Vaddr user_va,
                                                Bytes len) {
-  co_await host_.cpu_consume(host_.costs().cpu_syscall);
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await pwrite_op(fh, off, user_va, len, op);
+  obs::root(trk_app_, op, "op/pwrite", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<Bytes>> NfsClientBase::pwrite_op(std::uint64_t fh,
+                                                  Bytes off,
+                                                  mem::Vaddr user_va,
+                                                  Bytes len, obs::OpId op) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
   Bytes done = 0;
   while (done < len) {
     const Bytes chunk = std::min<Bytes>(len - done, transfer_size_);
@@ -110,12 +132,14 @@ sim::Task<Result<Bytes>> NfsClientBase::pwrite(std::uint64_t fh, Bytes off,
     if (!host_.user_as().read(user_va + done, data).ok()) {
       co_return Errc::access_fault;
     }
-    co_await host_.cpu_consume(host_.costs().nfs_client_proc);
+    co_await host_.cpu_consume(host_.costs().nfs_client_proc, op,
+                               "io/nfs_client_proc");
     rpc::XdrEncoder args;
     args.u64(fh);
     args.u64(off + done);
     args.opaque(data);
-    auto res = co_await rpc_.call(server_, kNfsPort, kWrite, args.finish());
+    auto res = co_await rpc_.call(server_, kNfsPort, kWrite, args.finish(),
+                                  nullptr, op);
     if (!res.ok()) co_return res.status();
     if (res.value().status != 0) {
       co_return static_cast<Errc>(res.value().status);
@@ -127,10 +151,20 @@ sim::Task<Result<Bytes>> NfsClientBase::pwrite(std::uint64_t fh, Bytes off,
 }
 
 sim::Task<Result<fs::Attr>> NfsClientBase::getattr(std::uint64_t fh) {
-  co_await host_.cpu_consume(host_.costs().cpu_syscall);
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await getattr_op(fh, op);
+  obs::root(trk_app_, op, "op/getattr", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<fs::Attr>> NfsClientBase::getattr_op(std::uint64_t fh,
+                                                      obs::OpId op) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
   rpc::XdrEncoder args;
   args.u64(fh);
-  auto res = co_await rpc_.call(server_, kNfsPort, kGetattr, args.finish());
+  auto res = co_await rpc_.call(server_, kNfsPort, kGetattr, args.finish(),
+                                nullptr, op);
   if (!res.ok()) co_return res.status();
   if (res.value().status != 0) co_return static_cast<Errc>(res.value().status);
   rpc::XdrDecoder dec(res.value().results);
@@ -171,14 +205,15 @@ sim::Task<Status> NfsClientBase::unlink(const std::string& path) {
 // ---------------------------------------------------------------------------
 
 sim::Task<Result<Bytes>> NfsClient::read_chunk(std::uint64_t ino, Bytes off,
-                                               mem::Vaddr user_va,
-                                               Bytes len) {
+                                               mem::Vaddr user_va, Bytes len,
+                                               obs::OpId op) {
   const auto& cm = host_.costs();
   rpc::XdrEncoder args;
   args.u64(ino);
   args.u64(off);
   args.u32(static_cast<std::uint32_t>(len));
-  auto res = co_await rpc_.call(server_, kNfsPort, kRead, args.finish());
+  auto res = co_await rpc_.call(server_, kNfsPort, kRead, args.finish(),
+                                nullptr, op);
   if (!res.ok()) co_return res.status();
   if (res.value().status != 0) co_return static_cast<Errc>(res.value().status);
 
@@ -188,10 +223,11 @@ sim::Task<Result<Bytes>> NfsClient::read_chunk(std::uint64_t ino, Bytes off,
   if (data.size() < n) co_return Errc::io_error;
 
   // Stage 1: socket buffers (mbuf chain) → client buffer cache.
-  co_await host_.cpu_consume(cm.nfs_stage_bw.time_for(n) + cm.copy_fixed);
-  co_await host_.cpu_consume(cm.nfs_client_proc);
+  co_await host_.cpu_consume(cm.nfs_stage_bw.time_for(n) + cm.copy_fixed, op,
+                             "byte/nfs_stage");
+  co_await host_.cpu_consume(cm.nfs_client_proc, op, "io/nfs_client_proc");
   // Stage 2: buffer cache → user buffer.
-  co_await host_.copy(n);
+  co_await host_.copy(n, op);
   if (!host_.user_as().write(user_va, data.subspan(0, n)).ok()) {
     co_return Errc::access_fault;
   }
@@ -205,10 +241,11 @@ sim::Task<Result<Bytes>> NfsClient::read_chunk(std::uint64_t ino, Bytes off,
 sim::Task<Result<Bytes>> NfsPrepostClient::read_chunk(std::uint64_t ino,
                                                       Bytes off,
                                                       mem::Vaddr user_va,
-                                                      Bytes len) {
+                                                      Bytes len,
+                                                      obs::OpId op) {
   const auto& cm = host_.costs();
   // On-the-fly registration: pin the user buffer for the DMA (§3).
-  co_await host_.cpu_consume(cm.memory_register);
+  co_await host_.cpu_consume(cm.memory_register, op, "io/register");
 
   rpc::XdrEncoder args;
   args.u64(ino);
@@ -216,20 +253,20 @@ sim::Task<Result<Bytes>> NfsPrepostClient::read_chunk(std::uint64_t ino,
   args.u32(static_cast<std::uint32_t>(len));
   rpc::Prepost pp{&host_.user_as(), user_va, len};
   auto res =
-      co_await rpc_.call(server_, kNfsPort, kRead, args.finish(), &pp);
-  co_await host_.cpu_consume(cm.memory_deregister);
+      co_await rpc_.call(server_, kNfsPort, kRead, args.finish(), &pp, op);
+  co_await host_.cpu_consume(cm.memory_deregister, op, "io/register");
   if (!res.ok()) co_return res.status();
   if (res.value().status != 0) co_return static_cast<Errc>(res.value().status);
 
   rpc::XdrDecoder dec(res.value().results);
   const Bytes n = dec.u32();
-  co_await host_.cpu_consume(cm.nfs_client_proc);
+  co_await host_.cpu_consume(cm.nfs_client_proc, op, "io/nfs_client_proc");
   if (!res.value().rddp_placed && n > 0) {
     // The NIC did not match the pre-post (e.g. cancelled); fall back to the
     // in-line path so data is never lost.
     const auto data = dec.rest();
     if (data.size() < n) co_return Errc::io_error;
-    co_await host_.copy(n);
+    co_await host_.copy(n, op);
     if (!host_.user_as().write(user_va, data.subspan(0, n)).ok()) {
       co_return Errc::access_fault;
     }
@@ -242,7 +279,7 @@ sim::Task<Result<Bytes>> NfsPrepostClient::read_chunk(std::uint64_t ino,
 // ---------------------------------------------------------------------------
 
 sim::Task<Result<NfsHybridClient::Registered*>>
-NfsHybridClient::ensure_registered(mem::Vaddr va, Bytes len) {
+NfsHybridClient::ensure_registered(mem::Vaddr va, Bytes len, obs::OpId op) {
   for (auto& r : regs_) {
     if (va >= r.host_base && va + len <= r.host_base + r.len) co_return &r;
   }
@@ -250,7 +287,8 @@ NfsHybridClient::ensure_registered(mem::Vaddr va, Bytes len) {
   const mem::Vaddr base = va & ~(mem::kPageSize - 1);
   const Bytes aligned_len =
       ((va + len + mem::kPageSize - 1) & ~(mem::kPageSize - 1)) - base;
-  co_await host_.cpu_consume(host_.costs().memory_register);
+  co_await host_.cpu_consume(host_.costs().memory_register, op,
+                             "io/register");
   auto cap = host_.nic().export_segment(host_.user_as(), base, aligned_len,
                                         crypto::SegPerm::read_write,
                                         /*pin_now=*/true);
@@ -263,9 +301,10 @@ NfsHybridClient::ensure_registered(mem::Vaddr va, Bytes len) {
 sim::Task<Result<Bytes>> NfsHybridClient::read_chunk(std::uint64_t ino,
                                                      Bytes off,
                                                      mem::Vaddr user_va,
-                                                     Bytes len) {
+                                                     Bytes len,
+                                                     obs::OpId op) {
   const auto& cm = host_.costs();
-  auto reg = co_await ensure_registered(user_va, len);
+  auto reg = co_await ensure_registered(user_va, len, op);
   if (!reg.ok()) co_return reg.status();
   const Registered& r = *reg.value();
   const mem::Vaddr nic_va = r.cap.base + (user_va - r.host_base);
@@ -276,12 +315,12 @@ sim::Task<Result<Bytes>> NfsHybridClient::read_chunk(std::uint64_t ino,
   args.u32(static_cast<std::uint32_t>(len));
   args.u64(nic_va);
   encode_cap(args, r.cap);
-  auto res =
-      co_await rpc_.call(server_, kNfsPort, kReadHybrid, args.finish());
+  auto res = co_await rpc_.call(server_, kNfsPort, kReadHybrid, args.finish(),
+                                nullptr, op);
   if (!res.ok()) co_return res.status();
   if (res.value().status != 0) co_return static_cast<Errc>(res.value().status);
 
-  co_await host_.cpu_consume(cm.nfs_client_proc);
+  co_await host_.cpu_consume(cm.nfs_client_proc, op, "io/nfs_client_proc");
   rpc::XdrDecoder dec(res.value().results);
   co_return Bytes{dec.u32()};
 }

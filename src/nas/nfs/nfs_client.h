@@ -46,9 +46,10 @@ class NfsClientBase : public core::FileClient {
 
  protected:
   // One wire READ of at most transfer_size bytes; returns bytes read.
+  // `op` is the enclosing file operation's trace context (obs/trace.h).
   virtual sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
-                                              mem::Vaddr user_va,
-                                              Bytes len) = 0;
+                                              mem::Vaddr user_va, Bytes len,
+                                              obs::OpId op) = 0;
 
   // Resolve a path ("a/b/c", relative to the export root) to (attr).
   sim::Task<Result<fs::Attr>> resolve(const std::string& path);
@@ -60,6 +61,19 @@ class NfsClientBase : public core::FileClient {
   rpc::RpcClient rpc_;
   net::NodeId server_;
   Bytes transfer_size_;
+
+ private:
+  // FileClient bodies with explicit trace context; the public overrides
+  // wrap them in a fresh op id and its root ("op/...") span.
+  sim::Task<Result<Bytes>> pread_op(std::uint64_t fh, Bytes off,
+                                    mem::Vaddr user_va, Bytes len,
+                                    obs::OpId op);
+  sim::Task<Result<Bytes>> pwrite_op(std::uint64_t fh, Bytes off,
+                                     mem::Vaddr user_va, Bytes len,
+                                     obs::OpId op);
+  sim::Task<Result<fs::Attr>> getattr_op(std::uint64_t fh, obs::OpId op);
+
+  obs::Track trk_app_;  // root spans for this client's file ops
 };
 
 class NfsClient final : public NfsClientBase {
@@ -69,8 +83,8 @@ class NfsClient final : public NfsClientBase {
 
  protected:
   sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
-                                      mem::Vaddr user_va,
-                                      Bytes len) override;
+                                      mem::Vaddr user_va, Bytes len,
+                                      obs::OpId op) override;
 };
 
 class NfsPrepostClient final : public NfsClientBase {
@@ -80,8 +94,8 @@ class NfsPrepostClient final : public NfsClientBase {
 
  protected:
   sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
-                                      mem::Vaddr user_va,
-                                      Bytes len) override;
+                                      mem::Vaddr user_va, Bytes len,
+                                      obs::OpId op) override;
 };
 
 class NfsHybridClient final : public NfsClientBase {
@@ -93,8 +107,8 @@ class NfsHybridClient final : public NfsClientBase {
 
  protected:
   sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
-                                      mem::Vaddr user_va,
-                                      Bytes len) override;
+                                      mem::Vaddr user_va, Bytes len,
+                                      obs::OpId op) override;
 
  private:
   struct Registered {
@@ -104,7 +118,8 @@ class NfsHybridClient final : public NfsClientBase {
   };
   // Registration cache (§5.1: "avoid registering application buffers with
   // the NIC on each I/O by caching registrations").
-  sim::Task<Result<Registered*>> ensure_registered(mem::Vaddr va, Bytes len);
+  sim::Task<Result<Registered*>> ensure_registered(mem::Vaddr va, Bytes len,
+                                                   obs::OpId op);
   std::deque<Registered> regs_;
   std::uint64_t registrations_ = 0;
 };

@@ -32,7 +32,8 @@ NfsServer::NfsServer(host::Host& host, msg::UdpStack& stack,
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_lookup(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino dir = dec.u64();
   const std::string name = dec.str();
@@ -48,7 +49,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_lookup(
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_getattr(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino ino = dec.u64();
   rpc::RpcServerReply r;
@@ -63,7 +65,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_getattr(
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_read(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino ino = dec.u64();
   const Bytes off = dec.u64();
@@ -71,7 +74,7 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_read(
 
   rpc::RpcServerReply r;
   std::vector<std::byte> data(len);
-  auto n = co_await fs_.read(ino, off, data);
+  auto n = co_await fs_.read(ino, off, data, ctx.trace_op);
   if (!n.ok()) {
     r.status = err_u32(n.code());
     co_return r;
@@ -85,7 +88,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_read(
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_read_hybrid(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino ino = dec.u64();
   const Bytes off = dec.u64();
@@ -95,7 +99,7 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_read_hybrid(
 
   rpc::RpcServerReply r;
   std::vector<std::byte> data(len);
-  auto n = co_await fs_.read(ino, off, data);
+  auto n = co_await fs_.read(ino, off, data, ctx.trace_op);
   if (!n.ok()) {
     r.status = err_u32(n.code());
     co_return r;
@@ -106,7 +110,7 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_read_hybrid(
     // arrives behind the data, so the server does not wait for the ack.
     auto st = co_await host_.nic().gm_put(
         ctx.client, client_va, net::Buffer::take(std::move(data)), cap,
-        /*wait_ack=*/false);
+        /*wait_ack=*/false, ctx.trace_op);
     if (!st.ok()) {
       r.status = err_u32(st.code());
       co_return r;
@@ -118,7 +122,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_read_hybrid(
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_write(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino ino = dec.u64();
   const Bytes off = dec.u64();
@@ -126,8 +131,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_write(
 
   rpc::RpcServerReply r;
   // Incoming write data is staged through kernel buffers (copy).
-  co_await host_.copy(data.size());
-  auto n = co_await fs_.write(ino, off, data);
+  co_await host_.copy(data.size(), ctx.trace_op);
+  auto n = co_await fs_.write(ino, off, data, ctx.trace_op);
   if (!n.ok()) {
     r.status = err_u32(n.code());
     co_return r;
@@ -139,7 +144,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_write(
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_create(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino dir = dec.u64();
   const std::string name = dec.str();
@@ -156,7 +162,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_create(
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_remove(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino dir = dec.u64();
   const std::string name = dec.str();
@@ -167,7 +174,8 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_remove(
 
 sim::Task<rpc::RpcServerReply> NfsServer::do_readdir(
     const rpc::RpcCallCtx& ctx) {
-  co_await host_.cpu_consume(host_.costs().nfs_server_proc);
+  co_await host_.cpu_consume(host_.costs().nfs_server_proc, ctx.trace_op,
+                             "io/nfs_server_proc");
   rpc::XdrDecoder dec(ctx.args);
   const fs::Ino dir = dec.u64();
   rpc::RpcServerReply r;

@@ -10,12 +10,13 @@ OdafsClient::OdafsClient(host::Host& host, net::NodeId server,
     : host_(host),
       cfg_(cfg),
       dafs_(host, server, cfg.dafs),
-      cache_(host, cfg.cache) {}
+      cache_(host, cfg.cache),
+      trk_app_(host.name(), "app") {}
 
-sim::Task<Status> OdafsClient::ensure_slab_registered() {
+sim::Task<Status> OdafsClient::ensure_slab_registered(obs::OpId op) {
   if (slab_reg_) co_return Status::Ok();
   auto reg = co_await dafs_.ensure_registered(cache_.slab_base(),
-                                              cache_.slab_len());
+                                              cache_.slab_len(), op);
   if (!reg.ok()) co_return reg.status();
   // Concurrent callers resolve to the same registration (deduplicated by
   // DafsClient's registration cache).
@@ -23,12 +24,13 @@ sim::Task<Status> OdafsClient::ensure_slab_registered() {
   co_return Status::Ok();
 }
 
-sim::Task<void> OdafsClient::charge_pickup() {
+sim::Task<void> OdafsClient::charge_pickup(obs::OpId op) {
   const auto& cm = host_.costs();
   if (cfg_.dafs.completion == msg::Completion::poll) {
-    co_await host_.cpu_consume(cm.vi_poll_pickup);
+    co_await host_.cpu_consume(cm.vi_poll_pickup, op, "io/pickup");
   } else {
-    co_await host_.cpu_consume(cm.cpu_interrupt + cm.vi_block_wakeup);
+    co_await host_.cpu_consume(cm.cpu_interrupt + cm.vi_block_wakeup, op,
+                               "io/pickup");
   }
 }
 
@@ -52,7 +54,7 @@ void OdafsClient::store_refs(std::uint64_t fh,
 }
 
 sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
-    std::uint64_t fh, std::uint64_t idx) {
+    std::uint64_t fh, std::uint64_t idx, obs::OpId op) {
   const auto& cm = host_.costs();
   const Bytes cbs = cache_.block_size();
   const cache::BlockKey key{fh, idx};
@@ -69,7 +71,7 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     co_return Errc::io_error;  // the fetch we joined failed
   }
   if (auto* hit = cache_.find(key); hit && hit->has_data()) {
-    co_await host_.cpu_consume(cm.cache_hit_proc);
+    co_await host_.cpu_consume(cm.cache_hit_proc, op, "io/cache_hit");
     co_return hit;
   }
   auto flight = std::make_shared<Inflight>(host_.engine());
@@ -93,8 +95,8 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     ~PinGuard() { --h->pin; }
   } pin_guard{&hdr};
 
-  co_await host_.cpu_consume(cm.cache_miss_proc);
-  co_await ensure_slab_registered();
+  co_await host_.cpu_consume(cm.cache_miss_proc, op, "io/cache_miss");
+  co_await ensure_slab_registered(op);
 
   const Bytes block_off = idx * cbs;
   auto size_it = sizes_.find(fh);
@@ -112,8 +114,8 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
   if (cfg_.use_ordma && hdr.ref) {
     const auto ref = *hdr.ref;
     auto res = co_await host_.nic().gm_get(dafs_.server_node(), ref.va,
-                                           want, ref.cap);
-    co_await charge_pickup();
+                                           want, ref.cap, op);
+    co_await charge_pickup(op);
     if (res.ok()) {
       ++ordma_reads_;
       cache_.attach_data(hdr, want);
@@ -129,19 +131,19 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
   ++rpc_reads_;
   dafs::DafsReadResult result;
   if (cfg_.inline_rpc) {
-    auto res = co_await dafs_.read_inline(fh, block_off, want);
+    auto res = co_await dafs_.read_inline(fh, block_off, want, op);
     if (!res.ok()) co_return res.status();
     result = std::move(res.value());
     cache_.attach_data(hdr, result.n);
     // In-line data must be copied from the communication buffer into the
     // file cache (the Table 3 "in cache" copy).
-    co_await host_.copy(result.n);
+    co_await host_.copy(result.n, op);
     cache_.write_block(hdr, result.inline_data.view().subspan(0, result.n));
   } else {
     const mem::Vaddr va = cache_.attach_data(hdr, want);
     auto res = co_await dafs_.read_direct(fh, block_off, want,
                                           slab_reg_->nic_va(va),
-                                          slab_reg_->cap);
+                                          slab_reg_->cap, op);
     if (!res.ok()) co_return res.status();
     result = std::move(res.value());
     hdr.valid = result.n;
@@ -176,7 +178,17 @@ sim::Task<Status> OdafsClient::close(std::uint64_t fh) {
 
 sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
                                             mem::Vaddr user_va, Bytes len) {
-  co_await host_.cpu_consume(host_.costs().cpu_syscall);
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await pread_op(fh, off, user_va, len, op);
+  obs::root(trk_app_, op, "op/pread", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<Bytes>> OdafsClient::pread_op(std::uint64_t fh, Bytes off,
+                                               mem::Vaddr user_va, Bytes len,
+                                               obs::OpId op) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
   const Bytes cbs = cache_.block_size();
 
   // Cache-internal read-ahead (§5.2): keep up to `window` block fetches in
@@ -207,10 +219,11 @@ sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
       ++tracker->live;
       host_.engine().spawn(
           [](OdafsClient& self, std::uint64_t fh, std::uint64_t idx,
-             std::shared_ptr<PrefetchTracker> t) -> sim::Task<void> {
-            (void)co_await self.fetch_block(fh, idx);
+             std::shared_ptr<PrefetchTracker> t,
+             obs::OpId op) -> sim::Task<void> {
+            (void)co_await self.fetch_block(fh, idx, op);
             if (--t->live == 0 && t->closing) t->drained.set();
-          }(*this, fh, idx, tracker));
+          }(*this, fh, idx, tracker, op));
     }
   };
   struct DrainGuard {
@@ -230,7 +243,7 @@ sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
     const Bytes chunk = std::min<Bytes>(len - done, cbs - boff);
 
     if (window > 1) issue_prefetches(idx);
-    auto hdr = co_await fetch_block(fh, idx);
+    auto hdr = co_await fetch_block(fh, idx, op);
     if (!hdr.ok()) {
       co_await drain_guard.drain();
       co_return hdr.status();
@@ -244,7 +257,7 @@ sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
     ORDMA_CHECK(host_.user_as()
                     .read(cache_.block_va(h) + boff, tmp)
                     .ok());
-    co_await host_.copy(avail);
+    co_await host_.copy(avail, op);
     if (!host_.user_as().write(user_va + done, tmp).ok()) {
       co_await drain_guard.drain();
       co_return Errc::access_fault;
@@ -258,7 +271,17 @@ sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
 
 sim::Task<Result<Bytes>> OdafsClient::pwrite(std::uint64_t fh, Bytes off,
                                              mem::Vaddr user_va, Bytes len) {
-  co_await host_.cpu_consume(host_.costs().cpu_syscall);
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await pwrite_op(fh, off, user_va, len, op);
+  obs::root(trk_app_, op, "op/pwrite", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
+                                                mem::Vaddr user_va, Bytes len,
+                                                obs::OpId op) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
   // Write-through: update the server, then refresh our cached copy. Server
   // cache blocks are updated in place so outstanding references stay
   // usable (§4.2.2: writes also update file state server-side).
@@ -266,7 +289,7 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite(std::uint64_t fh, Bytes off,
   if (!host_.user_as().read(user_va, data).ok()) {
     co_return Errc::access_fault;
   }
-  auto n = co_await dafs_.write_inline(fh, off, data);
+  auto n = co_await dafs_.write_inline(fh, off, data, op);
   if (!n.ok()) co_return n.status();
 
   auto& size = sizes_[fh];
@@ -295,6 +318,15 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite(std::uint64_t fh, Bytes off,
 }
 
 sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto r = co_await getattr_op(fh, op);
+  obs::root(trk_app_, op, "op/getattr", b, host_.engine().now());
+  co_return r;
+}
+
+sim::Task<Result<fs::Attr>> OdafsClient::getattr_op(std::uint64_t fh,
+                                                    obs::OpId op) {
   // Attribute extension (§4.2.2 motivates "attribute accesses"): read the
   // file's marshalled attribute record from server memory by ORDMA; any
   // fault (revoked region) or stale record (reused slot) falls back to RPC.
@@ -303,8 +335,8 @@ sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {
       auto res = co_await host_.nic().gm_get(dafs_.server_node(),
                                              it->second.va,
                                              fs::ServerFs::kAttrRecordSize,
-                                             it->second.cap);
-      co_await charge_pickup();
+                                             it->second.cap, op);
+      co_await charge_pickup(op);
       if (res.ok()) {
         auto attr = fs::ServerFs::decode_attr_record(res.value().view(), fh);
         if (attr.ok()) {
@@ -315,7 +347,7 @@ sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {
       attr_refs_.erase(fh);  // stale: drop and fall through to RPC
     }
   }
-  co_return co_await dafs_.getattr(fh);
+  co_return co_await dafs_.getattr_op(fh, op);
 }
 
 sim::Task<Result<core::OpenResult>> OdafsClient::create(

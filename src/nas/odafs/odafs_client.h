@@ -53,9 +53,10 @@ class OdafsClient : public core::FileClient {
   }
 
   // Fetch one cache block (read path used by pread; exposed for benches
-  // that want per-block latencies).
+  // that want per-block latencies). `op` is the enclosing file operation's
+  // trace context (obs/trace.h).
   sim::Task<Result<cache::ClientCache::Header*>> fetch_block(
-      std::uint64_t fh, std::uint64_t idx);
+      std::uint64_t fh, std::uint64_t idx, obs::OpId op = 0);
 
   cache::ClientCache& block_cache() { return cache_; }
   dafs::DafsClient& dafs() { return dafs_; }
@@ -66,10 +67,20 @@ class OdafsClient : public core::FileClient {
   std::uint64_t attr_ordma() const { return attr_ordma_; }
 
  private:
-  sim::Task<Status> ensure_slab_registered();
+  sim::Task<Status> ensure_slab_registered(obs::OpId op);
   // Harvest piggybacked references into cache headers.
   void store_refs(std::uint64_t fh, const dafs::DafsReadResult& res);
-  sim::Task<void> charge_pickup();
+  sim::Task<void> charge_pickup(obs::OpId op);
+
+  // FileClient bodies with explicit trace context; the public overrides
+  // wrap them in a fresh op id and its root ("op/...") span.
+  sim::Task<Result<Bytes>> pread_op(std::uint64_t fh, Bytes off,
+                                    mem::Vaddr user_va, Bytes len,
+                                    obs::OpId op);
+  sim::Task<Result<Bytes>> pwrite_op(std::uint64_t fh, Bytes off,
+                                     mem::Vaddr user_va, Bytes len,
+                                     obs::OpId op);
+  sim::Task<Result<fs::Attr>> getattr_op(std::uint64_t fh, obs::OpId op);
 
   struct Inflight {
     explicit Inflight(sim::Engine& eng) : done(eng) {}
@@ -80,6 +91,7 @@ class OdafsClient : public core::FileClient {
   OdafsClientConfig cfg_;
   dafs::DafsClient dafs_;
   cache::ClientCache cache_;
+  obs::Track trk_app_;  // root spans for this client's file ops
   std::unordered_map<cache::BlockKey, std::shared_ptr<Inflight>,
                      cache::BlockKeyHash>
       inflight_;

@@ -9,6 +9,7 @@
 
 #include "common/units.h"
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
 #include "sim/task.h"
@@ -24,6 +25,7 @@ class Link {
         bw_(bw),
         latency_(latency),
         name_(std::move(name)),
+        trace_track_("net", name_),
         queue_(eng) {
     eng_.spawn(pump());
   }
@@ -48,8 +50,13 @@ class Link {
     for (;;) {
       Packet p = co_await queue_.recv();
       // Serialise onto the wire (head-of-line for this link)...
+      const SimTime ser_begin = eng_.now();
       co_await eng_.delay(bw_.time_for(p.wire_size()));
       bytes_delivered_ += p.wire_size();
+      // One wire span per packet covering serialisation + propagation; the
+      // recorder lane-splits the track where pipelined packets overlap.
+      obs::span(trace_track_, p.trace_op, "wire/tx", ser_begin,
+                eng_.now() + latency_);
       // ...then propagate; delivery happens latency later without blocking
       // the next packet's serialisation (pipelining).
       if (sink_) {
@@ -65,6 +72,7 @@ class Link {
   Bandwidth bw_;
   Duration latency_;
   std::string name_;
+  obs::Track trace_track_;
   sim::Channel<Packet> queue_;
   DeliverFn sink_;
   Bytes bytes_offered_ = 0;

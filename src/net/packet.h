@@ -208,6 +208,11 @@ struct Packet {
   // for demux above the link layer (e.g. GM opcode).
   std::uint32_t tag = 0;
 
+  // Trace context (obs/trace.h): the file-op id this packet works for.
+  // Simulation metadata like `ctrl` — carried regardless of tracing state,
+  // never counted against wire size, zero for untraced traffic.
+  std::uint64_t trace_op = 0;
+
   // Link-protocol control words (GmCtrl / EthCtrl from nic/wire.h). Their
   // wire size is accounted in header_bytes; carrying them as a typed value
   // instead of re-marshalling keeps the firmware model readable. The NAS

@@ -29,10 +29,12 @@ Nic::Nic(host::Host& host, net::Fabric& fabric, NicConfig cfg,
   eng_.spawn(rx_loop());
 }
 
-sim::Task<void> Nic::dma_transfer(Bytes n) {
+sim::Task<void> Nic::dma_transfer(Bytes n, obs::OpId trace_op) {
   co_await dma_.acquire();
   sim::Resource::ReleaseGuard guard(dma_);
+  const SimTime b = eng_.now();
   co_await eng_.delay(cm_.nic_dma_setup + cm_.nic_dma_bw.time_for(n));
+  obs::span(dma_.trace_track(), trace_op, "nic/dma", b, eng_.now());
 }
 
 // ---------------------------------------------------------------------------
@@ -40,7 +42,8 @@ sim::Task<void> Nic::dma_transfer(Bytes n) {
 // ---------------------------------------------------------------------------
 
 sim::Task<void> Nic::send_fragments(net::NodeId dst, net::Buffer payload,
-                                    GmCtrl ctrl, bool charge_dma) {
+                                    GmCtrl ctrl, bool charge_dma,
+                                    obs::OpId trace_op) {
   const std::uint64_t msg_id = next_msg_id_++;
   const Bytes total = payload.size();
   const Bytes mtu = cm_.gm_mtu;
@@ -50,8 +53,8 @@ sim::Task<void> Nic::send_fragments(net::NodeId dst, net::Buffer payload,
   for (std::uint32_t i = 0; i < nfrags; ++i) {
     const Bytes off = static_cast<Bytes>(i) * mtu;
     const Bytes chunk = std::min<Bytes>(mtu, total - off);
-    co_await fw_.consume(cm_.nic_tx_frag);
-    if (charge_dma && chunk > 0) co_await dma_transfer(chunk);
+    co_await fw_.consume(cm_.nic_tx_frag, trace_op, "nic/tx_frag");
+    if (charge_dma && chunk > 0) co_await dma_transfer(chunk, trace_op);
 
     net::Packet p;
     p.src = node_id_;
@@ -64,11 +67,13 @@ sim::Task<void> Nic::send_fragments(net::NodeId dst, net::Buffer payload,
     p.frag_count = nfrags;
     p.msg_total = total;
     p.ctrl = ctrl;
+    p.trace_op = trace_op;
     fabric_.send(std::move(p));
   }
 }
 
-void Nic::send_ctrl_packet(net::NodeId dst, GmCtrl ctrl, Bytes extra_bytes) {
+void Nic::send_ctrl_packet(net::NodeId dst, GmCtrl ctrl, Bytes extra_bytes,
+                           obs::OpId trace_op) {
   net::Packet p;
   p.src = node_id_;
   p.dst = dst;
@@ -77,6 +82,7 @@ void Nic::send_ctrl_packet(net::NodeId dst, GmCtrl ctrl, Bytes extra_bytes) {
   p.msg_id = next_msg_id_++;
   p.msg_total = 0;
   p.ctrl = ctrl;
+  p.trace_op = trace_op;
   fabric_.send(std::move(p));
 }
 
@@ -87,20 +93,25 @@ sim::Channel<Nic::GmMessage>& Nic::open_port(std::uint32_t port) {
 }
 
 sim::Task<void> Nic::gm_send(net::NodeId dst, std::uint32_t port,
-                             std::uint32_t user_tag, net::Buffer data) {
-  co_await host_.cpu_consume(cm_.nic_doorbell);
+                             std::uint32_t user_tag, net::Buffer data,
+                             obs::OpId trace_op) {
+  co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
+  obs::flow(fw_.trace_track(), trace_op, "gm_send", eng_.now());
   GmCtrl ctrl;
   ctrl.op = GmOp::data;
   ctrl.port = port;
   ctrl.user_tag = user_tag;
-  co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true);
+  co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true,
+                          trace_op);
 }
 
 sim::Task<Result<net::Buffer>> Nic::gm_get(net::NodeId dst, mem::Vaddr va,
                                            Bytes len,
-                                           const crypto::Capability& cap) {
-  co_await host_.cpu_consume(cm_.nic_doorbell);
-  co_await fw_.consume(cm_.nic_tx_frag);
+                                           const crypto::Capability& cap,
+                                           obs::OpId trace_op) {
+  co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
+  obs::flow(fw_.trace_track(), trace_op, "gm_get", eng_.now());
+  co_await fw_.consume(cm_.nic_tx_frag, trace_op, "nic/tx_frag");
 
   const std::uint64_t op_id = next_op_id_++;
   auto op = std::make_unique<PendingOp>(eng_);
@@ -113,7 +124,8 @@ sim::Task<Result<net::Buffer>> Nic::gm_get(net::NodeId dst, mem::Vaddr va,
   ctrl.remote_va = va;
   ctrl.rdma_len = len;
   ctrl.cap = cap;
-  send_ctrl_packet(dst, ctrl, /*extra_bytes=*/40);  // capability on the wire
+  // capability on the wire
+  send_ctrl_packet(dst, ctrl, /*extra_bytes=*/40, trace_op);
 
   Result<net::Buffer> result = co_await op_ptr->done.wait();
   pending_.erase(op_id);
@@ -123,8 +135,9 @@ sim::Task<Result<net::Buffer>> Nic::gm_get(net::NodeId dst, mem::Vaddr va,
 sim::Task<Status> Nic::gm_put(net::NodeId dst, mem::Vaddr va,
                               net::Buffer data,
                               const crypto::Capability& cap,
-                              bool wait_ack) {
-  co_await host_.cpu_consume(cm_.nic_doorbell);
+                              bool wait_ack, obs::OpId trace_op) {
+  co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
+  obs::flow(fw_.trace_track(), trace_op, "gm_put", eng_.now());
 
   const std::uint64_t op_id = next_op_id_++;
   GmCtrl ctrl;
@@ -135,14 +148,16 @@ sim::Task<Status> Nic::gm_put(net::NodeId dst, mem::Vaddr va,
   ctrl.cap = cap;
 
   if (!wait_ack) {
-    co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true);
+    co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true,
+                            trace_op);
     co_return Status::Ok();  // the ack, when it arrives, is ignored
   }
 
   auto op = std::make_unique<PendingOp>(eng_);
   auto* op_ptr = op.get();
   pending_.emplace(op_id, std::move(op));
-  co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true);
+  co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true,
+                          trace_op);
   Result<net::Buffer> result = co_await op_ptr->done.wait();
   pending_.erase(op_id);
   co_return result.status();
@@ -155,7 +170,7 @@ sim::Task<Status> Nic::gm_put(net::NodeId dst, mem::Vaddr va,
 sim::Task<void> Nic::rx_loop() {
   for (;;) {
     net::Packet p = co_await rx_queue_.recv();
-    co_await fw_.consume(cm_.nic_rx_frag);
+    co_await fw_.consume(cm_.nic_rx_frag, p.trace_op, "nic/rx_frag");
     if (p.proto == net::Proto::ethernet) {
       co_await handle_eth(std::move(p));
       continue;
@@ -189,7 +204,8 @@ sim::Task<void> Nic::handle_gm_data(net::Packet p) {
   if (buf.size() != p.msg_total) buf = net::Buffer::alloc(p.msg_total);
 
   if (!p.payload.empty()) {
-    co_await dma_transfer(p.payload.size());  // into host receive buffer
+    // into host receive buffer
+    co_await dma_transfer(p.payload.size(), p.trace_op);
     const auto v = p.payload.view();
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
     std::copy(v.begin(), v.end(), buf.mutable_view().begin() + off);
@@ -201,8 +217,10 @@ sim::Task<void> Nic::handle_gm_data(net::Packet p) {
     msg.src = p.src;
     msg.user_tag = ctrl.user_tag;
     msg.data = std::move(buf);
+    msg.trace_op = p.trace_op;
     gm_rx_.erase(key);
     gm_rx_received_.erase(key);
+    obs::flow(fw_.trace_track(), p.trace_op, "gm_deliver", eng_.now());
     auto it = ports_.find(ctrl.port);
     if (it != ports_.end()) {
       it->second->send(std::move(msg));
@@ -233,7 +251,8 @@ void Nic::tlb_insert_pinned(const Segment& seg, mem::Vpn nic_vpn,
 void Nic::unpin_evicted(const NicTlb::Entry& e) { e.as->unpin(e.host_vpn); }
 
 sim::Task<Result<NicTlb::Entry*>> Nic::tlb_load(const Segment& seg,
-                                                mem::Vpn nic_vpn) {
+                                                mem::Vpn nic_vpn,
+                                                obs::OpId trace_op) {
   tlb_.count_miss();
   const mem::Vpn host_vpn =
       mem::page_of(seg.host_va) + (nic_vpn - mem::page_of(seg.nic_va));
@@ -248,7 +267,10 @@ sim::Task<Result<NicTlb::Entry*>> Nic::tlb_load(const Segment& seg,
   host_.post_interrupt([this]() -> sim::Task<void> {
     co_await host_.cpu_consume(cm_.cpu_schedule);
   });
+  const SimTime miss_begin = eng_.now();
   co_await eng_.delay(cm_.nic_tlb_miss);
+  obs::span(fw_.trace_track(), trace_op, "nic/tlb_miss", miss_begin,
+            eng_.now());
 
   // Revalidate after the delay: the segment may have been revoked while we
   // waited (the race the exception mechanism exists for), or a concurrent
@@ -266,7 +288,8 @@ sim::Task<Result<NicTlb::Entry*>> Nic::tlb_load(const Segment& seg,
 }
 
 sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
-    mem::Vaddr va, Bytes len, const crypto::Capability& cap, bool write) {
+    mem::Vaddr va, Bytes len, const crypto::Capability& cap, bool write,
+    obs::OpId trace_op) {
   if (len == 0) co_return Errc::invalid_argument;
 
   // Locate the segment named by the capability.
@@ -275,7 +298,7 @@ sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
 
   // Verify the capability (MAC + generation) — firmware cost.
   if (cm_.capabilities_enabled) {
-    co_await fw_.consume(cm_.nic_cap_verify);
+    co_await fw_.consume(cm_.nic_cap_verify, trace_op, "nic/cap_verify");
     if (!authority_.verify(cap, seg->generation)) co_return Errc::revoked;
     if (!crypto::allows(cap.perm, write ? crypto::SegPerm::write
                                         : crypto::SegPerm::read)) {
@@ -298,12 +321,12 @@ sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
 
     NicTlb::Entry* e = tlb_.lookup(nic_vpn);
     if (e) {
-      co_await fw_.consume(cm_.nic_tlb_hit);
+      co_await fw_.consume(cm_.nic_tlb_hit, trace_op, "nic/tlb_hit");
     } else {
       // Confirm the page still belongs to this segment, then take the miss.
       const Segment* owner = tpt_.segment_of_page(nic_vpn);
       if (!owner || owner->id != seg->id) co_return Errc::access_fault;
-      auto loaded = co_await tlb_load(*owner, nic_vpn);
+      auto loaded = co_await tlb_load(*owner, nic_vpn, trace_op);
       if (!loaded.ok()) co_return loaded.status();
       e = loaded.value();
     }
@@ -321,10 +344,10 @@ sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
 
 sim::Task<void> Nic::service_get(net::Packet p) {
   const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
-  co_await fw_.consume(cm_.nic_get_service);
+  co_await fw_.consume(cm_.nic_get_service, p.trace_op, "nic/get_service");
 
   auto runs = co_await resolve_ordma(ctrl.remote_va, ctrl.rdma_len, ctrl.cap,
-                                     /*write=*/false);
+                                     /*write=*/false, p.trace_op);
   GmCtrl reply;
   reply.op = GmOp::get_reply;
   reply.op_id = ctrl.op_id;
@@ -332,7 +355,7 @@ sim::Task<void> Nic::service_get(net::Packet p) {
   if (!runs.ok()) {
     ++ordma_faults_;
     reply.fault = runs.code();
-    send_ctrl_packet(p.src, reply);
+    send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
   }
 
@@ -342,7 +365,7 @@ sim::Task<void> Nic::service_get(net::Packet p) {
   if (!seg) {
     ++ordma_faults_;
     reply.fault = Errc::access_fault;
-    send_ctrl_packet(p.src, reply);
+    send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
   }
 
@@ -358,7 +381,7 @@ sim::Task<void> Nic::service_get(net::Packet p) {
     off += run.chunk;
   }
   co_await send_fragments(p.src, std::move(data), reply,
-                          /*charge_dma=*/true);
+                          /*charge_dma=*/true, p.trace_op);
 }
 
 sim::Task<void> Nic::handle_put_req(net::Packet p) {
@@ -369,7 +392,7 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
   if (!p.payload.empty()) {
     // Each fragment is DMA'd towards host memory as it arrives, so the
     // bulk transfer overlaps with reception of later fragments.
-    co_await dma_transfer(p.payload.size());
+    co_await dma_transfer(p.payload.size(), p.trace_op);
     const auto v = p.payload.view();
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
     std::copy(v.begin(), v.end(), buf.mutable_view().begin() + off);
@@ -382,23 +405,23 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
   gm_rx_.erase(key);
   gm_rx_received_.erase(key);
 
-  co_await fw_.consume(cm_.nic_put_service);
+  co_await fw_.consume(cm_.nic_put_service, p.trace_op, "nic/put_service");
   auto runs = co_await resolve_ordma(ctrl.remote_va, data.size(), ctrl.cap,
-                                     /*write=*/true);
+                                     /*write=*/true, p.trace_op);
   GmCtrl reply;
   reply.op = GmOp::put_ack;
   reply.op_id = ctrl.op_id;
   if (!runs.ok()) {
     ++ordma_faults_;
     reply.fault = runs.code();
-    send_ctrl_packet(p.src, reply);
+    send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
   }
   const Segment* seg = tpt_.find_segment(ctrl.cap.segment_id);
   if (!seg) {
     ++ordma_faults_;
     reply.fault = Errc::access_fault;
-    send_ctrl_packet(p.src, reply);
+    send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
   }
   ++ordma_served_;
@@ -410,7 +433,7 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
                dv.subspan(off, run.chunk));
     off += run.chunk;
   }
-  send_ctrl_packet(p.src, reply);
+  send_ctrl_packet(p.src, reply, 0, p.trace_op);
 }
 
 sim::Task<void> Nic::handle_get_reply(net::Packet p) {
@@ -428,7 +451,7 @@ sim::Task<void> Nic::handle_get_reply(net::Packet p) {
   }
   if (!p.payload.empty()) {
     // Fragments are DMA'd into the initiator's buffer as they arrive.
-    co_await dma_transfer(p.payload.size());
+    co_await dma_transfer(p.payload.size(), p.trace_op);
     const auto v = p.payload.view();
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
     std::copy(v.begin(), v.end(), op.reassembly.mutable_view().begin() + off);
@@ -512,18 +535,19 @@ Result<crypto::Capability> Nic::capability_for(std::uint64_t seg_id) const {
 
 sim::Task<void> Nic::eth_send(net::NodeId dst, net::Buffer dgram,
                               std::uint32_t rddp_xid, Bytes rddp_data_offset,
-                              Bytes rddp_data_len) {
+                              Bytes rddp_data_len, obs::OpId trace_op) {
   const std::uint64_t dgram_id = next_dgram_id_++;
   const Bytes total = dgram.size();
   const Bytes mtu = cm_.eth_mtu;
   const std::uint32_t nfrags =
       total == 0 ? 1 : static_cast<std::uint32_t>((total + mtu - 1) / mtu);
 
+  obs::flow(fw_.trace_track(), trace_op, "eth_send", eng_.now());
   for (std::uint32_t i = 0; i < nfrags; ++i) {
     const Bytes off = static_cast<Bytes>(i) * mtu;
     const Bytes chunk = std::min<Bytes>(mtu, total - off);
-    co_await fw_.consume(cm_.nic_tx_frag);
-    if (chunk > 0) co_await dma_transfer(chunk);
+    co_await fw_.consume(cm_.nic_tx_frag, trace_op, "nic/tx_frag");
+    if (chunk > 0) co_await dma_transfer(chunk, trace_op);
 
     EthCtrl ctrl;
     ctrl.dgram_id = dgram_id;
@@ -544,6 +568,7 @@ sim::Task<void> Nic::eth_send(net::NodeId dst, net::Buffer dgram,
     p.frag_count = nfrags;
     p.msg_total = total;
     p.ctrl = ctrl;
+    p.trace_op = trace_op;
     fabric_.send(std::move(p));
   }
 }
@@ -586,7 +611,7 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
       const Bytes head_end = std::min(frag_end, data_start);
       if (head_end > frag_start) {
         const Bytes n = head_end - frag_start;
-        co_await dma_transfer(n);
+        co_await dma_transfer(n, p.trace_op);
         std::copy(v.begin(), v.begin() + n,
                   r.bytes.mutable_view().begin() + frag_start);
       }
@@ -595,7 +620,7 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
       if (body_end > body_start) {
         const auto& entry = preposts_.at(ctrl.rddp_xid);
         const Bytes n = body_end - body_start;
-        co_await dma_transfer(n);  // direct placement into the user buffer
+        co_await dma_transfer(n, p.trace_op);  // placement into user buffer
         const Status st =
             entry.as->write(entry.va + (body_start - data_start),
                             v.subspan(body_start - frag_start, n));
@@ -605,12 +630,12 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
       const Bytes tail_start = std::max(frag_start, data_end);
       if (frag_end > tail_start) {
         const Bytes n = frag_end - tail_start;
-        co_await dma_transfer(n);
+        co_await dma_transfer(n, p.trace_op);
         std::copy(v.begin() + (tail_start - frag_start), v.end(),
                   r.bytes.mutable_view().begin() + tail_start);
       }
     } else {
-      co_await dma_transfer(v.size());
+      co_await dma_transfer(v.size(), p.trace_op);
       std::copy(v.begin(), v.end(),
                 r.bytes.mutable_view().begin() + frag_start);
     }
@@ -620,6 +645,7 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
   if (r.received == p.msg_total) {
     EthDatagram d;
     d.src = p.src;
+    d.trace_op = p.trace_op;
     d.rddp_xid = r.rddp_xid;
     d.rddp_placed = r.rddp_active;
     d.rddp_data_len = r.rddp_active ? r.rddp_data_len : 0;

@@ -65,6 +65,7 @@ class Nic {
     net::NodeId src = net::kInvalidNode;
     std::uint32_t user_tag = 0;
     net::Buffer data;
+    obs::OpId trace_op = 0;  // file-op trace context from the sender
   };
 
   // Open a receive port; messages sent to (this node, port) arrive on the
@@ -76,22 +77,25 @@ class Nic {
   std::uint32_t alloc_port() { return next_port_++; }
 
   // Send a message. Returns when the local NIC has pushed the last fragment
-  // onto the wire (GM send-completion semantics).
+  // onto the wire (GM send-completion semantics). `trace_op` rides along as
+  // trace context: packets, NIC work and the delivered GmMessage carry it.
   sim::Task<void> gm_send(net::NodeId dst, std::uint32_t port,
-                          std::uint32_t user_tag, net::Buffer data);
+                          std::uint32_t user_tag, net::Buffer data,
+                          obs::OpId trace_op = 0);
 
   // RDMA read/write against a remote exported segment. Completes when the
   // data (or ack) has fully arrived; a remote access fault completes with
   // Errc::access_fault (the recoverable NIC-to-NIC exception of §4.1).
   sim::Task<Result<net::Buffer>> gm_get(net::NodeId dst, mem::Vaddr va,
                                         Bytes len,
-                                        const crypto::Capability& cap);
+                                        const crypto::Capability& cap,
+                                        obs::OpId trace_op = 0);
   // wait_ack=false returns once the last fragment is pushed (VI
   // reliable-delivery semantics: in-order delivery means a subsequent
   // message arrives after the written data); the ack is then ignored.
   sim::Task<Status> gm_put(net::NodeId dst, mem::Vaddr va, net::Buffer data,
                            const crypto::Capability& cap,
-                           bool wait_ack = true);
+                           bool wait_ack = true, obs::OpId trace_op = 0);
 
   // ---------------------------------------------------------------------
   // Segment export (TPT / capabilities)
@@ -123,6 +127,7 @@ class Nic {
     std::uint32_t rddp_xid = 0;
     bool rddp_placed = false;  // payload was deposited directly by the NIC
     Bytes rddp_data_len = 0;
+    obs::OpId trace_op = 0;  // file-op trace context from the sender
   };
   using EthSink = std::function<sim::Task<void>(EthDatagram)>;
 
@@ -136,7 +141,8 @@ class Nic {
   sim::Task<void> eth_send(net::NodeId dst, net::Buffer dgram,
                            std::uint32_t rddp_xid = 0,
                            Bytes rddp_data_offset = 0,
-                           Bytes rddp_data_len = 0);
+                           Bytes rddp_data_len = 0,
+                           obs::OpId trace_op = 0);
 
   // Pre-post an application buffer tagged by RPC xid (§3.2). The NIC will
   // deposit the matching response's payload directly at (as, va). One-shot:
@@ -183,13 +189,15 @@ class Nic {
   sim::Task<void> handle_eth(net::Packet p);
 
   // DMA a transfer of n bytes between host memory and the NIC.
-  sim::Task<void> dma_transfer(Bytes n);
+  sim::Task<void> dma_transfer(Bytes n, obs::OpId trace_op = 0);
 
   // Send the fragments of one GM message/reply. `make_ctrl` customises the
   // control word per message.
   sim::Task<void> send_fragments(net::NodeId dst, net::Buffer payload,
-                                 GmCtrl ctrl, bool charge_dma);
-  void send_ctrl_packet(net::NodeId dst, GmCtrl ctrl, Bytes extra_bytes = 0);
+                                 GmCtrl ctrl, bool charge_dma,
+                                 obs::OpId trace_op = 0);
+  void send_ctrl_packet(net::NodeId dst, GmCtrl ctrl, Bytes extra_bytes = 0,
+                        obs::OpId trace_op = 0);
 
   // Resolve all pages of [va, va+len) for an ORDMA access. On success fills
   // `frames` with (pfn, offset-in-page, chunk) triples; returns Errc
@@ -200,11 +208,13 @@ class Nic {
     Bytes chunk;
   };
   sim::Task<Result<std::vector<PageRun>>> resolve_ordma(
-      mem::Vaddr va, Bytes len, const crypto::Capability& cap, bool write);
+      mem::Vaddr va, Bytes len, const crypto::Capability& cap, bool write,
+      obs::OpId trace_op = 0);
 
   // Load a TPT translation into the TLB (miss path: host interrupt + PIO).
   sim::Task<Result<NicTlb::Entry*>> tlb_load(const Segment& seg,
-                                             mem::Vpn nic_vpn);
+                                             mem::Vpn nic_vpn,
+                                             obs::OpId trace_op = 0);
   void tlb_insert_pinned(const Segment& seg, mem::Vpn nic_vpn, mem::Pfn pfn);
   void unpin_evicted(const NicTlb::Entry& e);
 

@@ -1,0 +1,186 @@
+#include "obs/attribution.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace ordma::obs {
+
+const char* category_name(Category c) {
+  switch (c) {
+    case Category::per_byte:
+      return "per_byte";
+    case Category::per_packet:
+      return "per_packet";
+    case Category::per_io:
+      return "per_io";
+    case Category::nic:
+      return "nic";
+    case Category::wire:
+      return "wire";
+    case Category::disk:
+      return "disk";
+    case Category::other:
+      return "other";
+  }
+  return "?";
+}
+
+Category categorize(const char* span_name) {
+  auto has = [&](const char* prefix) {
+    return std::strncmp(span_name, prefix, std::strlen(prefix)) == 0;
+  };
+  if (has("byte/")) return Category::per_byte;
+  if (has("pkt/")) return Category::per_packet;
+  if (has("io/")) return Category::per_io;
+  if (has("nic/")) return Category::nic;
+  if (has("wire/")) return Category::wire;
+  if (has("disk/")) return Category::disk;
+  return Category::other;
+}
+
+double Breakdown::sum_us() const {
+  double s = 0;
+  for (double u : us) s += u;
+  return s;
+}
+
+Breakdown& Breakdown::operator+=(const Breakdown& o) {
+  for (std::size_t i = 0; i < kCategoryCount; ++i) us[i] += o.us[i];
+  total_us += o.total_us;
+  ops += o.ops;
+  if (*root_name == '\0') root_name = o.root_name;
+  return *this;
+}
+
+Breakdown Breakdown::averaged() const {
+  Breakdown b = *this;
+  if (ops > 1) {
+    const double n = static_cast<double>(ops);
+    for (double& u : b.us) u /= n;
+    b.total_us /= n;
+  }
+  return b;
+}
+
+namespace {
+
+// Priority when several categories are active at one instant: charge the
+// deepest pipeline stage. Lower value wins.
+int priority(Category c) {
+  switch (c) {
+    case Category::disk:
+      return 0;
+    case Category::wire:
+      return 1;
+    case Category::nic:
+      return 2;
+    case Category::per_byte:
+      return 3;
+    case Category::per_packet:
+      return 4;
+    case Category::per_io:
+      return 5;
+    case Category::other:
+      return 6;
+  }
+  return 6;
+}
+
+struct Interval {
+  std::int64_t begin;
+  std::int64_t end;
+  Category cat;
+};
+
+struct Boundary {
+  std::int64_t at;
+  Category cat;
+  int delta;  // +1 open, -1 close
+};
+
+// Sweep [root_begin, root_end]; each elementary interval is charged to the
+// highest-priority active category, or `other` when none is active.
+void sweep(std::int64_t root_begin, std::int64_t root_end,
+           std::vector<Interval>& leaves, Breakdown& out) {
+  std::vector<Boundary> bounds;
+  bounds.reserve(leaves.size() * 2);
+  for (const Interval& iv : leaves) {
+    const std::int64_t b = std::max(iv.begin, root_begin);
+    const std::int64_t e = std::min(iv.end, root_end);
+    if (e <= b) continue;
+    bounds.push_back(Boundary{b, iv.cat, +1});
+    bounds.push_back(Boundary{e, iv.cat, -1});
+  }
+  std::sort(bounds.begin(), bounds.end(),
+            [](const Boundary& a, const Boundary& b) { return a.at < b.at; });
+
+  int active[kCategoryCount] = {};
+  auto charge = [&](std::int64_t from, std::int64_t to) {
+    if (to <= from) return;
+    Category best = Category::other;
+    for (std::size_t i = 0; i < kCategoryCount; ++i) {
+      const auto c = static_cast<Category>(i);
+      if (active[i] > 0 && priority(c) < priority(best)) best = c;
+    }
+    out[best] += static_cast<double>(to - from) / 1000.0;
+  };
+
+  std::int64_t cursor = root_begin;
+  for (const Boundary& b : bounds) {
+    charge(cursor, b.at);
+    cursor = std::max(cursor, b.at);
+    active[static_cast<std::size_t>(b.cat)] += b.delta;
+  }
+  charge(cursor, root_end);
+}
+
+}  // namespace
+
+std::map<OpId, Breakdown> attribute(const TraceRecorder& rec) {
+  struct OpSpans {
+    const TraceRecorder::Event* root = nullptr;
+    std::vector<Interval> leaves;
+  };
+  std::map<OpId, OpSpans> ops;
+  std::vector<Interval> ambient;  // op id 0 leaf spans
+
+  rec.for_each_event([&](const TraceRecorder::Event& ev) {
+    if (ev.kind == TraceRecorder::Kind::root) {
+      auto& slot = ops[ev.op];
+      if (!slot.root) slot.root = &ev;
+      return;
+    }
+    if (ev.kind != TraceRecorder::Kind::span) return;
+    const Interval iv{ev.begin_ns, ev.end_ns, categorize(ev.name)};
+    if (ev.op == 0) {
+      ambient.push_back(iv);
+    } else {
+      ops[ev.op].leaves.push_back(iv);
+    }
+  });
+  // Events are recorded at their end instant, so `ambient` is already
+  // ordered by nondecreasing end — binary search below relies on it.
+
+  std::map<OpId, Breakdown> result;
+  for (auto& [op, spans] : ops) {
+    if (!spans.root) continue;  // leaf spans without an envelope
+    const std::int64_t b = spans.root->begin_ns;
+    const std::int64_t e = spans.root->end_ns;
+    // Ambient (op-0) work overlapping the envelope is charged to this op.
+    const auto lo = std::lower_bound(
+        ambient.begin(), ambient.end(), b,
+        [](const Interval& iv, std::int64_t t) { return iv.end < t; });
+    for (auto it = lo; it != ambient.end(); ++it) {
+      if (it->begin < e) spans.leaves.push_back(*it);
+    }
+    Breakdown out;
+    out.root_name = spans.root->name;
+    out.total_us = static_cast<double>(e - b) / 1000.0;
+    sweep(b, e, spans.leaves, out);
+    result.emplace(op, out);
+  }
+  return result;
+}
+
+}  // namespace ordma::obs

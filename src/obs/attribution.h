@@ -1,0 +1,77 @@
+// Per-I/O overhead attribution: fold one operation's trace spans into the
+// paper's Table-1 cost categories.
+//
+// The paper (Sec. 2, Table 1) decomposes end-system overhead into per-byte
+// (memory copies), per-packet (network stack work proportional to fragment
+// count) and per-I/O (fixed protocol work) components; the simulation adds
+// explicit NIC, wire and disk stages. Span names map to categories by
+// prefix:
+//
+//   "byte/..."  → per_byte    host memory copies, NFS staging
+//   "pkt/..."   → per_packet  UDP/IP per-fragment stack work, rx interrupts
+//   "io/..."    → per_io      syscalls, protocol procs, RPC issue/dispatch/
+//                             complete, VI pickup, registration
+//   "nic/..."   → nic         doorbells, firmware frag handling, DMA,
+//                             TPT/TLB lookups and faults, get/put service
+//   "wire/..."  → wire        link serialization + propagation
+//   "disk/..."  → disk        disk arm + media transfer
+//   "op/..."    → (root)      the operation envelope; defines [begin, end]
+//
+// Because NIC firmware, DMA and the wire pipeline fragments, raw span
+// durations over-count overlapped stages. The attributor instead sweeps the
+// root interval once and charges every instant to exactly one bucket: the
+// highest-priority category with an active span (disk > wire > nic >
+// per_byte > per_packet > per_io), or `other` when nothing is active (sync
+// gaps, scheduling, costs recorded without an op id). Buckets therefore sum
+// to the end-to-end latency exactly. Ambient spans (op id 0, e.g. coalesced
+// receive-interrupt entry) overlapping the root interval are counted as if
+// they belonged to the op — exact for one-op-at-a-time workloads, an
+// approximation under concurrency (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "obs/trace.h"
+
+namespace ordma::obs {
+
+enum class Category : std::uint8_t {
+  per_byte,
+  per_packet,
+  per_io,
+  nic,
+  wire,
+  disk,
+  other,
+};
+inline constexpr std::size_t kCategoryCount = 7;
+
+const char* category_name(Category c);
+
+// Category of a span name by prefix; names without a known prefix (and
+// "op/" roots) map to `other`.
+Category categorize(const char* span_name);
+
+struct Breakdown {
+  double us[kCategoryCount] = {};
+  double total_us = 0;        // root span duration
+  const char* root_name = ""; // e.g. "op/pread"
+  std::size_t ops = 1;        // number of ops folded in (for averages)
+
+  double& operator[](Category c) { return us[static_cast<std::size_t>(c)]; }
+  double operator[](Category c) const {
+    return us[static_cast<std::size_t>(c)];
+  }
+  double sum_us() const;
+
+  // Accumulate another op's breakdown (for averaging over samples).
+  Breakdown& operator+=(const Breakdown& o);
+  // Divide all buckets and the total by `ops` (turn a sum into a mean).
+  Breakdown averaged() const;
+};
+
+// Fold every traced op (ops with a root span) in `rec`. Key = op id.
+std::map<OpId, Breakdown> attribute(const TraceRecorder& rec);
+
+}  // namespace ordma::obs

@@ -1,0 +1,79 @@
+#include "obs/cli.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "common/log.h"
+
+namespace ordma::obs {
+
+namespace {
+bool take_value(std::string_view arg, std::string_view flag,
+                std::string* out) {
+  if (arg.substr(0, flag.size()) != flag) return false;
+  *out = std::string(arg.substr(flag.size()));
+  return true;
+}
+}  // namespace
+
+ObsSession::ObsSession(int& argc, char** argv) {
+  std::string log_level;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const bool consumed = take_value(arg, "--trace=", &trace_path_) ||
+                          take_value(arg, "--metrics=", &metrics_path_) ||
+                          take_value(arg, "--log=", &log_level);
+    if (!consumed) argv[kept++] = argv[i];
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  if (log_level == "off") {
+    Log::level() = LogLevel::off;
+  } else if (log_level == "error") {
+    Log::level() = LogLevel::error;
+  } else if (log_level == "info") {
+    Log::level() = LogLevel::info;
+  } else if (log_level == "trace") {
+    Log::level() = LogLevel::trace;
+  } else if (!log_level.empty()) {
+    std::fprintf(stderr, "obs: unknown --log level '%s' (want off|error|info|trace)\n",
+                 log_level.c_str());
+  }
+  if (!trace_path_.empty()) {
+    recorder_ = std::make_unique<TraceRecorder>();
+    install(recorder_.get());
+  }
+  if (!metrics_path_.empty()) {
+    registry_ = std::make_unique<MetricsRegistry>();
+    install(registry_.get());
+  }
+}
+
+void ObsSession::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (recorder_) {
+    if (recorder_->write_chrome_json_file(trace_path_)) {
+      std::fprintf(stderr, "obs: trace written to %s (%zu events)\n",
+                   trace_path_.c_str(), recorder_->event_count());
+    } else {
+      std::fprintf(stderr, "obs: failed to write trace to %s\n",
+                   trace_path_.c_str());
+    }
+  }
+  if (registry_) {
+    if (registry_->write_json_file(metrics_path_)) {
+      std::fprintf(stderr, "obs: metrics written to %s (%zu entries)\n",
+                   metrics_path_.c_str(), registry_->size());
+    } else {
+      std::fprintf(stderr, "obs: failed to write metrics to %s\n",
+                   metrics_path_.c_str());
+    }
+  }
+}
+
+ObsSession::~ObsSession() { flush(); }
+
+}  // namespace ordma::obs

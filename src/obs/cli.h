@@ -1,0 +1,47 @@
+// Shared observability command-line handling for bench/ and examples/
+// binaries:
+//
+//   --trace=<file>     record a Chrome trace (open in Perfetto / chrome://tracing)
+//   --metrics=<file>   write a metrics-registry JSON snapshot on exit
+//   --log=<level>      off | error | info | trace (simulated-time stamped)
+//
+// Usage: construct one ObsSession at the top of main(). It consumes its own
+// flags (compacting argc/argv so positional parsing downstream is
+// unaffected), ignores everything else, installs the global TraceRecorder /
+// MetricsRegistry as requested, and writes the output files when it goes
+// out of scope.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ordma::obs {
+
+class ObsSession {
+ public:
+  ObsSession(int& argc, char** argv);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool tracing() const { return recorder_ != nullptr; }
+  bool metrics() const { return registry_ != nullptr; }
+  TraceRecorder* recorder() { return recorder_.get(); }
+  MetricsRegistry* registry() { return registry_.get(); }
+
+  // Write the outputs now (instead of at destruction) — used by binaries
+  // that want to report file paths before printing their own results.
+  void flush();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<TraceRecorder> recorder_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  bool flushed_ = false;
+};
+
+}  // namespace ordma::obs

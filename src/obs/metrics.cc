@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+namespace ordma::obs {
+
+void install(MetricsRegistry* r) { detail::g_registry = r; }
+
+MetricsRegistry::~MetricsRegistry() {
+  if (detail::g_registry == this) install(nullptr);
+}
+
+Counter& MetricsRegistry::counter(const std::string& path) {
+  Entry& e = entries_[path];
+  if (!e.c) e.c = std::make_unique<Counter>();
+  return *e.c;
+}
+
+LatencyHistogram& MetricsRegistry::histogram(const std::string& path) {
+  Entry& e = entries_[path];
+  if (!e.h) e.h = std::make_unique<LatencyHistogram>();
+  return *e.h;
+}
+
+void MetricsRegistry::gauge(const std::string& path,
+                            std::function<double()> fn) {
+  entries_[path].g = std::move(fn);
+}
+
+namespace {
+
+void json_escaped(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+void emit_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  // Nest '/'-separated paths into an object tree. std::map keeps both the
+  // tree and the output deterministic.
+  struct Node {
+    std::map<std::string, Node> kids;
+    const Entry* leaf = nullptr;
+  };
+  Node root;
+  for (const auto& [path, entry] : entries_) {
+    Node* n = &root;
+    std::size_t start = 0;
+    for (;;) {
+      const auto slash = path.find('/', start);
+      const std::string part =
+          path.substr(start, slash == std::string::npos ? std::string::npos
+                                                        : slash - start);
+      n = &n->kids[part];
+      if (slash == std::string::npos) break;
+      start = slash + 1;
+    }
+    n->leaf = &entry;
+  }
+
+  auto emit_entry = [&](const Entry& e) {
+    if (e.g) {
+      emit_number(os, e.g());
+    } else if (e.c) {
+      os << e.c->get();
+    } else if (e.h) {
+      os << R"({"count":)" << e.h->count() << R"(,"mean_us":)";
+      emit_number(os, e.h->mean_us());
+      os << R"(,"max_us":)";
+      emit_number(os, e.h->max_us());
+      os << R"(,"buckets":[)";
+      bool first = true;
+      for (std::size_t b = 0; b < LatencyHistogram::bucket_count(); ++b) {
+        if (e.h->bucket_value(b) == 0) continue;
+        if (!first) os << ",";
+        first = false;
+        os << R"({"le_us":)";
+        emit_number(os, LatencyHistogram::upper_edge_us(b));
+        os << R"(,"n":)" << e.h->bucket_value(b) << "}";
+      }
+      os << "]}";
+    } else {
+      os << "null";
+    }
+  };
+
+  auto emit_node = [&](auto&& self, const Node& n) -> void {
+    if (n.leaf) {
+      emit_entry(*n.leaf);
+      return;
+    }
+    os << "{";
+    bool first = true;
+    for (const auto& [name, kid] : n.kids) {
+      if (!first) os << ",";
+      first = false;
+      os << "\"";
+      json_escaped(os, name);
+      os << "\":";
+      self(self, kid);
+    }
+    os << "}";
+  };
+  emit_node(emit_node, root);
+  os << "\n";
+}
+
+bool MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_json(f);
+  return f.good();
+}
+
+}  // namespace ordma::obs

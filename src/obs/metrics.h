@@ -1,0 +1,66 @@
+// Hierarchical metrics registry.
+//
+// Components register counters, pull-gauges and latency histograms under
+// '/'-separated paths ("server/nic/tpt_miss", "client0/cache/hits"); a
+// snapshot nests the paths into a JSON object tree. Entries are owned by
+// the registry and stable for its lifetime (node-based map), so components
+// can hold references. Gauges are sampled at snapshot time via a callback,
+// which lets existing component counters (cache hit counts, resource busy
+// time, ...) be exported without touching their owners' hot paths.
+//
+// Like tracing (obs/trace.h), a registry is installed globally and absent
+// by default; helpers no-op on a null registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+
+namespace ordma::obs {
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& path);
+  LatencyHistogram& histogram(const std::string& path);
+  // Register (or replace) a gauge sampled at snapshot time.
+  void gauge(const std::string& path, std::function<double()> fn);
+
+  std::size_t size() const { return entries_.size(); }
+
+  // Snapshot as nested JSON. Counters render as integers, gauges as
+  // numbers, histograms as {count, mean_us, max_us, buckets:[{le_us,n}]}.
+  void write_json(std::ostream& os) const;
+  bool write_json_file(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<Counter> c;
+    std::unique_ptr<LatencyHistogram> h;
+    std::function<double()> g;
+  };
+  // std::map: deterministic order and stable addresses.
+  std::map<std::string, Entry> entries_;
+};
+
+namespace detail {
+inline MetricsRegistry* g_registry = nullptr;
+}
+
+inline MetricsRegistry* registry() { return detail::g_registry; }
+
+// Install `r` as the global registry (nullptr disables). Caller keeps
+// ownership; a registry uninstalls itself on destruction.
+void install(MetricsRegistry* r);
+
+}  // namespace ordma::obs

@@ -1,0 +1,219 @@
+// Simulation-wide tracing against *simulated* time.
+//
+// A TraceRecorder collects completed spans (begin/end in simulated
+// nanoseconds) on named tracks and exports Chrome trace-event JSON loadable
+// in Perfetto: one "process" per simulated host, one "track" (thread) per
+// component (cpu, nic.fw, nic.dma, disk, ...), plus flow arrows stitching a
+// single file operation into one causal tree across hosts.
+//
+// Design rules:
+//  * Disabled by default. All instrumentation goes through the inline
+//    helpers below, which compile to a single well-predicted null check
+//    when no recorder is installed (verified by bench/bench_engine vs
+//    BENCH_engine.json).
+//  * Recording never perturbs the simulation: spans are recorded with
+//    explicit timestamps taken from the engine clock; the recorder itself
+//    never schedules, sleeps or reads wall-clock time. Determinism with
+//    tracing on vs off is pinned by tests/engine_determinism_test.cc and
+//    tests/obs_test.cc.
+//  * Allocation-free steady state: events live in fixed-size chunks that
+//    are retained across clear(); track interning happens once per
+//    (component, recorder) via the Track cache below.
+//  * Span names are string literals (the recorder stores the pointer).
+//    The prefix up to the first '/' is the span's category and drives the
+//    per-I/O overhead attributor (obs/attribution.h): "io/", "byte/",
+//    "pkt/", "nic/", "wire/", "disk/" map to the paper's Table-1 buckets;
+//    "op/" marks an operation's root (envelope) span.
+//
+// Overlap discipline: Chrome "X" slices on one track must nest or be
+// disjoint — partial overlap renders wrong and fails the CI validator
+// (scripts/validate_trace.py). Most spans here are resource *holds*
+// (capacity-1 CPU/firmware/DMA/disk slots), which are serialized by
+// construction. For the rest (operation envelopes, pipelined wire
+// segments), the recorder splits a track into overflow lanes ("cpu~2")
+// on the fly: events arrive in nondecreasing end order (they are recorded
+// at their end instant), so assigning each span to the first lane whose
+// previous end precedes the span's begin guarantees disjointness per lane.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace ordma::obs {
+
+// Identity of one logical file operation (FileClient::pread etc.). Carried
+// through RPC headers, VI/GM messages, NIC work descriptors, server fs and
+// disk so every cost a single read pays lands in one span tree. 0 means
+// "not traced" / ambient work.
+using OpId = std::uint64_t;
+
+using TrackId = std::uint32_t;
+
+class TraceRecorder {
+ public:
+  enum class Kind : std::uint8_t {
+    span,     // leaf cost interval (attributed by category prefix)
+    root,     // operation envelope ("op/...")
+    instant,  // point annotation
+    flow,     // causal handoff point; exported as Chrome flow s/t/f chain
+  };
+
+  struct Event {
+    std::int64_t begin_ns;
+    std::int64_t end_ns;  // == begin_ns for instant/flow
+    const char* name;     // string literal; prefix before '/' = category
+    OpId op;
+    TrackId track;
+    Kind kind;
+  };
+
+  TraceRecorder() = default;
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // --- op ids -----------------------------------------------------------
+  OpId new_op() { return next_op_++; }
+
+  // --- tracks -----------------------------------------------------------
+  // Intern (process, component) and return its track. Use the Track cache
+  // below from instrumentation sites instead of calling this per event.
+  TrackId track(std::string_view process, std::string_view component);
+
+  // --- recording (simulated-time stamps, ns) ----------------------------
+  void record(Kind kind, TrackId track, OpId op, const char* name,
+              std::int64_t begin_ns, std::int64_t end_ns);
+
+  // --- inspection -------------------------------------------------------
+  std::size_t event_count() const { return count_; }
+  template <typename Fn>
+  void for_each_event(Fn&& fn) const {
+    for (std::size_t i = 0; i < count_; ++i) {
+      fn(chunks_[i >> kChunkShift][i & (kChunkEvents - 1)]);
+    }
+  }
+  std::size_t track_count() const { return tracks_.size(); }
+  const std::string& track_process(TrackId t) const {
+    return processes_[tracks_[t].pid];
+  }
+  const std::string& track_component(TrackId t) const {
+    return tracks_[t].component;
+  }
+
+  // --- export -----------------------------------------------------------
+  void write_chrome_json(std::ostream& os) const;
+  bool write_chrome_json_file(const std::string& path) const;
+
+  // Drop all events (track interning and chunk capacity are retained).
+  void clear();
+
+ private:
+  static constexpr std::size_t kChunkShift = 12;
+  static constexpr std::size_t kChunkEvents = std::size_t{1} << kChunkShift;
+
+  struct TrackInfo {
+    std::string component;
+    std::uint32_t pid;            // index into processes_
+    std::int64_t last_end = 0;    // max end recorded on this lane
+    TrackId overflow = 0;         // next lane for this component (0 = none)
+    std::uint32_t lane = 1;       // 1-based lane number within component
+  };
+
+  void push(const Event& ev);
+  TrackId overflow_lane(TrackId t);
+
+  OpId next_op_ = 1;
+  std::vector<std::string> processes_;
+  std::vector<TrackInfo> tracks_;
+  std::vector<std::unique_ptr<Event[]>> chunks_;
+  std::size_t count_ = 0;
+};
+
+namespace detail {
+// The installed recorder and its install epoch. The epoch invalidates
+// Track caches when a new recorder (or the same one re-) installs.
+inline TraceRecorder* g_recorder = nullptr;
+inline std::uint32_t g_epoch = 0;
+}  // namespace detail
+
+inline TraceRecorder* recorder() { return detail::g_recorder; }
+inline bool enabled() { return detail::g_recorder != nullptr; }
+
+// Install `r` as the global recorder (nullptr disables tracing). The caller
+// keeps ownership; a recorder uninstalls itself on destruction.
+void install(TraceRecorder* r);
+
+// Cached (process, component) → TrackId resolution. Embed one per
+// instrumented component; id() is a single epoch compare once resolved.
+// Only call id() while enabled().
+class Track {
+ public:
+  Track() = default;
+  Track(std::string process, std::string component)
+      : process_(std::move(process)), component_(std::move(component)) {}
+
+  void set(std::string process, std::string component) {
+    process_ = std::move(process);
+    component_ = std::move(component);
+    epoch_ = 0;
+  }
+
+  TrackId id() {
+    if (epoch_ != detail::g_epoch) {
+      id_ = detail::g_recorder->track(process_, component_);
+      epoch_ = detail::g_epoch;
+    }
+    return id_;
+  }
+
+ private:
+  std::string process_{"sim"};
+  std::string component_{"main"};
+  TrackId id_ = 0;
+  std::uint32_t epoch_ = 0;  // g_epoch starts at 1; 0 = never resolved
+};
+
+// --- instrumentation helpers (single predictable branch when disabled) ---
+
+inline OpId new_op() {
+  TraceRecorder* r = detail::g_recorder;
+  return r ? r->new_op() : 0;
+}
+
+inline void span(Track& t, OpId op, const char* name, SimTime begin,
+                 SimTime end) {
+  if (TraceRecorder* r = detail::g_recorder) {
+    r->record(TraceRecorder::Kind::span, t.id(), op, name, begin.ns, end.ns);
+  }
+}
+
+inline void root(Track& t, OpId op, const char* name, SimTime begin,
+                 SimTime end) {
+  if (TraceRecorder* r = detail::g_recorder) {
+    r->record(TraceRecorder::Kind::root, t.id(), op, name, begin.ns, end.ns);
+  }
+}
+
+inline void instant(Track& t, OpId op, const char* name, SimTime at) {
+  if (TraceRecorder* r = detail::g_recorder) {
+    r->record(TraceRecorder::Kind::instant, t.id(), op, name, at.ns, at.ns);
+  }
+}
+
+// Mark a causal handoff (message send/receive). All flow points of one op,
+// ordered by time, are exported as a Chrome flow chain (ph s/t/f) keyed by
+// the op id, which Perfetto renders as arrows across hosts. Untraced work
+// (op 0) has no identity to chain on and is skipped.
+inline void flow(Track& t, OpId op, const char* name, SimTime at) {
+  if (TraceRecorder* r = detail::g_recorder; r && op != 0) {
+    r->record(TraceRecorder::Kind::flow, t.id(), op, name, at.ns, at.ns);
+  }
+}
+
+}  // namespace ordma::obs

@@ -1,5 +1,7 @@
 #include "rpc/rpc.h"
 
+#include <array>
+
 namespace ordma::rpc {
 
 // ---------------------------------------------------------------------------
@@ -10,14 +12,15 @@ sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
                                                 std::uint16_t server_port,
                                                 std::uint32_t proc,
                                                 net::Buffer args,
-                                                const Prepost* prepost) {
+                                                const Prepost* prepost,
+                                                obs::OpId trace_op) {
   const auto& cm = host_.costs();
   const std::uint32_t xid = next_xid_++;
 
-  co_await host_.cpu_consume(cm.rpc_client_issue);
+  co_await host_.cpu_consume(cm.rpc_client_issue, trace_op, "io/rpc_issue");
   if (prepost) {
     // Hand the tagged buffer descriptor to the NIC (§3.2).
-    co_await host_.cpu_consume(cm.nic_prepost);
+    co_await host_.cpu_consume(cm.nic_prepost, trace_op, "io/register");
     host_.nic().prepost(xid, *prepost->as, prepost->va, prepost->len);
   }
 
@@ -25,18 +28,23 @@ sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
   enc.u32(xid);
   enc.u32(kRpcCall);
   enc.u32(proc);
+  enc.u32(static_cast<std::uint32_t>(trace_op));
   enc.raw(args.view());
 
   auto waiter = std::make_unique<Waiter>(host_.engine());
   auto* wp = waiter.get();
   waiting_.emplace(xid, std::move(waiter));
 
-  co_await socket_.send_to(server, server_port, enc.finish());
+  co_await socket_.send_to(server, server_port, enc.finish(),
+                           /*rddp_xid=*/0, /*rddp_data_offset=*/0,
+                           /*rddp_data_len=*/0, /*gather_send=*/false,
+                           trace_op);
 
   RpcReplyInfo info = co_await wp->done.wait();
   waiting_.erase(xid);
   if (prepost && !info.rddp_placed) host_.nic().cancel_prepost(xid);
-  co_await host_.cpu_consume(cm.rpc_client_complete);
+  co_await host_.cpu_consume(cm.rpc_client_complete, trace_op,
+                             "io/rpc_complete");
   co_return info;
 }
 
@@ -79,15 +87,21 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
   const std::uint32_t xid = dec.u32();
   const std::uint32_t type = dec.u32();
   const std::uint32_t proc = dec.u32();
+  const std::uint32_t trace = dec.u32();
   if (!dec.ok() || type != kRpcCall) co_return;
 
-  co_await host_.cpu_consume(cm.cpu_schedule + cm.rpc_server_dispatch);
+  co_await host_.cpu().consume_parts(
+      trace, std::array<sim::Resource::Part, 2>{{
+                 {cm.cpu_schedule, "io/sched"},
+                 {cm.rpc_server_dispatch, "io/rpc_dispatch"},
+             }});
 
   RpcCallCtx ctx;
   ctx.client = d.src;
   ctx.client_port = d.src_port;
   ctx.xid = xid;
   ctx.proc = proc;
+  ctx.trace_op = trace;
   ctx.args = d.data.slice(kRpcHeaderBytes, d.data.size() - kRpcHeaderBytes);
 
   auto it = handlers_.find(proc);
@@ -104,6 +118,7 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
   enc.u32(xid);
   enc.u32(kRpcReply);
   enc.u32(reply.status);
+  enc.u32(trace);  // echo the caller's trace context
   const auto results_bytes = reply.results.take();
   enc.raw(results_bytes);
   const Bytes data_offset = kRpcHeaderBytes + results_bytes.size();
@@ -113,7 +128,8 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
   co_await socket_.send_to(d.src, d.src_port, enc.finish(),
                            /*rddp_xid=*/data_len > 0 ? xid : 0,
                            /*rddp_data_offset=*/data_offset,
-                           /*rddp_data_len=*/data_len, reply.gather_send);
+                           /*rddp_data_len=*/data_len, reply.gather_send,
+                           trace);
 }
 
 }  // namespace ordma::rpc

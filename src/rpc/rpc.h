@@ -5,8 +5,12 @@
 // into that buffer.
 //
 // Wire format (all XDR):
-//   call:  xid u32 | type=0 u32 | proc u32 | args...
-//   reply: xid u32 | type=1 u32 | status u32 | results... [| bulk data]
+//   call:  xid u32 | type=0 u32 | proc u32 | trace u32 | args...
+//   reply: xid u32 | type=1 u32 | status u32 | trace u32 | results...
+//          [| bulk data]
+// The trace word carries the issuing file operation's trace-context id
+// (obs/trace.h; 0 = untraced) so server-side work lands in the caller's
+// span tree. Op ids are sequential from 1 and fit u32 at simulation scales.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +29,7 @@ namespace ordma::rpc {
 
 inline constexpr std::uint32_t kRpcCall = 0;
 inline constexpr std::uint32_t kRpcReply = 1;
-inline constexpr Bytes kRpcHeaderBytes = 12;
+inline constexpr Bytes kRpcHeaderBytes = 16;
 
 struct RpcReplyInfo {
   std::uint32_t status = 0;      // protocol-level status (Errc as u32)
@@ -50,11 +54,13 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
-  // Issue one call and await its reply.
+  // Issue one call and await its reply. `trace_op` is marshalled into the
+  // call header and echoed by the server's reply.
   sim::Task<Result<RpcReplyInfo>> call(net::NodeId server,
                                        std::uint16_t server_port,
                                        std::uint32_t proc, net::Buffer args,
-                                       const Prepost* prepost = nullptr);
+                                       const Prepost* prepost = nullptr,
+                                       obs::OpId trace_op = 0);
 
   std::uint64_t calls_issued() const { return next_xid_ - 1; }
 
@@ -86,6 +92,7 @@ struct RpcCallCtx {
   std::uint16_t client_port = 0;
   std::uint32_t xid = 0;
   std::uint32_t proc = 0;
+  obs::OpId trace_op = 0;  // decoded from the call header
   net::Buffer args;
 };
 

@@ -1,10 +1,23 @@
 #include "sim/engine.h"
 
 #include "common/assert.h"
+#include "common/log.h"
 
 namespace ordma::sim {
 
+Engine::Engine() {
+  // Make log lines carry simulated time (last constructed engine wins; the
+  // destructor only clears its own registration).
+  Log::set_clock(
+      [](const void* e) {
+        return static_cast<long long>(
+            static_cast<const Engine*>(e)->now().ns);
+      },
+      this);
+}
+
 Engine::~Engine() {
+  Log::clear_clock(this);
   // Destroy still-live processes first (their awaiter destructors cancel any
   // timers / unlink from wait queues — the nodes they touch stay alive until
   // the slabs are freed below). Pending callbacks in the queues may own

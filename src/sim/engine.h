@@ -75,7 +75,9 @@ class Engine {
     TimerNode* next = nullptr;
   };
 
-  Engine() = default;
+  // Construction installs this engine as the Log simulation clock (see
+  // common/log.h); destruction clears it.
+  Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();

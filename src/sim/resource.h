@@ -7,6 +7,7 @@
 // server-saturation results (Fig. 7).
 #pragma once
 
+#include <array>
 #include <coroutine>
 #include <cstdint>
 #include <string>
@@ -14,6 +15,7 @@
 #include "common/assert.h"
 #include "common/intrusive_list.h"
 #include "common/units.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/task.h"
 
@@ -24,6 +26,14 @@ class Resource {
   Resource(Engine& eng, unsigned capacity, std::string name = "resource")
       : eng_(eng), capacity_(capacity), name_(std::move(name)) {
     ORDMA_CHECK(capacity_ >= 1);
+    // Trace track from the dotted name: "server.nic.fw" → process "server",
+    // component "nic.fw" (undotted names become their own process).
+    const auto dot = name_.find('.');
+    if (dot == std::string::npos) {
+      trace_track_.set(name_, "run");
+    } else {
+      trace_track_.set(name_.substr(0, dot), name_.substr(dot + 1));
+    }
   }
   Resource(const Resource&) = delete;
   Resource& operator=(const Resource&) = delete;
@@ -61,6 +71,41 @@ class Resource {
     ReleaseGuard guard(*this);
     co_await eng_.delay(d);
   }
+
+  // consume() plus a trace span over the *hold* (service time, not queue
+  // wait: holds of a capacity-1 resource are serialized, so their spans
+  // never partially overlap on the track). `label`'s prefix picks the
+  // attribution bucket (obs/attribution.h); `op` ties it to a file op.
+  Task<void> consume(Duration d, obs::OpId op, const char* label) {
+    co_await acquire();
+    ReleaseGuard guard(*this);
+    const SimTime b = eng_.now();
+    co_await eng_.delay(d);
+    obs::span(trace_track_, op, label, b, eng_.now());
+  }
+
+  // One hold partitioned into separately-labelled sub-spans — for call
+  // sites that charge several logically distinct costs in one slice (e.g.
+  // UDP tx: syscall + per-fragment stack work + copy). The hold and its
+  // total duration are identical whether tracing is on or off.
+  struct Part {
+    Duration d;
+    const char* label;
+  };
+  template <std::size_t N>
+  Task<void> consume_parts(obs::OpId op, std::array<Part, N> parts) {
+    co_await acquire();
+    ReleaseGuard guard(*this);
+    for (const Part& p : parts) {
+      const SimTime b = eng_.now();
+      co_await eng_.delay(p.d);
+      obs::span(trace_track_, op, p.label, b, eng_.now());
+    }
+  }
+
+  // Track for manually recorded spans over holds of this resource (e.g. a
+  // disk access that computes its cost after acquiring the arm).
+  obs::Track& trace_track() { return trace_track_; }
 
   // --- utilisation accounting -------------------------------------------
   // Total slot-seconds consumed so far (updated lazily).
@@ -148,6 +193,7 @@ class Resource {
   unsigned capacity_;
   unsigned in_use_ = 0;
   std::string name_;
+  obs::Track trace_track_;
   Duration busy_{};
   SimTime last_change_{};
   IntrusiveList<AcquireAwaiter::Node> waiters_;

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
 #include "sim/event.h"
@@ -137,6 +138,21 @@ TEST(EngineDeterminism, FiringOrderMatchesSeedEngine) {
   EXPECT_EQ(trace_hash(t), kSeedEngineTraceHash)
       << "event firing order diverged from the seed engine ("
       << t.size() << " entries)";
+}
+
+// Observability must be pure observation: with a TraceRecorder installed,
+// the engine's firing order (and therefore every simulated timestamp) must
+// be byte-identical to the untraced run — pinned against the same golden
+// hash. Instrumentation records spans with explicit timestamps and never
+// schedules, so any divergence here means a tracing hook leaked into the
+// simulation's event flow.
+TEST(EngineDeterminism, FiringOrderUnchangedByTracing) {
+  obs::TraceRecorder rec;
+  obs::install(&rec);
+  const Trace t = run_workload();
+  obs::install(static_cast<obs::TraceRecorder*>(nullptr));
+  EXPECT_EQ(trace_hash(t), kSeedEngineTraceHash)
+      << "installing a trace recorder changed the event firing order";
 }
 
 // Pool stress: schedule and cancel 100k timers in waves, interleaved with
