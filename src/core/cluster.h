@@ -5,9 +5,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "fs/server_fs.h"
 #include "host/cost_model.h"
 #include "host/host.h"
@@ -31,22 +33,35 @@ struct ClusterConfig {
   host::HostConfig client_host{MiB(512)};
   fs::ServerFsConfig fs{};
   nic::NicConfig nic{};
+  // Optional deterministic fault plan: when set, a FaultInjector is created
+  // and hooked into every link, NIC and the server disk.
+  std::optional<fault::FaultPlan> faults;
+  // Retry policy handed to every NFS-family RPC client the factories build.
+  rpc::RpcRetryPolicy rpc_retry{};
 };
 
 class Cluster {
  public:
   explicit Cluster(ClusterConfig cfg = {})
-      : cfg_(cfg), cm_(cfg.cm), fabric_(eng_) {
+      : cfg_(cfg),
+        cm_(cfg.cm),
+        injector_(cfg.faults
+                      ? std::make_unique<fault::FaultInjector>(*cfg.faults)
+                      : nullptr),
+        fabric_(eng_, fabric_config(cfg, injector_.get())) {
     server_host_ = std::make_unique<host::Host>(eng_, "server", cm_,
                                                 cfg.server_host);
     server_nic_ = std::make_unique<nic::Nic>(*server_host_, fabric_, cfg.nic,
                                              crypto::SipKey{0xA5, 0x5A});
+    server_nic_->set_fault_injector(injector_.get());
     server_fs_ = std::make_unique<fs::ServerFs>(*server_host_, cfg.fs);
+    server_fs_->disk().set_fault_injector(injector_.get());
     for (unsigned i = 0; i < cfg.num_clients; ++i) {
       auto h = std::make_unique<host::Host>(
           eng_, "client" + std::to_string(i), cm_, cfg.client_host);
       client_nics_.push_back(std::make_unique<nic::Nic>(
           *h, fabric_, cfg.nic, crypto::SipKey{0xC0 + i, 0x0C}));
+      client_nics_.back()->set_fault_injector(injector_.get());
       client_hosts_.push_back(std::move(h));
     }
   }
@@ -59,7 +74,9 @@ class Cluster {
   fs::ServerFs& server_fs() { return *server_fs_; }
   net::NodeId server_node() const { return server_nic_->node_id(); }
   nic::Nic& server_nic() { return *server_nic_; }
+  nic::Nic& client_nic(unsigned i = 0) { return *client_nics_.at(i); }
   unsigned num_clients() const { return cfg_.num_clients; }
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
 
   // --- services -------------------------------------------------------------
   // NFS: one UDP stack per host; server bound at the well-known port.
@@ -88,19 +105,22 @@ class Cluster {
       unsigned i, Bytes transfer = KiB(512)) {
     return std::make_unique<nas::nfs::NfsClient>(
         *client_hosts_[i], client_udp(i), server_node(),
-        static_cast<std::uint16_t>(700 + next_port_++), transfer);
+        static_cast<std::uint16_t>(700 + next_port_++), transfer,
+        cfg_.rpc_retry);
   }
   std::unique_ptr<nas::nfs::NfsPrepostClient> make_prepost_client(
       unsigned i, Bytes transfer = KiB(512)) {
     return std::make_unique<nas::nfs::NfsPrepostClient>(
         *client_hosts_[i], client_udp(i), server_node(),
-        static_cast<std::uint16_t>(700 + next_port_++), transfer);
+        static_cast<std::uint16_t>(700 + next_port_++), transfer,
+        cfg_.rpc_retry);
   }
   std::unique_ptr<nas::nfs::NfsHybridClient> make_hybrid_client(
       unsigned i, Bytes transfer = KiB(512)) {
     return std::make_unique<nas::nfs::NfsHybridClient>(
         *client_hosts_[i], client_udp(i), server_node(),
-        static_cast<std::uint16_t>(700 + next_port_++), transfer);
+        static_cast<std::uint16_t>(700 + next_port_++), transfer,
+        cfg_.rpc_retry);
   }
   std::unique_ptr<nas::dafs::DafsClient> make_dafs_client(
       unsigned i, nas::dafs::DafsClientConfig cfg = {}) {
@@ -127,6 +147,8 @@ class Cluster {
                 [&n] { return static_cast<double>(n.ordma_served()); });
       reg.gauge(p + "/nic/ordma_faults",
                 [&n] { return static_cast<double>(n.ordma_faults()); });
+      reg.gauge(p + "/nic/ordma_timeouts",
+                [&n] { return static_cast<double>(n.ordma_timeouts()); });
     };
     host_gauges(*server_host_, *server_nic_);
     for (std::size_t i = 0; i < client_hosts_.size(); ++i) {
@@ -145,6 +167,46 @@ class Cluster {
     reg.gauge("server/disk/writes", [&sfs] {
       return static_cast<double>(sfs.disk().writes());
     });
+    if (nfs_server_) {
+      nas::nfs::NfsServer& srv = *nfs_server_;
+      reg.gauge("server/rpc/dup_replays", [&srv] {
+        return static_cast<double>(srv.rpc_server().dup_replays());
+      });
+      reg.gauge("server/rpc/dup_drops", [&srv] {
+        return static_cast<double>(srv.rpc_server().dup_drops());
+      });
+      reg.gauge("server/rpc/cksum_drops", [&srv] {
+        return static_cast<double>(srv.rpc_server().cksum_drops());
+      });
+    }
+    if (injector_) {
+      fault::FaultInjector& inj = *injector_;
+      reg.gauge("fault/frames_dropped", [&inj] {
+        return static_cast<double>(inj.frames_dropped());
+      });
+      reg.gauge("fault/frames_corrupted", [&inj] {
+        return static_cast<double>(inj.frames_corrupted() +
+                                   inj.frames_corrupt_dropped());
+      });
+      reg.gauge("fault/frames_duplicated", [&inj] {
+        return static_cast<double>(inj.frames_duplicated());
+      });
+      reg.gauge("fault/frames_delayed", [&inj] {
+        return static_cast<double>(inj.frames_delayed());
+      });
+      reg.gauge("fault/doorbell_stalls", [&inj] {
+        return static_cast<double>(inj.doorbell_stalls());
+      });
+      reg.gauge("fault/cap_revokes", [&inj] {
+        return static_cast<double>(inj.cap_revokes());
+      });
+      reg.gauge("fault/tlb_invalidates", [&inj] {
+        return static_cast<double>(inj.tlb_invalidates());
+      });
+      reg.gauge("fault/disk_errors", [&inj] {
+        return static_cast<double>(inj.disk_errors());
+      });
+    }
     net::Fabric& fab = fabric_;
     for (net::NodeId id = 0; id < fab.num_nodes(); ++id) {
       const std::string p = "net/" + std::to_string(id);
@@ -184,9 +246,17 @@ class Cluster {
   }
 
  private:
+  static net::FabricConfig fabric_config(const ClusterConfig&,
+                                         fault::FaultInjector* inj) {
+    net::FabricConfig c;
+    c.injector = inj;
+    return c;
+  }
+
   ClusterConfig cfg_;
   sim::Engine eng_;
   host::CostModel cm_;
+  std::unique_ptr<fault::FaultInjector> injector_;  // before fabric_
   net::Fabric fabric_;
   std::unique_ptr<host::Host> server_host_;
   std::unique_ptr<nic::Nic> server_nic_;

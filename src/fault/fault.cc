@@ -1,0 +1,108 @@
+#include "fault/fault.h"
+
+namespace ordma::fault {
+
+FaultPlan FaultPlan::adversarial(std::uint64_t seed) {
+  FaultPlan p;
+  p.seed = seed;
+  p.gm.drop = 0.01;
+  p.gm.corrupt = 0.001;  // GM CRC catches these: they become drops
+  p.gm.duplicate = 0.005;
+  p.gm.delay_spike = 0.005;
+  p.gm.delay = usec(80);
+  p.eth.drop = 0.01;
+  p.eth.corrupt = 0.001;
+  p.eth.corrupt_escape = 1.0;  // worst case: every damaged frame escapes CRC
+  p.eth.duplicate = 0.005;
+  p.eth.delay_spike = 0.005;
+  p.eth.delay = usec(80);
+  p.nic.doorbell_stall = 0.002;
+  p.nic.stall = usec(20);
+  p.nic.tlb_invalidate = 0.01;
+  p.nic.cap_revoke = 0.01;
+  return p;
+}
+
+NetAction FaultInjector::on_packet(net::Packet& p) {
+  NetAction a;
+  if (!armed_) return a;
+  const NetFaults& f = p.proto == net::Proto::gm ? plan_.gm : plan_.eth;
+  if (f.drop > 0 && net_rng_.chance(f.drop)) {
+    ++frames_dropped_;
+    a.drop = true;
+    return a;
+  }
+  if (f.corrupt > 0 && net_rng_.chance(f.corrupt)) {
+    const bool escapes = p.proto == net::Proto::ethernet &&
+                         f.corrupt_escape > 0 &&
+                         net_rng_.chance(f.corrupt_escape);
+    if (!escapes || p.payload.size() == 0) {
+      // Link CRC caught it (or there is no payload to damage): the frame
+      // is discarded exactly like a drop.
+      ++frames_corrupt_dropped_;
+      a.drop = true;
+      return a;
+    }
+    net::Buffer copy = net::Buffer::copy_of(p.payload.view());
+    auto w = copy.mutable_view();
+    const std::uint64_t at = net_rng_.below(w.size());
+    const std::uint64_t bit = net_rng_.below(8);
+    w[at] ^= static_cast<std::byte>(1u << bit);
+    p.payload = std::move(copy);
+    ++frames_corrupted_;
+  }
+  if (f.duplicate > 0 && net_rng_.chance(f.duplicate)) {
+    ++frames_duplicated_;
+    a.duplicate = true;
+  }
+  if (f.delay_spike > 0 && net_rng_.chance(f.delay_spike)) {
+    ++frames_delayed_;
+    a.extra = f.delay;
+  }
+  return a;
+}
+
+Duration FaultInjector::doorbell_stall() {
+  if (armed_ && plan_.nic.doorbell_stall > 0 && nic_rng_.chance(plan_.nic.doorbell_stall)) {
+    ++doorbell_stalls_;
+    return plan_.nic.stall;
+  }
+  return Duration{0};
+}
+
+bool FaultInjector::spurious_cap_revoke() {
+  if (armed_ && plan_.nic.cap_revoke > 0 && nic_rng_.chance(plan_.nic.cap_revoke)) {
+    ++cap_revokes_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::spurious_tlb_invalidate() {
+  if (armed_ && plan_.nic.tlb_invalidate > 0 &&
+      nic_rng_.chance(plan_.nic.tlb_invalidate)) {
+    ++tlb_invalidates_;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::disk_transient_error() {
+  if (armed_ && plan_.disk.transient_error > 0 &&
+      disk_rng_.chance(plan_.disk.transient_error)) {
+    ++disk_errors_;
+    return true;
+  }
+  return false;
+}
+
+Duration FaultInjector::disk_latency_spike() {
+  if (armed_ && plan_.disk.latency_spike > 0 &&
+      disk_rng_.chance(plan_.disk.latency_spike)) {
+    ++disk_spikes_;
+    return plan_.disk.spike;
+  }
+  return Duration{0};
+}
+
+}  // namespace ordma::fault

@@ -2,6 +2,13 @@
 
 namespace ordma::fs {
 
+namespace {
+// Media transients (fault plan) are retried a bounded number of times at
+// this layer — the classic block-layer requeue — before the error surfaces
+// to the protocol above.
+constexpr unsigned kDiskAttempts = 3;
+}  // namespace
+
 BufferCache::BufferCache(host::Host& host, Disk& disk,
                          std::size_t capacity_blocks, Bytes block_size)
     : host_(host),
@@ -43,7 +50,11 @@ sim::Task<Result<CacheBlock*>> BufferCache::evict_one(obs::OpId trace_op) {
   if (victim->dirty) {
     std::vector<std::byte> data(block_size_);
     ORDMA_CHECK(host_.kernel_as().read(victim->va, data).ok());
-    auto st = co_await disk_.write(victim->disk_block, data, trace_op);
+    Status st = Status::Ok();
+    for (unsigned attempt = 0; attempt < kDiskAttempts; ++attempt) {
+      st = co_await disk_.write(victim->disk_block, data, trace_op);
+      if (st.ok() || st.code() != Errc::io_error) break;
+    }
     if (!st.ok()) co_return st;
     victim->dirty = false;
   }
@@ -77,7 +88,11 @@ sim::Task<Result<CacheBlock*>> BufferCache::get(CacheKey key,
     ORDMA_CHECK(host_.kernel_as().write(b->va, zeros).ok());
   } else {
     std::vector<std::byte> data(block_size_);
-    auto st = co_await disk_.read(disk_block, data, trace_op);
+    Status st = Status::Ok();
+    for (unsigned attempt = 0; attempt < kDiskAttempts; ++attempt) {
+      st = co_await disk_.read(disk_block, data, trace_op);
+      if (st.ok() || st.code() != Errc::io_error) break;
+    }
     if (!st.ok()) {
       free_.push_back(b);
       co_return st;
@@ -121,7 +136,11 @@ sim::Task<Status> BufferCache::sync() {
   for (CacheBlock* b : dirty) {
     std::vector<std::byte> data(block_size_);
     ORDMA_CHECK(host_.kernel_as().read(b->va, data).ok());
-    auto st = co_await disk_.write(b->disk_block, data);
+    Status st = Status::Ok();
+    for (unsigned attempt = 0; attempt < kDiskAttempts; ++attempt) {
+      st = co_await disk_.write(b->disk_block, data);
+      if (st.ok() || st.code() != Errc::io_error) break;
+    }
     if (!st.ok()) co_return st;
     b->dirty = false;
   }

@@ -11,6 +11,10 @@ sim::Task<void> Disk::access(BlockNo b, obs::OpId trace_op) {
   Duration cost = cm.disk_bw.time_for(block_size_);
   if (b != next_sequential_) cost += cm.disk_seek;
   next_sequential_ = b + 1;
+  if (faults_) {
+    // Service-time outlier (remapped sector, thermal recalibration, ...).
+    cost = cost + faults_->disk_latency_spike();
+  }
   const SimTime begin = host_.engine().now();
   co_await host_.engine().delay(cost);
   obs::span(arm_.trace_track(), trace_op, "disk/io", begin,
@@ -26,6 +30,10 @@ sim::Task<Status> Disk::read(BlockNo b, std::span<std::byte> out,
   ++reads_;
   if (inject_failures_ > 0) {
     --inject_failures_;
+    co_return Status(Errc::io_error);
+  }
+  if (faults_ && faults_->disk_transient_error()) {
+    ++transient_errors_;
     co_return Status(Errc::io_error);
   }
   auto it = blocks_.find(b);
@@ -46,6 +54,10 @@ sim::Task<Status> Disk::write(BlockNo b, std::span<const std::byte> data,
   ++writes_;
   if (inject_failures_ > 0) {
     --inject_failures_;
+    co_return Status(Errc::io_error);
+  }
+  if (faults_ && faults_->disk_transient_error()) {
+    ++transient_errors_;
     co_return Status(Errc::io_error);
   }
   auto& blk = blocks_[b];

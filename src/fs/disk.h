@@ -11,6 +11,7 @@
 
 #include "common/result.h"
 #include "common/units.h"
+#include "fault/fault.h"
 #include "host/host.h"
 #include "sim/resource.h"
 #include "sim/task.h"
@@ -48,6 +49,11 @@ class Disk {
   void inject_failures(std::uint64_t n) { inject_failures_ = n; }
   std::uint64_t injected_remaining() const { return inject_failures_; }
 
+  // Probabilistic transient errors and service-time outliers from a
+  // deterministic plan (not owned; must outlive the disk).
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+  std::uint64_t transient_errors() const { return transient_errors_; }
+
  private:
   sim::Task<void> access(BlockNo b, obs::OpId trace_op);
 
@@ -57,9 +63,11 @@ class Disk {
   sim::Resource arm_;
   BlockNo next_sequential_ = ~BlockNo{0};
   std::unordered_map<BlockNo, std::vector<std::byte>> blocks_;
+  fault::FaultInjector* faults_ = nullptr;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t inject_failures_ = 0;
+  std::uint64_t transient_errors_ = 0;
 };
 
 }  // namespace ordma::fs

@@ -26,8 +26,10 @@ sim::Task<void> DafsClient::rx_loop() {
     net::Buffer msg = co_await conn_->recv();  // pickup charged to reply's op
     rpc::XdrDecoder dec(msg);
     const std::uint32_t req_id = dec.u32();
+    if (!dec.ok()) continue;  // runt frame
     auto it = waiting_.find(req_id);
-    if (it == waiting_.end()) continue;
+    if (it == waiting_.end()) continue;   // late/duplicate: already answered
+    if (it->second->done.is_set()) continue;  // duplicate of this attempt
     it->second->done.set(msg.slice(4, msg.size() - 4));
   }
 }
@@ -41,18 +43,42 @@ sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
                              "io/dafs_client_proc");
 
   const std::uint32_t req_id = next_req_id_++;
-  rpc::XdrEncoder msg;
-  msg.u32(req_id);
-  msg.u32(proc);
-  msg.raw(net::Buffer(args.finish()).view());
+  rpc::XdrEncoder enc;
+  enc.u32(req_id);
+  enc.u32(proc);
+  enc.raw(net::Buffer(args.finish()).view());
+  const net::Buffer msg = enc.finish();
 
-  auto waiter = std::make_unique<Waiter>(host_.engine());
-  auto* wp = waiter.get();
-  waiting_.emplace(req_id, std::move(waiter));
-  co_await conn_->send(msg.finish(), trace_op);
-  net::Buffer reply = co_await wp->done.wait();
+  // Timeout 0 = wait forever (classic behavior on a lossless fabric).
+  // Retransmits reuse req_id so the server's per-connection duplicate cache
+  // suppresses re-execution and replays the cached reply.
+  const bool wait_forever = cfg_.retry.timeout.ns <= 0;
+  Duration timeout = cfg_.retry.timeout;
+  Result<net::Buffer> out = Errc::timed_out;
+  for (unsigned attempt = 1;; ++attempt) {
+    auto waiter = std::make_unique<Waiter>(host_.engine());
+    auto* wp = waiter.get();
+    waiting_[req_id] = std::move(waiter);  // fresh one-shot event per attempt
+    co_await conn_->send(net::Buffer(msg), trace_op);
+    if (wait_forever) {
+      out = co_await wp->done.wait();
+      break;
+    }
+    auto got = co_await wp->done.wait_for(timeout);
+    if (got) {
+      out = std::move(*got);
+      break;
+    }
+    ++timeouts_;
+    if (attempt >= cfg_.retry.max_attempts) break;  // out = timed_out
+    ++retransmits_;
+    timeout = Duration{std::min<std::int64_t>(
+        static_cast<std::int64_t>(static_cast<double>(timeout.ns) *
+                                  cfg_.retry.backoff),
+        cfg_.retry.max_timeout.ns)};
+  }
   waiting_.erase(req_id);
-  co_return reply;
+  co_return out;
 }
 
 void DafsClient::decode_refs(rpc::XdrDecoder& dec, std::uint32_t count,
@@ -121,10 +147,11 @@ sim::Task<Result<DafsReadResult>> DafsClient::read_inline(std::uint64_t fh,
 
   DafsReadResult out;
   out.n = dec.u32();
+  out.data_cksum = dec.u32();
   const std::uint32_t ref_count = dec.u32();
   decode_refs(dec, ref_count, out);
   const auto data = dec.rest();
-  if (data.size() < out.n) co_return Errc::io_error;
+  if (!dec.ok() || data.size() < out.n) co_return Errc::io_error;
   out.inline_data = net::Buffer::copy_of(data.subspan(0, out.n));
   co_return out;
 }
@@ -146,8 +173,10 @@ sim::Task<Result<DafsReadResult>> DafsClient::read_direct(
 
   DafsReadResult out;
   out.n = dec.u32();
+  out.data_cksum = dec.u32();
   const std::uint32_t ref_count = dec.u32();
   decode_refs(dec, ref_count, out);
+  if (!dec.ok()) co_return Errc::io_error;
   co_return out;
 }
 
@@ -270,29 +299,66 @@ sim::Task<Result<Bytes>> DafsClient::pread(std::uint64_t fh, Bytes off,
   co_return r;
 }
 
+namespace {
+// Failures worth a whole-operation re-issue (new req_id): a request that
+// gave up on retransmits, a transfer refused by a (spuriously) revoked
+// capability, or a transient media error.
+bool retryable(Errc e) {
+  return e == Errc::timed_out || e == Errc::revoked || e == Errc::io_error;
+}
+}  // namespace
+
 sim::Task<Result<Bytes>> DafsClient::pread_op(std::uint64_t fh, Bytes off,
                                               mem::Vaddr user_va, Bytes len,
                                               obs::OpId op) {
   if (!cfg_.direct_reads) {
-    auto res = co_await read_inline(fh, off, len, op);
-    if (!res.ok()) co_return res.status();
-    // Copy from the communication buffer into the user buffer.
-    co_await host_.copy(res.value().n, op);
-    if (res.value().n > 0 &&
-        !host_.user_as()
-             .write(user_va, res.value().inline_data.view().subspan(
-                                 0, res.value().n))
-             .ok()) {
-      co_return Errc::access_fault;
+    Status last = Status(Errc::io_error);
+    for (unsigned attempt = 1; attempt <= cfg_.max_io_attempts; ++attempt) {
+      auto res = co_await read_inline(fh, off, len, op);
+      if (!res.ok()) {
+        last = res.status();
+        if (retryable(last.code())) continue;
+        co_return last;
+      }
+      // Copy from the communication buffer into the user buffer.
+      co_await host_.copy(res.value().n, op);
+      if (res.value().n > 0 &&
+          !host_.user_as()
+               .write(user_va, res.value().inline_data.view().subspan(
+                                   0, res.value().n))
+               .ok()) {
+        co_return Errc::access_fault;
+      }
+      co_return res.value().n;
     }
-    co_return res.value().n;
+    co_return last;
   }
   auto reg = co_await ensure_registered(user_va, len, op);
   if (!reg.ok()) co_return reg.status();
-  auto res = co_await read_direct(fh, off, len, reg.value()->nic_va(user_va),
-                                  reg.value()->cap, op);
-  if (!res.ok()) co_return res.status();
-  co_return res.value().n;
+  // Direct reads: the server's RDMA write is unacked, so a lost or corrupt
+  // data frame is invisible at the transport level. Verify the landed bytes
+  // against the reply's checksum and re-issue the read (bounded) on
+  // mismatch; exhausted retries give up with io_error.
+  Status last = Status(Errc::io_error);
+  for (unsigned attempt = 1; attempt <= cfg_.max_io_attempts; ++attempt) {
+    auto res = co_await read_direct(fh, off, len,
+                                    reg.value()->nic_va(user_va),
+                                    reg.value()->cap, op);
+    if (!res.ok()) {
+      last = res.status();
+      if (retryable(last.code())) continue;
+      co_return last;
+    }
+    const Bytes n = res.value().n;
+    std::vector<std::byte> landed(n);
+    if (n > 0 && !host_.user_as().read(user_va, landed).ok()) {
+      co_return Errc::access_fault;
+    }
+    if (data_checksum(landed) == res.value().data_cksum) co_return n;
+    ++integrity_retries_;
+    last = Status(Errc::io_error);
+  }
+  co_return last;
 }
 
 sim::Task<Result<Bytes>> DafsClient::pwrite(std::uint64_t fh, Bytes off,
@@ -307,17 +373,26 @@ sim::Task<Result<Bytes>> DafsClient::pwrite(std::uint64_t fh, Bytes off,
 sim::Task<Result<Bytes>> DafsClient::pwrite_op(std::uint64_t fh, Bytes off,
                                                mem::Vaddr user_va, Bytes len,
                                                obs::OpId op) {
-  if (!cfg_.direct_reads) {
-    std::vector<std::byte> data(len);
-    if (!host_.user_as().read(user_va, data).ok()) {
-      co_return Errc::access_fault;
+  // Writes are idempotent (same data, same offset), so a whole-operation
+  // re-issue after a timeout/revocation/transient error is safe.
+  Result<Bytes> last = Errc::io_error;
+  for (unsigned attempt = 1; attempt <= cfg_.max_io_attempts; ++attempt) {
+    if (!cfg_.direct_reads) {
+      std::vector<std::byte> data(len);
+      if (!host_.user_as().read(user_va, data).ok()) {
+        co_return Errc::access_fault;
+      }
+      last = co_await write_inline(fh, off, data, op);
+    } else {
+      auto reg = co_await ensure_registered(user_va, len, op);
+      if (!reg.ok()) co_return reg.status();
+      last = co_await write_direct(fh, off, len,
+                                   reg.value()->nic_va(user_va),
+                                   reg.value()->cap, op);
     }
-    co_return co_await write_inline(fh, off, data, op);
+    if (last.ok() || !retryable(last.code())) co_return last;
   }
-  auto reg = co_await ensure_registered(user_va, len, op);
-  if (!reg.ok()) co_return reg.status();
-  co_return co_await write_direct(fh, off, len, reg.value()->nic_va(user_va),
-                                  reg.value()->cap, op);
+  co_return last;
 }
 
 sim::Task<Result<fs::Attr>> DafsClient::getattr(std::uint64_t fh) {

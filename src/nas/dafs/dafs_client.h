@@ -19,6 +19,7 @@
 #include "host/host.h"
 #include "msg/vi.h"
 #include "nas/dafs/dafs_proto.h"
+#include "rpc/rpc.h"
 #include "rpc/xdr.h"
 #include "sim/event.h"
 
@@ -29,6 +30,14 @@ struct DafsClientConfig {
   msg::Completion completion = msg::Completion::poll;
   // Default transport for FileClient::pread: direct (RDMA) or in-line.
   bool direct_reads = true;
+  // Request timeout/retransmit policy (timeout 0 = wait forever, the
+  // classic lossless-fabric behavior). Retransmits reuse the req_id so the
+  // server's duplicate cache can suppress re-execution.
+  rpc::RpcRetryPolicy retry{};
+  // Upper bound on whole-operation re-issues (new req_id) when a direct
+  // read lands bytes failing checksum verification or a request gives up
+  // on timeout; exhausting it surfaces Errc::io_error / the last error.
+  unsigned max_io_attempts = 4;
 };
 
 struct OpenInfo {
@@ -43,6 +52,10 @@ struct OpenInfo {
 
 struct DafsReadResult {
   Bytes n = 0;
+  // Checksum of the returned data (nas::data_checksum). For direct reads
+  // the RDMA write is unacked, so this is the only way the client can tell
+  // that the payload actually landed intact.
+  std::uint32_t data_cksum = 0;
   net::Buffer inline_data;  // in-line reads only
   // Piggybacked references: (server file block number, reference).
   std::vector<std::pair<std::uint64_t, cache::RemoteRef>> refs;
@@ -117,6 +130,11 @@ class DafsClient : public core::FileClient {
   net::NodeId server_node() const { return server_; }
   host::Host& host() { return host_; }
   std::uint64_t rpcs_issued() const { return next_req_id_ - 1; }
+  // --- reliability counters ------------------------------------------------
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  // Direct reads re-issued because the landed bytes failed verification.
+  std::uint64_t integrity_retries() const { return integrity_retries_; }
   // Server cache block size, learned from the first open reply (0 before).
   Bytes server_block_size() const { return server_block_size_; }
   // Details of the most recent dafs_open reply (attribute reference etc.).
@@ -157,6 +175,10 @@ class DafsClient : public core::FileClient {
     sim::Event<net::Buffer> done;
   };
   std::unordered_map<std::uint32_t, std::unique_ptr<Waiter>> waiting_;
+
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t integrity_retries_ = 0;
 
   std::deque<Registered> regs_;
   cache::DelegationTable delegations_;

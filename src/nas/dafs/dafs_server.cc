@@ -43,14 +43,44 @@ sim::Task<void> DafsServer::serve_connection(
   // handler sends its own reply on the shared connection and clients match
   // replies to requests by req_id.
   msg::ViConnection& c = *conn;
+  auto cache = std::make_shared<ConnCache>();
   for (;;) {
     nic::Nic::GmMessage msg = co_await c.recv_msg();
     host_.engine().spawn([](DafsServer& srv, msg::ViConnection& c,
+                            std::shared_ptr<ConnCache> cache,
                             nic::Nic::GmMessage msg) -> sim::Task<void> {
       const obs::OpId op = msg.trace_op;
+      std::uint32_t req_id = 0;
+      {
+        rpc::XdrDecoder peek(msg.data);
+        req_id = peek.u32();
+        if (!peek.ok()) co_return;  // runt frame
+      }
+      if (auto it = cache->done.find(req_id); it != cache->done.end()) {
+        // Retransmission of a completed request: replay the cached reply
+        // without re-executing the handler (mutations must not re-run).
+        ++srv.dup_replays_;
+        co_await c.send(net::Buffer(it->second), op);
+        co_return;
+      }
+      if (!cache->in_progress.insert(req_id).second) {
+        ++srv.dup_drops_;  // original still executing; its reply will do
+        co_return;
+      }
       net::Buffer reply = co_await srv.handle(c, std::move(msg.data), op);
+      cache->in_progress.erase(req_id);
+      // Large replies (inline read data) are not worth caching; those
+      // requests are idempotent and simply re-execute on a late duplicate.
+      if (reply.size() <= kMaxCachedReply) {
+        cache->done.emplace(req_id, net::Buffer(reply));
+        cache->order.push_back(req_id);
+        while (cache->order.size() > kConnCacheCap) {
+          cache->done.erase(cache->order.front());
+          cache->order.pop_front();
+        }
+      }
       co_await c.send(std::move(reply), op);
-    }(*this, c, std::move(msg)));
+    }(*this, c, cache, std::move(msg)));
   }
 }
 
@@ -156,6 +186,9 @@ sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
 
   out.u32(0);  // status ok
   out.u32(static_cast<std::uint32_t>(n));
+  // Direct reads deliver the data by unacked RDMA write; the checksum lets
+  // the client verify the bytes actually landed (and retry if not).
+  out.u32(data_checksum(data));
   out.u32(ref_count);
   const auto ref_bytes = refs.take();
   out.raw(ref_bytes);

@@ -9,9 +9,11 @@
 // at the NIC instead of reading reused memory.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "fs/server_fs.h"
 #include "host/host.h"
@@ -39,8 +41,25 @@ class DafsServer {
   std::uint64_t requests_served() const { return served_; }
   std::uint64_t blocks_exported() const { return exported_; }
   host::Host& host() { return host_; }
+  // Duplicate (retransmitted) requests answered from the per-connection
+  // reply cache / dropped because the original is still executing.
+  std::uint64_t dup_replays() const { return dup_replays_; }
+  std::uint64_t dup_drops() const { return dup_drops_; }
 
  private:
+  // Per-connection duplicate-request suppression: req_ids are unique per
+  // connection, so a retransmission of an executing request is dropped and
+  // one of a completed request is answered from the cached reply without
+  // re-executing the handler. Shared with the spawned request handlers so
+  // it survives however long they run.
+  struct ConnCache {
+    std::unordered_set<std::uint32_t> in_progress;
+    std::unordered_map<std::uint32_t, net::Buffer> done;
+    std::deque<std::uint32_t> order;  // FIFO eviction of `done`
+  };
+  static constexpr std::size_t kConnCacheCap = 256;
+  static constexpr Bytes kMaxCachedReply = KiB(64);
+
   sim::Task<void> accept_loop();
   sim::Task<void> serve_connection(std::unique_ptr<msg::ViConnection> conn);
   // `trace_op` is the request message's trace context; replies and all
@@ -71,6 +90,8 @@ class DafsServer {
   msg::ViListener listener_;
   std::uint64_t served_ = 0;
   std::uint64_t exported_ = 0;
+  std::uint64_t dup_replays_ = 0;
+  std::uint64_t dup_drops_ = 0;
   std::optional<crypto::Capability> attr_region_cap_;
 };
 

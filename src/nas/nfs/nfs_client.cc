@@ -23,9 +23,9 @@ std::vector<std::string> components(const std::string& path) {
 
 NfsClientBase::NfsClientBase(host::Host& host, msg::UdpStack& stack,
                              net::NodeId server, std::uint16_t local_port,
-                             Bytes transfer_size)
+                             Bytes transfer_size, rpc::RpcRetryPolicy retry)
     : host_(host),
-      rpc_(host, stack, local_port),
+      rpc_(host, stack, local_port, retry),
       server_(server),
       transfer_size_(transfer_size),
       trk_app_(host.name(), "app") {}
@@ -309,20 +309,38 @@ sim::Task<Result<Bytes>> NfsHybridClient::read_chunk(std::uint64_t ino,
   const Registered& r = *reg.value();
   const mem::Vaddr nic_va = r.cap.base + (user_va - r.host_base);
 
-  rpc::XdrEncoder args;
-  args.u64(ino);
-  args.u64(off);
-  args.u32(static_cast<std::uint32_t>(len));
-  args.u64(nic_va);
-  encode_cap(args, r.cap);
-  auto res = co_await rpc_.call(server_, kNfsPort, kReadHybrid, args.finish(),
-                                nullptr, op);
-  if (!res.ok()) co_return res.status();
-  if (res.value().status != 0) co_return static_cast<Errc>(res.value().status);
+  // The server's RDMA write is unacked: a dropped data frame leaves the RPC
+  // reply intact but the user buffer stale. Verify the landed bytes against
+  // the reply's checksum and re-issue the whole read a bounded number of
+  // times before surfacing an I/O error.
+  constexpr unsigned kReadAttempts = 4;
+  for (unsigned attempt = 1;; ++attempt) {
+    rpc::XdrEncoder args;
+    args.u64(ino);
+    args.u64(off);
+    args.u32(static_cast<std::uint32_t>(len));
+    args.u64(nic_va);
+    encode_cap(args, r.cap);
+    auto res = co_await rpc_.call(server_, kNfsPort, kReadHybrid,
+                                  args.finish(), nullptr, op);
+    if (!res.ok()) co_return res.status();
+    if (res.value().status != 0) {
+      co_return static_cast<Errc>(res.value().status);
+    }
 
-  co_await host_.cpu_consume(cm.nfs_client_proc, op, "io/nfs_client_proc");
-  rpc::XdrDecoder dec(res.value().results);
-  co_return Bytes{dec.u32()};
+    co_await host_.cpu_consume(cm.nfs_client_proc, op, "io/nfs_client_proc");
+    rpc::XdrDecoder dec(res.value().results);
+    const Bytes n = dec.u32();
+    const std::uint32_t want = dec.u32();
+    if (!dec.ok()) co_return Errc::io_error;
+    std::vector<std::byte> landed(n);
+    if (!host_.user_as().read(user_va, landed).ok()) {
+      co_return Errc::access_fault;
+    }
+    if (data_checksum(landed) == want) co_return n;
+    ++integrity_retries_;
+    if (attempt >= kReadAttempts) co_return Errc::io_error;
+  }
 }
 
 }  // namespace ordma::nas::nfs

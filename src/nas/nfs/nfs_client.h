@@ -28,7 +28,8 @@ namespace ordma::nas::nfs {
 class NfsClientBase : public core::FileClient {
  public:
   NfsClientBase(host::Host& host, msg::UdpStack& stack, net::NodeId server,
-                std::uint16_t local_port, Bytes transfer_size = KiB(512));
+                std::uint16_t local_port, Bytes transfer_size = KiB(512),
+                rpc::RpcRetryPolicy retry = {});
 
   sim::Task<Result<core::OpenResult>> open(const std::string& path) override;
   sim::Task<Status> close(std::uint64_t fh) override;
@@ -104,6 +105,9 @@ class NfsHybridClient final : public NfsClientBase {
   const char* protocol_name() const override { return "NFS hybrid"; }
 
   std::uint64_t registrations() const { return registrations_; }
+  // Reads re-issued because the landed bytes failed checksum verification
+  // (the server's unacked RDMA write was lost or corrupted).
+  std::uint64_t integrity_retries() const { return integrity_retries_; }
 
  protected:
   sim::Task<Result<Bytes>> read_chunk(std::uint64_t ino, Bytes off,
@@ -122,6 +126,7 @@ class NfsHybridClient final : public NfsClientBase {
                                                    obs::OpId op);
   std::deque<Registered> regs_;
   std::uint64_t registrations_ = 0;
+  std::uint64_t integrity_retries_ = 0;
 };
 
 }  // namespace ordma::nas::nfs

@@ -105,6 +105,9 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_read_hybrid(
     co_return r;
   }
   data.resize(n.value());
+  // The RDMA write is unacked, so its loss is silent at this layer; the
+  // client verifies the landed bytes against this checksum and retries.
+  const std::uint32_t cksum = data_checksum(data);
   if (n.value() > 0) {
     // In-order reliable delivery: the RPC reply sent after the RDMA write
     // arrives behind the data, so the server does not wait for the ack.
@@ -117,6 +120,7 @@ sim::Task<rpc::RpcServerReply> NfsServer::do_read_hybrid(
     }
   }
   r.results.u32(static_cast<std::uint32_t>(n.value()));
+  r.results.u32(cksum);
   co_return r;
 }
 

@@ -22,6 +22,7 @@ class NfsServer {
   NfsServer& operator=(const NfsServer&) = delete;
 
   std::uint64_t requests_served() const { return rpc_.requests_served(); }
+  const rpc::RpcServer& rpc_server() const { return rpc_; }
 
  private:
   sim::Task<rpc::RpcServerReply> do_lookup(const rpc::RpcCallCtx& ctx);

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "nas/wire_util.h"
+
 namespace ordma::nas::odafs {
+
+namespace {
+// Failures worth another ORDMA→RPC round: exhausted retransmits, a
+// (spuriously) revoked capability, or a transient media/integrity error.
+bool fetch_retryable(Errc e) {
+  return e == Errc::timed_out || e == Errc::revoked || e == Errc::io_error;
+}
+}  // namespace
 
 OdafsClient::OdafsClient(host::Host& host, net::NodeId server,
                          OdafsClientConfig cfg)
@@ -127,26 +137,56 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     cache_.clear_ref(hdr);
   }
 
-  // --- RPC path -------------------------------------------------------------
+  // --- RPC path (bounded retry; direct fills verified by checksum) ---------
   ++rpc_reads_;
   dafs::DafsReadResult result;
-  if (cfg_.inline_rpc) {
-    auto res = co_await dafs_.read_inline(fh, block_off, want, op);
-    if (!res.ok()) co_return res.status();
-    result = std::move(res.value());
-    cache_.attach_data(hdr, result.n);
-    // In-line data must be copied from the communication buffer into the
-    // file cache (the Table 3 "in cache" copy).
-    co_await host_.copy(result.n, op);
-    cache_.write_block(hdr, result.inline_data.view().subspan(0, result.n));
-  } else {
-    const mem::Vaddr va = cache_.attach_data(hdr, want);
-    auto res = co_await dafs_.read_direct(fh, block_off, want,
-                                          slab_reg_->nic_va(va),
-                                          slab_reg_->cap, op);
-    if (!res.ok()) co_return res.status();
-    result = std::move(res.value());
-    hdr.valid = result.n;
+  bool filled = false;
+  Status last = Status(Errc::io_error);
+  for (unsigned attempt = 1;
+       !filled && attempt <= cfg_.max_fetch_attempts; ++attempt) {
+    if (cfg_.inline_rpc) {
+      auto res = co_await dafs_.read_inline(fh, block_off, want, op);
+      if (!res.ok()) {
+        last = res.status();
+        if (fetch_retryable(last.code())) continue;
+        co_return last;
+      }
+      result = std::move(res.value());
+      cache_.attach_data(hdr, result.n);
+      // In-line data must be copied from the communication buffer into the
+      // file cache (the Table 3 "in cache" copy).
+      co_await host_.copy(result.n, op);
+      cache_.write_block(hdr, result.inline_data.view().subspan(0, result.n));
+      filled = true;
+    } else {
+      const mem::Vaddr va = cache_.attach_data(hdr, want);
+      auto res = co_await dafs_.read_direct(fh, block_off, want,
+                                            slab_reg_->nic_va(va),
+                                            slab_reg_->cap, op);
+      if (!res.ok()) {
+        last = res.status();
+        if (fetch_retryable(last.code())) continue;
+        co_return last;
+      }
+      // The server's RDMA write into the cache slab is unacked: verify the
+      // landed bytes before exposing the block to readers.
+      std::vector<std::byte> landed(res.value().n);
+      if (!landed.empty() && !host_.user_as().read(va, landed).ok()) {
+        co_return Errc::access_fault;
+      }
+      if (data_checksum(landed) != res.value().data_cksum) {
+        ++integrity_retries_;
+        last = Status(Errc::io_error);
+        continue;
+      }
+      result = std::move(res.value());
+      hdr.valid = result.n;
+      filled = true;
+    }
+  }
+  if (!filled) {
+    ++fetch_give_ups_;
+    co_return last;
   }
   store_refs(fh, result);
   co_return &hdr;
@@ -289,7 +329,13 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
   if (!host_.user_as().read(user_va, data).ok()) {
     co_return Errc::access_fault;
   }
-  auto n = co_await dafs_.write_inline(fh, off, data, op);
+  // Idempotent write-through: re-issue (bounded) when the request gave up
+  // on retransmits or hit a transient error.
+  Result<Bytes> n = Errc::io_error;
+  for (unsigned attempt = 1; attempt <= cfg_.max_fetch_attempts; ++attempt) {
+    n = co_await dafs_.write_inline(fh, off, data, op);
+    if (n.ok() || !fetch_retryable(n.code())) break;
+  }
   if (!n.ok()) co_return n.status();
 
   auto& size = sizes_[fh];

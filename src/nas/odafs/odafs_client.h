@@ -32,6 +32,10 @@ struct OdafsClientConfig {
   // fetched with this much concurrency ("the cache starts internal
   // read-ahead up to the size of the application request", §5.2).
   unsigned read_ahead_window = 8;
+  // Upper bound on ORDMA→RPC fetch attempts per cache block (and write
+  // re-issues) under faults; exhausting it surfaces the last error (or
+  // Errc::io_error for integrity failures) to the caller.
+  unsigned max_fetch_attempts = 3;
 };
 
 class OdafsClient : public core::FileClient {
@@ -65,6 +69,10 @@ class OdafsClient : public core::FileClient {
   std::uint64_t ordma_faults() const { return ordma_faults_; }
   std::uint64_t rpc_reads() const { return rpc_reads_; }
   std::uint64_t attr_ordma() const { return attr_ordma_; }
+  // Direct RPC reads re-issued because landed bytes failed verification,
+  // and block fetches that exhausted max_fetch_attempts.
+  std::uint64_t integrity_retries() const { return integrity_retries_; }
+  std::uint64_t fetch_give_ups() const { return fetch_give_ups_; }
 
  private:
   sim::Task<Status> ensure_slab_registered(obs::OpId op);
@@ -104,6 +112,8 @@ class OdafsClient : public core::FileClient {
   std::uint64_t ordma_faults_ = 0;
   std::uint64_t rpc_reads_ = 0;
   std::uint64_t attr_ordma_ = 0;
+  std::uint64_t integrity_retries_ = 0;
+  std::uint64_t fetch_give_ups_ = 0;
 };
 
 }  // namespace ordma::nas::odafs

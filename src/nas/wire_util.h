@@ -63,4 +63,12 @@ inline cache::RemoteRef decode_ref(rpc::XdrDecoder& dec) {
   return r;
 }
 
+// End-to-end checksum over read payloads. Servers that deliver data via
+// unacknowledged RDMA write (DAFS direct reads, NFS-hybrid) stamp this into
+// the control reply; a dropped data frame then shows up as a mismatch when
+// the client checksums the landed bytes, instead of as silent corruption.
+inline std::uint32_t data_checksum(std::span<const std::byte> data) {
+  return rpc::checksum32(data);
+}
+
 }  // namespace ordma::nas

@@ -23,6 +23,10 @@ struct FabricConfig {
   Bandwidth link_bw = Gbps(2);       // paper: 2 Gb/s full-duplex ports
   Duration cable_latency = nsec(200);  // per hop propagation
   Duration switch_latency = nsec(500); // cut-through forwarding latency
+  // Optional deterministic fault injection (not owned; must outlive the
+  // fabric). Installed on each node's downlink so every frame passes the
+  // injector exactly once end-to-end.
+  fault::FaultInjector* injector = nullptr;
 };
 
 class Fabric {
@@ -43,6 +47,7 @@ class Fabric {
         eng_, cfg_.link_bw, cfg_.switch_latency + cfg_.cable_latency,
         name + ".down");
     port->down->set_sink(std::move(sink));
+    port->down->set_fault_injector(cfg_.injector);
     // Uplink terminates at the switch, which forwards onto the destination
     // downlink.
     port->up->set_sink([this](Packet p) { forward(std::move(p)); });

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/units.h"
+#include "fault/fault.h"
 #include "net/packet.h"
 #include "obs/trace.h"
 #include "sim/channel.h"
@@ -33,6 +34,9 @@ class Link {
   Link& operator=(const Link&) = delete;
 
   void set_sink(DeliverFn sink) { sink_ = std::move(sink); }
+  // Optional fault-injection hook consulted at the delivery point. Not
+  // owned; must outlive the link. Null (the default) means a perfect wire.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
 
   void send(Packet p) {
     bytes_offered_ += p.wire_size();
@@ -60,8 +64,20 @@ class Link {
       // ...then propagate; delivery happens latency later without blocking
       // the next packet's serialisation (pipelining).
       if (sink_) {
+        Duration extra{0};
+        if (faults_) {
+          const fault::NetAction act = faults_->on_packet(p);
+          if (act.drop) continue;  // lost on the wire
+          extra = act.extra;
+          if (act.duplicate) {
+            // Deliver a second copy back-to-back (payload Rep is shared).
+            eng_.schedule_fn(latency_ + extra, [this, p]() mutable {
+              sink_(std::move(p));
+            });
+          }
+        }
         // Copy into the closure; the link does not own packets in flight.
-        eng_.schedule_fn(latency_, [this, p = std::move(p)]() mutable {
+        eng_.schedule_fn(latency_ + extra, [this, p = std::move(p)]() mutable {
           sink_(std::move(p));
         });
       }
@@ -75,6 +91,7 @@ class Link {
   obs::Track trace_track_;
   sim::Channel<Packet> queue_;
   DeliverFn sink_;
+  fault::FaultInjector* faults_ = nullptr;
   Bytes bytes_offered_ = 0;
   Bytes bytes_delivered_ = 0;
 };

@@ -10,6 +10,16 @@ namespace {
 constexpr std::uint32_t kMaxU32 = 0xffffffffu;
 }
 
+// Doorbell writes cross the PCI bus; a faulty NIC can stall them (fault
+// plan). Charged as extra host-visible latency at ring time.
+sim::Task<void> Nic::ring_doorbell(obs::OpId trace_op) {
+  co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
+  if (faults_) {
+    const Duration stall = faults_->doorbell_stall();
+    if (stall.ns > 0) co_await eng_.delay(stall);
+  }
+}
+
 Nic::Nic(host::Host& host, net::Fabric& fabric, NicConfig cfg,
          crypto::SipKey cap_key)
     : host_(host),
@@ -95,7 +105,7 @@ sim::Channel<Nic::GmMessage>& Nic::open_port(std::uint32_t port) {
 sim::Task<void> Nic::gm_send(net::NodeId dst, std::uint32_t port,
                              std::uint32_t user_tag, net::Buffer data,
                              obs::OpId trace_op) {
-  co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
+  co_await ring_doorbell(trace_op);
   obs::flow(fw_.trace_track(), trace_op, "gm_send", eng_.now());
   GmCtrl ctrl;
   ctrl.op = GmOp::data;
@@ -109,7 +119,7 @@ sim::Task<Result<net::Buffer>> Nic::gm_get(net::NodeId dst, mem::Vaddr va,
                                            Bytes len,
                                            const crypto::Capability& cap,
                                            obs::OpId trace_op) {
-  co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
+  co_await ring_doorbell(trace_op);
   obs::flow(fw_.trace_track(), trace_op, "gm_get", eng_.now());
   co_await fw_.consume(cm_.nic_tx_frag, trace_op, "nic/tx_frag");
 
@@ -127,7 +137,17 @@ sim::Task<Result<net::Buffer>> Nic::gm_get(net::NodeId dst, mem::Vaddr va,
   // capability on the wire
   send_ctrl_packet(dst, ctrl, /*extra_bytes=*/40, trace_op);
 
-  Result<net::Buffer> result = co_await op_ptr->done.wait();
+  Result<net::Buffer> result = Errc::timed_out;
+  if (cfg_.op_timeout.ns > 0) {
+    auto got = co_await op_ptr->done.wait_for(cfg_.op_timeout);
+    if (got) {
+      result = std::move(*got);
+    } else {
+      ++ordma_timeouts_;  // lost request/reply; the caller falls back
+    }
+  } else {
+    result = co_await op_ptr->done.wait();
+  }
   pending_.erase(op_id);
   co_return result;
 }
@@ -136,7 +156,7 @@ sim::Task<Status> Nic::gm_put(net::NodeId dst, mem::Vaddr va,
                               net::Buffer data,
                               const crypto::Capability& cap,
                               bool wait_ack, obs::OpId trace_op) {
-  co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
+  co_await ring_doorbell(trace_op);
   obs::flow(fw_.trace_track(), trace_op, "gm_put", eng_.now());
 
   const std::uint64_t op_id = next_op_id_++;
@@ -158,7 +178,17 @@ sim::Task<Status> Nic::gm_put(net::NodeId dst, mem::Vaddr va,
   pending_.emplace(op_id, std::move(op));
   co_await send_fragments(dst, std::move(data), ctrl, /*charge_dma=*/true,
                           trace_op);
-  Result<net::Buffer> result = co_await op_ptr->done.wait();
+  Result<net::Buffer> result = Errc::timed_out;
+  if (cfg_.op_timeout.ns > 0) {
+    auto got = co_await op_ptr->done.wait_for(cfg_.op_timeout);
+    if (got) {
+      result = std::move(*got);
+    } else {
+      ++ordma_timeouts_;
+    }
+  } else {
+    result = co_await op_ptr->done.wait();
+  }
   pending_.erase(op_id);
   co_return result.status();
 }
@@ -200,6 +230,12 @@ sim::Task<void> Nic::rx_loop() {
 sim::Task<void> Nic::handle_gm_data(net::Packet p) {
   const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
   const RxKey key{p.src, p.msg_id};
+  auto& tr = gm_rx_received_[key];
+  if (tr.seen.empty()) tr.seen.resize(p.frag_count, false);
+  if (p.frag_index >= tr.seen.size() || tr.seen[p.frag_index]) {
+    co_return;  // duplicated fragment: already placed
+  }
+  tr.seen[p.frag_index] = true;
   auto& buf = gm_rx_[key];
   if (buf.size() != p.msg_total) buf = net::Buffer::alloc(p.msg_total);
 
@@ -210,7 +246,7 @@ sim::Task<void> Nic::handle_gm_data(net::Packet p) {
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
     std::copy(v.begin(), v.end(), buf.mutable_view().begin() + off);
   }
-  auto& got = gm_rx_received_[key];
+  auto& got = gm_rx_received_[key].got;
   got += 1;
   if (got == p.frag_count) {
     GmMessage msg;
@@ -295,6 +331,17 @@ sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
   // Locate the segment named by the capability.
   const Segment* seg = tpt_.find_segment(cap.segment_id);
   if (!seg) co_return Errc::access_fault;
+
+  // Injected NIC misbehaviour: a spurious revocation fails the op exactly
+  // like a genuine one (the initiator falls back to RPC); a spurious TPT/TLB
+  // shootdown drops this segment's translations so the op replays the miss
+  // path — both recoverable NIC-to-NIC exceptions of §4.1.
+  if (faults_) {
+    if (faults_->spurious_cap_revoke()) co_return Errc::revoked;
+    if (faults_->spurious_tlb_invalidate()) {
+      for (const auto& e : tlb_.invalidate_segment(seg->id)) unpin_evicted(e);
+    }
+  }
 
   // Verify the capability (MAC + generation) — firmware cost.
   if (cm_.capabilities_enabled) {
@@ -387,6 +434,12 @@ sim::Task<void> Nic::service_get(net::Packet p) {
 sim::Task<void> Nic::handle_put_req(net::Packet p) {
   const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
   const RxKey key{p.src, p.msg_id};
+  auto& tr = gm_rx_received_[key];
+  if (tr.seen.empty()) tr.seen.resize(p.frag_count, false);
+  if (p.frag_index >= tr.seen.size() || tr.seen[p.frag_index]) {
+    co_return;  // duplicated fragment: already placed
+  }
+  tr.seen[p.frag_index] = true;
   auto& buf = gm_rx_[key];
   if (buf.size() != p.msg_total) buf = net::Buffer::alloc(p.msg_total);
   if (!p.payload.empty()) {
@@ -397,7 +450,7 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
     std::copy(v.begin(), v.end(), buf.mutable_view().begin() + off);
   }
-  auto& got = gm_rx_received_[key];
+  auto& got = gm_rx_received_[key].got;
   got += 1;
   if (got != p.frag_count) co_return;
 
@@ -440,22 +493,35 @@ sim::Task<void> Nic::handle_get_reply(net::Packet p) {
   const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
   auto it = pending_.find(ctrl.op_id);
   if (it == pending_.end()) co_return;  // initiator gave up
-  PendingOp& op = *it->second;
+  if (it->second->done.is_set()) co_return;  // duplicate after completion
 
   if (ctrl.fault != Errc::ok) {
-    op.done.set(Result<net::Buffer>(ctrl.fault));
+    it->second->done.set(Result<net::Buffer>(ctrl.fault));
     co_return;
   }
-  if (op.reassembly.size() != p.msg_total) {
-    op.reassembly = net::Buffer::alloc(p.msg_total);
+  {
+    PendingOp& op = *it->second;
+    if (op.reassembly.size() != p.msg_total) {
+      op.reassembly = net::Buffer::alloc(p.msg_total);
+    }
+    if (op.frag_seen.empty()) op.frag_seen.resize(p.frag_count, false);
+    if (p.frag_index >= op.frag_seen.size() || op.frag_seen[p.frag_index]) {
+      co_return;  // duplicated fragment
+    }
+    op.frag_seen[p.frag_index] = true;
   }
   if (!p.payload.empty()) {
     // Fragments are DMA'd into the initiator's buffer as they arrive.
     co_await dma_transfer(p.payload.size(), p.trace_op);
+    // The initiator may have timed out and erased the op while we DMA'd.
+    it = pending_.find(ctrl.op_id);
+    if (it == pending_.end()) co_return;
     const auto v = p.payload.view();
     const Bytes off = static_cast<Bytes>(p.frag_index) * cm_.gm_mtu;
-    std::copy(v.begin(), v.end(), op.reassembly.mutable_view().begin() + off);
+    std::copy(v.begin(), v.end(),
+              it->second->reassembly.mutable_view().begin() + off);
   }
+  PendingOp& op = *it->second;
   op.received += 1;
   if (op.received == p.frag_count) {
     op.done.set(Result<net::Buffer>(std::move(op.reassembly)));
@@ -466,6 +532,7 @@ void Nic::handle_put_ack(net::Packet p) {
   const auto& ctrl = std::any_cast<const GmCtrl&>(p.ctrl);
   auto it = pending_.find(ctrl.op_id);
   if (it == pending_.end()) return;
+  if (it->second->done.is_set()) return;  // duplicate ack
   if (ctrl.fault != Errc::ok) {
     it->second->done.set(Result<net::Buffer>(ctrl.fault));
   } else {
@@ -596,6 +663,11 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
       }
     }
   }
+  if (r.frag_seen.empty()) r.frag_seen.resize(p.frag_count, false);
+  if (p.frag_index >= r.frag_seen.size() || r.frag_seen[p.frag_index]) {
+    co_return;  // duplicated fragment: already accounted
+  }
+  r.frag_seen[p.frag_index] = true;
 
   const auto v = p.payload.view();
   if (!v.empty()) {
@@ -618,14 +690,25 @@ sim::Task<void> Nic::handle_eth(net::Packet p) {
       const Bytes body_start = std::max(frag_start, data_start);
       const Bytes body_end = std::min(frag_end, data_end);
       if (body_end > body_start) {
-        const auto& entry = preposts_.at(ctrl.rddp_xid);
         const Bytes n = body_end - body_start;
         co_await dma_transfer(n, p.trace_op);  // placement into user buffer
-        const Status st =
-            entry.as->write(entry.va + (body_start - data_start),
-                            v.subspan(body_start - frag_start, n));
-        ORDMA_CHECK_MSG(st.ok(), "pre-posted buffer not writable");
-        r.placed += n;
+        auto pit = preposts_.find(ctrl.rddp_xid);
+        if (pit == preposts_.end()) {
+          // The caller cancelled the prepost mid-reassembly (gave up on
+          // this attempt). Stop splitting: the datagram completes inline
+          // with holes where already-placed bytes went, and the end-to-end
+          // RPC checksum rejects it.
+          r.rddp_active = false;
+          std::copy(v.begin() + (body_start - frag_start),
+                    v.begin() + (body_end - frag_start),
+                    r.bytes.mutable_view().begin() + body_start);
+        } else {
+          const Status st =
+              pit->second.as->write(pit->second.va + (body_start - data_start),
+                                    v.subspan(body_start - frag_start, n));
+          ORDMA_CHECK_MSG(st.ok(), "pre-posted buffer not writable");
+          r.placed += n;
+        }
       }
       const Bytes tail_start = std::max(frag_start, data_end);
       if (frag_end > tail_start) {

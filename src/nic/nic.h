@@ -44,6 +44,10 @@ struct NicConfig {
   // "ensure that RDMA ... always hits in the NIC TLB"; the TLB ablation
   // bench turns this off).
   bool preload_tlb = true;
+  // How long gm_get / gm_put(wait_ack) wait for completion before giving
+  // up with Errc::timed_out. Zero waits forever (lossless-fabric default);
+  // set it when a fault plan can lose fragments, so initiators recover.
+  Duration op_timeout{0};
 };
 
 class Nic {
@@ -151,9 +155,15 @@ class Nic {
                Bytes len);
   void cancel_prepost(std::uint32_t xid);
 
+  // --- fault injection ----------------------------------------------------
+  // Optional deterministic misbehaviour source (doorbell stalls, spurious
+  // TLB shootdowns, spurious capability revocation). Not owned.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+
   // --- observability ------------------------------------------------------
   std::uint64_t ordma_served() const { return ordma_served_; }
   std::uint64_t ordma_faults() const { return ordma_faults_; }
+  std::uint64_t ordma_timeouts() const { return ordma_timeouts_; }
   Duration fw_busy() { return fw_.busy_time(); }
 
  private:
@@ -162,6 +172,7 @@ class Nic {
     sim::Event<Result<net::Buffer>> done;  // get: data; put: empty buffer
     net::Buffer reassembly;  // pooled; filled in place as fragments arrive
     Bytes received = 0;
+    std::vector<bool> frag_seen;  // per-fragment dedup (links may duplicate)
   };
 
   struct EthReassembly {
@@ -171,6 +182,7 @@ class Nic {
     bool rddp_active = false;
     std::uint32_t rddp_xid = 0;
     Bytes rddp_data_len = 0;
+    std::vector<bool> frag_seen;  // per-fragment dedup
   };
 
   struct PrepostEntry {
@@ -190,6 +202,9 @@ class Nic {
 
   // DMA a transfer of n bytes between host memory and the NIC.
   sim::Task<void> dma_transfer(Bytes n, obs::OpId trace_op = 0);
+
+  // Charge the doorbell cost (plus any injected stall).
+  sim::Task<void> ring_doorbell(obs::OpId trace_op);
 
   // Send the fragments of one GM message/reply. `make_ctrl` customises the
   // control word per message.
@@ -249,8 +264,15 @@ class Nic {
                                         k.msg_id);
     }
   };
+  // Reassembly progress for an inbound GM message: fragment count plus a
+  // per-fragment bitmap so a duplicated frame cannot complete a message
+  // that still has holes.
+  struct FragTracker {
+    Bytes got = 0;
+    std::vector<bool> seen;
+  };
   std::unordered_map<RxKey, net::Buffer, RxKeyHash> gm_rx_;
-  std::unordered_map<RxKey, Bytes, RxKeyHash> gm_rx_received_;
+  std::unordered_map<RxKey, FragTracker, RxKeyHash> gm_rx_received_;
 
   // Export
   Tpt tpt_;
@@ -267,8 +289,11 @@ class Nic {
   bool eth_intr_pending_ = false;
   std::uint64_t next_dgram_id_ = 1;
 
+  fault::FaultInjector* faults_ = nullptr;
+
   std::uint64_t ordma_served_ = 0;
   std::uint64_t ordma_faults_ = 0;
+  std::uint64_t ordma_timeouts_ = 0;
 };
 
 }  // namespace ordma::nic

@@ -1,12 +1,61 @@
 #include "rpc/rpc.h"
 
+#include <algorithm>
 #include <array>
+#include <vector>
 
 namespace ordma::rpc {
+
+namespace {
+
+std::uint32_t read_u32_at(std::span<const std::byte> v, Bytes off) {
+  std::uint32_t x = 0;
+  for (int i = 0; i < 4; ++i) {
+    x = (x << 8) | std::to_integer<std::uint32_t>(v[off + i]);
+  }
+  return x;
+}
+
+void put_u32_at(std::span<std::byte> w, Bytes off, std::uint32_t x) {
+  for (int i = 0; i < 4; ++i) {
+    w[off + i] = static_cast<std::byte>((x >> (8 * (3 - i))) & 0xff);
+  }
+}
+
+// Finish an encoded message whose cksum word was left zero: compute the
+// end-to-end checksum over everything but the cksum field and stamp it in.
+net::Buffer seal_message(XdrEncoder& enc) {
+  net::Buffer b = enc.finish();
+  auto w = b.mutable_view();
+  std::uint32_t ck = checksum32(w.first(kRpcCksumOffset));
+  ck = checksum32(w.subspan(kRpcHeaderBytes), ck);
+  put_u32_at(w, kRpcCksumOffset, ck);
+  return b;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
+
+bool RpcClient::reply_checksum_ok(const RpcReplyInfo& info,
+                                  const Prepost* prepost) {
+  const auto v = info.raw.view();
+  if (v.size() < kRpcHeaderBytes) return false;
+  const std::uint32_t want = read_u32_at(v, kRpcCksumOffset);
+  std::uint32_t ck = checksum32(v.first(kRpcCksumOffset));
+  ck = checksum32(v.subspan(kRpcHeaderBytes), ck);
+  if (info.rddp_placed && info.rddp_data_len > 0 && prepost && prepost->as) {
+    // Bulk was header-split into the pre-posted buffer; continue the
+    // checksum over the bytes that actually landed there.
+    std::vector<std::byte> placed(
+        std::min<Bytes>(info.rddp_data_len, prepost->len));
+    if (!prepost->as->read(prepost->va, placed).ok()) return false;
+    ck = checksum32(placed, ck);
+  }
+  return ck == want;
+}
 
 sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
                                                 std::uint16_t server_port,
@@ -29,23 +78,63 @@ sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
   enc.u32(kRpcCall);
   enc.u32(proc);
   enc.u32(static_cast<std::uint32_t>(trace_op));
+  enc.u32(0);  // cksum, stamped by seal_message
   enc.raw(args.view());
+  const net::Buffer msg = seal_message(enc);
 
-  auto waiter = std::make_unique<Waiter>(host_.engine());
-  auto* wp = waiter.get();
-  waiting_.emplace(xid, std::move(waiter));
+  const bool wait_forever = retry_.timeout.ns <= 0;
+  const unsigned max_attempts = std::max(1u, retry_.max_attempts);
+  Duration timeout = retry_.timeout;
+  Result<RpcReplyInfo> out = Errc::timed_out;
+  for (unsigned attempt = 1;; ++attempt) {
+    auto waiter = std::make_unique<Waiter>(host_.engine());
+    auto* wp = waiter.get();
+    waiting_[xid] = std::move(waiter);  // supersedes any prior attempt's
 
-  co_await socket_.send_to(server, server_port, enc.finish(),
-                           /*rddp_xid=*/0, /*rddp_data_offset=*/0,
-                           /*rddp_data_len=*/0, /*gather_send=*/false,
-                           trace_op);
+    co_await socket_.send_to(server, server_port, net::Buffer(msg),
+                             /*rddp_xid=*/0, /*rddp_data_offset=*/0,
+                             /*rddp_data_len=*/0, /*gather_send=*/false,
+                             trace_op);
 
-  RpcReplyInfo info = co_await wp->done.wait();
+    std::optional<RpcReplyInfo> got;
+    if (wait_forever) {
+      got = co_await wp->done.wait();
+    } else {
+      got = co_await wp->done.wait_for(timeout);
+    }
+    // A reply that did not consume the prepost leaves it armed; disarm
+    // before accepting so no late duplicate can scribble on the buffer
+    // after we return.
+    if (prepost && (!got || !got->rddp_placed)) {
+      host_.nic().cancel_prepost(xid);
+    }
+
+    if (got) {
+      if (reply_checksum_ok(*got, prepost)) {
+        out = std::move(*got);
+        break;
+      }
+      ++cksum_drops_;
+      out = Errc::io_error;  // stands only if attempts are exhausted
+    } else {
+      ++timeouts_;
+      out = Errc::timed_out;
+    }
+    if (wait_forever || attempt >= max_attempts) break;
+    ++retransmits_;
+    if (prepost) {
+      // Re-arm for the retransmission (consumed or disarmed above).
+      host_.nic().prepost(xid, *prepost->as, prepost->va, prepost->len);
+    }
+    timeout = Duration{std::min<std::int64_t>(
+        static_cast<std::int64_t>(static_cast<double>(timeout.ns) *
+                                  retry_.backoff),
+        retry_.max_timeout.ns)};
+  }
   waiting_.erase(xid);
-  if (prepost && !info.rddp_placed) host_.nic().cancel_prepost(xid);
   co_await host_.cpu_consume(cm.rpc_client_complete, trace_op,
                              "io/rpc_complete");
-  co_return info;
+  co_return out;
 }
 
 sim::Task<void> RpcClient::rx_loop() {
@@ -55,14 +144,18 @@ sim::Task<void> RpcClient::rx_loop() {
     const std::uint32_t xid = dec.u32();
     const std::uint32_t type = dec.u32();
     const std::uint32_t status = dec.u32();
+    dec.u32();  // trace echo
+    dec.u32();  // cksum — verified in call() against the raw bytes
     if (!dec.ok() || type != kRpcReply) continue;
     auto it = waiting_.find(xid);
-    if (it == waiting_.end()) continue;  // duplicate/late reply
+    if (it == waiting_.end()) continue;       // duplicate/late reply
+    if (it->second->done.is_set()) continue;  // duplicate within one attempt
 
     RpcReplyInfo info;
     info.status = status;
     info.results =
         d.data.slice(kRpcHeaderBytes, d.data.size() - kRpcHeaderBytes);
+    info.raw = d.data;
     info.rddp_placed = d.rddp_placed;
     info.rddp_data_len = d.rddp_data_len;
     it->second->done.set(std::move(info));
@@ -81,6 +174,17 @@ sim::Task<void> RpcServer::rx_loop() {
   }
 }
 
+void RpcServer::trim_reply_cache() {
+  while (reply_cache_.size() > kReplyCacheCap && !reply_order_.empty()) {
+    const ReplyKey k = reply_order_.front();
+    reply_order_.pop_front();
+    auto it = reply_cache_.find(k);
+    if (it != reply_cache_.end() && !it->second.in_progress) {
+      reply_cache_.erase(it);
+    }
+  }
+}
+
 sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
   const auto& cm = host_.costs();
   XdrDecoder dec(d.data);
@@ -88,7 +192,40 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
   const std::uint32_t type = dec.u32();
   const std::uint32_t proc = dec.u32();
   const std::uint32_t trace = dec.u32();
+  const std::uint32_t cksum = dec.u32();
   if (!dec.ok() || type != kRpcCall) co_return;
+  {
+    const auto v = d.data.view();
+    std::uint32_t ck = checksum32(v.first(kRpcCksumOffset));
+    ck = checksum32(v.subspan(kRpcHeaderBytes), ck);
+    if (ck != cksum) {
+      // Corrupt request: drop it; the client's retransmission recovers.
+      ++cksum_drops_;
+      co_return;
+    }
+  }
+
+  const ReplyKey key{d.src, d.src_port, xid};
+  if (auto it = reply_cache_.find(key); it != reply_cache_.end()) {
+    if (it->second.in_progress) {
+      // Original still executing; its reply will serve the retransmission.
+      ++dup_drops_;
+      co_return;
+    }
+    ++dup_replays_;
+    // Copy out: the iterator may be invalidated by inserts across awaits.
+    ReplyEntry e = it->second;
+    co_await host_.cpu().consume_parts(
+        trace, std::array<sim::Resource::Part, 2>{{
+                   {cm.cpu_schedule, "io/sched"},
+                   {cm.rpc_server_dispatch, "io/rpc_dispatch"},
+               }});
+    co_await socket_.send_to(d.src, d.src_port, std::move(e.reply),
+                             e.rddp_xid, e.data_offset, e.data_len,
+                             e.gather_send, trace);
+    co_return;
+  }
+  reply_cache_.emplace(key, ReplyEntry{});  // in-progress marker
 
   co_await host_.cpu().consume_parts(
       trace, std::array<sim::Resource::Part, 2>{{
@@ -119,17 +256,33 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
   enc.u32(kRpcReply);
   enc.u32(reply.status);
   enc.u32(trace);  // echo the caller's trace context
+  enc.u32(0);      // cksum, stamped by seal_message
   const auto results_bytes = reply.results.take();
   enc.raw(results_bytes);
   const Bytes data_offset = kRpcHeaderBytes + results_bytes.size();
   const Bytes data_len = reply.bulk.size();
   enc.raw(reply.bulk.view());
+  net::Buffer wire = seal_message(enc);
+  const std::uint32_t rddp_xid = data_len > 0 ? xid : 0;
 
-  co_await socket_.send_to(d.src, d.src_port, enc.finish(),
-                           /*rddp_xid=*/data_len > 0 ? xid : 0,
-                           /*rddp_data_offset=*/data_offset,
-                           /*rddp_data_len=*/data_len, reply.gather_send,
-                           trace);
+  // Record the sealed reply before sending so a duplicate arriving during
+  // the send already replays instead of re-executing.
+  if (wire.size() <= kMaxCachedReply) {
+    ReplyEntry& e = reply_cache_[key];
+    e.in_progress = false;
+    e.reply = wire;
+    e.rddp_xid = rddp_xid;
+    e.data_offset = data_offset;
+    e.data_len = data_len;
+    e.gather_send = reply.gather_send;
+    reply_order_.push_back(key);
+    trim_reply_cache();
+  } else {
+    reply_cache_.erase(key);
+  }
+
+  co_await socket_.send_to(d.src, d.src_port, std::move(wire), rddp_xid,
+                           data_offset, data_len, reply.gather_send, trace);
 }
 
 }  // namespace ordma::rpc

@@ -5,15 +5,28 @@
 // into that buffer.
 //
 // Wire format (all XDR):
-//   call:  xid u32 | type=0 u32 | proc u32 | trace u32 | args...
-//   reply: xid u32 | type=1 u32 | status u32 | trace u32 | results...
-//          [| bulk data]
+//   call:  xid u32 | type=0 u32 | proc u32 | trace u32 | cksum u32 | args...
+//   reply: xid u32 | type=1 u32 | status u32 | trace u32 | cksum u32
+//          | results... [| bulk data]
 // The trace word carries the issuing file operation's trace-context id
 // (obs/trace.h; 0 = untraced) so server-side work lands in the caller's
 // span tree. Op ids are sequential from 1 and fit u32 at simulation scales.
+// The cksum word is an end-to-end FNV-1a over the whole message with the
+// cksum field itself skipped — for replies whose bulk was RDDP-placed, the
+// client continues the checksum over the landed bytes — catching corruption
+// that escapes the link-level CRC. A failed check is treated as a lost
+// datagram and recovered by retransmission.
+//
+// Reliability (exercised by fault injection, free of cost otherwise): a
+// client retransmits after a timeout with exponential backoff (RpcRetryPolicy;
+// the default policy waits forever, preserving classic behaviour), and the
+// server suppresses duplicate execution with a bounded per-(client,port,xid)
+// reply cache that replays the original reply for completed requests and
+// drops duplicates of requests still in progress.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -29,11 +42,22 @@ namespace ordma::rpc {
 
 inline constexpr std::uint32_t kRpcCall = 0;
 inline constexpr std::uint32_t kRpcReply = 1;
-inline constexpr Bytes kRpcHeaderBytes = 16;
+inline constexpr Bytes kRpcHeaderBytes = 20;
+inline constexpr Bytes kRpcCksumOffset = 16;
+
+// Client-side timeout/retransmission policy. The default (timeout 0) waits
+// forever and never retransmits — the classic lossless-fabric behaviour.
+struct RpcRetryPolicy {
+  Duration timeout{0};        // initial reply timeout; 0 = wait forever
+  unsigned max_attempts = 1;  // total transmissions before giving up
+  double backoff = 2.0;       // timeout multiplier per retransmission
+  Duration max_timeout = msec(100);
+};
 
 struct RpcReplyInfo {
   std::uint32_t status = 0;      // protocol-level status (Errc as u32)
   net::Buffer results;           // decoded results region (after header)
+  net::Buffer raw;               // whole datagram (for checksum verification)
   bool rddp_placed = false;      // bulk data landed in the pre-posted buffer
   Bytes rddp_data_len = 0;
 };
@@ -47,12 +71,15 @@ struct Prepost {
 
 class RpcClient {
  public:
-  RpcClient(host::Host& host, msg::UdpStack& stack, std::uint16_t local_port)
-      : host_(host), socket_(stack.bind(local_port)) {
+  RpcClient(host::Host& host, msg::UdpStack& stack, std::uint16_t local_port,
+            RpcRetryPolicy retry = {})
+      : host_(host), socket_(stack.bind(local_port)), retry_(retry) {
     host.engine().spawn(rx_loop());
   }
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
+
+  void set_retry_policy(RpcRetryPolicy retry) { retry_ = retry; }
 
   // Issue one call and await its reply. `trace_op` is marshalled into the
   // call header and echoed by the server's reply.
@@ -63,9 +90,13 @@ class RpcClient {
                                        obs::OpId trace_op = 0);
 
   std::uint64_t calls_issued() const { return next_xid_ - 1; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t cksum_drops() const { return cksum_drops_; }
 
  private:
   sim::Task<void> rx_loop();
+  bool reply_checksum_ok(const RpcReplyInfo& info, const Prepost* prepost);
 
   struct Waiter {
     explicit Waiter(sim::Engine& eng) : done(eng) {}
@@ -74,8 +105,12 @@ class RpcClient {
 
   host::Host& host_;
   msg::UdpStack::Socket& socket_;
+  RpcRetryPolicy retry_;
   std::uint32_t next_xid_ = 1;
   std::unordered_map<std::uint32_t, std::unique_ptr<Waiter>> waiting_;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t cksum_drops_ = 0;
 };
 
 // A server-side reply: results plus an optional bulk-data region that
@@ -113,15 +148,57 @@ class RpcServer {
   }
 
   std::uint64_t requests_served() const { return served_; }
+  std::uint64_t dup_replays() const { return dup_replays_; }
+  std::uint64_t dup_drops() const { return dup_drops_; }
+  std::uint64_t cksum_drops() const { return cksum_drops_; }
 
  private:
+  // Duplicate-request suppression (classic NFS xid cache). Entries for
+  // requests still executing drop duplicates; completed entries replay the
+  // sealed reply datagram. Bounded FIFO; replies above kMaxCachedReply are
+  // not retained (re-executing a large read is idempotent and cheaper than
+  // pinning megabytes of reply buffers).
+  static constexpr std::size_t kReplyCacheCap = 256;
+  static constexpr Bytes kMaxCachedReply = KiB(64);
+
+  struct ReplyKey {
+    net::NodeId client = net::kInvalidNode;
+    std::uint16_t port = 0;
+    std::uint32_t xid = 0;
+    bool operator==(const ReplyKey&) const = default;
+  };
+  struct ReplyKeyHash {
+    std::size_t operator()(const ReplyKey& k) const {
+      std::uint64_t h = (std::uint64_t(k.client) << 48) ^
+                        (std::uint64_t(k.port) << 32) ^ k.xid;
+      h ^= h >> 33;
+      h *= 0xff51afd7ed558ccdull;
+      h ^= h >> 33;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct ReplyEntry {
+    bool in_progress = true;
+    net::Buffer reply;  // sealed datagram (header | results | bulk)
+    std::uint32_t rddp_xid = 0;
+    Bytes data_offset = 0;
+    Bytes data_len = 0;
+    bool gather_send = false;
+  };
+
   sim::Task<void> rx_loop();
   sim::Task<void> serve_one(msg::UdpDatagram d);
+  void trim_reply_cache();
 
   host::Host& host_;
   msg::UdpStack::Socket& socket_;
   std::unordered_map<std::uint32_t, Handler> handlers_;
+  std::unordered_map<ReplyKey, ReplyEntry, ReplyKeyHash> reply_cache_;
+  std::deque<ReplyKey> reply_order_;  // completed entries only, FIFO
   std::uint64_t served_ = 0;
+  std::uint64_t dup_replays_ = 0;
+  std::uint64_t dup_drops_ = 0;
+  std::uint64_t cksum_drops_ = 0;
 };
 
 }  // namespace ordma::rpc

@@ -16,6 +16,21 @@
 
 namespace ordma::rpc {
 
+// End-to-end payload checksum (FNV-1a/32). Chainable: pass the previous
+// return value as `state` to checksum discontiguous regions as one stream
+// (e.g. an RPC header + results + RDDP-placed data). Simulated NICs/links
+// model CRC at the frame level; this is the end-to-end check that catches
+// corruption escaping the link CRC.
+inline std::uint32_t checksum32(std::span<const std::byte> data,
+                                std::uint32_t state = 0x811c9dc5u) {
+  std::uint32_t h = state;
+  for (const std::byte b : data) {
+    h ^= std::to_integer<std::uint32_t>(b);
+    h *= 16777619u;
+  }
+  return h;
+}
+
 class XdrEncoder {
  public:
   void u32(std::uint32_t x) {
@@ -84,6 +99,9 @@ class XdrDecoder {
   }
   std::string str() {
     auto s = opaque();
+    // An empty opaque (or a truncated buffer) yields an empty span whose
+    // data() may be null; constructing std::string from (nullptr, 0) is UB.
+    if (s.empty()) return {};
     return std::string(reinterpret_cast<const char*>(s.data()), s.size());
   }
   std::span<const std::byte> rest() {

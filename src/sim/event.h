@@ -68,6 +68,12 @@ class Event {
   class Awaiter;
   Awaiter wait() { return Awaiter(*this); }
 
+  class TimedAwaiter;
+  // Timed wait: resumes with the value once set() fires, or with
+  // std::nullopt after `d` if it has not. The caller owns recovery (e.g. a
+  // retransmit); the event itself stays armed and may still fire later.
+  TimedAwaiter wait_for(Duration d) { return TimedAwaiter(*this, d); }
+
   class Awaiter {
    public:
     explicit Awaiter(Event& ev) : ev_(ev) {}
@@ -104,8 +110,54 @@ class Event {
     Node node_;
   };
 
+  class TimedAwaiter {
+   public:
+    TimedAwaiter(Event& ev, Duration d) : ev_(ev), d_(d) {}
+    TimedAwaiter(const TimedAwaiter&) = delete;
+    TimedAwaiter& operator=(const TimedAwaiter&) = delete;
+    ~TimedAwaiter() {
+      if (node_.linked()) {
+        ev_.waiters_.erase(&node_);
+      } else if (node_.timer) {
+        node_.timer->cancelled = true;
+      }
+      if (timeout_) timeout_->cancelled = true;
+    }
+
+    bool await_ready() const noexcept { return ev_.set_; }
+    void await_suspend(std::coroutine_handle<> h) {
+      node_.h = h;
+      ev_.waiters_.push_back(&node_);
+      timeout_ = ev_.eng_.schedule_fn(d_, [this] {
+        timeout_ = nullptr;  // the engine recycles this TimerNode after firing
+        if (node_.linked()) {
+          ev_.waiters_.erase(&node_);
+          node_.h.resume();
+        }
+        // else: set() already unlinked us and scheduled the normal wake-up.
+      });
+    }
+    std::optional<detail::EventStorage<T>> await_resume() {
+      node_.timer = nullptr;
+      if (timeout_) {
+        timeout_->cancelled = true;
+        timeout_ = nullptr;
+      }
+      if (!ev_.set_) return std::nullopt;
+      return *ev_.value_;
+    }
+
+   private:
+    friend class Event;
+    Event& ev_;
+    Duration d_;
+    typename Awaiter::Node node_;
+    Engine::TimerNode* timeout_ = nullptr;
+  };
+
  private:
   friend class Awaiter;
+  friend class TimedAwaiter;
 
   void wake_all() {
     while (auto* n = waiters_.pop_front()) {

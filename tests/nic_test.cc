@@ -158,6 +158,54 @@ TEST_F(NicTest, RevokedSegmentFaultsFutureGets) {
   EXPECT_EQ(res.code(), Errc::access_fault);
 }
 
+TEST_F(NicTest, RevokedSegmentPutLeavesMemoryUntouched) {
+  // Isolation half of revocation: a put against a revoked capability must
+  // fail with access_fault AND leave the target bytes exactly as they were
+  // — no partial DMA, even for a multi-fragment transfer.
+  const auto initial = pattern(20000, 3);
+  const auto cap = export_buffer(initial, crypto::SegPerm::read_write);
+  nb_->revoke_segment(cap.segment_id);
+
+  Status st = Status::Ok();
+  eng_.spawn([](Nic& nic, net::NodeId dst, crypto::Capability cap,
+                Status& out) -> sim::Task<void> {
+    out = co_await nic.gm_put(dst, cap.base,
+                              net::Buffer::copy_of(pattern(20000, 9)), cap);
+  }(*na_, nb_->node_id(), cap, st));
+  eng_.run();
+
+  EXPECT_EQ(st.code(), Errc::access_fault);
+  std::vector<std::byte> now(initial.size());
+  ASSERT_TRUE(hb_->user_as().read(exported_va_, now).ok());
+  EXPECT_TRUE(now == initial) << "revoked put landed bytes";
+}
+
+TEST_F(NicTest, MidTransferRevokeNeverPartiallyLands) {
+  // Revoke while the put's fragments are still on the wire. The target NIC
+  // resolves the capability only after full reassembly, so the transfer
+  // must either land completely (revoke arrived too late) or not at all —
+  // and with the revoke scheduled before the first fragment's delivery it
+  // must be not-at-all, surfaced as access_fault.
+  const auto initial = pattern(20000, 3);
+  const auto cap = export_buffer(initial, crypto::SegPerm::read_write);
+
+  Status st = Status::Ok();
+  eng_.spawn([](Nic& nic, net::NodeId dst, crypto::Capability cap,
+                Status& out) -> sim::Task<void> {
+    out = co_await nic.gm_put(dst, cap.base,
+                              net::Buffer::copy_of(pattern(20000, 9)), cap);
+  }(*na_, nb_->node_id(), cap, st));
+  // 20000 bytes at 2 Gb/s is tens of microseconds of serialisation; 1 us is
+  // comfortably before the first fragment is delivered.
+  eng_.schedule_fn(usec(1), [this, &cap] { nb_->revoke_segment(cap.segment_id); });
+  eng_.run();
+
+  EXPECT_EQ(st.code(), Errc::access_fault);
+  std::vector<std::byte> now(initial.size());
+  ASSERT_TRUE(hb_->user_as().read(exported_va_, now).ok());
+  EXPECT_TRUE(now == initial) << "partial DMA from a mid-transfer revoke";
+}
+
 TEST_F(NicTest, RevokeUnpinsPages) {
   const auto cap = export_buffer(pattern(8192), crypto::SegPerm::read);
   // Registration (pin_now) pinned both pages via TLB residency.
