@@ -3,14 +3,17 @@
 // events/sec the discrete-event core retires. Drives four microbenchmarks
 // (pure timers, coroutine yields, channel handoffs, a mixed spawn-heavy
 // workload) plus a fig6-style PostMark end-to-end run, prints events/sec
-// and wall-clock for each, and emits BENCH_engine.json so the perf
-// trajectory is tracked PR over PR.
+// and wall-clock for each, and (with --json=<file>) emits an ordma.bench.v1
+// document that scripts/bench_compare.py diffs against the committed
+// BENCH_engine.json baseline to gate CI on perf regressions.
 #include <ctime>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "nas/odafs/odafs_client.h"
 #include "sim/channel.h"
@@ -193,6 +196,14 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
+  // --json=<file>: ordma.bench.v1 metrics for scripts/bench_compare.py
+  // (BENCH_engine.json in the repo root is the committed baseline).
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 7) == "--json=") json_path = std::string(arg.substr(7));
+  }
+
   constexpr std::uint64_t kMicroEvents = 4'000'000;
 
   std::vector<MicroResult> results;
@@ -210,23 +221,21 @@ int main(int argc, char** argv) {
   }
   t.print();
 
-  // Machine-readable record for the perf trajectory (BENCH_engine.json in
-  // the repo root keeps before/after snapshots across PRs).
-  std::FILE* f = std::fopen("bench_engine_run.json", "w");
-  if (f) {
-    std::fprintf(f, "{\n");
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const auto& r = results[i];
-      std::fprintf(f,
-                   "  \"%s\": {\"events\": %llu, \"wall_s\": %.4f,"
-                   " \"events_per_sec\": %.0f}%s\n",
-                   r.name.c_str(),
-                   static_cast<unsigned long long>(r.events), r.wall_s,
-                   r.events_per_sec(), i + 1 < results.size() ? "," : "");
+  if (!json_path.empty()) {
+    BenchReport report("bench_engine");
+    for (const auto& r : results) {
+      // Wall-clock rates on a shared runner swing hard: a loose band keeps
+      // the gate meaningful (order-of-magnitude regressions) without
+      // tripping on noisy neighbours.
+      report.add(r.name + "_events_per_sec", r.events_per_sec(), "events/s",
+                 /*higher_is_better=*/true, 0.6);
     }
-    std::fprintf(f, "}\n");
-    std::fclose(f);
-    std::printf("\nwrote bench_engine_run.json\n");
+    if (report.write_file(json_path)) {
+      std::printf("\nbench json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

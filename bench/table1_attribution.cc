@@ -13,14 +13,20 @@
 // DAFS → ODAFS progression below shows.
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "core/file_client.h"
 #include "nas/odafs/odafs_client.h"
 #include "obs/attribution.h"
 #include "obs/cli.h"
+#include "obs/explain.h"
 
 namespace ordma {
 namespace {
@@ -44,6 +50,8 @@ struct RunResult {
   obs::Breakdown avg;   // mean over measured preads
   double e2e_us = 0;    // wall-clock average per pread
   std::size_t ops = 0;  // measured preads folded in
+  // Cause-level explanation of the same ops (obs/explain.h), keyed by op.
+  std::map<obs::OpId, obs::CauseBreakdown> causes;
 };
 
 // Run `samples` preads of `io_size` with `proto` and attribute them. The
@@ -149,10 +157,39 @@ RunResult run_proto(Proto proto, Bytes io_size, int samples,
   const double delta =
       std::abs(out.avg.sum_us() - out.e2e_us) / out.e2e_us;
   ORDMA_CHECK_MSG(delta <= 0.02, "attribution does not sum to e2e latency");
+
+  // Cause-level view of the same trace; the sweep partitions each op's
+  // envelope, so per-cause times must sum to its end-to-end latency too.
+  for (auto& [op, bd] : obs::explain(recorder)) {
+    if (std::string_view(bd.root_name) != "op/pread") continue;
+    ORDMA_CHECK_MSG(std::abs(bd.sum_us() - bd.total_us) <=
+                        0.02 * bd.total_us,
+                    "explainer causes do not sum to op latency");
+    out.causes.emplace(op, bd);
+  }
   return out;
 }
 
-void print_table(Bytes io_size, int samples, obs::TraceRecorder* rec_last) {
+// Per-protocol explainer documents collected for --explain output.
+struct ExplainDoc {
+  std::string label;
+  std::map<obs::OpId, obs::CauseBreakdown> causes;
+};
+
+// Metric name fragment: "nfs", "rddp_rpc", "dafs", "odafs".
+std::string proto_key(Proto p) {
+  switch (p) {
+    case Proto::nfs: return "nfs";
+    case Proto::prepost: return "rddp_rpc";
+    case Proto::dafs: return "dafs";
+    case Proto::odafs: return "odafs";
+  }
+  return "?";
+}
+
+void print_table(Bytes io_size, int samples, obs::TraceRecorder* rec_last,
+                 bench::BenchReport* report,
+                 std::vector<ExplainDoc>* explain_out) {
   bench::Table t(
       "Per-" + std::to_string(io_size / 1024) +
           "KB-read overhead attribution (us, mean of " +
@@ -164,7 +201,7 @@ void print_table(Bytes io_size, int samples, obs::TraceRecorder* rec_last) {
   for (Proto p : protos) {
     obs::TraceRecorder* rec =
         (p == Proto::odafs) ? rec_last : nullptr;
-    const RunResult r = run_proto(p, io_size, samples, rec);
+    RunResult r = run_proto(p, io_size, samples, rec);
     auto cell = [&r](obs::Category c) { return bench::fmt("%.1f", r.avg[c]); };
     t.add_row({proto_name(p), cell(obs::Category::per_byte),
                cell(obs::Category::per_packet), cell(obs::Category::per_io),
@@ -172,6 +209,22 @@ void print_table(Bytes io_size, int samples, obs::TraceRecorder* rec_last) {
                cell(obs::Category::disk), cell(obs::Category::other),
                bench::fmt("%.1f", r.avg.sum_us()),
                bench::fmt("%.1f", r.e2e_us)});
+    if (report) {
+      // Simulated time reproduces bit-identically: tight tolerance.
+      const std::string key =
+          proto_key(p) + "_" + std::to_string(io_size / 1024) + "k";
+      report->add(key + "_e2e_us", r.e2e_us, "us",
+                  /*higher_is_better=*/false, 0.02);
+      report->add(key + "_per_byte_us", r.avg[obs::Category::per_byte], "us",
+                  /*higher_is_better=*/false, 0.02);
+    }
+    if (explain_out) {
+      ExplainDoc doc;
+      doc.label = std::string(proto_name(p)) + " " +
+                  std::to_string(io_size / 1024) + "KB pread";
+      doc.causes = std::move(r.causes);
+      explain_out->push_back(std::move(doc));
+    }
   }
   t.print();
 }
@@ -183,15 +236,55 @@ int main(int argc, char** argv) {
   using namespace ordma;
   // --trace=<file> captures the ODAFS 64KB run (the most interesting tree);
   // --metrics is accepted for interface uniformity but writes nothing here
-  // (each run owns a fresh cluster).
+  // (each run owns a fresh cluster). This binary adds:
+  //   --json=<file>     ordma.bench.v1 metrics (see bench_json.h)
+  //   --explain=<file>  JSON array of ordma.explain.v1 "p99 explainer"
+  //                     documents, one per protocol, for the 8KB runs
   obs::ObsSession session(argc, argv);
   obs::install(static_cast<obs::TraceRecorder*>(nullptr));  // runs install recorders themselves
 
-  print_table(KiB(8), 256, nullptr);
-  print_table(KiB(64), 64, session.recorder());
+  std::string json_path, explain_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 7) == "--json=") {
+      json_path = std::string(arg.substr(7));
+    } else if (arg.substr(0, 10) == "--explain=") {
+      explain_path = std::string(arg.substr(10));
+    }
+  }
+
+  bench::BenchReport report("table1_attribution");
+  std::vector<ExplainDoc> explains;
+  print_table(KiB(8), 256, nullptr, &report,
+              explain_path.empty() ? nullptr : &explains);
+  print_table(KiB(64), 64, session.recorder(), &report, nullptr);
 
   std::printf(
       "\nbuckets are a full partition of each op's latency; \"other\" is\n"
       "queueing/sync time no instrumented stage was active for.\n");
+
+  if (!json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::printf("bench json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  if (!explain_path.empty()) {
+    std::ofstream f(explain_path);
+    if (!f) {
+      std::fprintf(stderr, "failed to write %s\n", explain_path.c_str());
+      return 1;
+    }
+    f << "[\n";
+    for (std::size_t i = 0; i < explains.size(); ++i) {
+      obs::write_explain_json(f, explains[i].label.c_str(),
+                              explains[i].causes);
+      if (i + 1 < explains.size()) f << ",\n";
+    }
+    f << "]\n";
+    std::printf("explainer json written to %s\n", explain_path.c_str());
+  }
   return 0;
 }

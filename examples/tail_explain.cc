@@ -1,0 +1,150 @@
+// Tail-latency walkthrough: why is the p99 ODAFS read slow?
+//
+// The mean warm-cache read is explained by Table-1 style costs (copies,
+// NIC work, wire time). The *tail* is explained by contention and
+// recovery: this example runs ODAFS over a lossy fabric against a server
+// cache smaller than the file, so the measured pass mixes clean ORDMA
+// gets with retransmitted requests, faulted-and-recovered stale
+// references, disk refills and arm queueing — then lets the explainer
+// (obs/explain.h) name each op's dominant cause.
+//
+//   ./build/examples/tail_explain [--explain=<file>] [--trace=<file>]
+//                                 [--flight=<file>]
+//
+// --explain writes the ordma.explain.v1 "p99 explainer" document (the
+// same format bench/table1_attribution --explain emits for clean runs).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/cluster.h"
+#include "nas/odafs/odafs_client.h"
+#include "obs/cli.h"
+#include "obs/explain.h"
+
+using namespace ordma;
+
+int main(int argc, char** argv) {
+  obs::ObsSession session(argc, argv);
+  obs::install(static_cast<obs::TraceRecorder*>(nullptr));
+
+  std::string explain_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--explain=", 10) == 0) {
+      explain_path = argv[i] + 10;
+    }
+  }
+
+  constexpr Bytes kBlock = KiB(8);
+  constexpr int kBlocks = 128;
+  constexpr Bytes kFile = static_cast<Bytes>(kBlocks) * kBlock;
+
+  core::ClusterConfig cfg;
+  cfg.fs.block_size = kBlock;
+  cfg.fs.cache_blocks = 64;  // half the file: re-reads churn through disk
+  cfg.nic.op_timeout = usec(500);  // lost ORDMA fragments must time out
+  cfg.faults = fault::FaultPlan{};  // deterministic seed 1
+  cfg.faults->gm.drop = 0.02;             // lossy fabric → retransmits
+  cfg.faults->disk.latency_spike = 0.05;  // occasional slow media op
+  core::Cluster cluster(cfg);
+  cluster.start_dafs({.piggyback_refs = true});
+
+  nas::odafs::OdafsClientConfig cc;
+  cc.cache.block_size = kBlock;
+  cc.cache.data_blocks = 32;  // client data cache misses on re-read
+  cc.cache.max_headers = 4096;
+  cc.dafs.completion = msg::Completion::block;
+  cc.dafs.retry.timeout = usec(500);
+  cc.dafs.retry.max_attempts = 8;
+  auto client = cluster.make_odafs_client(0, cc);
+
+  obs::TraceRecorder local;
+  obs::TraceRecorder& rec = session.recorder() ? *session.recorder() : local;
+
+  bool done = false;
+  cluster.engine().spawn([](core::Cluster& c,
+                            nas::odafs::OdafsClient& client,
+                            obs::TraceRecorder& rec,
+                            bool& done) -> sim::Task<void> {
+    // Setup runs without faults: create the file cold, then a first pass
+    // by RPC that fills the server cache and harvests references.
+    c.fault_injector()->set_armed(false);
+    co_await c.make_file("f", kFile, /*warm=*/false);
+    auto& h = c.client(0);
+    const mem::Vaddr buf = h.map_new(h.user_as(), kBlock);
+    auto open = co_await client.open("f");
+    ORDMA_CHECK(open.ok());
+    for (int i = 0; i < kBlocks; ++i) {
+      auto r = co_await client.pread(open.value().fh,
+                                     static_cast<Bytes>(i) * kBlock, buf,
+                                     kBlock);
+      ORDMA_CHECK(r.ok() && r.value() == kBlock);
+    }
+    std::printf("warm-up: %llu RPC reads, %zu references harvested\n",
+                static_cast<unsigned long long>(client.rpc_reads()),
+                client.block_cache().refs_held());
+
+    // Measured pass under fire, in reverse order so the reads span every
+    // regime: the newest blocks hit the client cache, the middle of the
+    // file is served by clean ORDMA gets, and the oldest blocks carry
+    // stale references — NIC fault, RPC recovery, disk refill — all over
+    // a fabric that drops frames.
+    c.fault_injector()->set_armed(true);
+    obs::install(&rec);
+    for (int i = kBlocks - 1; i >= 0; --i) {
+      auto r = co_await client.pread(open.value().fh,
+                                     static_cast<Bytes>(i) * kBlock, buf,
+                                     kBlock);
+      ORDMA_CHECK(r.ok() && r.value() == kBlock);
+    }
+    obs::install(static_cast<obs::TraceRecorder*>(nullptr));
+    c.fault_injector()->set_armed(false);
+    done = true;
+  }(cluster, *client, rec, done));
+  cluster.engine().run();
+  ORDMA_CHECK(done);
+
+  std::printf("measured: %llu ORDMA reads, %llu faults recovered, "
+              "%llu RPC reads\n",
+              static_cast<unsigned long long>(client->ordma_reads()),
+              static_cast<unsigned long long>(client->ordma_faults()),
+              static_cast<unsigned long long>(client->rpc_reads()));
+
+  auto ops = obs::explain(rec);
+  for (auto it = ops.begin(); it != ops.end();) {
+    if (std::string(it->second.root_name) != "op/pread") {
+      it = ops.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  double causes[obs::kCauseCount] = {};
+  for (const auto& [op, bd] : ops) {
+    for (std::size_t i = 0; i < obs::kCauseCount; ++i) causes[i] += bd.us[i];
+  }
+  std::printf("\naggregate causes over %zu reads (us):\n", ops.size());
+  for (std::size_t i = 0; i < obs::kCauseCount; ++i) {
+    if (causes[i] <= 0) continue;
+    std::printf("  %-15s %10.1f\n",
+                obs::cause_name(static_cast<obs::Cause>(i)), causes[i]);
+  }
+
+  std::printf("\nslowest reads, dominant cause first:\n");
+  for (const auto& bd : obs::slowest(ops, 5)) {
+    std::printf("  op %-4llu %8.1f us  dominated by %s (%.1f us)\n",
+                static_cast<unsigned long long>(bd.op), bd.total_us,
+                obs::cause_name(bd.dominant()), bd[bd.dominant()]);
+  }
+
+  if (!explain_path.empty()) {
+    if (!obs::write_explain_json_file(explain_path, "ODAFS 8KB lossy pread",
+                                      ops)) {
+      std::fprintf(stderr, "failed to write %s\n", explain_path.c_str());
+      return 1;
+    }
+    std::printf("\nexplainer json written to %s\n", explain_path.c_str());
+  }
+  session.flush();
+  return 0;
+}

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare an ordma.bench.v1 run against a committed baseline.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--update]
+
+Both files are ordma.bench.v1 documents (see bench/bench_json.h). For every
+metric present in the baseline, the current value must not move past the
+metric's relative tolerance in the losing direction (lower for
+higher_is_better metrics, higher otherwise). Improvements never fail,
+however large. Metrics new in the current run are reported but don't fail;
+metrics missing from the current run do fail (a silently dropped benchmark
+is how regressions hide).
+
+Tolerances live in the baseline: each metric carries the noise band chosen
+for what it measures (tight for deterministic simulated-time results, loose
+for wall-clock rates on shared CI runners).
+
+--update rewrites BASELINE's values from CURRENT (keeping the baseline's
+tolerances and direction flags) after printing the comparison — for
+refreshing a baseline once an intended perf change lands.
+
+Exit status: 0 = within tolerance, 1 = regression or structural problem.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "ordma.bench.v1":
+        sys.exit(f"{path}: not an ordma.bench.v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        sys.exit(f"{path}: no metrics")
+    for name, m in metrics.items():
+        for field in ("value", "unit", "higher_is_better", "tolerance"):
+            if field not in m:
+                sys.exit(f"{path}: metric {name!r} missing {field!r}")
+        if m["tolerance"] < 0:
+            sys.exit(f"{path}: metric {name!r} has negative tolerance")
+    return doc
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite BASELINE values from CURRENT after comparing")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    bm, cm = base["metrics"], cur["metrics"]
+
+    failures = []
+    rows = []
+    for name, b in bm.items():
+        if name not in cm:
+            failures.append(f"{name}: missing from current run")
+            continue
+        bv, cv = b["value"], cm[name]["value"]
+        tol = b["tolerance"]
+        higher = b["higher_is_better"]
+        if bv == 0:
+            delta = 0.0 if cv == 0 else float("inf")
+        else:
+            delta = (cv - bv) / abs(bv)
+        # Loss is the delta in the losing direction; gains are clamped to 0.
+        loss = max(0.0, -delta if higher else delta)
+        ok = loss <= tol
+        arrow = "+" if delta >= 0 else ""
+        rows.append((name, bv, cv, f"{arrow}{delta * 100:.1f}%",
+                     f"{tol * 100:.0f}%", "ok" if ok else "FAIL"))
+        if not ok:
+            failures.append(
+                f"{name}: {bv:g} -> {cv:g} ({delta * 100:+.1f}%, "
+                f"tolerance {tol * 100:.0f}% {'down' if higher else 'up'})")
+    for name in cm:
+        if name not in bm:
+            rows.append((name, "-", cm[name]["value"], "new", "-", "ok"))
+
+    widths = [max(len(str(r[i])) for r in rows + [("metric", "baseline",
+              "current", "delta", "tol", "")]) for i in range(6)]
+    header = ("metric", "baseline", "current", "delta", "tol", "")
+    for r in [header] + rows:
+        print("  ".join(str(v).ljust(w) for v, w in zip(r, widths)).rstrip())
+
+    if args.update:
+        for name, m in bm.items():
+            if name in cm:
+                m["value"] = cm[name]["value"]
+        with open(args.baseline, "w") as f:
+            json.dump(base, f, indent=2)
+            f.write("\n")
+        print(f"\nupdated {args.baseline}")
+
+    if failures:
+        print(f"\n{len(failures)} perf regression(s):", file=sys.stderr)
+        for f_ in failures:
+            print(f"  {f_}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(bm)} baseline metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,21 @@ Checks, beyond "it parses":
     loop) are all-ambient and carry no roots, so this is opt-in;
   * flow chains (s/t/f) have >= 2 points, in nondecreasing time order.
 
+With --flight, the input is instead a flight-recorder postmortem dump
+(src/obs/flight.h, "ordma-flight-dump v1 ..."). Checked per ring:
+  * the header line parses and recorded/capacity/dropped are consistent
+    (dropped == max(0, recorded - capacity));
+  * the number of dumped records equals min(recorded, capacity);
+  * sequence numbers are contiguous starting at `dropped`;
+  * timestamps are nondecreasing (simulated time never runs backwards);
+  * every event name belongs to the known vocabulary.
+
 Usage: python3 scripts/validate_trace.py [--expect-roots] <trace.json>
+       python3 scripts/validate_trace.py --flight <dump.txt>
 Exit status 0 iff all checks pass. Stdlib only.
 """
 import json
+import re
 import sys
 
 EPS = 1e-6  # us; slack for ns -> us float rounding
@@ -31,13 +42,102 @@ def fail(msg):
     sys.exit(1)
 
 
+# Event vocabulary of src/obs/flight.h (ev_name()).
+FLIGHT_EVENTS = {
+    "none", "rpc_call", "rpc_reply", "rpc_retransmit", "rpc_timeout",
+    "rpc_cksum_drop", "rpc_giveup", "srv_serve", "srv_dup_replay",
+    "srv_dup_drop", "srv_cksum_drop", "nic_doorbell", "nic_dma",
+    "nic_tlb_miss", "nic_ordma_fault", "nic_ordma_timeout", "nic_cap_revoke",
+    "cache_hit", "cache_miss", "disk_read", "disk_write", "fault_drop",
+    "fault_corrupt", "fault_duplicate", "fault_delay", "fault_stall",
+    "fault_cap_revoke", "fault_tlb_inval", "fault_disk_error",
+    "fault_disk_spike", "op_giveup",
+}
+
+RING_RE = re.compile(
+    r"^ring (?P<name>\S+) recorded=(?P<recorded>\d+) "
+    r"capacity=(?P<capacity>\d+) dropped=(?P<dropped>\d+)$")
+RECORD_RE = re.compile(
+    r"^(?P<seq>\d+) (?P<t>-?\d+) (?P<ev>\S+) "
+    r"a=(?P<a>\d+) b=(?P<b>\d+) aux=(?P<aux>\d+)$")
+
+
+def validate_flight(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        fail(f"cannot load {path}: {e}")
+    if not lines or not lines[0].startswith("ordma-flight-dump v1 reason="):
+        fail("missing 'ordma-flight-dump v1 reason=...' header")
+    if not lines[-1] == "end":
+        fail("dump does not finish with 'end'")
+
+    rings = 0
+    records = 0
+    ring = None       # current ring header match
+    expect_seq = None
+    kept = 0
+    last_t = None
+
+    def close_ring():
+        if ring is None:
+            return
+        want = min(int(ring["recorded"]), int(ring["capacity"]))
+        if kept != want:
+            fail(f"ring {ring['name']!r}: dumped {kept} records, header "
+                 f"implies min(recorded, capacity) = {want}")
+
+    for i, line in enumerate(lines[1:-1], start=2):
+        m = RING_RE.match(line)
+        if m:
+            close_ring()
+            ring, rings = m, rings + 1
+            recorded, capacity = int(m["recorded"]), int(m["capacity"])
+            dropped = int(m["dropped"])
+            if capacity < 1 or capacity & (capacity - 1):
+                fail(f"ring {m['name']!r}: capacity {capacity} "
+                     "is not a power of two")
+            if dropped != max(0, recorded - capacity):
+                fail(f"ring {m['name']!r}: dropped={dropped} inconsistent "
+                     f"with recorded={recorded} capacity={capacity}")
+            expect_seq, kept, last_t = dropped, 0, None
+            continue
+        m = RECORD_RE.match(line)
+        if not m:
+            fail(f"line {i}: unparseable: {line!r}")
+        if ring is None:
+            fail(f"line {i}: record before any ring header")
+        if int(m["seq"]) != expect_seq:
+            fail(f"ring {ring['name']!r}: seq {m['seq']} "
+                 f"(expected {expect_seq})")
+        t = int(m["t"])
+        if last_t is not None and t < last_t:
+            fail(f"ring {ring['name']!r}: timestamp {t} after {last_t} — "
+                 "simulated time ran backwards")
+        if m["ev"] not in FLIGHT_EVENTS:
+            fail(f"ring {ring['name']!r}: unknown event {m['ev']!r}")
+        expect_seq += 1
+        kept += 1
+        records += 1
+        last_t = t
+    close_ring()
+
+    print(f"validate_trace: OK — flight dump with {rings} rings, "
+          f"{records} records")
+
+
 def main():
     args = sys.argv[1:]
     expect_roots = "--expect-roots" in args
-    args = [a for a in args if a != "--expect-roots"]
+    flight = "--flight" in args
+    args = [a for a in args if a not in ("--expect-roots", "--flight")]
     if len(args) != 1:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
+    if flight:
+        validate_flight(args[0])
+        return
     try:
         with open(args[0]) as f:
             events = json.load(f)

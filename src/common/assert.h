@@ -10,10 +10,16 @@
 
 namespace ordma {
 
+// Installed by the flight recorder (obs/flight.cc) while any ring is live:
+// writes a postmortem event dump before the abort so a CHECK failure leaves
+// evidence of what the cluster was doing.
+inline void (*g_check_failed_hook)() noexcept = nullptr;
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {
   std::fprintf(stderr, "ORDMA_CHECK failed: %s at %s:%d%s%s\n", expr, file,
                line, msg && *msg ? " — " : "", msg ? msg : "");
+  if (g_check_failed_hook) g_check_failed_hook();
   std::abort();
 }
 

@@ -49,6 +49,7 @@ class Cluster {
                       ? std::make_unique<fault::FaultInjector>(*cfg.faults)
                       : nullptr),
         fabric_(eng_, fabric_config(cfg, injector_.get())) {
+    if (injector_) injector_->bind_flight(&eng_);
     server_host_ = std::make_unique<host::Host>(eng_, "server", cm_,
                                                 cfg.server_host);
     server_nic_ = std::make_unique<nic::Nic>(*server_host_, fabric_, cfg.nic,

@@ -1,6 +1,20 @@
 #include "fault/fault.h"
 
+#include "sim/engine.h"
+
 namespace ordma::fault {
+
+void FaultInjector::bind_flight(sim::Engine* eng) {
+  eng_ = eng;
+  if (eng_ && !ring_) {
+    ring_ = std::make_unique<obs::flight::Ring>("fault");
+  }
+}
+
+void FaultInjector::note(obs::flight::Ev ev, std::uint64_t a,
+                         std::uint64_t b) {
+  if (ring_) ring_->record(eng_->now().ns, ev, a, b);
+}
 
 FaultPlan FaultPlan::adversarial(std::uint64_t seed) {
   FaultPlan p;
@@ -27,8 +41,10 @@ NetAction FaultInjector::on_packet(net::Packet& p) {
   NetAction a;
   if (!armed_) return a;
   const NetFaults& f = p.proto == net::Proto::gm ? plan_.gm : plan_.eth;
+  const auto proto = static_cast<std::uint64_t>(p.proto);
   if (f.drop > 0 && net_rng_.chance(f.drop)) {
     ++frames_dropped_;
+    note(obs::flight::Ev::fault_drop, proto, p.dst);
     a.drop = true;
     return a;
   }
@@ -40,6 +56,7 @@ NetAction FaultInjector::on_packet(net::Packet& p) {
       // Link CRC caught it (or there is no payload to damage): the frame
       // is discarded exactly like a drop.
       ++frames_corrupt_dropped_;
+      note(obs::flight::Ev::fault_corrupt, proto, 0);
       a.drop = true;
       return a;
     }
@@ -50,13 +67,17 @@ NetAction FaultInjector::on_packet(net::Packet& p) {
     w[at] ^= static_cast<std::byte>(1u << bit);
     p.payload = std::move(copy);
     ++frames_corrupted_;
+    note(obs::flight::Ev::fault_corrupt, proto, 1);
   }
   if (f.duplicate > 0 && net_rng_.chance(f.duplicate)) {
     ++frames_duplicated_;
+    note(obs::flight::Ev::fault_duplicate, proto);
     a.duplicate = true;
   }
   if (f.delay_spike > 0 && net_rng_.chance(f.delay_spike)) {
     ++frames_delayed_;
+    note(obs::flight::Ev::fault_delay, proto,
+         static_cast<std::uint64_t>(f.delay.ns));
     a.extra = f.delay;
   }
   return a;
@@ -65,6 +86,8 @@ NetAction FaultInjector::on_packet(net::Packet& p) {
 Duration FaultInjector::doorbell_stall() {
   if (armed_ && plan_.nic.doorbell_stall > 0 && nic_rng_.chance(plan_.nic.doorbell_stall)) {
     ++doorbell_stalls_;
+    note(obs::flight::Ev::fault_stall, 0,
+         static_cast<std::uint64_t>(plan_.nic.stall.ns));
     return plan_.nic.stall;
   }
   return Duration{0};
@@ -73,6 +96,7 @@ Duration FaultInjector::doorbell_stall() {
 bool FaultInjector::spurious_cap_revoke() {
   if (armed_ && plan_.nic.cap_revoke > 0 && nic_rng_.chance(plan_.nic.cap_revoke)) {
     ++cap_revokes_;
+    note(obs::flight::Ev::fault_cap_revoke);
     return true;
   }
   return false;
@@ -82,6 +106,7 @@ bool FaultInjector::spurious_tlb_invalidate() {
   if (armed_ && plan_.nic.tlb_invalidate > 0 &&
       nic_rng_.chance(plan_.nic.tlb_invalidate)) {
     ++tlb_invalidates_;
+    note(obs::flight::Ev::fault_tlb_inval);
     return true;
   }
   return false;
@@ -91,6 +116,7 @@ bool FaultInjector::disk_transient_error() {
   if (armed_ && plan_.disk.transient_error > 0 &&
       disk_rng_.chance(plan_.disk.transient_error)) {
     ++disk_errors_;
+    note(obs::flight::Ev::fault_disk_error);
     return true;
   }
   return false;
@@ -100,6 +126,8 @@ Duration FaultInjector::disk_latency_spike() {
   if (armed_ && plan_.disk.latency_spike > 0 &&
       disk_rng_.chance(plan_.disk.latency_spike)) {
     ++disk_spikes_;
+    note(obs::flight::Ev::fault_disk_spike, 0,
+         static_cast<std::uint64_t>(plan_.disk.spike.ns));
     return plan_.disk.spike;
   }
   return Duration{0};

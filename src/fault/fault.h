@@ -17,10 +17,16 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/rng.h"
 #include "common/units.h"
 #include "net/packet.h"
+#include "obs/flight.h"
+
+namespace ordma::sim {
+class Engine;
+}
 
 namespace ordma::fault {
 
@@ -79,6 +85,11 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
+  // Attach a flight-recorder ring ("fault") stamped from `eng`'s simulated
+  // clock; every decision that fires is recorded (obs/flight.h). Purely
+  // observational — no RNG draws, no scheduling — so hashes are unchanged.
+  void bind_flight(sim::Engine* eng);
+
   // Arm/disarm the injector. While disarmed every hook is a benign no-op
   // and makes no RNG draws; the torture harness disarms around setup
   // (connection handshakes, file creation) and final verification so only
@@ -116,8 +127,12 @@ class FaultInjector {
   std::uint64_t disk_spikes() const { return disk_spikes_; }
 
  private:
+  void note(obs::flight::Ev ev, std::uint64_t a = 0, std::uint64_t b = 0);
+
   FaultPlan plan_;
   bool armed_ = true;
+  sim::Engine* eng_ = nullptr;
+  std::unique_ptr<obs::flight::Ring> ring_;
   Rng root_;
   Rng net_rng_;
   Rng nic_rng_;

@@ -67,10 +67,14 @@ sim::Task<Result<CacheBlock*>> BufferCache::get(CacheKey key,
                                                 obs::OpId trace_op) {
   if (auto* b = peek(key)) {
     ++hits_;
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::cache_hit, key.ino, key.fbn);
     lru_.touch(b);
     co_return b;
   }
   ++misses_;
+  host_.flight().record(host_.engine().now().ns, obs::flight::Ev::cache_miss,
+                        key.ino, key.fbn);
 
   CacheBlock* b = free_.pop_front();
   if (!b) {

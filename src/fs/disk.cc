@@ -5,8 +5,13 @@
 namespace ordma::fs {
 
 sim::Task<void> Disk::access(BlockNo b, obs::OpId trace_op) {
+  const SimTime q0 = host_.engine().now();
   co_await arm_.acquire();
   sim::Resource::ReleaseGuard guard(arm_);
+  if (host_.engine().now().ns != q0.ns) {
+    obs::span(arm_.queue_track(), trace_op, "queue/wait", q0,
+              host_.engine().now());
+  }
   const auto& cm = host_.costs();
   Duration cost = cm.disk_bw.time_for(block_size_);
   if (b != next_sequential_) cost += cm.disk_seek;
@@ -28,6 +33,8 @@ sim::Task<Status> Disk::read(BlockNo b, std::span<std::byte> out,
   }
   co_await access(b, trace_op);
   ++reads_;
+  host_.flight().record(host_.engine().now().ns, obs::flight::Ev::disk_read,
+                        b);
   if (inject_failures_ > 0) {
     --inject_failures_;
     co_return Status(Errc::io_error);
@@ -52,6 +59,8 @@ sim::Task<Status> Disk::write(BlockNo b, std::span<const std::byte> data,
   }
   co_await access(b, trace_op);
   ++writes_;
+  host_.flight().record(host_.engine().now().ns, obs::flight::Ev::disk_write,
+                        b);
   if (inject_failures_ > 0) {
     --inject_failures_;
     co_return Status(Errc::io_error);

@@ -10,6 +10,7 @@ Host::Host(sim::Engine& eng, std::string name, const CostModel& cm,
       name_(std::move(name)),
       cm_(cm),
       cpu_(eng, 1, name_ + ".cpu"),
+      flight_(name_),
       phys_(cfg.memory / mem::kPageSize),
       frames_(0, cfg.memory / mem::kPageSize),
       kernel_as_(phys_),

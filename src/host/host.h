@@ -12,6 +12,7 @@
 #include "host/cost_model.h"
 #include "mem/address_space.h"
 #include "mem/physical_memory.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 #include "sim/engine.h"
 #include "sim/resource.h"
@@ -40,6 +41,10 @@ class Host {
   const std::string& name() const { return name_; }
 
   sim::Resource& cpu() { return cpu_; }
+  // This host's flight-recorder ring (obs/flight.h). Components attached to
+  // the host (NIC, RPC endpoints, caches, disk) record their breadcrumbs
+  // here; record() is a branch plus a few stores, so call freely.
+  obs::flight::Ring& flight() { return flight_; }
   mem::PhysicalMemory& phys() { return phys_; }
   mem::FrameAllocator& frames() { return frames_; }
   mem::AddressSpace& kernel_as() { return kernel_as_; }
@@ -92,6 +97,7 @@ class Host {
   std::string name_;
   const CostModel& cm_;
   sim::Resource cpu_;
+  obs::flight::Ring flight_;
   mem::PhysicalMemory phys_;
   mem::FrameAllocator frames_;
   mem::AddressSpace kernel_as_;

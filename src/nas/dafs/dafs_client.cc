@@ -11,7 +11,8 @@ DafsClient::DafsClient(host::Host& host, net::NodeId server,
     : host_(host),
       server_(server),
       cfg_(cfg),
-      trk_app_(host.name(), "app") {}
+      trk_app_(host.name(), "app"),
+      trk_rpc_(host.name(), "dafs.rpc") {}
 
 sim::Task<Status> DafsClient::ensure_connected() {
   if (conn_) co_return Status::Ok();
@@ -60,6 +61,7 @@ sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
     auto* wp = waiter.get();
     waiting_[req_id] = std::move(waiter);  // fresh one-shot event per attempt
     co_await conn_->send(net::Buffer(msg), trace_op);
+    const SimTime wait0 = host_.engine().now();
     if (wait_forever) {
       out = co_await wp->done.wait();
       break;
@@ -70,8 +72,23 @@ sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
       break;
     }
     ++timeouts_;
-    if (attempt >= cfg_.retry.max_attempts) break;  // out = timed_out
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::rpc_timeout, req_id, 0, attempt);
+    // Same contract as rpc.cc: the timed-out wait is retransmit/backoff
+    // dead air; the tail explainer charges it to `rpc_retransmit` (lowest
+    // priority above `other`, so live work inside the window keeps its
+    // real cause).
+    obs::span(trk_rpc_, trace_op, "io/rpc_retransmit", wait0,
+              host_.engine().now());
+    if (attempt >= cfg_.retry.max_attempts) {  // out = timed_out
+      host_.flight().record(host_.engine().now().ns,
+                            obs::flight::Ev::rpc_giveup, req_id, 0, attempt);
+      break;
+    }
     ++retransmits_;
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::rpc_retransmit, req_id, 0,
+                          attempt + 1);
     timeout = Duration{std::min<std::int64_t>(
         static_cast<std::int64_t>(static_cast<double>(timeout.ns) *
                                   cfg_.retry.backoff),

@@ -167,6 +167,7 @@ class DafsClient : public core::FileClient {
   net::NodeId server_;
   DafsClientConfig cfg_;
   obs::Track trk_app_;  // root spans for this client's file ops
+  obs::Track trk_rpc_;  // retransmit/backoff dead-air spans (explainer)
   std::unique_ptr<msg::ViConnection> conn_;
   std::uint32_t next_req_id_ = 1;
 

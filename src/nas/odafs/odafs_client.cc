@@ -81,6 +81,8 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     co_return Errc::io_error;  // the fetch we joined failed
   }
   if (auto* hit = cache_.find(key); hit && hit->has_data()) {
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::cache_hit, fh, idx);
     co_await host_.cpu_consume(cm.cache_hit_proc, op, "io/cache_hit");
     co_return hit;
   }
@@ -105,6 +107,8 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     ~PinGuard() { --h->pin; }
   } pin_guard{&hdr};
 
+  host_.flight().record(host_.engine().now().ns, obs::flight::Ev::cache_miss,
+                        fh, idx);
   co_await host_.cpu_consume(cm.cache_miss_proc, op, "io/cache_miss");
   co_await ensure_slab_registered(op);
 
@@ -186,6 +190,8 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
   }
   if (!filled) {
     ++fetch_give_ups_;
+    obs::flight::note_giveup(host_.flight(), host_.engine().now().ns, op,
+                             static_cast<std::uint64_t>(last.code()));
     co_return last;
   }
   store_refs(fh, result);

@@ -13,6 +13,8 @@ constexpr std::uint32_t kMaxU32 = 0xffffffffu;
 // Doorbell writes cross the PCI bus; a faulty NIC can stall them (fault
 // plan). Charged as extra host-visible latency at ring time.
 sim::Task<void> Nic::ring_doorbell(obs::OpId trace_op) {
+  host_.flight().record(eng_.now().ns, obs::flight::Ev::nic_doorbell,
+                        trace_op);
   co_await host_.cpu_consume(cm_.nic_doorbell, trace_op, "nic/doorbell");
   if (faults_) {
     const Duration stall = faults_->doorbell_stall();
@@ -40,9 +42,12 @@ Nic::Nic(host::Host& host, net::Fabric& fabric, NicConfig cfg,
 }
 
 sim::Task<void> Nic::dma_transfer(Bytes n, obs::OpId trace_op) {
+  const SimTime q0 = eng_.now();
   co_await dma_.acquire();
   sim::Resource::ReleaseGuard guard(dma_);
   const SimTime b = eng_.now();
+  if (b.ns != q0.ns) obs::span(dma_.queue_track(), trace_op, "queue/wait", q0, b);
+  host_.flight().record(b.ns, obs::flight::Ev::nic_dma, n, trace_op);
   co_await eng_.delay(cm_.nic_dma_setup + cm_.nic_dma_bw.time_for(n));
   obs::span(dma_.trace_track(), trace_op, "nic/dma", b, eng_.now());
 }
@@ -144,6 +149,8 @@ sim::Task<Result<net::Buffer>> Nic::gm_get(net::NodeId dst, mem::Vaddr va,
       result = std::move(*got);
     } else {
       ++ordma_timeouts_;  // lost request/reply; the caller falls back
+      host_.flight().record(eng_.now().ns,
+                            obs::flight::Ev::nic_ordma_timeout, op_id);
     }
   } else {
     result = co_await op_ptr->done.wait();
@@ -185,6 +192,8 @@ sim::Task<Status> Nic::gm_put(net::NodeId dst, mem::Vaddr va,
       result = std::move(*got);
     } else {
       ++ordma_timeouts_;
+      host_.flight().record(eng_.now().ns,
+                            obs::flight::Ev::nic_ordma_timeout, op_id);
     }
   } else {
     result = co_await op_ptr->done.wait();
@@ -304,6 +313,8 @@ sim::Task<Result<NicTlb::Entry*>> Nic::tlb_load(const Segment& seg,
     co_await host_.cpu_consume(cm_.cpu_schedule);
   });
   const SimTime miss_begin = eng_.now();
+  host_.flight().record(miss_begin.ns, obs::flight::Ev::nic_tlb_miss,
+                        nic_vpn);
   co_await eng_.delay(cm_.nic_tlb_miss);
   obs::span(fw_.trace_track(), trace_op, "nic/tlb_miss", miss_begin,
             eng_.now());
@@ -401,6 +412,8 @@ sim::Task<void> Nic::service_get(net::Packet p) {
 
   if (!runs.ok()) {
     ++ordma_faults_;
+    host_.flight().record(eng_.now().ns, obs::flight::Ev::nic_ordma_fault,
+                          ctrl.op_id, static_cast<std::uint64_t>(runs.code()));
     reply.fault = runs.code();
     send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
@@ -411,6 +424,9 @@ sim::Task<void> Nic::service_get(net::Packet p) {
   const Segment* seg = tpt_.find_segment(ctrl.cap.segment_id);
   if (!seg) {
     ++ordma_faults_;
+    host_.flight().record(eng_.now().ns, obs::flight::Ev::nic_ordma_fault,
+                          ctrl.op_id,
+                          static_cast<std::uint64_t>(Errc::access_fault));
     reply.fault = Errc::access_fault;
     send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
@@ -466,6 +482,8 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
   reply.op_id = ctrl.op_id;
   if (!runs.ok()) {
     ++ordma_faults_;
+    host_.flight().record(eng_.now().ns, obs::flight::Ev::nic_ordma_fault,
+                          ctrl.op_id, static_cast<std::uint64_t>(runs.code()));
     reply.fault = runs.code();
     send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
@@ -473,6 +491,9 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
   const Segment* seg = tpt_.find_segment(ctrl.cap.segment_id);
   if (!seg) {
     ++ordma_faults_;
+    host_.flight().record(eng_.now().ns, obs::flight::Ev::nic_ordma_fault,
+                          ctrl.op_id,
+                          static_cast<std::uint64_t>(Errc::access_fault));
     reply.fault = Errc::access_fault;
     send_ctrl_packet(p.src, reply, 0, p.trace_op);
     co_return;
@@ -585,6 +606,8 @@ Result<crypto::Capability> Nic::export_segment(mem::AddressSpace& as,
 }
 
 void Nic::revoke_segment(std::uint64_t seg_id) {
+  host_.flight().record(eng_.now().ns, obs::flight::Ev::nic_cap_revoke,
+                        seg_id);
   for (const auto& e : tlb_.invalidate_segment(seg_id)) unpin_evicted(e);
   tpt_.remove(seg_id);
 }

@@ -1,8 +1,11 @@
 #include "obs/attribution.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <vector>
+
+#include "obs/sweep.h"
 
 namespace ordma::obs {
 
@@ -66,74 +69,19 @@ Breakdown Breakdown::averaged() const {
 namespace {
 
 // Priority when several categories are active at one instant: charge the
-// deepest pipeline stage. Lower value wins.
-int priority(Category c) {
-  switch (c) {
-    case Category::disk:
-      return 0;
-    case Category::wire:
-      return 1;
-    case Category::nic:
-      return 2;
-    case Category::per_byte:
-      return 3;
-    case Category::per_packet:
-      return 4;
-    case Category::per_io:
-      return 5;
-    case Category::other:
-      return 6;
-  }
-  return 6;
-}
-
-struct Interval {
-  std::int64_t begin;
-  std::int64_t end;
-  Category cat;
+// deepest pipeline stage. Lower value wins; `other` (the sweep fallback)
+// must stay last. Indexed by Category.
+constexpr std::array<int, kCategoryCount> kPriority = {
+    3,  // per_byte
+    4,  // per_packet
+    5,  // per_io
+    2,  // nic
+    1,  // wire
+    0,  // disk
+    6,  // other
 };
 
-struct Boundary {
-  std::int64_t at;
-  Category cat;
-  int delta;  // +1 open, -1 close
-};
-
-// Sweep [root_begin, root_end]; each elementary interval is charged to the
-// highest-priority active category, or `other` when none is active.
-void sweep(std::int64_t root_begin, std::int64_t root_end,
-           std::vector<Interval>& leaves, Breakdown& out) {
-  std::vector<Boundary> bounds;
-  bounds.reserve(leaves.size() * 2);
-  for (const Interval& iv : leaves) {
-    const std::int64_t b = std::max(iv.begin, root_begin);
-    const std::int64_t e = std::min(iv.end, root_end);
-    if (e <= b) continue;
-    bounds.push_back(Boundary{b, iv.cat, +1});
-    bounds.push_back(Boundary{e, iv.cat, -1});
-  }
-  std::sort(bounds.begin(), bounds.end(),
-            [](const Boundary& a, const Boundary& b) { return a.at < b.at; });
-
-  int active[kCategoryCount] = {};
-  auto charge = [&](std::int64_t from, std::int64_t to) {
-    if (to <= from) return;
-    Category best = Category::other;
-    for (std::size_t i = 0; i < kCategoryCount; ++i) {
-      const auto c = static_cast<Category>(i);
-      if (active[i] > 0 && priority(c) < priority(best)) best = c;
-    }
-    out[best] += static_cast<double>(to - from) / 1000.0;
-  };
-
-  std::int64_t cursor = root_begin;
-  for (const Boundary& b : bounds) {
-    charge(cursor, b.at);
-    cursor = std::max(cursor, b.at);
-    active[static_cast<std::size_t>(b.cat)] += b.delta;
-  }
-  charge(cursor, root_end);
-}
+using Interval = SweepInterval;  // lane = Category
 
 }  // namespace
 
@@ -152,7 +100,8 @@ std::map<OpId, Breakdown> attribute(const TraceRecorder& rec) {
       return;
     }
     if (ev.kind != TraceRecorder::Kind::span) return;
-    const Interval iv{ev.begin_ns, ev.end_ns, categorize(ev.name)};
+    const Interval iv{ev.begin_ns, ev.end_ns,
+                      static_cast<std::uint8_t>(categorize(ev.name))};
     if (ev.op == 0) {
       ambient.push_back(iv);
     } else {
@@ -177,7 +126,12 @@ std::map<OpId, Breakdown> attribute(const TraceRecorder& rec) {
     Breakdown out;
     out.root_name = spans.root->name;
     out.total_us = static_cast<double>(e - b) / 1000.0;
-    sweep(b, e, spans.leaves, out);
+    std::array<std::int64_t, kCategoryCount> ns{};
+    priority_sweep(b, e, spans.leaves, kPriority,
+                   static_cast<std::size_t>(Category::other), ns);
+    for (std::size_t i = 0; i < kCategoryCount; ++i) {
+      out.us[i] = static_cast<double>(ns[i]) / 1000.0;
+    }
     result.emplace(op, out);
   }
   return result;

@@ -5,6 +5,7 @@
 #include <string_view>
 
 #include "common/log.h"
+#include "obs/flight.h"
 
 namespace ordma::obs {
 
@@ -24,6 +25,7 @@ ObsSession::ObsSession(int& argc, char** argv) {
     const std::string_view arg = argv[i];
     const bool consumed = take_value(arg, "--trace=", &trace_path_) ||
                           take_value(arg, "--metrics=", &metrics_path_) ||
+                          take_value(arg, "--flight=", &flight_path_) ||
                           take_value(arg, "--log=", &log_level);
     if (!consumed) argv[kept++] = argv[i];
   }
@@ -61,6 +63,18 @@ void ObsSession::flush() {
     } else {
       std::fprintf(stderr, "obs: failed to write trace to %s\n",
                    trace_path_.c_str());
+    }
+  }
+  if (!flight_path_.empty()) {
+    // Rings live inside the simulated hosts: binaries using --flight must
+    // call flush() before their Cluster goes out of scope, or the dump
+    // will list no rings.
+    if (flight::dump_all_file(flight_path_, "cli_flush")) {
+      std::fprintf(stderr, "obs: flight dump written to %s\n",
+                   flight_path_.c_str());
+    } else {
+      std::fprintf(stderr, "obs: failed to write flight dump to %s\n",
+                   flight_path_.c_str());
     }
   }
   if (registry_) {

@@ -3,6 +3,7 @@
 //
 //   --trace=<file>     record a Chrome trace (open in Perfetto / chrome://tracing)
 //   --metrics=<file>   write a metrics-registry JSON snapshot on exit
+//   --flight=<file>    dump the flight-recorder rings on exit (obs/flight.h)
 //   --log=<level>      off | error | info | trace (simulated-time stamped)
 //
 // Usage: construct one ObsSession at the top of main(). It consumes its own
@@ -39,6 +40,7 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string flight_path_;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
   bool flushed_ = false;

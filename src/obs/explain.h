@@ -1,0 +1,95 @@
+// Critical-path tail-latency explainer: why was *this* operation slow?
+//
+// The Table-1 attributor (obs/attribution.h) answers "where does the mean
+// op spend its time" in the paper's cost categories. Tail analysis needs a
+// different vocabulary: the p99 op is slow because of *contention and
+// recovery* — it waited behind other ops for the disk arm or a DMA engine,
+// lost an RPC datagram and sat out a retransmit backoff, or missed a cache
+// and paid a fill — not because copies got more expensive. The explainer
+// walks the same span trees and charges every instant of an op's envelope
+// to one of these causes:
+//
+//   disk_media      the disk arm actually transferring ("disk/...")
+//   disk_queue      waiting behind other ops for the arm ("queue/wait"
+//                   on a "...disk.q" track)
+//   wire            link serialization + propagation ("wire/...")
+//   nic             NIC firmware / DMA / TPT work ("nic/...")
+//   nic_queue       waiting for a NIC firmware or DMA slot ("queue/wait"
+//                   on a "...nic.*.q" track)
+//   server_cpu      host CPU work on any process other than the op's own
+//                   (the issuing client's root span names its process)
+//   cache_fill      client cache-miss bookkeeping ("io/cache_miss")
+//   client_cpu      host CPU work on the op's own process
+//   rpc_retransmit  dead air between a lost RPC attempt and its
+//                   retransmission ("io/rpc_retransmit"): lowest priority
+//                   above `other`, so live work during the wait window
+//                   (the doomed attempt's tx, server execution whose reply
+//                   was lost) keeps its real cause and only the backoff
+//                   idle time is blamed on the loss
+//   other           nothing active (scheduling gaps, sync points)
+//
+// Priorities are the enum order (lower wins), mirroring the attributor's
+// deepest-stage-wins rule; the sweep partitions the envelope exactly, so
+// per-cause times sum to the end-to-end latency (pinned ≤2% in
+// tests/explain_test.cc and bench/table1_attribution.cc).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace ordma::obs {
+
+enum class Cause : std::uint8_t {
+  disk_media,
+  disk_queue,
+  wire,
+  nic,
+  nic_queue,
+  server_cpu,
+  cache_fill,
+  client_cpu,
+  rpc_retransmit,
+  other,
+};
+inline constexpr std::size_t kCauseCount = 10;
+
+const char* cause_name(Cause c);
+
+struct CauseBreakdown {
+  double us[kCauseCount] = {};
+  double total_us = 0;         // root span duration (end-to-end latency)
+  const char* root_name = "";  // e.g. "op/pread"
+  OpId op = 0;
+
+  double& operator[](Cause c) { return us[static_cast<std::size_t>(c)]; }
+  double operator[](Cause c) const {
+    return us[static_cast<std::size_t>(c)];
+  }
+  double sum_us() const;
+  // The largest single cause (ties to the earlier enum value).
+  Cause dominant() const;
+};
+
+// Explain every traced op (ops with a root span) in `rec`. Key = op id.
+std::map<OpId, CauseBreakdown> explain(const TraceRecorder& rec);
+
+// The k slowest ops, slowest first (ties broken by op id for determinism).
+std::vector<CauseBreakdown> slowest(
+    const std::map<OpId, CauseBreakdown>& ops, std::size_t k);
+
+// The "p99 explainer" JSON document: per-cause totals over all ops, the
+// latency distribution (p50/p90/p99/max over op end-to-end times), and the
+// slowest-k ops with full per-cause detail. `label` names the workload
+// (e.g. protocol and transfer size). Schema: ordma.explain.v1.
+void write_explain_json(std::ostream& os, const char* label,
+                        const std::map<OpId, CauseBreakdown>& ops,
+                        std::size_t k = 8);
+bool write_explain_json_file(const std::string& path, const char* label,
+                             const std::map<OpId, CauseBreakdown>& ops,
+                             std::size_t k = 8);
+
+}  // namespace ordma::obs

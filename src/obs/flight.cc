@@ -1,0 +1,159 @@
+#include "obs/flight.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace ordma::obs::flight {
+
+namespace {
+
+// Live rings in registration order (cluster construction order, so dumps
+// are deterministic for a deterministic run).
+std::vector<Ring*>& rings() {
+  static std::vector<Ring*> r;
+  return r;
+}
+
+bool g_giveup_dumped = false;
+std::string& giveup_path() {
+  static std::string p;
+  return p;
+}
+
+// ORDMA_CHECK failure hook: leave a postmortem before abort. Written to
+// ORDMA_FLIGHT_DUMP if set, else ordma_flight_postmortem.txt in the cwd.
+void dump_on_check_failure() noexcept {
+  const char* env = std::getenv("ORDMA_FLIGHT_DUMP");
+  const std::string path =
+      env && *env ? env : "ordma_flight_postmortem.txt";
+  if (dump_all_file(path, "ORDMA_CHECK failure")) {
+    std::fprintf(stderr, "flight recorder: postmortem written to %s\n",
+                 path.c_str());
+  }
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+const char* ev_name(Ev e) {
+  switch (e) {
+    case Ev::none: return "none";
+    case Ev::rpc_call: return "rpc_call";
+    case Ev::rpc_reply: return "rpc_reply";
+    case Ev::rpc_retransmit: return "rpc_retransmit";
+    case Ev::rpc_timeout: return "rpc_timeout";
+    case Ev::rpc_cksum_drop: return "rpc_cksum_drop";
+    case Ev::rpc_giveup: return "rpc_giveup";
+    case Ev::srv_serve: return "srv_serve";
+    case Ev::srv_dup_replay: return "srv_dup_replay";
+    case Ev::srv_dup_drop: return "srv_dup_drop";
+    case Ev::srv_cksum_drop: return "srv_cksum_drop";
+    case Ev::nic_doorbell: return "nic_doorbell";
+    case Ev::nic_dma: return "nic_dma";
+    case Ev::nic_tlb_miss: return "nic_tlb_miss";
+    case Ev::nic_ordma_fault: return "nic_ordma_fault";
+    case Ev::nic_ordma_timeout: return "nic_ordma_timeout";
+    case Ev::nic_cap_revoke: return "nic_cap_revoke";
+    case Ev::cache_hit: return "cache_hit";
+    case Ev::cache_miss: return "cache_miss";
+    case Ev::disk_read: return "disk_read";
+    case Ev::disk_write: return "disk_write";
+    case Ev::fault_drop: return "fault_drop";
+    case Ev::fault_corrupt: return "fault_corrupt";
+    case Ev::fault_duplicate: return "fault_duplicate";
+    case Ev::fault_delay: return "fault_delay";
+    case Ev::fault_stall: return "fault_stall";
+    case Ev::fault_cap_revoke: return "fault_cap_revoke";
+    case Ev::fault_tlb_inval: return "fault_tlb_inval";
+    case Ev::fault_disk_error: return "fault_disk_error";
+    case Ev::fault_disk_spike: return "fault_disk_spike";
+    case Ev::op_giveup: return "op_giveup";
+  }
+  return "?";
+}
+
+void set_enabled(bool on) { detail::g_enabled = on; }
+
+Ring::Ring(std::string name, std::size_t capacity)
+    : name_(std::move(name)),
+      capacity_(round_up_pow2(capacity < 2 ? 2 : capacity)),
+      mask_(capacity_ - 1),
+      buf_(new Record[capacity_]) {
+  if (rings().empty()) g_check_failed_hook = &dump_on_check_failure;
+  rings().push_back(this);
+}
+
+Ring::~Ring() {
+  auto& rs = rings();
+  for (auto it = rs.begin(); it != rs.end(); ++it) {
+    if (*it == this) {
+      rs.erase(it);
+      break;
+    }
+  }
+  if (rs.empty()) g_check_failed_hook = nullptr;
+}
+
+void Ring::dump(std::ostream& os) const {
+  os << "ring " << name_ << " recorded=" << recorded()
+     << " capacity=" << capacity_ << " dropped=" << dropped() << "\n";
+  for_each([&os](std::uint64_t seq, const Record& r) {
+    os << seq << ' ' << r.t_ns << ' ' << ev_name(r.code) << " a=" << r.a
+       << " b=" << r.b << " aux=" << r.aux << "\n";
+  });
+}
+
+void dump_all(std::ostream& os, const char* reason) {
+  os << "ordma-flight-dump v1 reason=" << (reason ? reason : "unspecified")
+     << "\n";
+  for (const Ring* r : rings()) r->dump(os);
+  os << "end\n";
+}
+
+std::string dump_all_string(const char* reason) {
+  std::ostringstream os;
+  dump_all(os, reason);
+  return os.str();
+}
+
+bool dump_all_file(const std::string& path, const char* reason) {
+  std::ofstream f(path);
+  if (!f) return false;
+  dump_all(f, reason);
+  return static_cast<bool>(f);
+}
+
+void set_giveup_dump_path(std::string path) {
+  giveup_path() = std::move(path);
+  g_giveup_dumped = false;
+}
+
+void note_giveup(Ring& ring, std::int64_t t_ns, std::uint64_t op,
+                 std::uint64_t errc) {
+  ring.record(t_ns, Ev::op_giveup, op, errc);
+  std::string path = giveup_path();
+  if (path.empty()) {
+    if (const char* env = std::getenv("ORDMA_FLIGHT_DUMP"); env && *env) {
+      path = env;
+    }
+  }
+  if (path.empty() || g_giveup_dumped) return;
+  g_giveup_dumped = true;
+  if (dump_all_file(path, "clean-error give-up")) {
+    std::fprintf(stderr, "flight recorder: give-up postmortem written to %s\n",
+                 path.c_str());
+  }
+}
+
+}  // namespace ordma::obs::flight

@@ -1,0 +1,181 @@
+// Always-on flight recorder: a fixed-size binary ring of recent events per
+// host (plus one for the fault injector), dumped as a readable postmortem
+// when something goes wrong.
+//
+// Purpose: a failing torture seed, a clean-error give-up after exhausted
+// retries, or an ORDMA_CHECK abort leaves *evidence* — the last kCapacity
+// events each host saw (RPC xids issued/answered/retransmitted, NIC
+// doorbells and DMA transfers, TLB misses, cache hits/misses, disk I/O,
+// every fault-injector decision that fired) with simulated-time stamps, so
+// a postmortem can reconstruct what the cluster was doing when it died
+// without re-running under a tracer.
+//
+// Design rules (tighter than obs/trace.h, because this is never off in
+// normal runs):
+//  * Recording is allocation-free and branch-cheap: one well-predicted
+//    enabled check, then stores into a preallocated ring slot. No
+//    formatting, no interning, no clock reads (callers stamp simulated
+//    time they already have).
+//  * The recorder is an observer only: it makes zero RNG draws, never
+//    schedules, and never reads state it doesn't own, so golden
+//    event-stream hashes are identical with recording on or off
+//    (pinned by tests/torture_test.cc).
+//  * Rings register themselves in a global list at construction
+//    (deterministic order: cluster construction order) and unregister at
+//    destruction; dump_all() walks the live rings. Single-threaded, like
+//    the simulator itself.
+//  * The first ring to register installs an ORDMA_CHECK failure hook
+//    (common/assert.h) that writes a postmortem dump before abort.
+//
+// Dump format (validated by scripts/validate_trace.py --flight):
+//
+//   ordma-flight-dump v1 reason=<reason>
+//   ring <name> recorded=<total> capacity=<cap> dropped=<total-kept>
+//   <seq> <t_ns> <event-name> a=<a> b=<b> aux=<aux>
+//   ...
+//   end
+//
+// Sequence numbers are per-ring, 0-based over the ring's whole history;
+// the first dumped seq equals `dropped` and timestamps are nondecreasing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace ordma::obs::flight {
+
+// Event vocabulary. Payload words a/b/aux are event-specific (documented
+// at the recording sites); xids, op ids, byte counts and block numbers are
+// the usual cargo.
+enum class Ev : std::uint16_t {
+  none = 0,
+  // RPC client
+  rpc_call,        // a=xid b=proc
+  rpc_reply,       // a=xid b=status
+  rpc_retransmit,  // a=xid aux=attempt
+  rpc_timeout,     // a=xid aux=attempt
+  rpc_cksum_drop,  // a=xid
+  rpc_giveup,      // a=xid aux=attempts
+  // RPC server
+  srv_serve,       // a=xid b=proc
+  srv_dup_replay,  // a=xid
+  srv_dup_drop,    // a=xid
+  srv_cksum_drop,  // a=xid
+  // NIC
+  nic_doorbell,     // a=trace op
+  nic_dma,          // a=bytes b=trace op
+  nic_tlb_miss,     // a=nic vpn
+  nic_ordma_fault,  // a=op_id b=errc
+  nic_ordma_timeout,  // a=op_id
+  nic_cap_revoke,     // a=seg id
+  // Caches
+  cache_hit,   // a=ino/handle b=block
+  cache_miss,  // a=ino/handle b=block
+  // Disk
+  disk_read,   // a=block b=1 if error
+  disk_write,  // a=block b=1 if error
+  // Fault injector decisions (only fired ones)
+  fault_drop,        // a=proto b=dst
+  fault_corrupt,     // a=proto b=escaped
+  fault_duplicate,   // a=proto
+  fault_delay,       // a=proto b=extra ns
+  fault_stall,       // b=stall ns
+  fault_cap_revoke,  //
+  fault_tlb_inval,   //
+  fault_disk_error,  //
+  fault_disk_spike,  // b=spike ns
+  // Protocol clients
+  op_giveup,  // a=trace op b=errc — bounded whole-op retries exhausted
+};
+
+const char* ev_name(Ev e);
+
+namespace detail {
+inline bool g_enabled = true;  // the one branch recording pays
+}
+
+inline bool enabled() { return detail::g_enabled; }
+// Turn recording off/on globally (the determinism pin runs both ways; the
+// rings themselves stay registered and keep their contents).
+void set_enabled(bool on);
+
+class Ring {
+ public:
+  // 32-byte records; kDefaultCapacity of them per host ≈ 128 KiB — cheap
+  // enough to be always-on, deep enough to replay the last few thousand
+  // protocol steps leading up to a failure.
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  struct Record {
+    std::int64_t t_ns;
+    std::uint64_t a;
+    std::uint64_t b;
+    Ev code;
+    std::uint16_t pad = 0;
+    std::uint32_t aux;
+  };
+  static_assert(sizeof(Record) == 32);
+
+  explicit Ring(std::string name, std::size_t capacity = kDefaultCapacity);
+  ~Ring();
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  // Total events ever recorded (kept = min(recorded, capacity)).
+  std::uint64_t recorded() const { return head_; }
+  std::uint64_t dropped() const {
+    return head_ > capacity_ ? head_ - capacity_ : 0;
+  }
+
+  void record(std::int64_t t_ns, Ev code, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint32_t aux = 0) {
+    if (!detail::g_enabled) return;
+    Record& r = buf_[head_ & mask_];
+    r.t_ns = t_ns;
+    r.a = a;
+    r.b = b;
+    r.code = code;
+    r.aux = aux;
+    ++head_;
+  }
+
+  // Oldest-first replay of the retained window.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    const std::uint64_t first = dropped();
+    for (std::uint64_t s = first; s < head_; ++s) {
+      fn(s, buf_[s & mask_]);
+    }
+  }
+
+  void dump(std::ostream& os) const;
+
+ private:
+  std::string name_;
+  std::size_t capacity_;
+  std::uint64_t mask_;
+  std::uint64_t head_ = 0;
+  std::unique_ptr<Record[]> buf_;
+};
+
+// --- postmortem dumps -------------------------------------------------------
+
+// Dump every live ring, oldest events first, with a header naming `reason`.
+void dump_all(std::ostream& os, const char* reason);
+std::string dump_all_string(const char* reason);
+bool dump_all_file(const std::string& path, const char* reason);
+
+// Give-up postmortems: when a client exhausts its bounded retries and
+// surfaces a clean error, it calls note_giveup(). If ORDMA_FLIGHT_DUMP
+// names a path (or set_giveup_dump_path() was called), a dump is written
+// there — at most once per process, so a brutal-plan run doesn't rewrite
+// it per failed op. Without a configured path this is just a ring event.
+void set_giveup_dump_path(std::string path);
+void note_giveup(Ring& ring, std::int64_t t_ns, std::uint64_t op,
+                 std::uint64_t errc);
+
+}  // namespace ordma::obs::flight

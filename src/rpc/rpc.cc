@@ -65,6 +65,8 @@ sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
                                                 obs::OpId trace_op) {
   const auto& cm = host_.costs();
   const std::uint32_t xid = next_xid_++;
+  host_.flight().record(host_.engine().now().ns, obs::flight::Ev::rpc_call,
+                        xid, proc);
 
   co_await host_.cpu_consume(cm.rpc_client_issue, trace_op, "io/rpc_issue");
   if (prepost) {
@@ -96,6 +98,7 @@ sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
                              /*rddp_data_len=*/0, /*gather_send=*/false,
                              trace_op);
 
+    const SimTime wait0 = host_.engine().now();
     std::optional<RpcReplyInfo> got;
     if (wait_forever) {
       got = co_await wp->done.wait();
@@ -111,17 +114,39 @@ sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
 
     if (got) {
       if (reply_checksum_ok(*got, prepost)) {
+        host_.flight().record(host_.engine().now().ns,
+                              obs::flight::Ev::rpc_reply, xid, got->status);
         out = std::move(*got);
         break;
       }
       ++cksum_drops_;
+      host_.flight().record(host_.engine().now().ns,
+                            obs::flight::Ev::rpc_cksum_drop, xid);
       out = Errc::io_error;  // stands only if attempts are exhausted
     } else {
       ++timeouts_;
+      host_.flight().record(host_.engine().now().ns,
+                            obs::flight::Ev::rpc_timeout, xid, 0, attempt);
+      // The whole timed-out wait is retransmit/backoff dead time: nothing
+      // the op was charged for happened between the lost exchange and this
+      // instant. The tail explainer blames it on `rpc_retransmit` (lower
+      // priority than real work recorded inside the window, so live costs
+      // of the lost attempt keep their own causes).
+      obs::span(rpc_track_, trace_op, "io/rpc_retransmit", wait0,
+                host_.engine().now());
       out = Errc::timed_out;
     }
-    if (wait_forever || attempt >= max_attempts) break;
+    if (wait_forever || attempt >= max_attempts) {
+      if (!out.ok()) {
+        host_.flight().record(host_.engine().now().ns,
+                              obs::flight::Ev::rpc_giveup, xid, 0, attempt);
+      }
+      break;
+    }
     ++retransmits_;
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::rpc_retransmit, xid, 0,
+                          attempt + 1);
     if (prepost) {
       // Re-arm for the retransmission (consumed or disarmed above).
       host_.nic().prepost(xid, *prepost->as, prepost->va, prepost->len);
@@ -201,6 +226,8 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
     if (ck != cksum) {
       // Corrupt request: drop it; the client's retransmission recovers.
       ++cksum_drops_;
+      host_.flight().record(host_.engine().now().ns,
+                            obs::flight::Ev::srv_cksum_drop, xid);
       co_return;
     }
   }
@@ -210,9 +237,13 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
     if (it->second.in_progress) {
       // Original still executing; its reply will serve the retransmission.
       ++dup_drops_;
+      host_.flight().record(host_.engine().now().ns,
+                            obs::flight::Ev::srv_dup_drop, xid);
       co_return;
     }
     ++dup_replays_;
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::srv_dup_replay, xid);
     // Copy out: the iterator may be invalidated by inserts across awaits.
     ReplyEntry e = it->second;
     co_await host_.cpu().consume_parts(
@@ -226,6 +257,8 @@ sim::Task<void> RpcServer::serve_one(msg::UdpDatagram d) {
     co_return;
   }
   reply_cache_.emplace(key, ReplyEntry{});  // in-progress marker
+  host_.flight().record(host_.engine().now().ns, obs::flight::Ev::srv_serve,
+                        xid, proc);
 
   co_await host_.cpu().consume_parts(
       trace, std::array<sim::Resource::Part, 2>{{

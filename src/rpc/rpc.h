@@ -73,7 +73,10 @@ class RpcClient {
  public:
   RpcClient(host::Host& host, msg::UdpStack& stack, std::uint16_t local_port,
             RpcRetryPolicy retry = {})
-      : host_(host), socket_(stack.bind(local_port)), retry_(retry) {
+      : host_(host),
+        socket_(stack.bind(local_port)),
+        retry_(retry),
+        rpc_track_(host.name(), "rpc") {
     host.engine().spawn(rx_loop());
   }
   RpcClient(const RpcClient&) = delete;
@@ -106,6 +109,10 @@ class RpcClient {
   host::Host& host_;
   msg::UdpStack::Socket& socket_;
   RpcRetryPolicy retry_;
+  // Track for retransmit-backoff spans ("io/rpc_retransmit"): the dead
+  // window between a lost attempt and its retransmission, which the tail
+  // explainer (obs/explain.h) surfaces as a first-class cause.
+  obs::Track rpc_track_;
   std::uint32_t next_xid_ = 1;
   std::unordered_map<std::uint32_t, std::unique_ptr<Waiter>> waiting_;
   std::uint64_t retransmits_ = 0;

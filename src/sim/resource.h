@@ -31,8 +31,10 @@ class Resource {
     const auto dot = name_.find('.');
     if (dot == std::string::npos) {
       trace_track_.set(name_, "run");
+      queue_track_.set(name_, "run.q");
     } else {
       trace_track_.set(name_.substr(0, dot), name_.substr(dot + 1));
+      queue_track_.set(name_.substr(0, dot), name_.substr(dot + 1) + ".q");
     }
   }
   Resource(const Resource&) = delete;
@@ -77,9 +79,11 @@ class Resource {
   // never partially overlap on the track). `label`'s prefix picks the
   // attribution bucket (obs/attribution.h); `op` ties it to a file op.
   Task<void> consume(Duration d, obs::OpId op, const char* label) {
+    const SimTime q0 = eng_.now();
     co_await acquire();
     ReleaseGuard guard(*this);
     const SimTime b = eng_.now();
+    if (b.ns != q0.ns) obs::span(queue_track_, op, "queue/wait", q0, b);
     co_await eng_.delay(d);
     obs::span(trace_track_, op, label, b, eng_.now());
   }
@@ -94,8 +98,12 @@ class Resource {
   };
   template <std::size_t N>
   Task<void> consume_parts(obs::OpId op, std::array<Part, N> parts) {
+    const SimTime q0 = eng_.now();
     co_await acquire();
     ReleaseGuard guard(*this);
+    if (eng_.now().ns != q0.ns) {
+      obs::span(queue_track_, op, "queue/wait", q0, eng_.now());
+    }
     for (const Part& p : parts) {
       const SimTime b = eng_.now();
       co_await eng_.delay(p.d);
@@ -106,6 +114,12 @@ class Resource {
   // Track for manually recorded spans over holds of this resource (e.g. a
   // disk access that computes its cost after acquiring the arm).
   obs::Track& trace_track() { return trace_track_; }
+  // Companion "<component>.q" track carrying "queue/wait" spans: the time a
+  // traced consumer spent queued for a slot. Queue spans categorize to
+  // `other` in the Table-1 buckets (no double counting) but are first-class
+  // input to the tail explainer (obs/explain.h). Waits may overlap, which
+  // the recorder resolves with overflow lanes.
+  obs::Track& queue_track() { return queue_track_; }
 
   // --- utilisation accounting -------------------------------------------
   // Total slot-seconds consumed so far (updated lazily).
@@ -194,6 +208,7 @@ class Resource {
   unsigned in_use_ = 0;
   std::string name_;
   obs::Track trace_track_;
+  obs::Track queue_track_;
   Duration busy_{};
   SimTime last_change_{};
   IntrusiveList<AcquireAwaiter::Node> waiters_;

@@ -1,0 +1,119 @@
+// Flight recorder (obs/flight.h): ring mechanics, the enabled gate, dump
+// format, and the give-up postmortem path.
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "host/cost_model.h"
+#include "host/host.h"
+#include "sim/engine.h"
+
+namespace ordma {
+namespace {
+
+using obs::flight::Ev;
+using obs::flight::Ring;
+
+TEST(Flight, RecordsInOrder) {
+  Ring r("t");
+  for (int i = 0; i < 5; ++i) {
+    r.record(i * 10, Ev::rpc_call, 100 + i, 7, i);
+  }
+  EXPECT_EQ(r.recorded(), 5u);
+  EXPECT_EQ(r.dropped(), 0u);
+  std::vector<std::uint64_t> seqs;
+  r.for_each([&](std::uint64_t seq, const Ring::Record& rec) {
+    seqs.push_back(seq);
+    EXPECT_EQ(rec.t_ns, static_cast<std::int64_t>(seq) * 10);
+    EXPECT_EQ(rec.a, 100 + seq);
+    EXPECT_EQ(rec.code, Ev::rpc_call);
+  });
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Flight, WrapKeepsTheNewestCapacityEvents) {
+  Ring r("t", 8);
+  EXPECT_EQ(r.capacity(), 8u);
+  for (int i = 0; i < 20; ++i) r.record(i, Ev::nic_dma, i);
+  EXPECT_EQ(r.recorded(), 20u);
+  EXPECT_EQ(r.dropped(), 12u);
+  std::vector<std::uint64_t> seqs;
+  r.for_each([&](std::uint64_t seq, const Ring::Record& rec) {
+    seqs.push_back(seq);
+    EXPECT_EQ(rec.a, seq);  // the retained window is the newest events
+  });
+  ASSERT_EQ(seqs.size(), 8u);
+  EXPECT_EQ(seqs.front(), 12u);
+  EXPECT_EQ(seqs.back(), 19u);
+}
+
+TEST(Flight, CapacityRoundsUpToPowerOfTwo) {
+  Ring r("t", 100);
+  EXPECT_EQ(r.capacity(), 128u);
+}
+
+TEST(Flight, DisabledRecordsNothing) {
+  Ring r("t");
+  obs::flight::set_enabled(false);
+  r.record(1, Ev::rpc_call, 1);
+  obs::flight::set_enabled(true);
+  EXPECT_EQ(r.recorded(), 0u);
+  r.record(2, Ev::rpc_call, 2);
+  EXPECT_EQ(r.recorded(), 1u);
+}
+
+// The acceptance bar: a host's always-on ring must replay at least the last
+// 4096 events.
+TEST(Flight, HostRingIsAtLeast4kDeep) {
+  static_assert(Ring::kDefaultCapacity >= 4096);
+  sim::Engine eng;
+  host::CostModel cm;
+  host::Host h(eng, "h", cm, host::HostConfig{MiB(16)});
+  EXPECT_GE(h.flight().capacity(), 4096u);
+}
+
+TEST(Flight, DumpFormatRoundTrips) {
+  Ring r("demo", 4);
+  for (int i = 0; i < 6; ++i) r.record(i * 5, Ev::cache_miss, 1, i);
+  const std::string dump = obs::flight::dump_all_string("unit test");
+  // Header, one ring line per live ring (other fixtures' rings are gone by
+  // now), records, trailer.
+  EXPECT_EQ(dump.rfind("ordma-flight-dump v1 reason=unit test\n", 0), 0u);
+  EXPECT_NE(dump.find("ring demo recorded=6 capacity=4 dropped=2\n"),
+            std::string::npos);
+  EXPECT_NE(dump.find("2 10 cache_miss a=1 b=2 aux=0\n"), std::string::npos);
+  EXPECT_NE(dump.find("5 25 cache_miss a=1 b=5 aux=0\n"), std::string::npos);
+  EXPECT_EQ(dump.substr(dump.size() - 4), "end\n");
+}
+
+TEST(Flight, GiveupWritesOnePostmortem) {
+  const std::string path =
+      testing::TempDir() + "/flight_giveup_test_dump.txt";
+  std::remove(path.c_str());
+  obs::flight::set_giveup_dump_path(path);
+  Ring r("client");
+  obs::flight::note_giveup(r, 100, 42, 5);
+  obs::flight::note_giveup(r, 200, 43, 5);  // second must not rewrite
+  obs::flight::set_giveup_dump_path("");
+
+  EXPECT_EQ(r.recorded(), 2u);  // both give-ups are ring events
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good()) << path;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string dump = ss.str();
+  EXPECT_NE(dump.find("reason=clean-error give-up"), std::string::npos);
+  EXPECT_NE(dump.find("op_giveup a=42 b=5"), std::string::npos);
+  // Dumped at the first give-up: the second is not in the file.
+  EXPECT_EQ(dump.find("op_giveup a=43"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ordma

@@ -31,6 +31,7 @@
 
 #include "common/rng.h"
 #include "core/cluster.h"
+#include "obs/flight.h"
 #include "obs/trace.h"
 #include "rpc/xdr.h"
 
@@ -91,6 +92,10 @@ struct TortureResult {
   std::uint64_t integrity_violations = 0;
   std::uint64_t hash = 0xcbf29ce484222325ull;  // golden event-stream hash
   std::uint64_t injected = 0;        // total faults the injector fired
+  // Flight-recorder postmortem, captured before the cluster (and its rings)
+  // is torn down whenever the run looks wrong; report_failure() writes it
+  // next to TORTURE_FAIL_FILE so CI uploads it with the failing seeds.
+  std::string flight_dump;
 };
 
 TortureResult run_torture(const TortureOptions& opt) {
@@ -270,6 +275,10 @@ TortureResult run_torture(const TortureOptions& opt) {
                      inj->cap_revokes() + inj->tlb_invalidates() +
                      inj->disk_errors() + inj->disk_spikes();
     }
+    if (!out.completed || out.completions != opt.ops ||
+        out.integrity_violations > 0 || out.failures > 0) {
+      out.flight_dump = obs::flight::dump_all_string("torture failure");
+    }
   }
 
   if (opt.tracing) EXPECT_GT(rec.event_count(), 0u);
@@ -282,14 +291,27 @@ unsigned env_unsigned(const char* name, unsigned fallback) {
   return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
 }
 
-void report_failure(Proto proto, std::uint64_t seed) {
+void report_failure(Proto proto, std::uint64_t seed,
+                    const std::string& flight_dump = {}) {
+  std::string dump_path;
   if (const char* path = std::getenv("TORTURE_FAIL_FILE"); path && *path) {
     std::ofstream f(path, std::ios::app);
     f << proto_name(proto) << ' ' << seed << '\n';
+    if (!flight_dump.empty()) {
+      // The postmortem goes next to the fail file, one per failing run, so
+      // CI can upload the whole directory as a single artifact.
+      dump_path = std::string(path) + ".flight." + proto_name(proto) + "." +
+                  std::to_string(seed) + ".txt";
+      std::ofstream d(dump_path);
+      d << flight_dump;
+    }
   }
   ADD_FAILURE() << "torture run failed for proto=" << proto_name(proto)
                 << " seed=" << seed << "\nreproduce with: TORTURE_SEED="
-                << seed << " ./torture_tests --gtest_filter='Torture.Seed*'";
+                << seed << " ./torture_tests --gtest_filter='Torture.Seed*'"
+                << (dump_path.empty()
+                        ? ""
+                        : "\nflight-recorder postmortem: " + dump_path);
 }
 
 constexpr Proto kAllProtos[] = {Proto::nfs, Proto::prepost, Proto::dafs,
@@ -315,7 +337,7 @@ TEST(Torture, SeedMatrixSurvivesAdversarialPlan) {
       const bool ok = r.completed && r.completions == opt.ops &&
                       r.failures == 0 && r.integrity_violations == 0;
       if (!ok) {
-        report_failure(proto, seed);
+        report_failure(proto, seed, r.flight_dump);
         EXPECT_TRUE(r.completed) << "lost completion (driver hung)";
         EXPECT_EQ(r.completions, opt.ops);
         EXPECT_EQ(r.failures, 0u);
@@ -354,6 +376,26 @@ TEST(Torture, TracingDoesNotPerturbTheRun) {
     const TortureResult traced = run_torture(opt);
     EXPECT_TRUE(plain.completed && traced.completed) << proto_name(proto);
     EXPECT_EQ(plain.hash, traced.hash) << proto_name(proto);
+  }
+}
+
+TEST(Torture, FlightRecorderDoesNotPerturbTheRun) {
+  // The recorder is an observer: golden hashes must be identical with it on
+  // (the default) and off, under the full adversarial plan. It must also
+  // draw no randomness — `injected` counts every RNG-driven decision that
+  // fired and must match exactly.
+  ASSERT_TRUE(obs::flight::enabled());
+  for (const Proto proto : kAllProtos) {
+    TortureOptions opt;
+    opt.proto = proto;
+    opt.seed = 9;
+    const TortureResult on = run_torture(opt);
+    obs::flight::set_enabled(false);
+    const TortureResult off = run_torture(opt);
+    obs::flight::set_enabled(true);
+    EXPECT_TRUE(on.completed && off.completed) << proto_name(proto);
+    EXPECT_EQ(on.hash, off.hash) << proto_name(proto);
+    EXPECT_EQ(on.injected, off.injected) << proto_name(proto);
   }
 }
 
