@@ -74,8 +74,10 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
-  Cell rpc = run_cell(false);
-  Cell ordma = run_cell(true);
+  auto cells = sweep(obs_session.jobs(), 2,
+                     [](std::size_t i) { return run_cell(i == 1); });
+  const Cell& rpc = cells[0];
+  const Cell& ordma = cells[1];
   Table t("Ablation A7: getattr via ORDMA (extension; stat-heavy workload)",
           {"mechanism", "getattr latency (us)", "stats/s", "server CPU"});
   t.add_row({"RPC getattr (paper's prototype)", us(rpc.latency_us),

@@ -82,11 +82,12 @@ int main(int argc, char** argv) {
 
   Table t("Ablation A6: DAFS batch I/O, 8KB extents (synchronous client)",
           {"batch size", "throughput MB/s", "client CPU"});
-  for (std::size_t batch : {std::size_t{1}, std::size_t{4}, std::size_t{16},
-                            std::size_t{64}}) {
-    Cell cell = run_cell(batch);
-    t.add_row({std::to_string(batch), mbps(cell.throughput_MBps),
-               pct(cell.client_cpu)});
+  const std::size_t batches[] = {1, 4, 16, 64};
+  auto cells = sweep(obs_session.jobs(), std::size(batches),
+                     [&](std::size_t i) { return run_cell(batches[i]); });
+  for (std::size_t i = 0; i < std::size(batches); ++i) {
+    t.add_row({std::to_string(batches[i]), mbps(cells[i].throughput_MBps),
+               pct(cells[i].client_cpu)});
   }
   t.print();
   std::printf(

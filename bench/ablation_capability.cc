@@ -96,8 +96,10 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
-  Cell with = run_cell(true);
-  Cell without = run_cell(false);
+  auto cells = sweep(obs_session.jobs(), 2,
+                     [](std::size_t i) { return run_cell(i == 0); });
+  const Cell& with = cells[0];
+  const Cell& without = cells[1];
   Table t("Ablation A3: capability verification cost (4KB ORDMA reads)",
           {"configuration", "response time (us)", "throughput MB/s"});
   t.add_row({"capabilities on (this repo)", us(with.latency_us),

@@ -78,14 +78,32 @@ int main(int argc, char** argv) {
 
   const std::size_t file_pages = kFileSize / mem::kPageSize;  // 2048
 
+  const std::size_t entries[] = {file_pages * 2, file_pages, file_pages / 2,
+                                 file_pages / 8};
+  struct P {
+    const char* name;
+    Duration d;
+  };
+  const P penalties[] = {P{"9 ms (paper, I/O-bus NIC)", msec(9)},
+                         P{"1 ms", msec(1)},
+                         P{"100 us", usec(100)},
+                         P{"10 us (memory-bus NIC)", usec(10)}};
+  const std::size_t kA = std::size(entries);
+  // One grid for both sub-tables: A1a cells first, A1b cells after.
+  auto cells = sweep(obs_session.jobs(), kA + std::size(penalties),
+                     [&](std::size_t i) {
+                       return i < kA ? run_cell(entries[i], msec(9))
+                                     : run_cell(file_pages / 8,
+                                                penalties[i - kA].d);
+                     });
+
   Table t1("Ablation A1a: ODAFS throughput vs NIC TLB coverage"
            " (9 ms miss, lazy loading)",
            {"TLB entries", "coverage", "throughput MB/s", "misses"});
-  for (std::size_t entries : {file_pages * 2, file_pages, file_pages / 2,
-                              file_pages / 8}) {
-    Cell cell = run_cell(entries, msec(9));
-    t1.add_row({std::to_string(entries),
-                fmt("%.0f%%", 100.0 * static_cast<double>(entries) /
+  for (std::size_t i = 0; i < kA; ++i) {
+    const Cell& cell = cells[i];
+    t1.add_row({std::to_string(entries[i]),
+                fmt("%.0f%%", 100.0 * static_cast<double>(entries[i]) /
                                   static_cast<double>(file_pages)),
                 mbps(cell.throughput_MBps), std::to_string(cell.tlb_misses)});
   }
@@ -94,16 +112,9 @@ int main(int argc, char** argv) {
   Table t2("Ablation A1b: ODAFS throughput vs TLB miss penalty"
            " (TLB = 1/8 of working set)",
            {"miss penalty", "throughput MB/s", "misses"});
-  struct P {
-    const char* name;
-    Duration d;
-  };
-  for (const P p : {P{"9 ms (paper, I/O-bus NIC)", msec(9)},
-                    P{"1 ms", msec(1)},
-                    P{"100 us", usec(100)},
-                    P{"10 us (memory-bus NIC)", usec(10)}}) {
-    Cell cell = run_cell(file_pages / 8, p.d);
-    t2.add_row({p.name, mbps(cell.throughput_MBps),
+  for (std::size_t i = 0; i < std::size(penalties); ++i) {
+    const Cell& cell = cells[kA + i];
+    t2.add_row({penalties[i].name, mbps(cell.throughput_MBps),
                 std::to_string(cell.tlb_misses)});
   }
   t2.print();

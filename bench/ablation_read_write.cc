@@ -72,10 +72,16 @@ int main(int argc, char** argv) {
   Table t("Ablation A5: ODAFS gain vs read/write mix (4KB ops, 25% client"
           " cache hit ratio)",
           {"reads", "DAFS ops/s", "ODAFS ops/s", "ODAFS gain"});
-  for (double rf : {1.0, 0.9, 0.75, 0.5}) {
-    const double dafs = run_cell(false, rf);
-    const double odafs = run_cell(true, rf);
-    t.add_row({pct(rf), fmt("%.0f", dafs), fmt("%.0f", odafs),
+  const double fracs[] = {1.0, 0.9, 0.75, 0.5};
+  auto cells = sweep(obs_session.jobs(), std::size(fracs) * 2,
+                     [&](std::size_t i) {
+                       return run_cell(/*use_ordma=*/i % 2 == 1,
+                                       fracs[i / 2]);
+                     });
+  for (std::size_t i = 0; i < std::size(fracs); ++i) {
+    const double dafs = cells[i * 2];
+    const double odafs = cells[i * 2 + 1];
+    t.add_row({pct(fracs[i]), fmt("%.0f", dafs), fmt("%.0f", odafs),
                fmt("%+.0f%%", (odafs - dafs) / dafs * 100.0)});
   }
   t.print();

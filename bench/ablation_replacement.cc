@@ -114,8 +114,11 @@ int main(int argc, char** argv) {
   Table t("Ablation A2: ORDMA directory replacement policy"
           " (skewed access, directory covers half the file set)",
           {"policy", "txns/s", "working-set misses via ORDMA"});
-  Cell lru = run_cell("lru");
-  Cell mq = run_cell("mq");
+  const char* policies[] = {"lru", "mq"};
+  auto cells = sweep(obs_session.jobs(), std::size(policies),
+                     [&](std::size_t i) { return run_cell(policies[i]); });
+  const Cell& lru = cells[0];
+  const Cell& mq = cells[1];
   t.add_row({"LRU (paper)", fmt("%.0f", lru.txns_per_sec),
              pct(lru.ordma_fraction)});
   t.add_row({"Multi-Queue (paper's suggestion)", fmt("%.0f", mq.txns_per_sec),

@@ -85,9 +85,16 @@ int main(int argc, char** argv) {
           " (server cache as a fraction of the file set)",
           {"server cache", "ODAFS avg read (us)", "fault rate",
            "DAFS avg read (us)", "ODAFS advantage"});
-  for (double frac : {1.0, 0.75, 0.5, 0.25}) {
-    Cell odafs = run_cell(true, frac);
-    Cell dafs = run_cell(false, frac);
+  const double fracs[] = {1.0, 0.75, 0.5, 0.25};
+  auto cells = sweep(obs_session.jobs(), std::size(fracs) * 2,
+                     [&](std::size_t i) {
+                       return run_cell(/*use_ordma=*/i % 2 == 0,
+                                       fracs[i / 2]);
+                     });
+  for (std::size_t i = 0; i < std::size(fracs); ++i) {
+    const Cell& odafs = cells[i * 2];
+    const Cell& dafs = cells[i * 2 + 1];
+    const double frac = fracs[i];
     t.add_row({pct(frac), us(odafs.avg_latency_us), pct(odafs.fault_rate),
                us(dafs.avg_latency_us),
                fmt("%+.0f%%", (dafs.avg_latency_us - odafs.avg_latency_us) /

@@ -1,0 +1,200 @@
+// Parallel sweep scaling: run a fixed grid of independent simulations (the
+// Figure-3 read-ahead experiment, four systems × eight block sizes, scaled
+// down) through run/runner.h at 1/2/4/8 workers, and measure aggregate
+// simulation throughput (engine events fired per wall-clock second).
+//
+// Two things are asserted, not just measured:
+//  * Determinism: every cell folds its results (simulated end time, events
+//    fired, throughput/CPU bit patterns) into an FNV-1a hash; the combined
+//    grid hash must be identical at every worker count. A parallel sweep
+//    that changed any bit of any simulation fails here, loudly.
+//  * Scaling (CI): --json emits ordma.bench.v1 with aggregate events/s per
+//    level, gated against BENCH_sweep.json by scripts/bench_compare.py.
+//    Wall-clock metrics use the loose tolerance; improvements never fail.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "bench_json.h"
+#include "bench_util.h"
+#include "fig34_common.h"
+#include "workload/streaming.h"
+
+namespace ordma {
+namespace {
+
+constexpr Bytes kFileSize = MiB(8);  // fig3 scaled down: many cells per level
+
+struct CellResult {
+  std::uint64_t events = 0;  // engine entries fired across the whole cell
+  std::uint64_t hash = 0;    // fold of everything the cell computed
+};
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline std::uint64_t bits(double d) {
+  std::uint64_t u;
+  static_assert(sizeof u == sizeof d);
+  __builtin_memcpy(&u, &d, sizeof u);
+  return u;
+}
+
+// Like bench::drive, but returns the engine's fired-entry count.
+template <typename F>
+std::uint64_t drive_counting(core::Cluster& c, F&& body) {
+  bool done = false;
+  c.engine().spawn([](F body, bool& done) -> sim::Task<void> {
+    co_await body();
+    done = true;
+  }(std::forward<F>(body), done));
+  const std::uint64_t fired = c.engine().run();
+  ORDMA_CHECK_MSG(done, "sweep cell deadlocked");
+  return fired;
+}
+
+CellResult run_cell(bench::System sys, Bytes block) {
+  core::ClusterConfig cc;
+  cc.fs.block_size = KiB(8);
+  cc.fs.cache_blocks = kFileSize / KiB(8) + 64;
+  core::Cluster c(cc);
+  if (sys == bench::System::dafs) {
+    c.start_dafs({.completion = msg::Completion::block});
+  } else {
+    c.start_nfs();
+  }
+
+  CellResult out;
+  out.events += drive_counting(c, [&c]() -> sim::Task<void> {
+    co_await c.make_file("stream.dat", kFileSize, /*warm=*/true);
+  });
+
+  std::unique_ptr<core::FileClient> client;
+  switch (sys) {
+    case bench::System::nfs:
+      client = c.make_nfs_client(0, block);
+      break;
+    case bench::System::prepost:
+      client = c.make_prepost_client(0, block);
+      break;
+    case bench::System::hybrid:
+      client = c.make_hybrid_client(0, block);
+      break;
+    case bench::System::dafs: {
+      nas::dafs::DafsClientConfig cfg;
+      cfg.completion = msg::Completion::poll;
+      client = c.make_dafs_client(0, cfg);
+      break;
+    }
+  }
+
+  double tput = 0, cpu = 0;
+  out.events += drive_counting(c, [&]() -> sim::Task<void> {
+    wl::StreamConfig sc;
+    sc.block = block;
+    sc.window = 8;
+    auto res =
+        co_await wl::stream_read(c.client(0), *client, "stream.dat", sc);
+    ORDMA_CHECK_MSG(res.ok(), "stream_read failed");
+    tput = res.value().throughput_MBps;
+    cpu = res.value().client_cpu_util;
+  });
+
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = fnv1a(h, static_cast<std::uint64_t>(c.engine().now().ns));
+  h = fnv1a(h, out.events);
+  h = fnv1a(h, bits(tput));
+  h = fnv1a(h, bits(cpu));
+  out.hash = h;
+  return out;
+}
+
+struct LevelResult {
+  double wall_ms = 0;
+  std::uint64_t events = 0;
+  std::uint64_t grid_hash = 0;  // fold of all cell hashes, in cell order
+};
+
+LevelResult run_level(unsigned jobs) {
+  constexpr bench::System kSystems[] = {
+      bench::System::nfs, bench::System::prepost, bench::System::hybrid,
+      bench::System::dafs};
+  constexpr std::size_t kCols = std::size(kSystems);
+  constexpr std::size_t kCells = kCols * std::size(bench::kFig3Blocks);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto cells = bench::sweep(jobs, kCells, [&](std::size_t i) {
+    return run_cell(kSystems[i % kCols], bench::kFig3Blocks[i / kCols]);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  LevelResult lvl;
+  lvl.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  lvl.grid_hash = 0xcbf29ce484222325ull;
+  for (const CellResult& c : cells) {
+    lvl.events += c.events;
+    lvl.grid_hash = fnv1a(lvl.grid_hash, c.hash);
+  }
+  return lvl;
+}
+
+}  // namespace
+}  // namespace ordma
+
+int main(int argc, char** argv) {
+  using namespace ordma;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 7) == "--json=") json_path = std::string(arg.substr(7));
+  }
+
+  const unsigned levels[] = {1, 2, 4, 8};
+  bench::Table t("Parallel sweep scaling: 32 simulations (fig3 grid, scaled)"
+                 " per worker count",
+                 {"jobs", "wall ms", "events/s", "speedup", "hash"});
+  bench::BenchReport report("bench_sweep");
+  LevelResult base;
+  bool hashes_ok = true;
+  for (unsigned jobs : levels) {
+    const LevelResult lvl = run_level(jobs);
+    if (jobs == 1) base = lvl;
+    const bool ok = lvl.grid_hash == base.grid_hash;
+    hashes_ok = hashes_ok && ok;
+    const double eps = lvl.events / (lvl.wall_ms / 1000.0);
+    t.add_row({std::to_string(jobs), bench::fmt("%.0f", lvl.wall_ms),
+               bench::fmt("%.3g", eps),
+               bench::fmt("%.2fx", base.wall_ms / lvl.wall_ms),
+               ok ? "ok" : "MISMATCH"});
+    report.add("events_per_sec_j" + std::to_string(jobs), eps, "events/s",
+               /*higher_is_better=*/true, 0.6);
+    if (jobs == 8) {
+      report.add("speedup_j8", base.wall_ms / lvl.wall_ms, "x",
+                 /*higher_is_better=*/true, 0.6);
+    }
+  }
+  t.print();
+  ORDMA_CHECK_MSG(hashes_ok,
+                  "parallel sweep altered simulation results (hash mismatch)");
+  std::printf(
+      "\nevery worker count produced the identical grid hash: parallel"
+      " execution is bit-identical to serial\n");
+
+  if (!json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::printf("bench json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,7 +1,8 @@
 // Shared benchmark scaffolding: a driver that runs one coroutine to
-// completion on a cluster, and a table printer that shows each paper
-// number beside the measured value (the deliverable format for every
-// reproduced table/figure).
+// completion on a cluster, a parallel sweep helper that fans a figure's
+// grid of independent cells across the experiment runner, and a table
+// printer that shows each paper number beside the measured value (the
+// deliverable format for every reproduced table/figure).
 #pragma once
 
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "run/runner.h"
 
 namespace ordma::bench {
 
@@ -36,6 +38,18 @@ void drive_engine(sim::Engine& eng, F&& body) {
   }(std::forward<F>(body), done));
   eng.run();
   ORDMA_CHECK_MSG(done, "benchmark driver deadlocked");
+}
+
+// Run every cell of a figure/table grid through the parallel experiment
+// runner (run/runner.h). `cell(i)` builds its own Cluster, drives it, and
+// returns plain data; cells must not share simulation state. Results come
+// back in cell-index order, so the caller's table/print loop is unchanged
+// whatever the worker count. jobs == 1 (the default when an ObsSession has
+// an observability sink installed) runs the cells inline in order — the
+// historical serial behavior, bit-identical by construction.
+template <typename Cell>
+auto sweep(unsigned jobs, std::size_t cells, Cell&& cell) {
+  return run::parallel_map(jobs, cells, std::forward<Cell>(cell));
 }
 
 class Table {

@@ -13,13 +13,20 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
+  constexpr System kSystems[] = {System::nfs, System::prepost, System::hybrid,
+                                 System::dafs};
+  constexpr std::size_t kCols = std::size(kSystems);
+  constexpr std::size_t kRows = std::size(kFig3Blocks);
+  auto cells = sweep(obs_session.jobs(), kRows * kCols, [&](std::size_t i) {
+    return run_fig3_cell(kSystems[i % kCols], kFig3Blocks[i / kCols]);
+  });
+
   Table t("Figure 3: client read throughput (MB/s) vs block size",
           {"block", "NFS", "NFS pre-posting", "NFS hybrid", "DAFS"});
-  for (Bytes block : kFig3Blocks) {
-    std::vector<std::string> row{std::to_string(block / 1024) + "KB"};
-    for (System sys :
-         {System::nfs, System::prepost, System::hybrid, System::dafs}) {
-      row.push_back(mbps(run_fig3_cell(sys, block).throughput_MBps));
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::vector<std::string> row{std::to_string(kFig3Blocks[r] / 1024) + "KB"};
+    for (std::size_t c = 0; c < kCols; ++c) {
+      row.push_back(mbps(cells[r * kCols + c].throughput_MBps));
     }
     t.add_row(std::move(row));
   }

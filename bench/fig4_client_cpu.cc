@@ -13,12 +13,20 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
+  constexpr System kSystems[] = {System::prepost, System::hybrid,
+                                 System::dafs};
+  constexpr std::size_t kCols = std::size(kSystems);
+  constexpr std::size_t kRows = std::size(kFig3Blocks);
+  auto cells = sweep(obs_session.jobs(), kRows * kCols, [&](std::size_t i) {
+    return run_fig3_cell(kSystems[i % kCols], kFig3Blocks[i / kCols]);
+  });
+
   Table t("Figure 4: client CPU utilisation vs block size",
           {"block", "NFS pre-posting", "NFS hybrid", "DAFS"});
-  for (Bytes block : kFig3Blocks) {
-    std::vector<std::string> row{std::to_string(block / 1024) + "KB"};
-    for (System sys : {System::prepost, System::hybrid, System::dafs}) {
-      row.push_back(pct(run_fig3_cell(sys, block).cpu_util));
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::vector<std::string> row{std::to_string(kFig3Blocks[r] / 1024) + "KB"};
+    for (std::size_t c = 0; c < kCols; ++c) {
+      row.push_back(pct(cells[r * kCols + c].cpu_util));
     }
     t.add_row(std::move(row));
   }

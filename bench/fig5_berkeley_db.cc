@@ -84,14 +84,21 @@ int main(int argc, char** argv) {
   using namespace ordma::bench;
 
   const Bytes copies[] = {0, KiB(8), KiB(16), KiB(32), KiB(60)};
+  constexpr System kSystems[] = {System::nfs, System::prepost, System::hybrid,
+                                 System::dafs};
+  constexpr std::size_t kCols = std::size(kSystems);
+  const std::size_t kRows = std::size(copies);
+  auto cells = sweep(obs_session.jobs(), kRows * kCols, [&](std::size_t i) {
+    return run_cell(kSystems[i % kCols], copies[i / kCols]);
+  });
+
   Table t("Figure 5: Berkeley DB join throughput (MB/s) vs data copied per"
           " 60KB record",
           {"copied/record", "NFS", "NFS pre-posting", "NFS hybrid", "DAFS"});
-  for (Bytes cp : copies) {
-    std::vector<std::string> row{std::to_string(cp / 1024) + "KB"};
-    for (System sys :
-         {System::nfs, System::prepost, System::hybrid, System::dafs}) {
-      row.push_back(mbps(run_cell(sys, cp)));
+  for (std::size_t r = 0; r < kRows; ++r) {
+    std::vector<std::string> row{std::to_string(copies[r] / 1024) + "KB"};
+    for (std::size_t c = 0; c < kCols; ++c) {
+      row.push_back(mbps(cells[r * kCols + c]));
     }
     t.add_row(std::move(row));
   }

@@ -87,10 +87,15 @@ int main(int argc, char** argv) {
            "paper gain", "DAFS srv CPU", "ODAFS srv CPU", "measured hit"});
   const double ratios[] = {0.25, 0.50, 0.75};
   const char* paper_cpu[] = {"30%", "25%", "20%"};
+  auto cells = sweep(obs_session.jobs(), std::size(ratios) * 2,
+                     [&](std::size_t i) {
+                       return run_cell(/*use_ordma=*/i % 2 == 1,
+                                       ratios[i / 2]);
+                     });
   int i = 0;
   for (double r : ratios) {
-    Cell dafs = run_cell(false, r);
-    Cell odafs = run_cell(true, r);
+    const Cell& dafs = cells[i * 2];
+    const Cell& odafs = cells[i * 2 + 1];
     t.add_row({pct(r), fmt("%.0f", dafs.txns_per_sec),
                fmt("%.0f", odafs.txns_per_sec),
                fmt("%+.0f%%", (odafs.txns_per_sec - dafs.txns_per_sec) /

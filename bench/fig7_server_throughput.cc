@@ -100,16 +100,31 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
+  const Bytes blocks[] = {KiB(4), KiB(8), KiB(16), KiB(32), KiB(64)};
+  const std::size_t kRows = std::size(blocks);
+  // Grid cells 0..2*kRows-1 are the (DAFS, ODAFS) pairs per block size; the
+  // last two are the §5.2 polling-server coda.
+  auto cells = sweep(obs_session.jobs(), kRows * 2 + 2, [&](std::size_t i) {
+    if (i == kRows * 2) {
+      return run_cell(false, KiB(4), msg::Completion::poll);
+    }
+    if (i == kRows * 2 + 1) {
+      return run_cell(true, KiB(4), msg::Completion::block);
+    }
+    return run_cell(/*use_ordma=*/i % 2 == 1, blocks[i / 2],
+                    msg::Completion::block);
+  });
+
   Table t("Figure 7: server throughput (MB/s), two clients reading a warm"
           " file, vs cache block size",
           {"cache block", "DAFS", "DAFS srv CPU", "ODAFS", "ODAFS srv CPU",
            "ODAFS gain"});
-  for (Bytes block : {KiB(4), KiB(8), KiB(16), KiB(32), KiB(64)}) {
-    Cell dafs = run_cell(false, block, msg::Completion::block);
-    Cell odafs = run_cell(true, block, msg::Completion::block);
-    t.add_row({std::to_string(block / 1024) + "KB", mbps(dafs.throughput_MBps),
-               pct(dafs.server_cpu), mbps(odafs.throughput_MBps),
-               pct(odafs.server_cpu),
+  for (std::size_t r = 0; r < kRows; ++r) {
+    const Cell& dafs = cells[r * 2];
+    const Cell& odafs = cells[r * 2 + 1];
+    t.add_row({std::to_string(blocks[r] / 1024) + "KB",
+               mbps(dafs.throughput_MBps), pct(dafs.server_cpu),
+               mbps(odafs.throughput_MBps), pct(odafs.server_cpu),
                fmt("%+.0f%%",
                    (odafs.throughput_MBps - dafs.throughput_MBps) /
                        dafs.throughput_MBps * 100.0)});
@@ -118,8 +133,8 @@ int main(int argc, char** argv) {
 
   // The paper's §5.2 coda: switching the DAFS server to polling for all
   // network events lifts 4 KB DAFS to ~170 MB/s, an ODAFS gain of ~32%.
-  Cell dafs_poll = run_cell(false, KiB(4), msg::Completion::poll);
-  Cell odafs4 = run_cell(true, KiB(4), msg::Completion::block);
+  const Cell& dafs_poll = cells[kRows * 2];
+  const Cell& odafs4 = cells[kRows * 2 + 1];
   std::printf(
       "\nDAFS with all-polling server at 4KB: %.0f MB/s (paper ~170);"
       " ODAFS gain %.0f%% (paper 32%%)\n",

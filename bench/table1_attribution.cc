@@ -187,8 +187,8 @@ std::string proto_key(Proto p) {
   return "?";
 }
 
-void print_table(Bytes io_size, int samples, obs::TraceRecorder* rec_last,
-                 bench::BenchReport* report,
+void print_table(unsigned jobs, Bytes io_size, int samples,
+                 obs::TraceRecorder* rec_last, bench::BenchReport* report,
                  std::vector<ExplainDoc>* explain_out) {
   bench::Table t(
       "Per-" + std::to_string(io_size / 1024) +
@@ -198,10 +198,16 @@ void print_table(Bytes io_size, int samples, obs::TraceRecorder* rec_last,
        "other", "sum", "e2e"});
   const Proto protos[] = {Proto::nfs, Proto::prepost, Proto::dafs,
                           Proto::odafs};
-  for (Proto p : protos) {
+  // rec_last (the --trace sink) is only non-null when the session forced
+  // jobs=1, so the session recorder never crosses a thread.
+  auto results = bench::sweep(jobs, std::size(protos), [&](std::size_t i) {
     obs::TraceRecorder* rec =
-        (p == Proto::odafs) ? rec_last : nullptr;
-    RunResult r = run_proto(p, io_size, samples, rec);
+        (protos[i] == Proto::odafs) ? rec_last : nullptr;
+    return run_proto(protos[i], io_size, samples, rec);
+  });
+  for (std::size_t i = 0; i < std::size(protos); ++i) {
+    const Proto p = protos[i];
+    RunResult& r = results[i];
     auto cell = [&r](obs::Category c) { return bench::fmt("%.1f", r.avg[c]); };
     t.add_row({proto_name(p), cell(obs::Category::per_byte),
                cell(obs::Category::per_packet), cell(obs::Category::per_io),
@@ -255,9 +261,10 @@ int main(int argc, char** argv) {
 
   bench::BenchReport report("table1_attribution");
   std::vector<ExplainDoc> explains;
-  print_table(KiB(8), 256, nullptr, &report,
+  print_table(session.jobs(), KiB(8), 256, nullptr, &report,
               explain_path.empty() ? nullptr : &explains);
-  print_table(KiB(64), 64, session.recorder(), &report, nullptr);
+  print_table(session.jobs(), KiB(64), 64, session.recorder(), &report,
+              nullptr);
 
   std::printf(
       "\nbuckets are a full partition of each op's latency; \"other\" is\n"

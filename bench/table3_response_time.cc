@@ -126,11 +126,21 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
-  const double inline_mem = raw_latency_us(/*direct=*/false);
-  const double inline_cache = cached_latency_us(false, /*inline_rpc=*/true);
-  const double direct_mem = raw_latency_us(/*direct=*/true);
-  const double direct_cache = cached_latency_us(false, /*inline_rpc=*/false);
-  const double ordma_cache = cached_latency_us(true, /*inline_rpc=*/false);
+  // Five independent measurements, each on a fresh cluster.
+  double (*const measurements[])() = {
+      [] { return raw_latency_us(/*direct=*/false); },
+      [] { return cached_latency_us(false, /*inline_rpc=*/true); },
+      [] { return raw_latency_us(/*direct=*/true); },
+      [] { return cached_latency_us(false, /*inline_rpc=*/false); },
+      [] { return cached_latency_us(true, /*inline_rpc=*/false); },
+  };
+  auto vals = bench::sweep(obs_session.jobs(), std::size(measurements),
+                           [&](std::size_t i) { return measurements[i](); });
+  const double inline_mem = vals[0];
+  const double inline_cache = vals[1];
+  const double direct_mem = vals[2];
+  const double direct_cache = vals[3];
+  const double ordma_cache = vals[4];
 
   Table t("Table 3: 4KB read response time (us), paper vs measured",
           {"mechanism", "in mem. paper", "measured", "Δ", "in cache paper",

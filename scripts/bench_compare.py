@@ -2,15 +2,20 @@
 """Compare an ordma.bench.v1 run against a committed baseline.
 
 Usage:
-    bench_compare.py BASELINE CURRENT [--update]
+    bench_compare.py BASELINE CURRENT [CURRENT2 ...] [--update]
 
-Both files are ordma.bench.v1 documents (see bench/bench_json.h). For every
+All files are ordma.bench.v1 documents (see bench/bench_json.h). For every
 metric present in the baseline, the current value must not move past the
 metric's relative tolerance in the losing direction (lower for
 higher_is_better metrics, higher otherwise). Improvements never fail,
 however large. Metrics new in the current run are reported but don't fail;
 metrics missing from the current run do fail (a silently dropped benchmark
 is how regressions hide).
+
+More than one CURRENT file runs the gate best-of-N: per metric, the best
+value across the runs (highest for higher_is_better, lowest otherwise) is
+compared. Repeated runs de-noise wall-clock metrics on shared CI runners
+without loosening the tolerance band itself.
 
 Tolerances live in the baseline: each metric carries the noise band chosen
 for what it measures (tight for deterministic simulated-time results, loose
@@ -46,17 +51,39 @@ def load(path):
     return doc
 
 
+def merge_best(docs, baseline_metrics):
+    """Fold N runs into one metrics dict, keeping each metric's best value.
+
+    Direction comes from the baseline when it knows the metric (the
+    authority the gate compares against), else from the run itself.
+    """
+    merged = {}
+    for doc in docs:
+        for name, m in doc["metrics"].items():
+            if name not in merged:
+                merged[name] = dict(m)
+                continue
+            higher = baseline_metrics.get(name, m)["higher_is_better"]
+            best = merged[name]["value"]
+            if (m["value"] > best) == bool(higher) and m["value"] != best:
+                merged[name]["value"] = m["value"]
+    return merged
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("current", nargs="+",
+                    help="one or more runs; >1 gates best-of-N per metric")
     ap.add_argument("--update", action="store_true",
                     help="rewrite BASELINE values from CURRENT after comparing")
     args = ap.parse_args()
 
     base = load(args.baseline)
-    cur = load(args.current)
-    bm, cm = base["metrics"], cur["metrics"]
+    bm = base["metrics"]
+    cm = merge_best([load(p) for p in args.current], bm)
+    if len(args.current) > 1:
+        print(f"best of {len(args.current)} runs per metric\n")
 
     failures = []
     rows = []

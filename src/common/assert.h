@@ -12,8 +12,9 @@ namespace ordma {
 
 // Installed by the flight recorder (obs/flight.cc) while any ring is live:
 // writes a postmortem event dump before the abort so a CHECK failure leaves
-// evidence of what the cluster was doing.
-inline void (*g_check_failed_hook)() noexcept = nullptr;
+// evidence of what the cluster was doing. Thread-local so a failure on a
+// parallel-runner worker (run/runner.h) dumps that worker's own rings.
+inline thread_local void (*g_check_failed_hook)() noexcept = nullptr;
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {

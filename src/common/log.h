@@ -5,8 +5,19 @@
 // construction), every line is prefixed with the *simulated* time in
 // microseconds in addition to the component tag, so ORDMA_LOG_TRACE output
 // lines up with trace spans (obs/trace.h) recorded at the same instants.
+//
+// Thread isolation (run/runner.h): the level and the clock hook are
+// thread-local, like the net::packet.h buffer pool, so concurrent
+// simulations on worker threads neither share a clock nor race on the
+// level. The level has a process-wide *default* (set_default_level(),
+// normally called by obs::ObsSession before any worker starts); each
+// thread's level initializes from the default the first time that thread
+// logs and can be overridden per thread via level(). The clock always
+// reads the calling thread's engine, so a log line's simulated timestamp
+// is the time of the simulation that emitted it.
 #pragma once
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 
@@ -16,14 +27,27 @@ enum class LogLevel { off = 0, error, info, trace };
 
 class Log {
  public:
+  // The calling thread's level (mutable reference). Lazily initialized
+  // from the process-wide default on the thread's first use.
   static LogLevel& level() {
-    static LogLevel lvl = LogLevel::error;
+    thread_local LogLevel lvl =
+        static_cast<LogLevel>(default_level().load(std::memory_order_relaxed));
     return lvl;
+  }
+
+  // Process-wide default for threads that have not logged yet. Call before
+  // spawning workers (worker threads inherit it on first use); also sets
+  // the calling thread's level.
+  static void set_default_level(LogLevel lvl) {
+    default_level().store(static_cast<int>(lvl), std::memory_order_relaxed);
+    level() = lvl;
   }
 
   // Simulation clock hook: returns current simulated nanoseconds. Kept as a
   // plain function pointer + context so this header stays free of sim/
-  // dependencies (sim::Engine installs itself; last constructed wins).
+  // dependencies. sim::Engine installs itself per thread; the last engine
+  // constructed *on this thread* wins, so a worker's log lines carry its
+  // own simulation's time.
   using ClockFn = long long (*)(const void* ctx);
   static void set_clock(ClockFn fn, const void* ctx) {
     clock_fn() = fn;
@@ -54,12 +78,16 @@ class Log {
   }
 
  private:
+  static std::atomic<int>& default_level() {
+    static std::atomic<int> lvl{static_cast<int>(LogLevel::error)};
+    return lvl;
+  }
   static ClockFn& clock_fn() {
-    static ClockFn fn = nullptr;
+    thread_local ClockFn fn = nullptr;
     return fn;
   }
   static const void*& clock_ctx() {
-    static const void* ctx = nullptr;
+    thread_local const void* ctx = nullptr;
     return ctx;
   }
 };

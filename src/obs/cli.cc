@@ -1,11 +1,13 @@
 #include "obs/cli.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string_view>
 
 #include "common/log.h"
 #include "obs/flight.h"
+#include "run/runner.h"
 
 namespace ordma::obs {
 
@@ -20,28 +22,40 @@ bool take_value(std::string_view arg, std::string_view flag,
 
 ObsSession::ObsSession(int& argc, char** argv) {
   std::string log_level;
+  std::string jobs_arg;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     const bool consumed = take_value(arg, "--trace=", &trace_path_) ||
                           take_value(arg, "--metrics=", &metrics_path_) ||
                           take_value(arg, "--flight=", &flight_path_) ||
-                          take_value(arg, "--log=", &log_level);
+                          take_value(arg, "--log=", &log_level) ||
+                          take_value(arg, "--jobs=", &jobs_arg);
     if (!consumed) argv[kept++] = argv[i];
   }
   argc = kept;
   argv[argc] = nullptr;
   if (log_level == "off") {
-    Log::level() = LogLevel::off;
+    Log::set_default_level(LogLevel::off);
   } else if (log_level == "error") {
-    Log::level() = LogLevel::error;
+    Log::set_default_level(LogLevel::error);
   } else if (log_level == "info") {
-    Log::level() = LogLevel::info;
+    Log::set_default_level(LogLevel::info);
   } else if (log_level == "trace") {
-    Log::level() = LogLevel::trace;
+    Log::set_default_level(LogLevel::trace);
   } else if (!log_level.empty()) {
     std::fprintf(stderr, "obs: unknown --log level '%s' (want off|error|info|trace)\n",
                  log_level.c_str());
+  }
+  jobs_ = run::env_jobs();
+  if (!jobs_arg.empty()) {
+    const int n = std::atoi(jobs_arg.c_str());
+    if (n >= 1) {
+      jobs_ = static_cast<unsigned>(n);
+    } else {
+      std::fprintf(stderr, "obs: ignoring bad --jobs value '%s'\n",
+                   jobs_arg.c_str());
+    }
   }
   if (!trace_path_.empty()) {
     recorder_ = std::make_unique<TraceRecorder>();
@@ -50,6 +64,17 @@ ObsSession::ObsSession(int& argc, char** argv) {
   if (!metrics_path_.empty()) {
     registry_ = std::make_unique<MetricsRegistry>();
     install(registry_.get());
+  }
+  // Observability sinks are installed on this (the main) thread; a
+  // simulation running on a pool worker would bypass them. Force the sweep
+  // serial so every cell is observed.
+  if (jobs_ > 1 &&
+      (recorder_ || registry_ || !flight_path_.empty())) {
+    std::fprintf(stderr,
+                 "obs: --trace/--metrics/--flight active; running serial "
+                 "(--jobs=%u ignored)\n",
+                 jobs_);
+    jobs_ = 1;
   }
 }
 

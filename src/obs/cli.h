@@ -5,12 +5,15 @@
 //   --metrics=<file>   write a metrics-registry JSON snapshot on exit
 //   --flight=<file>    dump the flight-recorder rings on exit (obs/flight.h)
 //   --log=<level>      off | error | info | trace (simulated-time stamped)
+//   --jobs=<n>         sweep worker threads (default: ORDMA_JOBS, else all
+//                      cores; forced to 1 while --trace/--metrics/--flight
+//                      is active, since those install on the main thread)
 //
 // Usage: construct one ObsSession at the top of main(). It consumes its own
 // flags (compacting argc/argv so positional parsing downstream is
-// unaffected), ignores everything else, installs the global TraceRecorder /
-// MetricsRegistry as requested, and writes the output files when it goes
-// out of scope.
+// unaffected), ignores everything else, installs the calling thread's
+// TraceRecorder / MetricsRegistry as requested, and writes the output files
+// when it goes out of scope.
 #pragma once
 
 #include <memory>
@@ -33,6 +36,12 @@ class ObsSession {
   TraceRecorder* recorder() { return recorder_.get(); }
   MetricsRegistry* registry() { return registry_.get(); }
 
+  // Worker count for this binary's sweep (bench/bench_util.h sweep()).
+  // Never 0; 1 whenever an observability sink is installed, because the
+  // session installs it on the main thread only and a worker-thread
+  // simulation would silently record nothing.
+  unsigned jobs() const { return jobs_; }
+
   // Write the outputs now (instead of at destruction) — used by binaries
   // that want to report file paths before printing their own results.
   void flush();
@@ -43,6 +52,7 @@ class ObsSession {
   std::string flight_path_;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
+  unsigned jobs_ = 1;
   bool flushed_ = false;
 };
 

@@ -14,24 +14,42 @@ namespace ordma::obs::flight {
 namespace {
 
 // Live rings in registration order (cluster construction order, so dumps
-// are deterministic for a deterministic run).
+// are deterministic for a deterministic run). Thread-local: each
+// parallel-runner worker owns the rings of the simulation it is running,
+// so concurrent jobs cannot interleave registration or dumps.
 std::vector<Ring*>& rings() {
-  static std::vector<Ring*> r;
+  static thread_local std::vector<Ring*> r;
   return r;
 }
 
-bool g_giveup_dumped = false;
+thread_local bool g_giveup_dumped = false;
 std::string& giveup_path() {
-  static std::string p;
+  static thread_local std::string p;
   return p;
 }
 
+std::string& label() {
+  static thread_local std::string l;
+  return l;
+}
+
+// Suffix environment-driven dump paths with the job label (".<label>"
+// before nothing — the paths are free-form, so a plain suffix keeps the
+// whole family next to each other) so concurrent jobs write distinct
+// files.
+std::string labelled_path(std::string path) {
+  if (!label().empty()) path += "." + label();
+  return path;
+}
+
 // ORDMA_CHECK failure hook: leave a postmortem before abort. Written to
-// ORDMA_FLIGHT_DUMP if set, else ordma_flight_postmortem.txt in the cwd.
+// ORDMA_FLIGHT_DUMP if set, else ordma_flight_postmortem.txt in the cwd;
+// either way the file is suffixed with the run label when one is set, so
+// a parallel job's postmortem names the (config, seed) that died.
 void dump_on_check_failure() noexcept {
   const char* env = std::getenv("ORDMA_FLIGHT_DUMP");
   const std::string path =
-      env && *env ? env : "ordma_flight_postmortem.txt";
+      labelled_path(env && *env ? env : "ordma_flight_postmortem.txt");
   if (dump_all_file(path, "ORDMA_CHECK failure")) {
     std::fprintf(stderr, "flight recorder: postmortem written to %s\n",
                  path.c_str());
@@ -114,9 +132,13 @@ void Ring::dump(std::ostream& os) const {
   });
 }
 
+void set_run_label(std::string l) { label() = std::move(l); }
+const std::string& run_label() { return label(); }
+
 void dump_all(std::ostream& os, const char* reason) {
-  os << "ordma-flight-dump v1 reason=" << (reason ? reason : "unspecified")
-     << "\n";
+  os << "ordma-flight-dump v1 reason=" << (reason ? reason : "unspecified");
+  if (!label().empty()) os << " job=" << label();
+  os << "\n";
   for (const Ring* r : rings()) r->dump(os);
   os << "end\n";
 }
@@ -145,7 +167,7 @@ void note_giveup(Ring& ring, std::int64_t t_ns, std::uint64_t op,
   std::string path = giveup_path();
   if (path.empty()) {
     if (const char* env = std::getenv("ORDMA_FLIGHT_DUMP"); env && *env) {
-      path = env;
+      path = labelled_path(env);
     }
   }
   if (path.empty() || g_giveup_dumped) return;

@@ -20,16 +20,23 @@
 //    schedules, and never reads state it doesn't own, so golden
 //    event-stream hashes are identical with recording on or off
 //    (pinned by tests/torture_test.cc).
-//  * Rings register themselves in a global list at construction
+//  * Rings register themselves in a *thread-local* list at construction
 //    (deterministic order: cluster construction order) and unregister at
-//    destruction; dump_all() walks the live rings. Single-threaded, like
-//    the simulator itself.
-//  * The first ring to register installs an ORDMA_CHECK failure hook
-//    (common/assert.h) that writes a postmortem dump before abort.
+//    destruction; dump_all() walks the calling thread's live rings. Each
+//    simulation is single-threaded; parallel-runner workers
+//    (run/runner.h) each see only their own simulation's rings, so
+//    concurrent jobs can never interleave flight records.
+//  * The first ring to register installs a (thread-local) ORDMA_CHECK
+//    failure hook (common/assert.h) that writes a postmortem dump before
+//    abort.
+//  * set_run_label() names the job (e.g. "nfs.seed17") on the calling
+//    thread; dumps carry it in their header and environment-driven dump
+//    paths (ORDMA_FLIGHT_DUMP) are suffixed with it so concurrent jobs
+//    don't clobber one file.
 //
 // Dump format (validated by scripts/validate_trace.py --flight):
 //
-//   ordma-flight-dump v1 reason=<reason>
+//   ordma-flight-dump v1 reason=<reason> [job=<label>]
 //   ring <name> recorded=<total> capacity=<cap> dropped=<total-kept>
 //   <seq> <t_ns> <event-name> a=<a> b=<b> aux=<aux>
 //   ...
@@ -93,12 +100,15 @@ enum class Ev : std::uint16_t {
 const char* ev_name(Ev e);
 
 namespace detail {
-inline bool g_enabled = true;  // the one branch recording pays
+// The one branch recording pays. Thread-local like the ring registry, so
+// one job toggling recording can't disturb a concurrent job.
+inline thread_local bool g_enabled = true;
 }
 
 inline bool enabled() { return detail::g_enabled; }
-// Turn recording off/on globally (the determinism pin runs both ways; the
-// rings themselves stay registered and keep their contents).
+// Turn recording off/on for the calling thread (the determinism pin runs
+// both ways; the rings themselves stay registered and keep their
+// contents).
 void set_enabled(bool on);
 
 class Ring {
@@ -162,9 +172,36 @@ class Ring {
   std::unique_ptr<Record[]> buf_;
 };
 
+// --- run labels -------------------------------------------------------------
+
+// Name the job running on the calling thread (e.g. "odafs.seed12"). The
+// label appears in dump headers and is appended to environment-configured
+// dump paths so each parallel job's postmortem lands in its own file.
+// Empty clears. The parallel runner labels jobs "job<N>" by default;
+// harnesses overwrite that with the (config, seed) identity they know.
+void set_run_label(std::string label);
+const std::string& run_label();
+
+// RAII label for one job's scope; restores the previous label on exit, so
+// a harness's precise label ("nfs.seed17") can nest inside the runner's
+// default ("job4").
+class ScopedRunLabel {
+ public:
+  explicit ScopedRunLabel(std::string label) : prev_(run_label()) {
+    set_run_label(std::move(label));
+  }
+  ~ScopedRunLabel() { set_run_label(std::move(prev_)); }
+  ScopedRunLabel(const ScopedRunLabel&) = delete;
+  ScopedRunLabel& operator=(const ScopedRunLabel&) = delete;
+
+ private:
+  std::string prev_;
+};
+
 // --- postmortem dumps -------------------------------------------------------
 
-// Dump every live ring, oldest events first, with a header naming `reason`.
+// Dump every ring live on the calling thread, oldest events first, with a
+// header naming `reason` (and the thread's run label, when set).
 void dump_all(std::ostream& os, const char* reason);
 std::string dump_all_string(const char* reason);
 bool dump_all_file(const std::string& path, const char* reason);
@@ -172,8 +209,10 @@ bool dump_all_file(const std::string& path, const char* reason);
 // Give-up postmortems: when a client exhausts its bounded retries and
 // surfaces a clean error, it calls note_giveup(). If ORDMA_FLIGHT_DUMP
 // names a path (or set_giveup_dump_path() was called), a dump is written
-// there — at most once per process, so a brutal-plan run doesn't rewrite
-// it per failed op. Without a configured path this is just a ring event.
+// there — at most once per thread, so a brutal-plan run doesn't rewrite
+// it per failed op. Environment paths get the run label appended so
+// concurrent jobs don't fight over one file. Without a configured path
+// this is just a ring event.
 void set_giveup_dump_path(std::string path);
 void note_giveup(Ring& ring, std::int64_t t_ns, std::uint64_t op,
                  std::uint64_t errc);

@@ -8,7 +8,7 @@
 // which lets existing component counters (cache hit counts, resource busy
 // time, ...) be exported without touching their owners' hot paths.
 //
-// Like tracing (obs/trace.h), a registry is installed globally and absent
+// Like tracing (obs/trace.h), a registry is installed per thread and absent
 // by default; helpers no-op on a null registry.
 #pragma once
 
@@ -54,13 +54,16 @@ class MetricsRegistry {
 };
 
 namespace detail {
-inline MetricsRegistry* g_registry = nullptr;
+// Thread-local (net::packet.h Pool precedent): each parallel-runner worker
+// installs its own registry, so concurrent simulations never mix metrics.
+inline thread_local MetricsRegistry* g_registry = nullptr;
 }
 
 inline MetricsRegistry* registry() { return detail::g_registry; }
 
-// Install `r` as the global registry (nullptr disables). Caller keeps
-// ownership; a registry uninstalls itself on destruction.
+// Install `r` as the calling thread's registry (nullptr disables). Caller
+// keeps ownership; a registry uninstalls itself on destruction if still
+// installed on the destroying thread.
 void install(MetricsRegistry* r);
 
 }  // namespace ordma::obs

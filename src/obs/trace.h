@@ -137,16 +137,22 @@ class TraceRecorder {
 
 namespace detail {
 // The installed recorder and its install epoch. The epoch invalidates
-// Track caches when a new recorder (or the same one re-) installs.
-inline TraceRecorder* g_recorder = nullptr;
-inline std::uint32_t g_epoch = 0;
+// Track caches when a new recorder (or the same one re-) installs. Both
+// are thread-local (net::packet.h Pool precedent): each parallel-runner
+// worker (run/runner.h) installs its own recorder, so concurrent
+// simulations can never interleave spans. Track epochs are compared
+// against the calling thread's epoch, so a Track cache resolved on one
+// thread re-resolves when its component records on another.
+inline thread_local TraceRecorder* g_recorder = nullptr;
+inline thread_local std::uint32_t g_epoch = 0;
 }  // namespace detail
 
 inline TraceRecorder* recorder() { return detail::g_recorder; }
 inline bool enabled() { return detail::g_recorder != nullptr; }
 
-// Install `r` as the global recorder (nullptr disables tracing). The caller
-// keeps ownership; a recorder uninstalls itself on destruction.
+// Install `r` as the calling thread's recorder (nullptr disables tracing).
+// The caller keeps ownership; a recorder uninstalls itself on destruction
+// if it is still installed on the destroying thread.
 void install(TraceRecorder* r);
 
 // Cached (process, component) → TrackId resolution. Embed one per

@@ -1,0 +1,193 @@
+#include "run/runner.h"
+
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/flight.h"
+
+namespace ordma::run {
+
+unsigned hardware_jobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+namespace {
+
+// Parse a positive integer from env var `name`; 0 on unset/garbage.
+unsigned env_uint(const char* name) {
+  const char* v = std::getenv(name);
+  if (!v || !*v) return 0;
+  char* end = nullptr;
+  const unsigned long n = std::strtoul(v, &end, 10);
+  if (end == v || *end != '\0') return 0;
+  return static_cast<unsigned>(n);
+}
+
+}  // namespace
+
+unsigned env_jobs(unsigned fallback) {
+  if (unsigned n = env_uint("ORDMA_JOBS")) return n;
+  return fallback == 0 ? hardware_jobs() : fallback;
+}
+
+unsigned env_jobs_named(const char* name, unsigned fallback) {
+  if (unsigned n = env_uint(name)) return n;
+  return env_jobs(fallback);
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(jobs == 0 ? hardware_jobs() : jobs) {}
+
+namespace {
+
+// One worker's contiguous slice of the job index space, packed begin<<32|end
+// into a single atomic so pop/steal race through one CAS each. The owner
+// pops from the front; thieves take the back half, so owner and thief only
+// collide on the last item of a slice.
+struct alignas(64) Range {
+  std::atomic<std::uint64_t> bits{0};
+
+  static constexpr std::uint64_t pack(std::uint32_t b, std::uint32_t e) {
+    return (static_cast<std::uint64_t>(b) << 32) | e;
+  }
+  static constexpr std::uint32_t begin(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v >> 32);
+  }
+  static constexpr std::uint32_t end(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v);
+  }
+};
+
+struct Pool {
+  std::vector<Range> ranges;
+  // First job exception wins; the rest of the pool drains without running
+  // further bodies and the winner rethrows on the calling thread.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+
+  explicit Pool(unsigned workers) : ranges(workers) {}
+
+  void note_error() noexcept {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (!first_error) first_error = std::current_exception();
+    failed.store(true, std::memory_order_release);
+  }
+
+  // Pop the front index of worker w's own range. False when empty.
+  bool pop(unsigned w, std::uint32_t& idx) {
+    Range& r = ranges[w];
+    std::uint64_t v = r.bits.load(std::memory_order_acquire);
+    while (Range::begin(v) < Range::end(v)) {
+      const std::uint64_t next = Range::pack(Range::begin(v) + 1, Range::end(v));
+      if (r.bits.compare_exchange_weak(v, next, std::memory_order_acq_rel,
+                                       std::memory_order_acquire)) {
+        idx = Range::begin(v);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Steal the back half of the largest victim range into worker w's (empty)
+  // range. False when every range is empty — pool is drained.
+  bool steal(unsigned w) {
+    while (true) {
+      unsigned victim = w;
+      std::uint32_t best = 0;
+      for (unsigned v = 0; v < ranges.size(); ++v) {
+        if (v == w) continue;
+        const std::uint64_t bits = ranges[v].bits.load(std::memory_order_acquire);
+        const std::uint32_t len = Range::end(bits) - Range::begin(bits);
+        // A length-1 range has only its owner's next pop to give; taking
+        // half of it would take nothing. Leave it alone.
+        if (len >= 2 && len > best) {
+          best = len;
+          victim = v;
+        }
+      }
+      if (victim == w) return false;
+
+      Range& r = ranges[victim];
+      std::uint64_t v = r.bits.load(std::memory_order_acquire);
+      const std::uint32_t b = Range::begin(v), e = Range::end(v);
+      if (e - b < 2 || b >= e) continue;  // shrank under us; rescan
+      const std::uint32_t mid = b + (e - b + 1) / 2;
+      if (!r.bits.compare_exchange_weak(v, Range::pack(b, mid),
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        continue;  // lost the race; rescan
+      }
+      ranges[w].bits.store(Range::pack(mid, e), std::memory_order_release);
+      return true;
+    }
+  }
+};
+
+void work(Pool& pool, unsigned w,
+          const std::function<void(std::size_t)>& body) {
+  do {
+    std::uint32_t idx;
+    while (pool.pop(w, idx)) {
+      if (pool.failed.load(std::memory_order_acquire)) return;
+      // Default label so a crashing job's postmortem is at least
+      // distinguishable; jobs that know their (config, seed) identity
+      // overwrite it with set_run_label().
+      obs::flight::ScopedRunLabel label("job" + std::to_string(idx));
+      try {
+        body(idx);
+      } catch (...) {
+        pool.note_error();
+        return;
+      }
+    }
+  } while (pool.steal(w));
+}
+
+}  // namespace
+
+void ParallelRunner::run_indexed(std::size_t n,
+                                 const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+
+  // Serial fallback: inline, in order, no threads, no labels — byte-for-byte
+  // the pre-runner code path.
+  if (jobs_ == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  ORDMA_CHECK(n <= 0xffffffffu);  // packed 32-bit index ranges
+  const unsigned workers =
+      static_cast<unsigned>(jobs_ < n ? jobs_ : n);  // never idle threads
+  Pool pool(workers);
+  // Contiguous initial split, remainder spread over the low workers —
+  // deterministic, so the no-steal case touches each index exactly once in
+  // a predictable place.
+  const std::uint32_t total = static_cast<std::uint32_t>(n);
+  const std::uint32_t base = total / workers, rem = total % workers;
+  std::uint32_t at = 0;
+  for (unsigned w = 0; w < workers; ++w) {
+    const std::uint32_t len = base + (w < rem ? 1 : 0);
+    pool.ranges[w].bits.store(Range::pack(at, at + len),
+                              std::memory_order_relaxed);
+    at += len;
+  }
+
+  // The calling thread is worker 0; spawn only workers-1 threads.
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) {
+    threads.emplace_back([&pool, w, &body] { work(pool, w, body); });
+  }
+  work(pool, 0, body);
+  for (std::thread& t : threads) t.join();
+
+  if (pool.first_error) std::rethrow_exception(pool.first_error);
+}
+
+}  // namespace ordma::run

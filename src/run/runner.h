@@ -1,0 +1,100 @@
+// Work-stealing parallel experiment runner.
+//
+// The paper's results are sweeps: every figure and table runs a grid of
+// independent (protocol × block-size × client-count) simulations, and the
+// torture harness replays a seed matrix. Each trial is a self-contained,
+// bit-deterministic, single-threaded simulation — so trials can execute
+// concurrently on a thread pool with *zero* effect on their results,
+// provided nothing a simulation touches is shared between threads.
+//
+// The isolation contract (what makes parallel == serial, bit for bit):
+//  * every process-wide observability install is thread-local — the
+//    obs::trace recorder, obs::metrics registry, obs::flight ring list and
+//    run label, common/log.h level/clock, and the common/assert.h failure
+//    hook (all following the net::packet.h thread_local Pool precedent);
+//  * a job builds everything it needs (Cluster, recorders, registries)
+//    inside its closure, on the worker thread that runs it, and returns
+//    plain data. net::Buffer and other pool-backed objects must not
+//    escape the job: their free lists are thread-local too.
+//
+// Scheduling: job indices [0, n) are split into contiguous per-worker
+// ranges; a worker pops from the front of its own range and, when empty,
+// steals the back half of the largest remaining victim range (classic
+// iteration stealing — coarse jobs make the CAS traffic irrelevant, but
+// stealing keeps 8 workers busy when one range holds all the slow cells).
+// Results land in a preallocated slot per index, so collection order is
+// submission order regardless of which worker ran what.
+//
+// Serial fallback: jobs == 1 runs every job inline on the calling thread,
+// in index order, spawning nothing — the exact pre-runner behavior. This
+// is the --jobs=1 / ORDMA_JOBS=1 escape hatch, and what the determinism
+// tests (tests/integration/parallel_determinism_test.cc) compare against.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace ordma::run {
+
+// max(1, std::thread::hardware_concurrency).
+unsigned hardware_jobs();
+
+// Worker count from the environment: ORDMA_JOBS if set and nonzero, else
+// `fallback` (0 meaning hardware_jobs()).
+unsigned env_jobs(unsigned fallback = 0);
+
+// Worker count for a named harness knob (e.g. "TORTURE_JOBS"), falling
+// back to ORDMA_JOBS, then to `fallback` (0 meaning hardware_jobs()).
+unsigned env_jobs_named(const char* name, unsigned fallback = 0);
+
+class ParallelRunner {
+ public:
+  // `jobs` == 0 means hardware_jobs().
+  explicit ParallelRunner(unsigned jobs = 0);
+
+  unsigned jobs() const { return jobs_; }
+
+  // Execute fn(i) for every i in [0, n), each exactly once, distributed
+  // across the pool; returns results in index order. fn must be invocable
+  // concurrently from distinct threads for distinct indices (independent
+  // simulations are; see the isolation contract above). Each job runs
+  // under a flight-recorder run label "job<i>" unless it sets its own.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t>> {
+    using R = std::invoke_result_t<Fn&, std::size_t>;
+    static_assert(!std::is_void_v<R>,
+                  "map requires a result; use for_each for side effects");
+    std::vector<R> out(n);
+    run_indexed(n, [&out, &fn](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  // Same distribution, no results.
+  template <typename Fn>
+  void for_each(std::size_t n, Fn&& fn) {
+    run_indexed(n, [&fn](std::size_t i) { fn(i); });
+  }
+
+ private:
+  // Type-erased core: runs body(i) for all i in [0, n).
+  void run_indexed(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  unsigned jobs_;
+};
+
+// One-shot helper: run fn(i) for i in [0, n) on `jobs` workers, results in
+// index order.
+template <typename Fn>
+auto parallel_map(unsigned jobs, std::size_t n, Fn&& fn) {
+  return ParallelRunner(jobs).map(n, std::forward<Fn>(fn));
+}
+
+}  // namespace ordma::run

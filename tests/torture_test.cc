@@ -19,6 +19,11 @@
 // Seed matrix control:
 //   TORTURE_SEEDS=<n>     run seeds 1..n per protocol (default 6; CI: 32)
 //   TORTURE_SEED=<s>      replay exactly one seed (failing-seed repro)
+//   TORTURE_JOBS=<n>      worker threads for the seed matrix (default: all
+//                         cores; 1 = the historical serial run). Results
+//                         are bit-identical at any worker count — each run
+//                         is a self-contained simulation and every
+//                         observability install is thread-local.
 //   TORTURE_FAIL_FILE=<p> append "proto seed" lines for failing runs
 #include <gtest/gtest.h>
 
@@ -34,6 +39,7 @@
 #include "obs/flight.h"
 #include "obs/trace.h"
 #include "rpc/xdr.h"
+#include "run/runner.h"
 
 namespace ordma {
 namespace {
@@ -99,6 +105,10 @@ struct TortureResult {
 };
 
 TortureResult run_torture(const TortureOptions& opt) {
+  // Name this run for flight-recorder postmortems: a parallel matrix job
+  // that dies identifies its (proto, seed) in the dump header and path.
+  obs::flight::ScopedRunLabel label(std::string(proto_name(opt.proto)) +
+                                    ".seed" + std::to_string(opt.seed));
   obs::TraceRecorder rec;
   if (opt.tracing) obs::install(&rec);
 
@@ -327,13 +337,32 @@ TEST(Torture, SeedMatrixSurvivesAdversarialPlan) {
     const unsigned n = env_unsigned("TORTURE_SEEDS", 6);
     for (std::uint64_t s = 1; s <= n; ++s) seeds.push_back(s);
   }
+
+  // Flatten the (proto × seed) matrix into independent jobs and fan them
+  // over the experiment runner. Workers only produce TortureResults; all
+  // gtest assertions and failure reporting stay on this thread.
+  struct Job {
+    Proto proto;
+    std::uint64_t seed;
+  };
+  std::vector<Job> matrix;
+  for (const Proto proto : kAllProtos) {
+    for (const std::uint64_t seed : seeds) matrix.push_back({proto, seed});
+  }
+  run::ParallelRunner runner(run::env_jobs_named("TORTURE_JOBS"));
+  auto results = runner.map(matrix.size(), [&matrix](std::size_t i) {
+    TortureOptions opt;
+    opt.proto = matrix[i].proto;
+    opt.seed = matrix[i].seed;
+    return run_torture(opt);
+  });
+
+  std::size_t i = 0;
   for (const Proto proto : kAllProtos) {
     std::uint64_t injected = 0;
     for (const std::uint64_t seed : seeds) {
-      TortureOptions opt;
-      opt.proto = proto;
-      opt.seed = seed;
-      TortureResult r = run_torture(opt);
+      const TortureResult& r = results[i++];
+      const TortureOptions opt;  // for the op count only
       const bool ok = r.completed && r.completions == opt.ops &&
                       r.failures == 0 && r.integrity_violations == 0;
       if (!ok) {
