@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/cluster.h"
+#include "mem/arena.h"
 #include "run/runner.h"
 
 namespace ordma::bench {
@@ -47,9 +48,19 @@ void drive_engine(sim::Engine& eng, F&& body) {
 // whatever the worker count. jobs == 1 (the default when an ObsSession has
 // an observability sink installed) runs the cells inline in order — the
 // historical serial behavior, bit-identical by construction.
+// Each cell runs under a per-run arena (mem/arena.h) checked out of the
+// worker thread's reusable pool: every Engine the cell builds draws its
+// timer slabs and calendar storage from it, and the scope's reset returns
+// the memory for the worker's next cell — zero allocator traffic between
+// cells, and never a shared allocator between workers. Arenas change
+// where bytes live, never what the simulation computes; the determinism
+// suite pins arena-on ≡ arena-off.
 template <typename Cell>
 auto sweep(unsigned jobs, std::size_t cells, Cell&& cell) {
-  return run::parallel_map(jobs, cells, std::forward<Cell>(cell));
+  return run::parallel_map(jobs, cells, [&cell](std::size_t i) {
+    mem::ScopedSimArena arena;
+    return cell(i);
+  });
 }
 
 class Table {

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Hardware-adaptive parallel-scaling gate for bench_sweep output.
+
+bench_compare.py gates metric values against a committed baseline; this
+script gates the *shape* of the scaling curve against physics, adapting to
+whatever machine ran the bench. A fixed "speedup_j8 >= 4x" assertion would
+be meaningless on the 2-core runner GitHub hands out on a bad day and
+vacuous on a 16-core one, so the gate keys off the `hardware_jobs` metric
+the bench records about its own host:
+
+    cores >= 8  ->  speedup_j8 >= 4.0x   (near-linear up to memory b/w)
+    cores >= 4  ->  speedup_j4 >= 1.5x
+    cores >= 2  ->  speedup_j2 >= 1.2x
+    cores <  2  ->  skip (a 1-core host cannot exhibit parallel speedup;
+                     exit 0 with an explicit SKIP so CI logs say why)
+
+Exactly one gate applies — the largest the hardware supports. With
+multiple input files (best-of-N runs), each metric's best value across
+files is used, mirroring bench_compare.py.
+
+Usage:
+    check_scaling.py sweep.1.json [sweep.2.json ...] [--summary=out.md]
+
+Exit status: 0 pass/skip, 1 fail, 2 bad input. --summary writes a short
+markdown table (speedups, per-worker throughput, verdict) suitable for
+$GITHUB_STEP_SUMMARY or an uploaded artifact.
+"""
+
+import json
+import sys
+
+GATES = [  # (min cores, metric, threshold) — first match wins
+    (8, "speedup_j8", 4.0),
+    (4, "speedup_j4", 1.5),
+    (2, "speedup_j2", 1.2),
+]
+
+
+def load_best(paths):
+    merged = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        if doc.get("schema") != "ordma.bench.v1":
+            sys.exit(f"check_scaling: {path}: not an ordma.bench.v1 document")
+        for name, m in doc["metrics"].items():
+            v = m["value"]
+            if name not in merged:
+                merged[name] = dict(m)
+            elif m.get("higher_is_better", False):
+                merged[name]["value"] = max(merged[name]["value"], v)
+            else:
+                merged[name]["value"] = min(merged[name]["value"], v)
+    return merged
+
+
+def main(argv):
+    summary_path = None
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--summary="):
+            summary_path = arg.split("=", 1)[1]
+        else:
+            paths.append(arg)
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    metrics = load_best(paths)
+    if "hardware_jobs" not in metrics:
+        print("check_scaling: input lacks a hardware_jobs metric "
+              "(bench_sweep too old?)", file=sys.stderr)
+        return 2
+    cores = int(metrics["hardware_jobs"]["value"])
+
+    gate = next(((m, thr) for need, m, thr in GATES if cores >= need), None)
+
+    lines = [f"### Parallel sweep scaling ({cores} cores)", ""]
+    lines.append("| jobs | events/s | per-worker | speedup |")
+    lines.append("|-----:|---------:|-----------:|--------:|")
+    for j in (1, 2, 4, 8):
+        eps = metrics.get(f"events_per_sec_j{j}", {}).get("value")
+        pw = metrics.get(f"events_per_sec_per_worker_j{j}", {}).get("value")
+        sp = 1.0 if j == 1 else metrics.get(f"speedup_j{j}", {}).get("value")
+        if eps is None:
+            continue
+        pw_s = f"{pw:,.0f}" if pw is not None else "n/a"
+        sp_s = f"{sp:.2f}x" if sp is not None else "n/a"
+        lines.append(f"| {j} | {eps:,.0f} | {pw_s} | {sp_s} |")
+
+    if gate is None:
+        verdict = (f"SKIP: {cores} core(s) — parallel speedup is not "
+                   "measurable on this host; gate needs >= 2 cores")
+        print(verdict)
+        rc = 0
+    else:
+        metric, threshold = gate
+        if metric not in metrics:
+            print(f"check_scaling: missing metric {metric}", file=sys.stderr)
+            return 2
+        value = metrics[metric]["value"]
+        ok = value >= threshold
+        verdict = (f"{'PASS' if ok else 'FAIL'}: {metric} = {value:.2f}x "
+                   f"(threshold {threshold:.1f}x on a {cores}-core host)")
+        print(verdict)
+        rc = 0 if ok else 1
+
+    lines += ["", verdict, ""]
+    if summary_path:
+        with open(summary_path, "w") as f:
+            f.write("\n".join(lines) + "\n")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

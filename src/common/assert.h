@@ -8,19 +8,22 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/tls_ctx.h"
+
 namespace ordma {
 
-// Installed by the flight recorder (obs/flight.cc) while any ring is live:
-// writes a postmortem event dump before the abort so a CHECK failure leaves
-// evidence of what the cluster was doing. Thread-local so a failure on a
-// parallel-runner worker (run/runner.h) dumps that worker's own rings.
-inline thread_local void (*g_check_failed_hook)() noexcept = nullptr;
+// tls().check_failed_hook is installed by the flight recorder
+// (obs/flight.cc) while any ring is live: it writes a postmortem event
+// dump before the abort so a CHECK failure leaves evidence of what the
+// cluster was doing. Thread-local (part of the consolidated TLS context)
+// so a failure on a parallel-runner worker (run/runner.h) dumps that
+// worker's own rings.
 
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {
   std::fprintf(stderr, "ORDMA_CHECK failed: %s at %s:%d%s%s\n", expr, file,
                line, msg && *msg ? " — " : "", msg ? msg : "");
-  if (g_check_failed_hook) g_check_failed_hook();
+  if (auto hook = tls().check_failed_hook) hook();
   std::abort();
 }
 

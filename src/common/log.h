@@ -21,18 +21,25 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "common/tls_ctx.h"
+
 namespace ordma {
 
-enum class LogLevel { off = 0, error, info, trace };
+// LogLevel itself lives in common/tls_ctx.h (the per-thread level is part
+// of the consolidated TLS context); this header owns its semantics.
 
 class Log {
  public:
   // The calling thread's level (mutable reference). Lazily initialized
   // from the process-wide default on the thread's first use.
   static LogLevel& level() {
-    thread_local LogLevel lvl =
-        static_cast<LogLevel>(default_level().load(std::memory_order_relaxed));
-    return lvl;
+    TlsCtx& t = tls();
+    if (!t.log_level_init) {
+      t.log_level = static_cast<LogLevel>(
+          default_level().load(std::memory_order_relaxed));
+      t.log_level_init = true;
+    }
+    return t.log_level;
   }
 
   // Process-wide default for threads that have not logged yet. Call before
@@ -82,14 +89,9 @@ class Log {
     static std::atomic<int> lvl{static_cast<int>(LogLevel::error)};
     return lvl;
   }
-  static ClockFn& clock_fn() {
-    thread_local ClockFn fn = nullptr;
-    return fn;
-  }
-  static const void*& clock_ctx() {
-    thread_local const void* ctx = nullptr;
-    return ctx;
-  }
+  // Clock hook storage is the consolidated TLS context (common/tls_ctx.h).
+  static ClockFn& clock_fn() { return tls().clock_fn; }
+  static const void*& clock_ctx() { return tls().clock_ctx; }
 };
 
 }  // namespace ordma

@@ -1,0 +1,90 @@
+#include "mem/arena.h"
+
+#include <utility>
+
+namespace ordma::mem {
+
+void* Arena::allocate_slow(std::size_t size, std::size_t align) {
+  // Advance through retained chunks (a reset arena reuses them in order)
+  // until one fits the aligned request; append a fresh chunk when none
+  // does. Alignment up to the chunk's natural alignment is guaranteed by
+  // re-running the bump logic against the chosen chunk.
+  for (;;) {
+    if (!chunks_.empty() && cur_ + 1 < chunks_.size()) {
+      ++cur_;
+    } else {
+      std::size_t cap = chunks_.empty() ? kMinChunk
+                        : chunks_.back().cap >= kMaxChunk
+                            ? kMaxChunk
+                            : chunks_.back().cap * 2;
+      if (cap < size + align) cap = size + align;
+      chunks_.push_back(Chunk{std::make_unique<std::byte[]>(cap), cap});
+      reserved_ += cap;
+      cur_ = chunks_.size() - 1;
+    }
+    Chunk& c = chunks_[cur_];
+    ptr_ = c.mem.get();
+    end_ = c.mem.get() + c.cap;
+    std::uintptr_t p = reinterpret_cast<std::uintptr_t>(ptr_);
+    p = (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (p + size <= reinterpret_cast<std::uintptr_t>(end_)) {
+      ptr_ = reinterpret_cast<std::byte*>(p + size);
+      used_ += size;
+      return reinterpret_cast<void*>(p);
+    }
+    // Chunk too small for this request (can only happen while skipping
+    // through small retained chunks); loop appends a big-enough one.
+  }
+}
+
+void Arena::reset() {
+  cur_ = 0;
+  used_ = 0;
+  if (chunks_.empty()) {
+    ptr_ = end_ = nullptr;
+  } else {
+    ptr_ = chunks_[0].mem.get();
+    end_ = ptr_ + chunks_[0].cap;
+  }
+}
+
+namespace {
+
+thread_local Arena* g_current = nullptr;
+
+// Reusable arenas for this thread, stack-ordered so nested ScopedSimArena
+// scopes each get their own. A worker thread's pool dies with the thread;
+// the main thread's lives for the process — both are bounded by the
+// deepest nesting ever seen (in practice: one).
+thread_local std::vector<std::unique_ptr<Arena>>* g_pool = nullptr;
+
+std::vector<std::unique_ptr<Arena>>& pool() {
+  thread_local std::vector<std::unique_ptr<Arena>> p;
+  g_pool = &p;
+  return p;
+}
+
+}  // namespace
+
+Arena* current_arena() { return g_current; }
+
+Arena* install_arena(Arena* a) { return std::exchange(g_current, a); }
+
+ScopedSimArena::ScopedSimArena() {
+  auto& p = pool();
+  if (p.empty()) {
+    arena_ = new Arena();
+  } else {
+    arena_ = p.back().release();
+    p.pop_back();
+  }
+  prev_ = install_arena(arena_);
+}
+
+ScopedSimArena::~ScopedSimArena() {
+  install_arena(prev_);
+  arena_->reset();
+  pool().push_back(std::unique_ptr<Arena>(arena_));
+}
+
+}  // namespace ordma::mem

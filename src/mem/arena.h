@@ -1,0 +1,151 @@
+// Per-simulation bump arena.
+//
+// A sweep runs thousands of short-lived simulations; each one builds an
+// Engine (timer slabs, calendar heap, bucket table, ring), a Cluster and a
+// pile of vectors, then throws it all away. Doing that through the process
+// allocator has two costs the profiler sees: malloc/free cycles per cell,
+// and — under the parallel runner — every worker contending on one shared
+// allocator. The arena removes both: allocation is a pointer bump into
+// thread-private chunks, deallocation is free (reset() rewinds the bump
+// pointer and keeps the chunks), and a worker's arena is reused from one
+// sweep cell to the next so steady state touches the process allocator
+// zero times per cell.
+//
+// Contract:
+//  * Arena::allocate never returns memory to the system until the Arena
+//    dies; reset() makes every previous allocation invalid but keeps the
+//    chunk storage for reuse.
+//  * An Arena is single-threaded (one simulation = one thread, the same
+//    isolation contract as net::packet.h's Buffer pool).
+//  * Objects with non-trivial destructors placed in arena memory must be
+//    destroyed explicitly before reset()/destruction — the arena only
+//    hands out bytes (sim::Engine's ~Engine sweeps its timer slabs).
+//
+// Installation mirrors obs::trace: a thread-local current arena that
+// consumers (sim::Engine) resolve once at construction. ScopedSimArena is
+// the harness-facing RAII: it checks a reusable arena out of a per-thread
+// pool, installs it, and on scope exit resets it and returns it. Harnesses
+// wrap each sweep cell in one (bench/bench_util.h, tests/torture_test.cc);
+// code built without an installed arena (unit tests constructing a bare
+// Engine) falls back to an engine-owned arena and behaves identically —
+// pinned by tests/arena_test.cc and the determinism suite.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/assert.h"
+
+namespace ordma::mem {
+
+class Arena {
+ public:
+  // First chunk size; subsequent chunks double up to kMaxChunk. Oversized
+  // requests get a dedicated chunk of exactly their size.
+  static constexpr std::size_t kMinChunk = 64 * 1024;
+  static constexpr std::size_t kMaxChunk = 1024 * 1024;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t size, std::size_t align) {
+    ORDMA_CHECK(align != 0 && (align & (align - 1)) == 0);
+    std::uintptr_t p = reinterpret_cast<std::uintptr_t>(ptr_);
+    p = (p + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+    if (p + size <= reinterpret_cast<std::uintptr_t>(end_)) {
+      ptr_ = reinterpret_cast<std::byte*>(p + size);
+      used_ += size;
+      return reinterpret_cast<void*>(p);
+    }
+    return allocate_slow(size, align);
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t n) {
+    return static_cast<T*>(allocate(n * sizeof(T), alignof(T)));
+  }
+
+  // Invalidate every outstanding allocation and rewind to the first chunk;
+  // chunk storage is retained, so the next fill allocates nothing.
+  void reset();
+
+  // Telemetry for tests and the profile summary.
+  std::size_t bytes_reserved() const { return reserved_; }
+  std::size_t bytes_used() const { return used_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t cap = 0;
+  };
+
+  void* allocate_slow(std::size_t size, std::size_t align);
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;  // chunk currently being bumped (when !chunks_.empty())
+  std::byte* ptr_ = nullptr;
+  std::byte* end_ = nullptr;
+  std::size_t reserved_ = 0;
+  std::size_t used_ = 0;
+};
+
+// The calling thread's installed arena, or nullptr. sim::Engine resolves
+// this once at construction (never per allocation).
+Arena* current_arena();
+// Install `a` (nullptr uninstalls); returns the previous arena.
+Arena* install_arena(Arena* a);
+
+// Minimal std-allocator over a specific Arena, for the engine's internal
+// vectors. deallocate is a no-op: the memory comes back at reset(). Growing
+// a vector therefore leaks its old block into the arena until the run ends
+// — fine for the engine's monotonically-sized structures, wrong for
+// containers that churn capacity.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* a) : a_(a) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& o) : a_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(a_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, std::size_t) {}
+
+  Arena* arena() const { return a_; }
+
+  friend bool operator==(const ArenaAllocator& x, const ArenaAllocator& y) {
+    return x.a_ == y.a_;
+  }
+
+ private:
+  Arena* a_;
+};
+
+// RAII for one simulation (one sweep cell, one torture trial): checks a
+// reusable arena out of the calling thread's pool, installs it, and on
+// destruction resets it and returns it to the pool, restoring whatever was
+// installed before (scopes nest). Every Engine constructed inside the
+// scope draws its timer slabs and calendar storage from the same arena.
+class ScopedSimArena {
+ public:
+  ScopedSimArena();
+  ~ScopedSimArena();
+  ScopedSimArena(const ScopedSimArena&) = delete;
+  ScopedSimArena& operator=(const ScopedSimArena&) = delete;
+
+  Arena& arena() { return *arena_; }
+
+ private:
+  Arena* arena_;
+  Arena* prev_;
+};
+
+}  // namespace ordma::mem

@@ -15,11 +15,12 @@
 // steady state with zero heap allocations per packet.
 #pragma once
 
-#include <any>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,8 @@ inline constexpr NodeId kInvalidNode = 0xffffffff;
 
 // Immutable-once-shared byte buffer with cheap sub-views.
 class Buffer {
+  friend class BufferBuilder;
+
  public:
   Buffer() = default;
   ~Buffer() { unref(); }
@@ -122,18 +125,14 @@ class Buffer {
 
   // Free list of Reps with their vector capacity retained; single-threaded
   // by design (thread_local guards against accidental cross-thread use).
+  // Rep headers are carved from slabs owned by the pool, so steady state
+  // never touches the process allocator for them and one worker thread's
+  // reps never share an allocation (or a cache line) with another's.
   class Pool {
    public:
     static Pool& instance() {
       static thread_local Pool p;
       return p;
-    }
-    ~Pool() {
-      while (free_) {
-        Rep* r = free_;
-        free_ = r->next_free;
-        delete r;
-      }
     }
 
     Rep* acquire(std::size_t len) {
@@ -144,23 +143,21 @@ class Buffer {
       return r;
     }
     Rep* acquire_empty() {
-      Rep* r;
-      if (free_) {
-        r = free_;
-        free_ = r->next_free;
-        --free_count_;
-        r->next_free = nullptr;
-        r->bytes.clear();
-      } else {
-        r = new Rep;
-      }
+      if (!free_) grow();
+      Rep* r = free_;
+      free_ = r->next_free;
+      --free_count_;
+      r->next_free = nullptr;
+      r->bytes.clear();
       r->refs = 1;
       return r;
     }
     void release(Rep* r) {
+      // Reps live in slabs and are never individually freed; past the cap,
+      // drop the byte storage so a burst of huge messages doesn't pin its
+      // capacity forever.
       if (free_count_ >= kMaxFree) {
-        delete r;
-        return;
+        r->bytes = std::vector<std::byte>();
       }
       r->next_free = free_;
       free_ = r;
@@ -169,8 +166,21 @@ class Buffer {
 
    private:
     static constexpr std::size_t kMaxFree = 4096;
+    static constexpr std::size_t kSlabReps = 64;
+
+    void grow() {
+      slabs_.push_back(std::make_unique<Rep[]>(kSlabReps));
+      Rep* slab = slabs_.back().get();
+      for (std::size_t i = kSlabReps; i-- > 0;) {
+        slab[i].next_free = free_;
+        free_ = &slab[i];
+      }
+      free_count_ += kSlabReps;
+    }
+
     Rep* free_ = nullptr;
     std::size_t free_count_ = 0;
+    std::vector<std::unique_ptr<Rep[]>> slabs_;
   };
 
   void unref() {
@@ -182,11 +192,109 @@ class Buffer {
   std::size_t len_ = 0;
 };
 
+// Build a Buffer's bytes in place inside a pooled rep. The rep's vector
+// keeps the capacity from its previous life, so steady-state message
+// encoding (rpc/xdr.h XdrEncoder) allocates nothing, and finish() is
+// zero-copy: the built bytes *are* the buffer. The previous encoder path
+// (grow a fresh std::vector, move it into a rep with Buffer::take) paid a
+// malloc for the vector and a free for the rep's displaced capacity on
+// every message.
+class BufferBuilder {
+ public:
+  BufferBuilder() { b_.rep_ = Buffer::Pool::instance().acquire_empty(); }
+  BufferBuilder(BufferBuilder&&) noexcept = default;
+  BufferBuilder& operator=(BufferBuilder&&) noexcept = default;
+
+  // Append storage. Only valid while the builder still owns its rep (i.e.
+  // before finish()/take()).
+  std::vector<std::byte>& bytes() { return b_.rep_->bytes; }
+  const std::vector<std::byte>& bytes() const { return b_.rep_->bytes; }
+
+  // Stamp the length and hand the buffer over; the builder is empty after.
+  Buffer finish() {
+    b_.len_ = b_.rep_->bytes.size();
+    return std::move(b_);
+  }
+
+  // Move the raw bytes out (for callers that splice them into another
+  // message); the rep returns to the pool without its capacity.
+  std::vector<std::byte> take() {
+    std::vector<std::byte> out = std::move(b_.rep_->bytes);
+    b_.rep_->bytes.clear();
+    b_ = Buffer();
+    return out;
+  }
+
+ private:
+  Buffer b_;
+};
+
 // Link-level protocol carried by a packet; the receiving NIC firmware
 // demuxes on this.
 enum class Proto : std::uint8_t {
   gm = 0,        // GM messaging (sends, get/put requests & replies)
   ethernet = 1,  // Ethernet emulation (UDP/IP path)
+};
+
+// Inline, heap-free stand-in for the std::any that used to carry the
+// link-protocol control words (nic/wire.h GmCtrl / EthCtrl). std::any
+// heap-allocates anything larger than two pointers, which put a
+// malloc/free pair on every control-carrying packet — profiling showed
+// those allocations among the top costs of a protocol sweep. The control
+// structs are small trivially-copyable PODs, so they live inline here; the
+// type tag is the address of a per-type marker, checked on every get().
+class CtrlAny {
+ public:
+  // Exactly sizeof(GmCtrl), the larger of the two control structs; the
+  // static_assert in operator= catches a control struct outgrowing this.
+  // Keeping it tight matters: Packet is captured by value in the fabric
+  // delivery lambdas, which live inline in engine timer nodes — every
+  // byte here is a byte of per-event cache footprint.
+  static constexpr std::size_t kMaxSize = 88;
+
+  CtrlAny() = default;
+
+  template <typename T>
+    requires(!std::is_same_v<std::remove_cvref_t<T>, CtrlAny> &&
+             std::is_trivially_copyable_v<std::remove_cvref_t<T>>)
+  CtrlAny& operator=(const T& v) {
+    using U = std::remove_cvref_t<T>;
+    static_assert(sizeof(U) <= kMaxSize);
+    static_assert(alignof(U) <= alignof(std::max_align_t));
+    std::memcpy(store_, &v, sizeof(U));
+    tag_ = tag_of<U>();
+    return *this;
+  }
+
+  bool has_value() const { return tag_ != nullptr; }
+  void reset() { tag_ = nullptr; }
+
+  template <typename T>
+  bool holds() const {
+    return tag_ == tag_of<std::remove_cvref_t<T>>();
+  }
+
+  // By-value read (a memcpy): no lifetime games, and the control structs
+  // are register-cheap to copy compared to the malloc they used to cost.
+  template <typename T>
+  T get() const {
+    using U = std::remove_cvref_t<T>;
+    ORDMA_CHECK_MSG(tag_ == tag_of<U>(), "CtrlAny: wrong control type");
+    U out;
+    std::memcpy(&out, store_, sizeof(U));
+    return out;
+  }
+
+ private:
+  template <typename T>
+  static const void* tag_of() {
+    return &kTag<T>;
+  }
+  template <typename T>
+  static constexpr char kTag = 0;  // unique address per instantiation
+
+  alignas(std::max_align_t) std::byte store_[kMaxSize];
+  const void* tag_ = nullptr;
 };
 
 struct Packet {
@@ -217,7 +325,7 @@ struct Packet {
   // wire size is accounted in header_bytes; carrying them as a typed value
   // instead of re-marshalling keeps the firmware model readable. The NAS
   // protocols above RPC marshal real bytes.
-  std::any ctrl;
+  CtrlAny ctrl;
 
   Bytes wire_size() const { return header_bytes + payload.size(); }
 };

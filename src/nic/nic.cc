@@ -214,7 +214,7 @@ sim::Task<void> Nic::rx_loop() {
       co_await handle_eth(std::move(p));
       continue;
     }
-    const auto& ctrl = std::any_cast<const GmCtrl&>(p.ctrl);
+    const auto ctrl = p.ctrl.get<GmCtrl>();
     switch (ctrl.op) {
       case GmOp::data:
         co_await handle_gm_data(std::move(p));
@@ -237,7 +237,7 @@ sim::Task<void> Nic::rx_loop() {
 }
 
 sim::Task<void> Nic::handle_gm_data(net::Packet p) {
-  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  const auto ctrl = p.ctrl.get<GmCtrl>();
   const RxKey key{p.src, p.msg_id};
   auto& tr = gm_rx_received_[key];
   if (tr.seen.empty()) tr.seen.resize(p.frag_count, false);
@@ -401,7 +401,7 @@ sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
 }
 
 sim::Task<void> Nic::service_get(net::Packet p) {
-  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  const auto ctrl = p.ctrl.get<GmCtrl>();
   co_await fw_.consume(cm_.nic_get_service, p.trace_op, "nic/get_service");
 
   auto runs = co_await resolve_ordma(ctrl.remote_va, ctrl.rdma_len, ctrl.cap,
@@ -448,7 +448,7 @@ sim::Task<void> Nic::service_get(net::Packet p) {
 }
 
 sim::Task<void> Nic::handle_put_req(net::Packet p) {
-  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  const auto ctrl = p.ctrl.get<GmCtrl>();
   const RxKey key{p.src, p.msg_id};
   auto& tr = gm_rx_received_[key];
   if (tr.seen.empty()) tr.seen.resize(p.frag_count, false);
@@ -511,7 +511,7 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
 }
 
 sim::Task<void> Nic::handle_get_reply(net::Packet p) {
-  const auto ctrl = std::any_cast<GmCtrl>(p.ctrl);
+  const auto ctrl = p.ctrl.get<GmCtrl>();
   auto it = pending_.find(ctrl.op_id);
   if (it == pending_.end()) co_return;  // initiator gave up
   if (it->second->done.is_set()) co_return;  // duplicate after completion
@@ -550,7 +550,7 @@ sim::Task<void> Nic::handle_get_reply(net::Packet p) {
 }
 
 void Nic::handle_put_ack(net::Packet p) {
-  const auto& ctrl = std::any_cast<const GmCtrl&>(p.ctrl);
+  const auto ctrl = p.ctrl.get<GmCtrl>();
   auto it = pending_.find(ctrl.op_id);
   if (it == pending_.end()) return;
   if (it->second->done.is_set()) return;  // duplicate ack
@@ -671,7 +671,7 @@ void Nic::prepost(std::uint32_t xid, mem::AddressSpace& as, mem::Vaddr va,
 void Nic::cancel_prepost(std::uint32_t xid) { preposts_.erase(xid); }
 
 sim::Task<void> Nic::handle_eth(net::Packet p) {
-  const auto ctrl = std::any_cast<EthCtrl>(p.ctrl);
+  const auto ctrl = p.ctrl.get<EthCtrl>();
   const RxKey key{p.src, p.msg_id};
   auto& r = eth_rx_[key];
   if (r.bytes.size() != p.msg_total) {

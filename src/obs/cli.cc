@@ -67,13 +67,20 @@ ObsSession::ObsSession(int& argc, char** argv) {
   }
   // Observability sinks are installed on this (the main) thread; a
   // simulation running on a pool worker would bypass them. Force the sweep
-  // serial so every cell is observed.
+  // serial so every cell is observed — and name the specific flag(s) that
+  // forced it, so the user knows which one to drop to get parallelism back.
   if (jobs_ > 1 &&
       (recorder_ || registry_ || !flight_path_.empty())) {
+    std::string cause;
+    if (recorder_) cause += "--trace";
+    if (registry_) cause += std::string(cause.empty() ? "" : ", ") + "--metrics";
+    if (!flight_path_.empty()) {
+      cause += std::string(cause.empty() ? "" : ", ") + "--flight";
+    }
     std::fprintf(stderr,
-                 "obs: --trace/--metrics/--flight active; running serial "
-                 "(--jobs=%u ignored)\n",
-                 jobs_);
+                 "obs: %s installs a main-thread sink; running serial "
+                 "(--jobs=%u ignored — drop %s to sweep in parallel)\n",
+                 cause.c_str(), jobs_, cause.c_str());
     jobs_ = 1;
   }
 }

@@ -101,14 +101,14 @@ const char* ev_name(Ev e) {
   return "?";
 }
 
-void set_enabled(bool on) { detail::g_enabled = on; }
+void set_enabled(bool on) { tls().flight_enabled = on; }
 
 Ring::Ring(std::string name, std::size_t capacity)
     : name_(std::move(name)),
       capacity_(round_up_pow2(capacity < 2 ? 2 : capacity)),
       mask_(capacity_ - 1),
       buf_(new Record[capacity_]) {
-  if (rings().empty()) g_check_failed_hook = &dump_on_check_failure;
+  if (rings().empty()) tls().check_failed_hook = &dump_on_check_failure;
   rings().push_back(this);
 }
 
@@ -120,7 +120,7 @@ Ring::~Ring() {
       break;
     }
   }
-  if (rs.empty()) g_check_failed_hook = nullptr;
+  if (rs.empty()) tls().check_failed_hook = nullptr;
 }
 
 void Ring::dump(std::ostream& os) const {

@@ -51,6 +51,8 @@
 #include <memory>
 #include <string>
 
+#include "common/tls_ctx.h"
+
 namespace ordma::obs::flight {
 
 // Event vocabulary. Payload words a/b/aux are event-specific (documented
@@ -99,13 +101,12 @@ enum class Ev : std::uint16_t {
 
 const char* ev_name(Ev e);
 
-namespace detail {
-// The one branch recording pays. Thread-local like the ring registry, so
-// one job toggling recording can't disturb a concurrent job.
-inline thread_local bool g_enabled = true;
-}
-
-inline bool enabled() { return detail::g_enabled; }
+// The enable bit is thread-local like the ring registry, so one job
+// toggling recording can't disturb a concurrent job; it lives in the
+// consolidated per-thread context (common/tls_ctx.h). Rings resolve the
+// context address once at construction, so the one branch recording pays
+// is a plain pointer load — no TLS machinery per record.
+inline bool enabled() { return tls().flight_enabled; }
 // Turn recording off/on for the calling thread (the determinism pin runs
 // both ways; the rings themselves stay registered and keep their
 // contents).
@@ -143,7 +144,7 @@ class Ring {
 
   void record(std::int64_t t_ns, Ev code, std::uint64_t a = 0,
               std::uint64_t b = 0, std::uint32_t aux = 0) {
-    if (!detail::g_enabled) return;
+    if (!tls_->flight_enabled) return;
     Record& r = buf_[head_ & mask_];
     r.t_ns = t_ns;
     r.a = a;
@@ -165,6 +166,9 @@ class Ring {
   void dump(std::ostream& os) const;
 
  private:
+  // Resolved once at construction (rings are built per run, on the thread
+  // that runs the simulation) so record() never touches TLS.
+  TlsCtx* tls_ = &::ordma::tls();
   std::string name_;
   std::size_t capacity_;
   std::uint64_t mask_;

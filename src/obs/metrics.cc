@@ -7,10 +7,10 @@
 
 namespace ordma::obs {
 
-void install(MetricsRegistry* r) { detail::g_registry = r; }
+void install(MetricsRegistry* r) { tls().registry = r; }
 
 MetricsRegistry::~MetricsRegistry() {
-  if (detail::g_registry == this) install(nullptr);
+  if (tls().registry == this) install(nullptr);
 }
 
 Counter& MetricsRegistry::counter(const std::string& path) {

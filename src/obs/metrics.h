@@ -20,6 +20,7 @@
 #include <string>
 
 #include "common/stats.h"
+#include "common/tls_ctx.h"
 
 namespace ordma::obs {
 
@@ -53,13 +54,10 @@ class MetricsRegistry {
   std::map<std::string, Entry> entries_;
 };
 
-namespace detail {
-// Thread-local (net::packet.h Pool precedent): each parallel-runner worker
-// installs its own registry, so concurrent simulations never mix metrics.
-inline thread_local MetricsRegistry* g_registry = nullptr;
-}
-
-inline MetricsRegistry* registry() { return detail::g_registry; }
+// Thread-local (net::packet.h Pool precedent; storage in the consolidated
+// common/tls_ctx.h context): each parallel-runner worker installs its own
+// registry, so concurrent simulations never mix metrics.
+inline MetricsRegistry* registry() { return tls().registry; }
 
 // Install `r` as the calling thread's registry (nullptr disables). Caller
 // keeps ownership; a registry uninstalls itself on destruction if still

@@ -11,12 +11,12 @@
 namespace ordma::obs {
 
 void install(TraceRecorder* r) {
-  detail::g_recorder = r;
-  ++detail::g_epoch;
+  tls().recorder = r;
+  ++tls().trace_epoch;
 }
 
 TraceRecorder::~TraceRecorder() {
-  if (detail::g_recorder == this) install(nullptr);
+  if (tls().recorder == this) install(nullptr);
 }
 
 TrackId TraceRecorder::track(std::string_view process,

@@ -43,6 +43,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/tls_ctx.h"
 #include "common/units.h"
 
 namespace ordma::obs {
@@ -135,20 +136,17 @@ class TraceRecorder {
   std::size_t count_ = 0;
 };
 
-namespace detail {
-// The installed recorder and its install epoch. The epoch invalidates
-// Track caches when a new recorder (or the same one re-) installs. Both
-// are thread-local (net::packet.h Pool precedent): each parallel-runner
-// worker (run/runner.h) installs its own recorder, so concurrent
-// simulations can never interleave spans. Track epochs are compared
-// against the calling thread's epoch, so a Track cache resolved on one
-// thread re-resolves when its component records on another.
-inline thread_local TraceRecorder* g_recorder = nullptr;
-inline thread_local std::uint32_t g_epoch = 0;
-}  // namespace detail
+// The installed recorder and its install epoch live in the consolidated
+// per-thread context (common/tls_ctx.h — tls().recorder / .trace_epoch).
+// The epoch invalidates Track caches when a new recorder (or the same one
+// re-) installs. Both are thread-local (net::packet.h Pool precedent):
+// each parallel-runner worker (run/runner.h) installs its own recorder,
+// so concurrent simulations can never interleave spans. Track epochs are
+// compared against the calling thread's epoch, so a Track cache resolved
+// on one thread re-resolves when its component records on another.
 
-inline TraceRecorder* recorder() { return detail::g_recorder; }
-inline bool enabled() { return detail::g_recorder != nullptr; }
+inline TraceRecorder* recorder() { return tls().recorder; }
+inline bool enabled() { return tls().recorder != nullptr; }
 
 // Install `r` as the calling thread's recorder (nullptr disables tracing).
 // The caller keeps ownership; a recorder uninstalls itself on destruction
@@ -171,9 +169,9 @@ class Track {
   }
 
   TrackId id() {
-    if (epoch_ != detail::g_epoch) {
-      id_ = detail::g_recorder->track(process_, component_);
-      epoch_ = detail::g_epoch;
+    if (epoch_ != tls().trace_epoch) {
+      id_ = tls().recorder->track(process_, component_);
+      epoch_ = tls().trace_epoch;
     }
     return id_;
   }
@@ -188,26 +186,26 @@ class Track {
 // --- instrumentation helpers (single predictable branch when disabled) ---
 
 inline OpId new_op() {
-  TraceRecorder* r = detail::g_recorder;
+  TraceRecorder* r = tls().recorder;
   return r ? r->new_op() : 0;
 }
 
 inline void span(Track& t, OpId op, const char* name, SimTime begin,
                  SimTime end) {
-  if (TraceRecorder* r = detail::g_recorder) {
+  if (TraceRecorder* r = tls().recorder) {
     r->record(TraceRecorder::Kind::span, t.id(), op, name, begin.ns, end.ns);
   }
 }
 
 inline void root(Track& t, OpId op, const char* name, SimTime begin,
                  SimTime end) {
-  if (TraceRecorder* r = detail::g_recorder) {
+  if (TraceRecorder* r = tls().recorder) {
     r->record(TraceRecorder::Kind::root, t.id(), op, name, begin.ns, end.ns);
   }
 }
 
 inline void instant(Track& t, OpId op, const char* name, SimTime at) {
-  if (TraceRecorder* r = detail::g_recorder) {
+  if (TraceRecorder* r = tls().recorder) {
     r->record(TraceRecorder::Kind::instant, t.id(), op, name, at.ns, at.ns);
   }
 }
@@ -217,7 +215,7 @@ inline void instant(Track& t, OpId op, const char* name, SimTime at) {
 // the op id, which Perfetto renders as arrows across hosts. Untraced work
 // (op 0) has no identity to chain on and is skipped.
 inline void flow(Track& t, OpId op, const char* name, SimTime at) {
-  if (TraceRecorder* r = detail::g_recorder; r && op != 0) {
+  if (TraceRecorder* r = tls().recorder; r && op != 0) {
     r->record(TraceRecorder::Kind::flow, t.id(), op, name, at.ns, at.ns);
   }
 }

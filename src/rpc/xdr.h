@@ -3,6 +3,7 @@
 // through these helpers — protocol correctness is testable on the wire.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -11,32 +12,46 @@
 #include <vector>
 
 #include "common/assert.h"
+#include "common/crc32.h"
 #include "common/result.h"
 #include "net/packet.h"
 
 namespace ordma::rpc {
 
-// End-to-end payload checksum (FNV-1a/32). Chainable: pass the previous
-// return value as `state` to checksum discontiguous regions as one stream
-// (e.g. an RPC header + results + RDDP-placed data). Simulated NICs/links
-// model CRC at the frame level; this is the end-to-end check that catches
-// corruption escaping the link CRC.
+// End-to-end payload checksum (CRC-32, slicing-by-8 — common/crc32.h).
+// Chainable at *any* split point: pass the previous return value as
+// `state` to checksum discontiguous regions as one stream (e.g. an RPC
+// header + results + RDDP-placed data), and the result is identical
+// however the stream is chunked — sealer and verifier walk the same bytes
+// in different pieces (pinned by tests/wire_fuzz_test.cc). Simulated
+// NICs/links model CRC at the frame level; this is the end-to-end check
+// that catches corruption escaping the link CRC.
 inline std::uint32_t checksum32(std::span<const std::byte> data,
                                 std::uint32_t state = 0x811c9dc5u) {
-  std::uint32_t h = state;
-  for (const std::byte b : data) {
-    h ^= std::to_integer<std::uint32_t>(b);
-    h *= 16777619u;
-  }
-  return h;
+  return crc32_update(state, data);
 }
 
+namespace detail {
+inline std::uint32_t to_be32(std::uint32_t x) {
+  if constexpr (std::endian::native == std::endian::little) {
+    return __builtin_bswap32(x);
+  } else {
+    return x;
+  }
+}
+}  // namespace detail
+
+// Encodes straight into a pooled buffer rep (net::BufferBuilder): the
+// vector capacity is recycled through the buffer pool, so steady-state
+// encoding allocates nothing and finish() hands the bytes over zero-copy.
 class XdrEncoder {
  public:
   void u32(std::uint32_t x) {
-    for (int i = 3; i >= 0; --i) {
-      buf_.push_back(static_cast<std::byte>((x >> (8 * i)) & 0xff));
-    }
+    auto& b = bld_.bytes();
+    const std::size_t n = b.size();
+    b.resize(n + 4);
+    const std::uint32_t be = detail::to_be32(x);
+    std::memcpy(b.data() + n, &be, 4);
   }
   void u64(std::uint64_t x) {
     u32(static_cast<std::uint32_t>(x >> 32));
@@ -46,7 +61,7 @@ class XdrEncoder {
 
   void opaque(std::span<const std::byte> data) {
     u32(static_cast<std::uint32_t>(data.size()));
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    raw(data);
   }
   void str(std::string_view s) {
     opaque(std::span<const std::byte>(
@@ -55,15 +70,16 @@ class XdrEncoder {
   // Raw append without length prefix (for framing payloads whose length is
   // carried elsewhere).
   void raw(std::span<const std::byte> data) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
+    auto& b = bld_.bytes();
+    b.insert(b.end(), data.begin(), data.end());
   }
 
-  std::size_t size() const { return buf_.size(); }
-  net::Buffer finish() { return net::Buffer::take(std::move(buf_)); }
-  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return bld_.bytes().size(); }
+  net::Buffer finish() { return bld_.finish(); }
+  std::vector<std::byte> take() { return bld_.take(); }
 
  private:
-  std::vector<std::byte> buf_;
+  net::BufferBuilder bld_;
 };
 
 class XdrDecoder {
@@ -76,12 +92,10 @@ class XdrDecoder {
 
   std::uint32_t u32() {
     if (!need(4)) return 0;
-    std::uint32_t x = 0;
-    for (int i = 0; i < 4; ++i) {
-      x = (x << 8) | std::to_integer<std::uint32_t>(data_[pos_ + i]);
-    }
+    std::uint32_t x;
+    std::memcpy(&x, data_.data() + pos_, 4);
     pos_ += 4;
-    return x;
+    return detail::to_be32(x);
   }
   std::uint64_t u64() {
     const std::uint64_t hi = u32();

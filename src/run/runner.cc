@@ -44,29 +44,16 @@ ParallelRunner::ParallelRunner(unsigned jobs)
 
 namespace {
 
-// One worker's contiguous slice of the job index space, packed begin<<32|end
-// into a single atomic so pop/steal race through one CAS each. The owner
-// pops from the front; thieves take the back half, so owner and thief only
-// collide on the last item of a slice.
-struct alignas(64) Range {
-  std::atomic<std::uint64_t> bits{0};
-
-  static constexpr std::uint64_t pack(std::uint32_t b, std::uint32_t e) {
-    return (static_cast<std::uint64_t>(b) << 32) | e;
-  }
-  static constexpr std::uint32_t begin(std::uint64_t v) {
-    return static_cast<std::uint32_t>(v >> 32);
-  }
-  static constexpr std::uint32_t end(std::uint64_t v) {
-    return static_cast<std::uint32_t>(v);
-  }
-};
+using detail::Range;
 
 struct Pool {
   std::vector<Range> ranges;
   // First job exception wins; the rest of the pool drains without running
-  // further bodies and the winner rethrows on the calling thread.
-  std::atomic<bool> failed{false};
+  // further bodies and the winner rethrows on the calling thread. `failed`
+  // sits on its own cache line: every worker polls it between jobs, and
+  // sharing a line with the ranges vector's header would let unrelated
+  // writes on this struct turn each poll into a coherence miss.
+  alignas(64) std::atomic<bool> failed{false};
   std::exception_ptr first_error;
   std::mutex error_mu;
 

@@ -43,6 +43,38 @@
 
 namespace ordma::run {
 
+namespace detail {
+
+// One worker's contiguous slice of the job index space, packed
+// begin<<32|end into a single atomic so pop/steal race through one CAS
+// each. The owner pops from the front; thieves take the back half, so
+// owner and thief only collide on the last item of a slice.
+//
+// Each Range is alone on its cache line: workers CAS their own range on
+// every pop, and a thief scanning for victims loads all of them — if two
+// ranges shared a line, every pop would invalidate the neighbour worker's
+// line too (false sharing). The static_asserts pin the layout so a future
+// member addition can't silently pack two ranges per line.
+struct alignas(64) Range {
+  std::atomic<std::uint64_t> bits{0};
+
+  static constexpr std::uint64_t pack(std::uint32_t b, std::uint32_t e) {
+    return (static_cast<std::uint64_t>(b) << 32) | e;
+  }
+  static constexpr std::uint32_t begin(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v >> 32);
+  }
+  static constexpr std::uint32_t end(std::uint64_t v) {
+    return static_cast<std::uint32_t>(v);
+  }
+};
+static_assert(alignof(Range) == 64,
+              "steal ranges must be cache-line aligned");
+static_assert(sizeof(Range) == 64,
+              "adjacent steal ranges must not share a cache line");
+
+}  // namespace detail
+
 // max(1, std::thread::hardware_concurrency).
 unsigned hardware_jobs();
 

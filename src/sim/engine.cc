@@ -5,7 +5,13 @@
 
 namespace ordma::sim {
 
-Engine::Engine() {
+Engine::Engine()
+    : arena_(mem::current_arena()
+                 ? mem::current_arena()
+                 : (owned_arena_ = std::make_unique<mem::Arena>()).get()),
+      heap_(mem::ArenaAllocator<std::int64_t>(arena_)),
+      table_(mem::ArenaAllocator<Bucket>(arena_)),
+      ring_(mem::ArenaAllocator<TimerNode*>(arena_)) {
   // Make log lines carry simulated time (last constructed engine wins; the
   // destructor only clears its own registration).
   Log::set_clock(
@@ -20,25 +26,32 @@ Engine::~Engine() {
   Log::clear_clock(this);
   // Destroy still-live processes first (their awaiter destructors cancel any
   // timers / unlink from wait queues — the nodes they touch stay alive until
-  // the slabs are freed below). Pending callbacks in the queues may own
-  // resources; the TimerNode destructors run when the slabs are destroyed.
+  // the slab sweep below). Then run the TimerNode destructors explicitly:
+  // the nodes live in arena memory, so nothing else will, and a pending
+  // callback's InlineFn may own resources (captured Buffers, coroutine
+  // frames' awaitable state).
   processes_.clear();
+  for (TimerNode* slab : slabs_) {
+    for (std::size_t i = 0; i < kSlabNodes; ++i) slab[i].~TimerNode();
+  }
 }
 
 void Engine::grow_pool() {
-  auto slab = std::make_unique<TimerNode[]>(kSlabNodes);
-  for (std::size_t i = 0; i < kSlabNodes; ++i) {
+  TimerNode* slab = arena_->allocate_array<TimerNode>(kSlabNodes);
+  for (std::size_t i = kSlabNodes; i-- > 0;) {
+    ::new (static_cast<void*>(&slab[i])) TimerNode();
     slab[i].next = free_nodes_;
     free_nodes_ = &slab[i];
   }
-  slabs_.push_back(std::move(slab));
+  slabs_.push_back(slab);
 }
 
 void Engine::grow_table() {
-  std::vector<Bucket> old = std::move(table_);
+  ArenaVec<Bucket> old = std::move(table_);
   const std::size_t new_cap = old.empty() ? 64 : old.size() * 2;
   table_.assign(new_cap, Bucket{kNoBucket, nullptr, nullptr});
   table_mask_ = new_cap - 1;
+  memo_when_ = kNoBucket;  // slot indices renumbered
   for (const Bucket& b : old) {
     if (b.when == kNoBucket) continue;
     std::size_t i = bucket_hash(b.when) & table_mask_;
@@ -50,7 +63,8 @@ void Engine::grow_table() {
 void Engine::grow_ring() {
   const std::size_t old_cap = ring_.size();
   const std::size_t new_cap = old_cap == 0 ? 1024 : old_cap * 2;
-  std::vector<TimerNode*> bigger(new_cap);
+  ArenaVec<TimerNode*> bigger(new_cap,
+                              mem::ArenaAllocator<TimerNode*>(arena_));
   const std::size_t count = ring_tail_ - ring_head_;
   for (std::size_t i = 0; i < count; ++i) {
     bigger[i] = ring_[(ring_head_ + i) & ring_mask_];

@@ -52,6 +52,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "mem/arena.h"
 #include "sim/inline_fn.h"
 #include "sim/task.h"
 
@@ -65,14 +66,19 @@ class Engine {
   // has fired (every awaiter in this codebase clears its handle on resume).
   struct TimerNode {
     std::coroutine_handle<> coro{};  // resumed if set (and not cancelled)
-    InlineFn fn;                     // called otherwise
     bool cancelled = false;
 
    private:
     friend class Engine;
     // Intrusive link: bucket-FIFO chain while queued, free-list link while
-    // recycled (the two states are disjoint).
+    // recycled (the two states are disjoint). Declared before fn so the
+    // scheduling metadata (coro, cancelled, next, fn's dispatch pointers)
+    // packs into the node's first cache line; fn's inline capture buffer
+    // is the cold tail.
     TimerNode* next = nullptr;
+
+   public:
+    InlineFn fn;  // called if coro is not set
   };
 
   // Construction installs this engine as the Log simulation clock (see
@@ -205,9 +211,22 @@ class Engine {
   }
 
   // Append `node` to the bucket for `when`, creating it (and pushing the
-  // new distinct timestamp onto the heap) if absent.
+  // new distinct timestamp onto the heap) if absent. The last-bucket memo
+  // skips the hash probe for the common burst pattern of many schedules
+  // onto one instant (a NIC fanning a message's fragments out, a resource
+  // waking all waiters). The memo self-validates by re-checking the slot's
+  // timestamp — a timestamp names at most one bucket, so a slot that still
+  // holds `when` *is* the bucket, however backward-shift deletion has
+  // rearranged its neighbours; grow_table() renumbers slots and drops the
+  // memo wholesale.
   void push_future(std::int64_t when, TimerNode* node) {
     node->next = nullptr;
+    if (when == memo_when_ && table_[memo_idx_].when == when) {
+      Bucket& b = table_[memo_idx_];
+      b.tail->next = node;
+      b.tail = node;
+      return;
+    }
     if ((table_count_ + 1) * 4 >= table_.size() * 3) grow_table();
     std::size_t i = bucket_hash(when) & table_mask_;
     for (;;) {
@@ -215,12 +234,16 @@ class Engine {
       if (b.when == when) {
         b.tail->next = node;
         b.tail = node;
+        memo_when_ = when;
+        memo_idx_ = i;
         return;
       }
       if (b.when == kNoBucket) {
         b = Bucket{when, node, node};
         ++table_count_;
         heap_push(when);
+        memo_when_ = when;
+        memo_idx_ = i;
         return;
       }
       i = (i + 1) & table_mask_;
@@ -297,23 +320,40 @@ class Engine {
   void fire(TimerNode* node);
   void reap_finished();
 
+  // All engine-internal bulk storage (timer slabs, calendar heap, bucket
+  // table, ring) draws from one arena: the thread's installed per-run
+  // arena when a harness put one up (mem::ScopedSimArena), else a private
+  // fallback so a bare Engine behaves identically. Resolved exactly once
+  // here — never a TLS lookup on the hot path. Declaration order matters:
+  // the vectors below are constructed with allocators over arena_.
+  template <typename T>
+  using ArenaVec = std::vector<T, mem::ArenaAllocator<T>>;
+
+  std::unique_ptr<mem::Arena> owned_arena_;  // set iff no installed arena
+  mem::Arena* arena_;
+
   SimTime now_{};
-  std::vector<std::int64_t> heap_;  // distinct future timestamps
-  std::vector<Bucket> table_;       // open-addressing, power-of-two
+  ArenaVec<std::int64_t> heap_;  // distinct future timestamps
+  ArenaVec<Bucket> table_;       // open-addressing, power-of-two
   std::size_t table_mask_ = 0;
   std::size_t table_count_ = 0;
+  // Last bucket appended to (see push_future). kNoBucket = no memo.
+  std::int64_t memo_when_ = kNoBucket;
+  std::size_t memo_idx_ = 0;
   // Remainder of the bucket being drained at the current instant. Nothing
   // can be appended to it (delays are strictly positive), so it lives
   // outside the table.
   TimerNode* cur_head_ = nullptr;
-  std::vector<TimerNode*> ring_;  // power-of-two circular buffer
+  ArenaVec<TimerNode*> ring_;  // power-of-two circular buffer
   std::size_t ring_mask_ = 0;
   std::size_t ring_head_ = 0;  // monotonically increasing; masked on access
   std::size_t ring_tail_ = 0;
 
-  // Slabs own every node for the engine's lifetime; fired nodes are
-  // recycled through free_nodes_ instead of delete.
-  std::vector<std::unique_ptr<TimerNode[]>> slabs_;
+  // Slabs (arena memory, placement-newed) own every node for the engine's
+  // lifetime; fired nodes are recycled through free_nodes_ instead of
+  // delete. ~Engine destroys the nodes explicitly — a pending InlineFn may
+  // hold non-trivial captures — before the arena reclaims the bytes.
+  std::vector<TimerNode*> slabs_;
   TimerNode* free_nodes_ = nullptr;
 
   // Detached process bookkeeping -----------------------------------------

@@ -21,8 +21,14 @@ namespace ordma::sim {
 class InlineFn {
  public:
   // Large enough for a lambda capturing a net::Packet (the fabric delivery
-  // path) plus a couple of pointers.
-  static constexpr std::size_t kInlineSize = 160;
+  // path) plus a couple of pointers. Packet carries its link-protocol
+  // control words inline (net::CtrlAny, ~96 bytes) precisely so that no
+  // path heap-allocates per packet — this buffer must keep fitting it or
+  // the oversized-capture fallback below would put the allocation right
+  // back. Kept as tight as that constraint allows: timer nodes are the
+  // engine's unit of cache traffic, and the pure-timer microbenchmark
+  // (bench_engine) moves with sizeof(TimerNode).
+  static constexpr std::size_t kInlineSize = 224;
 
   InlineFn() = default;
   InlineFn(const InlineFn&) = delete;
@@ -65,9 +71,13 @@ class InlineFn {
   }
 
  private:
-  alignas(std::max_align_t) std::byte storage_[kInlineSize];
+  // Dispatch pointers come *before* the buffer: firing a node reads
+  // invoke_ (and the enclosing TimerNode's links) far more often than the
+  // buffer's tail, so the hot metadata must share the object's first cache
+  // line instead of sitting kInlineSize bytes away.
   void (*invoke_)(void*) = nullptr;
   void (*destroy_)(void*) = nullptr;
+  alignas(std::max_align_t) std::byte storage_[kInlineSize];
 };
 
 }  // namespace ordma::sim

@@ -1,0 +1,166 @@
+// Per-run arena (mem/arena.h): bump/reset/reuse semantics, allocator
+// plumbing, thread-local installation, and the pin that an arena-backed
+// engine computes exactly what a heap-backed one does.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/units.h"
+#include "mem/arena.h"
+#include "run/runner.h"
+#include "sim/engine.h"
+
+namespace ordma {
+namespace {
+
+TEST(Arena, BumpsWithinOneChunkAndHonorsAlignment) {
+  mem::Arena a;
+  void* p1 = a.allocate(24, 8);
+  void* p2 = a.allocate(1, 1);
+  void* p3 = a.allocate(64, 64);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_NE(p1, p2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p1) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p3) % 64, 0u);
+  EXPECT_EQ(a.chunk_count(), 1u);  // all three fit the first chunk
+  // Arena memory is writable and distinct.
+  std::memset(p1, 0xab, 24);
+  std::memset(p3, 0xcd, 64);
+  EXPECT_EQ(*static_cast<unsigned char*>(p1), 0xab);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnChunk) {
+  mem::Arena a;
+  a.allocate(16, 8);
+  void* big = a.allocate(4 * mem::Arena::kMaxChunk, 8);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(a.chunk_count(), 2u);
+  EXPECT_GE(a.bytes_reserved(), 4 * mem::Arena::kMaxChunk);
+}
+
+TEST(Arena, ResetRetainsChunksAndReusesThem) {
+  mem::Arena a;
+  // Force several chunks.
+  for (int i = 0; i < 64; ++i) a.allocate(mem::Arena::kMinChunk / 2, 8);
+  const std::size_t chunks = a.chunk_count();
+  const std::size_t reserved = a.bytes_reserved();
+  ASSERT_GT(chunks, 1u);
+
+  a.reset();
+  EXPECT_EQ(a.bytes_used(), 0u);
+  EXPECT_EQ(a.chunk_count(), chunks);  // storage retained
+
+  // Same fill pattern again: no new chunks, no new reservation.
+  for (int i = 0; i < 64; ++i) a.allocate(mem::Arena::kMinChunk / 2, 8);
+  EXPECT_EQ(a.chunk_count(), chunks);
+  EXPECT_EQ(a.bytes_reserved(), reserved);
+}
+
+TEST(Arena, ResetMakesAllocationsIndependentAcrossCells) {
+  // Two "cells" writing distinct patterns into recycled memory never see
+  // each other's bytes (the second cell re-acquires and fully rewrites).
+  mem::Arena a;
+  auto* p = static_cast<unsigned char*>(a.allocate(1024, 8));
+  std::memset(p, 0x11, 1024);
+  a.reset();
+  auto* q = static_cast<unsigned char*>(a.allocate(1024, 8));
+  std::memset(q, 0x22, 1024);
+  for (int i = 0; i < 1024; ++i) ASSERT_EQ(q[i], 0x22);
+}
+
+TEST(Arena, ArenaAllocatorBacksStdVector) {
+  mem::Arena a;
+  std::vector<int, mem::ArenaAllocator<int>> v{mem::ArenaAllocator<int>(&a)};
+  for (int i = 0; i < 10000; ++i) v.push_back(i);
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(v[i], i);
+  EXPECT_GT(a.bytes_used(), 10000 * sizeof(int) - 1);
+}
+
+TEST(Arena, InstallAndScopedInstallNest) {
+  EXPECT_EQ(mem::current_arena(), nullptr);
+  {
+    mem::ScopedSimArena outer;
+    mem::Arena* outer_arena = mem::current_arena();
+    EXPECT_EQ(outer_arena, &outer.arena());
+    {
+      mem::ScopedSimArena inner;
+      EXPECT_EQ(mem::current_arena(), &inner.arena());
+      EXPECT_NE(mem::current_arena(), outer_arena);
+    }
+    EXPECT_EQ(mem::current_arena(), outer_arena);
+  }
+  EXPECT_EQ(mem::current_arena(), nullptr);
+}
+
+TEST(Arena, ScopedArenaIsResetAndReusedBetweenCells) {
+  std::size_t reserved_after_first = 0;
+  mem::Arena* first = nullptr;
+  {
+    mem::ScopedSimArena cell;
+    first = &cell.arena();
+    cell.arena().allocate(256 * 1024, 8);
+    reserved_after_first = cell.arena().bytes_reserved();
+  }
+  {
+    mem::ScopedSimArena cell;
+    // LIFO pool on one thread: the same arena comes back, already reset,
+    // with its chunk storage intact.
+    EXPECT_EQ(&cell.arena(), first);
+    EXPECT_EQ(cell.arena().bytes_used(), 0u);
+    EXPECT_EQ(cell.arena().bytes_reserved(), reserved_after_first);
+  }
+}
+
+// A deterministic mini-simulation: fires a self-rescheduling cascade of
+// timers and folds the exact fire order into a hash.
+std::uint64_t timer_cascade_hash() {
+  sim::Engine eng;
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto fold = [&h](std::uint64_t v) { h = (h ^ v) * 0x100000001b3ull; };
+  for (int i = 0; i < 50; ++i) {
+    eng.schedule_fn(usec(1 + i % 7), [&eng, &fold, i] {
+      fold(static_cast<std::uint64_t>(i));
+      fold(static_cast<std::uint64_t>(eng.now().ns));
+      for (int k = 0; k < 3; ++k) {
+        eng.schedule_fn(usec(1 + (i * 3 + k) % 11), [&fold, i, k] {
+          fold(static_cast<std::uint64_t>(i * 100 + k));
+        });
+      }
+    });
+  }
+  const std::uint64_t fired = eng.run();
+  fold(fired);
+  return h;
+}
+
+TEST(Arena, EngineUnderArenaIsBitIdenticalToEngineWithout) {
+  const std::uint64_t without = timer_cascade_hash();
+  std::uint64_t with_arena = 0;
+  {
+    mem::ScopedSimArena arena;
+    with_arena = timer_cascade_hash();
+  }
+  EXPECT_EQ(without, with_arena);
+  // And a reused (reset) arena still computes the same thing.
+  {
+    mem::ScopedSimArena arena;
+    EXPECT_EQ(timer_cascade_hash(), without);
+  }
+}
+
+TEST(StealRange, IsCacheLinePaddedAndAligned) {
+  // Compile-time layout pins live in run/runner.h next to the type; this
+  // re-states them where a failure is reported by name, and checks the
+  // runtime addresses of a materialized array.
+  static_assert(alignof(run::detail::Range) == 64);
+  static_assert(sizeof(run::detail::Range) == 64);
+  std::vector<run::detail::Range> ranges(4);
+  for (const auto& r : ranges) {
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(&r) % 64, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace ordma

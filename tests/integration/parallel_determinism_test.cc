@@ -19,6 +19,7 @@
 
 #include "common/log.h"
 #include "core/cluster.h"
+#include "mem/arena.h"
 #include "obs/explain.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
@@ -119,6 +120,36 @@ TEST(ParallelDeterminism, ParallelRunsAreBitIdenticalToSerial) {
   // The workload variation must have produced distinct runs, or the
   // comparison proves less than it claims.
   EXPECT_NE(serial[0].hash, serial[1].hash);
+}
+
+// The per-run arena (mem/arena.h) relocates the engine's timer slabs and
+// calendar storage; it must never change what a simulation computes. Pin
+// the full observed output — golden hash, trace, metrics, explain — of
+// arena-backed runs (including a *reused* arena, the steady state of a
+// sweep) against bare heap-backed runs.
+TEST(ParallelDeterminism, ArenaOnMatchesArenaOffBitForBit) {
+  constexpr std::size_t kRuns = 4;
+  const auto bare = run::parallel_map(1, kRuns, observed_run);
+  auto arena_run = [](std::size_t i) {
+    mem::ScopedSimArena arena;
+    return observed_run(i);
+  };
+  const auto arena_first = run::parallel_map(1, kRuns, arena_run);
+  // Second pass reuses the reset arenas out of the thread's pool.
+  const auto arena_reused = run::parallel_map(1, kRuns, arena_run);
+
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(bare[i].hash, arena_first[i].hash) << "run " << i;
+    EXPECT_EQ(bare[i].hash, arena_reused[i].hash) << "run " << i;
+    EXPECT_EQ(bare[i].trace_events, arena_first[i].trace_events)
+        << "run " << i;
+    EXPECT_EQ(bare[i].metrics_json, arena_first[i].metrics_json)
+        << "run " << i;
+    EXPECT_EQ(bare[i].explain_json, arena_first[i].explain_json)
+        << "run " << i;
+    EXPECT_EQ(bare[i].metrics_json, arena_reused[i].metrics_json)
+        << "run " << i;
+  }
 }
 
 TEST(ParallelDeterminism, ResultsArriveInSubmissionOrder) {

@@ -36,6 +36,7 @@
 
 #include "common/rng.h"
 #include "core/cluster.h"
+#include "mem/arena.h"
 #include "obs/flight.h"
 #include "obs/trace.h"
 #include "rpc/xdr.h"
@@ -351,6 +352,9 @@ TEST(Torture, SeedMatrixSurvivesAdversarialPlan) {
   }
   run::ParallelRunner runner(run::env_jobs_named("TORTURE_JOBS"));
   auto results = runner.map(matrix.size(), [&matrix](std::size_t i) {
+    // Per-trial arena, reset and reused between a worker's trials — same
+    // discipline as bench::sweep cells.
+    mem::ScopedSimArena arena;
     TortureOptions opt;
     opt.proto = matrix[i].proto;
     opt.seed = matrix[i].seed;
