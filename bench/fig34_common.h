@@ -11,6 +11,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "obs/timeseries.h"
 #include "workload/streaming.h"
 
 namespace ordma::bench {
@@ -25,6 +26,17 @@ inline const char* system_name(System s) {
     case System::prepost: return "NFS pre-posting";
     case System::hybrid: return "NFS hybrid";
     case System::dafs: return "DAFS";
+  }
+  return "?";
+}
+
+// Short run-label slug for --timeseries documents.
+inline const char* system_slug(System s) {
+  switch (s) {
+    case System::nfs: return "nfs";
+    case System::prepost: return "prepost";
+    case System::hybrid: return "hybrid";
+    case System::dafs: return "dafs";
   }
   return "?";
 }
@@ -68,6 +80,14 @@ inline Fig3Cell run_fig3_cell(System sys, Bytes block) {
       break;
     }
   }
+
+  // Under --timeseries, each (system, block) cell becomes one run document
+  // labeled e.g. "dafs.64KB". Declared after cluster and client so the
+  // trailing gauge sample runs while both are alive.
+  obs::ts::RunScope ts_run(c.engine(),
+                           std::string(system_slug(sys)) + "." +
+                               std::to_string(block / 1024) + "KB");
+  if (ts_run.active()) c.export_metrics(ts_run.registry());
 
   Fig3Cell cell;
   drive(c, [&]() -> sim::Task<void> {

@@ -7,9 +7,11 @@
 // and even an all-polling DAFS server only reaches ~170 MB/s at 4 KB,
 // leaving ODAFS a 32% win.
 #include <memory>
+#include <string>
 
 #include "bench_util.h"
 #include "nas/odafs/odafs_client.h"
+#include "obs/timeseries.h"
 #include "workload/streaming.h"
 
 #include "obs/cli.h"
@@ -25,7 +27,8 @@ struct Cell {
   double server_cpu = 0;
 };
 
-Cell run_cell(bool use_ordma, Bytes cache_block, msg::Completion server_mode) {
+Cell run_cell(const std::string& label, bool use_ordma, Bytes cache_block,
+              msg::Completion server_mode) {
   core::ClusterConfig cc;
   cc.num_clients = 2;
   cc.fs.block_size = cache_block;
@@ -50,6 +53,19 @@ Cell run_cell(bool use_ordma, Bytes cache_block, msg::Completion server_mode) {
     cfg.dafs.completion = msg::Completion::poll;
     cfg.read_ahead_window = 8;
     clients.push_back(c.make_odafs_client(i, cfg));
+  }
+
+  // Under --timeseries, watch this cell over simulated time: the server-CPU
+  // rate is the phase-report key series, so the summarizer labels the
+  // saturated steady state the paper's Fig. 7 argues about. Declared after
+  // cluster and clients so its destructor (which samples the gauges one
+  // last time) runs while they are alive.
+  obs::ts::RunScope ts_run(c.engine(), label);
+  if (ts_run.active()) {
+    c.export_metrics(ts_run.registry());
+    for (unsigned i = 0; i < 2; ++i) {
+      c.export_odafs_client_metrics(ts_run.registry(), i, *clients[i]);
+    }
   }
 
   Cell cell;
@@ -106,13 +122,16 @@ int main(int argc, char** argv) {
   // last two are the §5.2 polling-server coda.
   auto cells = sweep(obs_session.jobs(), kRows * 2 + 2, [&](std::size_t i) {
     if (i == kRows * 2) {
-      return run_cell(false, KiB(4), msg::Completion::poll);
+      return run_cell("dafs_poll.4KB", false, KiB(4), msg::Completion::poll);
     }
     if (i == kRows * 2 + 1) {
-      return run_cell(true, KiB(4), msg::Completion::block);
+      return run_cell("odafs_block.4KB", true, KiB(4),
+                      msg::Completion::block);
     }
-    return run_cell(/*use_ordma=*/i % 2 == 1, blocks[i / 2],
-                    msg::Completion::block);
+    const bool use_ordma = i % 2 == 1;
+    const std::string label = std::string(use_ordma ? "odafs." : "dafs.") +
+                              std::to_string(blocks[i / 2] / 1024) + "KB";
+    return run_cell(label, use_ordma, blocks[i / 2], msg::Completion::block);
   });
 
   Table t("Figure 7: server throughput (MB/s), two clients reading a warm"

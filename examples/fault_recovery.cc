@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "core/cluster.h"
+#include "obs/timeseries.h"
 
 #include "obs/cli.h"
 
@@ -28,6 +29,17 @@ int main(int argc, char** argv) {
   cc.cache.max_headers = 8192;
   cc.read_ahead_window = 1;
   auto client = cluster.make_odafs_client(0, cc);
+
+  // Under --timeseries: the ORDMA fault/recovery storm below shows up as a
+  // spike window in client0/nic/ordma_faults and client0/odafs/rpc_reads
+  // (the run lasts ~520ms of simulated time; --timeseries=ts.json:5ms
+  // gives a readable ~100-window grid). Scoped so the trailing gauge
+  // sample happens while cluster and client are alive.
+  obs::ts::RunScope ts_run(cluster.engine(), "fault_recovery");
+  if (ts_run.active()) {
+    cluster.export_metrics(ts_run.registry());
+    cluster.export_odafs_client_metrics(ts_run.registry(), 0, *client);
+  }
 
   bool done = false;
   cluster.engine().spawn([](core::Cluster& c,

@@ -95,8 +95,20 @@ int main(int argc, char** argv) {
   auto client = cluster.make_odafs_client(0, cc);
 
   bool done = false;
-  cluster.engine().spawn(run(cluster, *client, done));
-  cluster.engine().run();
+  {
+    // Under --timeseries: per-interval deltas of every cluster series for
+    // this run (the whole quickstart lasts ~a millisecond of simulated
+    // time, so pass a sub-millisecond interval, e.g.
+    // --timeseries=ts.json:50us). Scoped so the final gauge sample runs
+    // while cluster and client are alive.
+    obs::ts::RunScope ts_run(cluster.engine(), "quickstart");
+    if (ts_run.active()) {
+      cluster.export_metrics(ts_run.registry());
+      cluster.export_odafs_client_metrics(ts_run.registry(), 0, *client);
+    }
+    cluster.engine().spawn(run(cluster, *client, done));
+    cluster.engine().run();
+  }
   ORDMA_CHECK(done);
 
   std::printf("\nsimulated time elapsed: %.1f us\n",

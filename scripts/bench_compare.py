@@ -3,14 +3,33 @@
 
 Usage:
     bench_compare.py BASELINE CURRENT [CURRENT2 ...] [--update]
+    bench_compare.py BASELINE --timeseries TS.json [CURRENT ...] [--update]
 
-All files are ordma.bench.v1 documents (see bench/bench_json.h). For every
-metric present in the baseline, the current value must not move past the
-metric's relative tolerance in the losing direction (lower for
+CURRENT files are ordma.bench.v1 documents (see bench/bench_json.h). For
+every metric present in the baseline, the current value must not move past
+the metric's relative tolerance in the losing direction (lower for
 higher_is_better metrics, higher otherwise). Improvements never fail,
 however large. Metrics new in the current run are reported but don't fail;
 metrics missing from the current run do fail (a silently dropped benchmark
 is how regressions hide).
+
+A baseline metric may instead carry a "source" describing how to derive its
+current value from an ordma.timeseries.v1 file (--timeseries), gating on
+summary statistics of a run's windowed series — e.g. the steady-phase mean
+server-CPU utilisation of fig7's dafs.4KB cell:
+
+    "source": {"type": "timeseries", "run": "dafs.4KB",
+               "series": "server/cpu/busy_us", "phase": "steady",
+               "stat": "mean_util"}
+
+`phase` selects the windows of the named run-phase segments (omit it for
+the whole run); `stat` is one of:
+    mean            mean per-window value
+    mean_rate_per_s sum over the windows / their simulated-time span
+    mean_util       for cumulative busy-time series in us: fraction of the
+                    windows' span spent busy
+Since the simulation is deterministic, derived metrics support tight
+tolerances — simulated time does not wobble with CI load.
 
 More than one CURRENT file runs the gate best-of-N: per metric, the best
 value across the runs (highest for higher_is_better, lowest otherwise) is
@@ -51,6 +70,49 @@ def load(path):
     return doc
 
 
+def load_timeseries(path):
+    with open(path) as f:
+        data = json.load(f)
+    docs = data if isinstance(data, list) else [data]
+    for doc in docs:
+        if doc.get("schema") != "ordma.timeseries.v1":
+            sys.exit(f"{path}: not ordma.timeseries.v1 "
+                     f"(schema={doc.get('schema')!r})")
+    return docs
+
+
+def derive_from_timeseries(ts_docs, name, src):
+    """Compute one baseline metric's current value from a timeseries file."""
+    run, series, stat = src.get("run"), src.get("series"), src.get("stat")
+    doc = next((d for d in ts_docs if d.get("run") == run), None)
+    if doc is None:
+        sys.exit(f"metric {name!r}: run {run!r} not in the timeseries file "
+                 f"(have: {', '.join(d.get('run', '?') for d in ts_docs)})")
+    s = doc["series"].get(series)
+    if s is None:
+        sys.exit(f"metric {name!r}: series {series!r} not in run {run!r}")
+    values = s["count"] if s["kind"] == "hist" else s["v"]
+    phase = src.get("phase")
+    if phase:
+        idxs = [i for g in doc["phases"]["segments"] if g["label"] == phase
+                for i in range(g["begin"], g["end"])]
+        if not idxs:
+            sys.exit(f"metric {name!r}: run {run!r} has no {phase!r} "
+                     "phase segment")
+    else:
+        idxs = range(doc["windows"])
+    vals = [values[i] for i in idxs]
+    span_ns = len(vals) * doc["interval_ns"]
+    if stat == "mean":
+        return sum(vals) / len(vals)
+    if stat == "mean_rate_per_s":
+        return sum(vals) / (span_ns / 1e9)
+    if stat == "mean_util":  # cumulative busy-time series in us
+        return sum(vals) * 1e3 / span_ns
+    sys.exit(f"metric {name!r}: unknown stat {stat!r} "
+             "(want mean | mean_rate_per_s | mean_util)")
+
+
 def merge_best(docs, baseline_metrics):
     """Fold N runs into one metrics dict, keeping each metric's best value.
 
@@ -73,15 +135,32 @@ def merge_best(docs, baseline_metrics):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("baseline")
-    ap.add_argument("current", nargs="+",
+    ap.add_argument("current", nargs="*",
                     help="one or more runs; >1 gates best-of-N per metric")
+    ap.add_argument("--timeseries", metavar="TS",
+                    help="ordma.timeseries.v1 file for source-derived metrics")
     ap.add_argument("--update", action="store_true",
                     help="rewrite BASELINE values from CURRENT after comparing")
     args = ap.parse_args()
 
     base = load(args.baseline)
     bm = base["metrics"]
+    sourced = {n: m for n, m in bm.items()
+               if m.get("source", {}).get("type") == "timeseries"}
+    if sourced and not args.timeseries:
+        sys.exit(f"{args.baseline}: {len(sourced)} metric(s) derive from a "
+                 "timeseries; pass --timeseries TS.json")
+    if not args.current and not sourced:
+        sys.exit("no CURRENT files and no timeseries-derived metrics")
+
     cm = merge_best([load(p) for p in args.current], bm)
+    if args.timeseries:
+        ts_docs = load_timeseries(args.timeseries)
+        for name, m in sourced.items():
+            cm[name] = {"value": derive_from_timeseries(ts_docs, name,
+                                                        m["source"]),
+                        "unit": m["unit"],
+                        "higher_is_better": m["higher_is_better"]}
     if len(args.current) > 1:
         print(f"best of {len(args.current)} runs per metric\n")
 

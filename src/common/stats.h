@@ -116,6 +116,10 @@ class LatencyHistogram {
   std::uint64_t count() const { return stats_.count(); }
   double mean_us() const { return stats_.mean(); }
   double max_us() const { return stats_.max(); }
+  // Exact running sum of all recorded latencies, in microseconds. Together
+  // with count() this lets a windowed consumer (obs/timeseries.h) recover
+  // the per-window mean from two cumulative totals.
+  double sum_us() const { return stats_.sum(); }
 
   static constexpr std::size_t bucket_count() { return kBuckets; }
   std::uint64_t bucket_value(std::size_t b) const { return buckets_[b]; }
@@ -131,6 +135,36 @@ class LatencyHistogram {
   std::uint64_t buckets_[kBuckets] = {};
   RunningStats stats_;
 };
+
+// Nearest-rank quantile over a vector of LatencyHistogram bucket counts —
+// the shape obs::MetricsRegistry::delta_snapshot() hands out per window.
+// Returns the (exclusive) upper edge of the bucket holding the rank'th
+// event, i.e. a conservative bound, matching the resolution the histogram
+// actually has. The overflow bucket has no finite upper edge, so it reports
+// its *lower* edge (2^(n-2) us) instead — every result is finite and
+// JSON-safe. Zero total counts yield 0.
+inline double histogram_quantile_from_counts(const std::uint64_t* counts,
+                                             std::size_t n_buckets,
+                                             double q) {
+  ORDMA_CHECK(q >= 0.0 && q <= 1.0);
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < n_buckets; ++b) total += counts[b];
+  if (total == 0) return 0.0;
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  rank = std::min(std::max<std::uint64_t>(rank, 1), total);
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < n_buckets; ++b) {
+    cum += counts[b];
+    if (cum >= rank) {
+      if (b + 1 >= n_buckets) {  // overflow bucket: clamp to its lower edge
+        return std::ldexp(1.0, static_cast<int>(n_buckets) - 2);
+      }
+      return LatencyHistogram::upper_edge_us(b);
+    }
+  }
+  return LatencyHistogram::upper_edge_us(n_buckets - 1);  // unreachable
+}
 
 // Simple event counters keyed by name (benchmark bookkeeping).
 class Counter {

@@ -22,6 +22,10 @@ class TraceRecorder;
 class MetricsRegistry;
 }  // namespace ordma::obs
 
+namespace ordma::obs::ts {
+class TimeseriesSink;
+}  // namespace ordma::obs::ts
+
 namespace ordma {
 
 // Log verbosity, lazily initialized per thread from the process-wide
@@ -44,6 +48,9 @@ struct alignas(64) TlsCtx {
 
   // --- metrics (obs/metrics.h) — snapshot-time only --------------------
   obs::MetricsRegistry* registry = nullptr;
+
+  // --- time-series telemetry (obs/timeseries.h) — window-boundary only --
+  obs::ts::TimeseriesSink* ts_sink = nullptr;
 
   // --- invariant checking (common/assert.h) — failure path only --------
   void (*check_failed_hook)() noexcept = nullptr;

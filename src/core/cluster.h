@@ -136,20 +136,30 @@ class Cluster {
 
   // Register pull-gauges for every component's counters under
   // "<host>/<component>/<stat>" paths. Sampled when the registry writes its
-  // snapshot, so this costs nothing during the run itself.
+  // snapshot (or when a timeseries sampler closes a window), so this costs
+  // nothing during the run itself. Monotone totals are registered as
+  // *cumulative* gauges so obs/timeseries.h differences them into
+  // per-window rates; instantaneous levels (queue depths) stay point
+  // samples.
   void export_metrics(obs::MetricsRegistry& reg) {
+    constexpr bool kCumulative = true;
     auto host_gauges = [&reg](host::Host& h, nic::Nic& n) {
       const std::string p = h.name();
       reg.gauge(p + "/cpu/busy_us",
-                [&h] { return h.cpu().busy_time().ns / 1e3; });
+                [&h] { return h.cpu().busy_time().ns / 1e3; }, kCumulative);
       reg.gauge(p + "/nic/fw_busy_us",
-                [&n] { return n.fw_busy().ns / 1e3; });
+                [&n] { return n.fw_busy().ns / 1e3; }, kCumulative);
       reg.gauge(p + "/nic/ordma_served",
-                [&n] { return static_cast<double>(n.ordma_served()); });
+                [&n] { return static_cast<double>(n.ordma_served()); },
+                kCumulative);
       reg.gauge(p + "/nic/ordma_faults",
-                [&n] { return static_cast<double>(n.ordma_faults()); });
+                [&n] { return static_cast<double>(n.ordma_faults()); },
+                kCumulative);
       reg.gauge(p + "/nic/ordma_timeouts",
-                [&n] { return static_cast<double>(n.ordma_timeouts()); });
+                [&n] { return static_cast<double>(n.ordma_timeouts()); },
+                kCumulative);
+      reg.gauge(p + "/nic/rx_queue",
+                [&n] { return static_cast<double>(n.rx_backlog()); });
     };
     host_gauges(*server_host_, *server_nic_);
     for (std::size_t i = 0; i < client_hosts_.size(); ++i) {
@@ -158,66 +168,97 @@ class Cluster {
     fs::ServerFs& sfs = *server_fs_;
     reg.gauge("server/cache/hits", [&sfs] {
       return static_cast<double>(sfs.cache().hits());
-    });
+    }, kCumulative);
     reg.gauge("server/cache/misses", [&sfs] {
       return static_cast<double>(sfs.cache().misses());
-    });
+    }, kCumulative);
     reg.gauge("server/disk/reads", [&sfs] {
       return static_cast<double>(sfs.disk().reads());
-    });
+    }, kCumulative);
     reg.gauge("server/disk/writes", [&sfs] {
       return static_cast<double>(sfs.disk().writes());
-    });
+    }, kCumulative);
     if (nfs_server_) {
       nas::nfs::NfsServer& srv = *nfs_server_;
       reg.gauge("server/rpc/dup_replays", [&srv] {
         return static_cast<double>(srv.rpc_server().dup_replays());
-      });
+      }, kCumulative);
       reg.gauge("server/rpc/dup_drops", [&srv] {
         return static_cast<double>(srv.rpc_server().dup_drops());
-      });
+      }, kCumulative);
       reg.gauge("server/rpc/cksum_drops", [&srv] {
         return static_cast<double>(srv.rpc_server().cksum_drops());
-      });
+      }, kCumulative);
     }
     if (injector_) {
       fault::FaultInjector& inj = *injector_;
       reg.gauge("fault/frames_dropped", [&inj] {
         return static_cast<double>(inj.frames_dropped());
-      });
+      }, kCumulative);
       reg.gauge("fault/frames_corrupted", [&inj] {
         return static_cast<double>(inj.frames_corrupted() +
                                    inj.frames_corrupt_dropped());
-      });
+      }, kCumulative);
       reg.gauge("fault/frames_duplicated", [&inj] {
         return static_cast<double>(inj.frames_duplicated());
-      });
+      }, kCumulative);
       reg.gauge("fault/frames_delayed", [&inj] {
         return static_cast<double>(inj.frames_delayed());
-      });
+      }, kCumulative);
       reg.gauge("fault/doorbell_stalls", [&inj] {
         return static_cast<double>(inj.doorbell_stalls());
-      });
+      }, kCumulative);
       reg.gauge("fault/cap_revokes", [&inj] {
         return static_cast<double>(inj.cap_revokes());
-      });
+      }, kCumulative);
       reg.gauge("fault/tlb_invalidates", [&inj] {
         return static_cast<double>(inj.tlb_invalidates());
-      });
+      }, kCumulative);
       reg.gauge("fault/disk_errors", [&inj] {
         return static_cast<double>(inj.disk_errors());
-      });
+      }, kCumulative);
     }
     net::Fabric& fab = fabric_;
     for (net::NodeId id = 0; id < fab.num_nodes(); ++id) {
       const std::string p = "net/" + std::to_string(id);
       reg.gauge(p + "/up_bytes", [&fab, id] {
         return static_cast<double>(fab.uplink(id).bytes_delivered());
-      });
+      }, kCumulative);
       reg.gauge(p + "/down_bytes", [&fab, id] {
         return static_cast<double>(fab.downlink(id).bytes_delivered());
+      }, kCumulative);
+      reg.gauge(p + "/up_backlog", [&fab, id] {
+        return static_cast<double>(fab.uplink(id).backlog());
+      });
+      reg.gauge(p + "/down_backlog", [&fab, id] {
+        return static_cast<double>(fab.downlink(id).backlog());
       });
     }
+  }
+
+  // Per-ODAFS-client series. The client objects are built by the caller
+  // (they live outside the cluster), so they are exported separately; the
+  // reference-directory hit behaviour these expose — data hits vs RPC
+  // fallbacks — is the signal the ROADMAP item 4 policy engine keys on.
+  void export_odafs_client_metrics(obs::MetricsRegistry& reg, unsigned i,
+                                   nas::odafs::OdafsClient& cl) {
+    constexpr bool kCumulative = true;
+    const std::string p = client_hosts_.at(i)->name();
+    reg.gauge(p + "/odafs/rpc_reads",
+              [&cl] { return static_cast<double>(cl.rpc_reads()); },
+              kCumulative);
+    reg.gauge(p + "/odafs/ordma_reads",
+              [&cl] { return static_cast<double>(cl.ordma_reads()); },
+              kCumulative);
+    reg.gauge(p + "/cache/data_hits", [&cl] {
+      return static_cast<double>(cl.block_cache().data_hits());
+    }, kCumulative);
+    reg.gauge(p + "/cache/data_misses", [&cl] {
+      return static_cast<double>(cl.block_cache().data_misses());
+    }, kCumulative);
+    reg.gauge(p + "/cache/refs_held", [&cl] {
+      return static_cast<double>(cl.block_cache().refs_held());
+    });
   }
 
   // --- experiment helpers ---------------------------------------------------

@@ -165,6 +165,10 @@ class Nic {
   std::uint64_t ordma_faults() const { return ordma_faults_; }
   std::uint64_t ordma_timeouts() const { return ordma_timeouts_; }
   Duration fw_busy() { return fw_.busy_time(); }
+  // Packets delivered by the fabric and not yet pulled by the firmware
+  // loop — the instantaneous receive queue depth a time-series sampler
+  // wants for incast analysis.
+  std::size_t rx_backlog() const { return rx_queue_.pending(); }
 
  private:
   struct PendingOp {

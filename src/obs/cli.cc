@@ -18,17 +18,47 @@ bool take_value(std::string_view arg, std::string_view flag,
   *out = std::string(arg.substr(flag.size()));
   return true;
 }
+
+void print_help(const char* prog) {
+  std::printf(
+      "usage: %s [shared observability flags]\n"
+      "\n"
+      "shared observability flags (obs/cli.h, consumed before the binary's\n"
+      "own argument parsing):\n"
+      "  --trace=<file>     record a Chrome trace against simulated time\n"
+      "  --metrics=<file>   write a metrics-registry JSON snapshot on exit\n"
+      "  --flight=<file>    dump the flight-recorder rings on exit\n"
+      "  --timeseries=<file>[:interval]\n"
+      "                     windowed time-series telemetry: per-interval\n"
+      "                     rates/deltas, point samples and a run-phase\n"
+      "                     report per run, as ordma.timeseries.v1 JSON\n"
+      "                     (CSV if <file> ends in .csv). interval takes\n"
+      "                     ns/us/ms/s suffixes; default 1ms of simulated\n"
+      "                     time. Example: --timeseries=ts.json:500us\n"
+      "  --log=<level>      off | error | info | trace\n"
+      "  --jobs=<n>         sweep worker threads (default: ORDMA_JOBS, else\n"
+      "                     all cores; forced to 1 while --trace/--metrics/\n"
+      "                     --flight/--timeseries is active)\n"
+      "  --help             this message\n",
+      prog);
+}
 }  // namespace
 
 ObsSession::ObsSession(int& argc, char** argv) {
   std::string log_level;
   std::string jobs_arg;
+  std::string ts_arg;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_help(argv[0]);
+      std::exit(0);
+    }
     const bool consumed = take_value(arg, "--trace=", &trace_path_) ||
                           take_value(arg, "--metrics=", &metrics_path_) ||
                           take_value(arg, "--flight=", &flight_path_) ||
+                          take_value(arg, "--timeseries=", &ts_arg) ||
                           take_value(arg, "--log=", &log_level) ||
                           take_value(arg, "--jobs=", &jobs_arg);
     if (!consumed) argv[kept++] = argv[i];
@@ -65,17 +95,43 @@ ObsSession::ObsSession(int& argc, char** argv) {
     registry_ = std::make_unique<MetricsRegistry>();
     install(registry_.get());
   }
+  if (!ts_arg.empty()) {
+    // --timeseries=<file>[:interval] — the suffix after the last ':' is an
+    // interval iff it parses as a duration, so paths containing ':' still
+    // work.
+    ts::TimeseriesConfig cfg;
+    timeseries_path_ = ts_arg;
+    const auto colon = ts_arg.rfind(':');
+    if (colon != std::string::npos) {
+      Duration iv;
+      if (ts::parse_duration(ts_arg.substr(colon + 1), &iv)) {
+        cfg.interval = iv;
+        timeseries_path_ = ts_arg.substr(0, colon);
+      }
+    }
+    const bool csv = timeseries_path_.size() >= 4 &&
+                     timeseries_path_.compare(timeseries_path_.size() - 4, 4,
+                                              ".csv") == 0;
+    ts_sink_ = std::make_unique<ts::TimeseriesSink>(
+        csv ? ts::TimeseriesSink::Format::csv
+            : ts::TimeseriesSink::Format::json,
+        cfg);
+    ts::install(ts_sink_.get());
+  }
   // Observability sinks are installed on this (the main) thread; a
   // simulation running on a pool worker would bypass them. Force the sweep
   // serial so every cell is observed — and name the specific flag(s) that
   // forced it, so the user knows which one to drop to get parallelism back.
   if (jobs_ > 1 &&
-      (recorder_ || registry_ || !flight_path_.empty())) {
+      (recorder_ || registry_ || ts_sink_ || !flight_path_.empty())) {
     std::string cause;
     if (recorder_) cause += "--trace";
     if (registry_) cause += std::string(cause.empty() ? "" : ", ") + "--metrics";
     if (!flight_path_.empty()) {
       cause += std::string(cause.empty() ? "" : ", ") + "--flight";
+    }
+    if (ts_sink_) {
+      cause += std::string(cause.empty() ? "" : ", ") + "--timeseries";
     }
     std::fprintf(stderr,
                  "obs: %s installs a main-thread sink; running serial "
@@ -116,6 +172,20 @@ void ObsSession::flush() {
     } else {
       std::fprintf(stderr, "obs: failed to write metrics to %s\n",
                    metrics_path_.c_str());
+    }
+  }
+  if (ts_sink_) {
+    if (ts_sink_->runs() == 0) {
+      std::fprintf(stderr,
+                   "obs: --timeseries produced no runs — this binary has no "
+                   "obs::ts::RunScope around its measured region yet\n");
+    }
+    if (ts_sink_->write_file(timeseries_path_)) {
+      std::fprintf(stderr, "obs: timeseries written to %s (%zu runs)\n",
+                   timeseries_path_.c_str(), ts_sink_->runs());
+    } else {
+      std::fprintf(stderr, "obs: failed to write timeseries to %s\n",
+                   timeseries_path_.c_str());
     }
   }
 }

@@ -4,22 +4,32 @@
 //   --trace=<file>     record a Chrome trace (open in Perfetto / chrome://tracing)
 //   --metrics=<file>   write a metrics-registry JSON snapshot on exit
 //   --flight=<file>    dump the flight-recorder rings on exit (obs/flight.h)
+//   --timeseries=<file>[:interval]
+//                      windowed time-series telemetry (obs/timeseries.h):
+//                      every RunScope-wired run emits per-interval deltas,
+//                      point samples and a phase report as
+//                      ordma.timeseries.v1 JSON (or CSV if <file> ends in
+//                      .csv). interval takes ns/us/ms/s suffixes, default
+//                      1ms of simulated time.
 //   --log=<level>      off | error | info | trace (simulated-time stamped)
 //   --jobs=<n>         sweep worker threads (default: ORDMA_JOBS, else all
-//                      cores; forced to 1 while --trace/--metrics/--flight
-//                      is active, since those install on the main thread)
+//                      cores; forced to 1 while --trace/--metrics/--flight/
+//                      --timeseries is active, since those install on the
+//                      main thread)
+//   --help             print these shared flags and exit
 //
 // Usage: construct one ObsSession at the top of main(). It consumes its own
 // flags (compacting argc/argv so positional parsing downstream is
 // unaffected), ignores everything else, installs the calling thread's
-// TraceRecorder / MetricsRegistry as requested, and writes the output files
-// when it goes out of scope.
+// TraceRecorder / MetricsRegistry / TimeseriesSink as requested, and writes
+// the output files when it goes out of scope.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace ordma::obs {
@@ -33,8 +43,10 @@ class ObsSession {
 
   bool tracing() const { return recorder_ != nullptr; }
   bool metrics() const { return registry_ != nullptr; }
+  bool timeseries() const { return ts_sink_ != nullptr; }
   TraceRecorder* recorder() { return recorder_.get(); }
   MetricsRegistry* registry() { return registry_.get(); }
+  ts::TimeseriesSink* timeseries_sink() { return ts_sink_.get(); }
 
   // Worker count for this binary's sweep (bench/bench_util.h sweep()).
   // Never 0; 1 whenever an observability sink is installed, because the
@@ -50,8 +62,10 @@ class ObsSession {
   std::string trace_path_;
   std::string metrics_path_;
   std::string flight_path_;
+  std::string timeseries_path_;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<ts::TimeseriesSink> ts_sink_;
   unsigned jobs_ = 1;
   bool flushed_ = false;
 };

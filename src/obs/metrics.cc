@@ -26,8 +26,52 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& path) {
 }
 
 void MetricsRegistry::gauge(const std::string& path,
-                            std::function<double()> fn) {
-  entries_[path].g = std::move(fn);
+                            std::function<double()> fn, bool cumulative) {
+  Entry& e = entries_[path];
+  e.g = std::move(fn);
+  e.g_cumulative = cumulative;
+}
+
+void MetricsRegistry::delta_snapshot(DeltaCursor& cursor,
+                                     std::vector<Delta>& out) const {
+  out.clear();
+  for (const auto& [path, e] : entries_) {
+    Delta d;
+    d.path = &path;
+    DeltaCursor::Base& base = cursor.base[path];
+    if (e.g) {
+      const double v = e.g();
+      if (e.g_cumulative) {
+        d.kind = Kind::cumulative_gauge;
+        d.value = v - base.value;
+        base.value = v;
+      } else {
+        d.kind = Kind::gauge;
+        d.value = v;
+      }
+    } else if (e.c) {
+      d.kind = Kind::counter;
+      const double v = static_cast<double>(e.c->get());
+      d.value = v - base.value;
+      base.value = v;
+    } else if (e.h) {
+      d.kind = Kind::histogram;
+      const double sum = e.h->sum_us();
+      d.h_sum_us = sum - base.h_sum_us;
+      base.h_sum_us = sum;
+      std::uint64_t count = 0;
+      for (std::size_t b = 0; b < LatencyHistogram::bucket_count(); ++b) {
+        const std::uint64_t n = e.h->bucket_value(b);
+        d.h_buckets[b] = n - base.h_buckets[b];
+        base.h_buckets[b] = n;
+        count += d.h_buckets[b];
+      }
+      d.value = static_cast<double>(count);
+    } else {
+      continue;  // placeholder entry with no instrument yet
+    }
+    out.push_back(d);
+  }
 }
 
 namespace {

@@ -18,6 +18,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/stats.h"
 #include "common/tls_ctx.h"
@@ -31,13 +32,59 @@ class MetricsRegistry {
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
+  // What an entry is, from a windowed consumer's point of view: counters
+  // and cumulative gauges are monotone totals (difference them per window
+  // for a rate); plain gauges are instantaneous levels (sample the point
+  // value); histograms difference per bucket.
+  enum class Kind { counter, gauge, cumulative_gauge, histogram };
+
   // Find-or-create. References stay valid for the registry's lifetime.
   Counter& counter(const std::string& path);
   LatencyHistogram& histogram(const std::string& path);
-  // Register (or replace) a gauge sampled at snapshot time.
-  void gauge(const std::string& path, std::function<double()> fn);
+  // Register (or replace) a gauge sampled at snapshot time. A *cumulative*
+  // gauge exposes a monotonically nondecreasing total (resource busy time,
+  // hit counts exported from component-owned counters); delta consumers
+  // treat it like a counter, where a plain gauge (queue depth, occupancy)
+  // is reported as a point sample.
+  void gauge(const std::string& path, std::function<double()> fn,
+             bool cumulative = false);
 
   std::size_t size() const { return entries_.size(); }
+
+  // --- windowed deltas (obs/timeseries.h) ------------------------------
+  // One per-entry row produced by delta_snapshot().
+  struct Delta {
+    const std::string* path;  // stable for the registry's lifetime
+    Kind kind;
+    // counter/cumulative_gauge: change since the cursor's last snapshot;
+    // gauge: current point value; histogram: delta event count.
+    double value = 0;
+    // Histogram only: per-window change of the cumulative totals.
+    double h_sum_us = 0;
+    std::uint64_t h_buckets[LatencyHistogram::bucket_count()] = {};
+  };
+
+  // Per-consumer baseline for delta_snapshot(). One cursor per sampler;
+  // snapshots never mutate the registry, so any number of cursors can
+  // window the same registry independently.
+  struct DeltaCursor {
+    struct Base {
+      double value = 0;
+      double h_sum_us = 0;
+      std::uint64_t h_buckets[LatencyHistogram::bucket_count()] = {};
+    };
+    std::map<std::string, Base> base;
+  };
+
+  // Append one Delta per entry to `out` (cleared first), differencing
+  // against — then advancing — `cursor`. An entry added since the cursor's
+  // previous snapshot differences against an implicit zero baseline, i.e.
+  // its full current total becomes its first delta, so per-window sums
+  // always partition run totals exactly however late an entry appears.
+  // Entry order is deterministic (path-sorted). Once the cursor has seen
+  // every entry and `out` has grown to registry size, calls allocate
+  // nothing.
+  void delta_snapshot(DeltaCursor& cursor, std::vector<Delta>& out) const;
 
   // Snapshot as nested JSON. Counters render as integers, gauges as
   // numbers, histograms as {count, mean_us, max_us, buckets:[{le_us,n}]}.
@@ -49,6 +96,7 @@ class MetricsRegistry {
     std::unique_ptr<Counter> c;
     std::unique_ptr<LatencyHistogram> h;
     std::function<double()> g;
+    bool g_cumulative = false;
   };
   // std::map: deterministic order and stable addresses.
   std::map<std::string, Entry> entries_;

@@ -1,0 +1,242 @@
+// Windowed time-series telemetry over simulated time.
+//
+// Every other observability surface here (metrics JSON, Table 1
+// attribution, the p99 explainer) is an end-of-run aggregate; the paper's
+// central phenomena — server CPU saturating under load (Fig. 7), ORDMA
+// wins tracking the reference hit rate — are time-varying. This module
+// adds the time axis: a TimeseriesSampler rides the engine's periodic
+// sampling hook (sim/engine.h set_sampling_hook) and, at every boundary of
+// a fixed simulated-time grid, takes a MetricsRegistry::delta_snapshot —
+// counters and cumulative gauges become per-window deltas (rates), plain
+// gauges become point samples, latency histograms become per-window delta
+// histograms with nearest-rank p50/p99 — into per-series ring storage
+// pre-allocated at series creation.
+//
+// The observer contract matches trace/flight: sampling draws no random
+// numbers, schedules no events (the engine hook lives outside the event
+// queues), and allocates nothing in steady state, so a run with sampling
+// on is bit-identical to the same run with it off — golden-hash pinned by
+// tests/timeseries_test.cc and the torture suite.
+//
+// Output is the `ordma.timeseries.v1` schema: a JSON array with one
+// document per run (sweep cell), each carrying the window grid, every
+// series, and the run-phase report produced by summarize_phases() — a
+// deterministic windowed mean-shift segmentation labeling each stretch of
+// the key series warmup / steady / saturation / degraded. A `.csv` output
+// path selects a flat one-block-per-run CSV rendering instead.
+// scripts/validate_timeseries.py checks the invariants (monotone
+// timestamps, constant interval, rate non-negativity); ROADMAP item 4's
+// adaptive protocol policy is the intended in-process consumer.
+//
+// Wiring: obs/cli.h parses --timeseries=<file>[:interval], installs a
+// thread-local TimeseriesSink, and writes the file at session end. A
+// binary opts a run in by constructing a RunScope around the measured
+// region and exporting its components into the scope's registry; with no
+// sink installed the scope is inert and costs two pointer reads.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/tls_ctx.h"
+#include "common/units.h"
+#include "obs/metrics.h"
+
+namespace ordma::sim {
+class Engine;
+}
+
+namespace ordma::obs::ts {
+
+// ---------------------------------------------------------------------------
+// Run-phase summarizer
+// ---------------------------------------------------------------------------
+
+enum class Phase { warmup, steady, saturation, degraded };
+const char* phase_name(Phase p);
+
+struct PhaseSegment {
+  Phase label{};
+  std::size_t begin = 0;  // window index, inclusive
+  std::size_t end = 0;    // window index, exclusive
+  double mean = 0;        // mean of the key series over [begin, end)
+};
+
+struct PhaseParams {
+  // Segmentation: a new segment opens at the first of `confirm`
+  // consecutive windows whose value deviates from the running segment mean
+  // by more than `shift` (relative to max(|mean|, floor), so an all-zero
+  // prefix doesn't divide by zero).
+  double shift = 0.25;
+  std::size_t confirm = 3;
+  double floor = 1e-9;
+  // Labeling: the longest segment is "steady" (earliest wins ties).
+  // Earlier segments are "warmup". Later segments at >= saturation_frac of
+  // the peak segment mean and above the steady mean are "saturation";
+  // below degraded_frac of the steady mean, "degraded"; otherwise they
+  // stay "steady".
+  double saturation_frac = 0.9;
+  double degraded_frac = 0.75;
+};
+
+// Deterministic windowed mean-shift segmentation + labeling of one series.
+// Pure function of its inputs; unit-tested on synthetic series.
+std::vector<PhaseSegment> summarize_phases(const std::vector<double>& v,
+                                           const PhaseParams& p = {});
+
+// ---------------------------------------------------------------------------
+// Sampler
+// ---------------------------------------------------------------------------
+
+struct TimeseriesConfig {
+  Duration interval = msec(1);
+  // Ring capacity per series, reserved up front: with more than
+  // `max_windows` windows the oldest are dropped (and counted) so steady
+  // state never reallocates however long the run.
+  std::size_t max_windows = 4096;
+  // Key series for the phase report; "" picks "server/cpu/busy_us" when
+  // present, else the first delta-kind series in path order.
+  std::string phase_series;
+  PhaseParams phase_params{};
+};
+
+// "500us", "2ms", "1s", "250000ns" or a bare nanosecond count.
+bool parse_duration(const std::string& s, Duration* out);
+
+// Drives one run's windows: arms the engine's sampling hook on
+// construction, closes a window at every grid boundary the run crosses,
+// and on finish() captures the trailing partial window (so window sums
+// partition run totals exactly) and computes the phase report.
+class TimeseriesSampler {
+ public:
+  TimeseriesSampler(sim::Engine& eng, MetricsRegistry& reg,
+                    TimeseriesConfig cfg = {});
+  ~TimeseriesSampler();  // disarms the hook
+  TimeseriesSampler(const TimeseriesSampler&) = delete;
+  TimeseriesSampler& operator=(const TimeseriesSampler&) = delete;
+
+  // Close the window ending at the engine's current instant. Called by the
+  // engine hook at grid boundaries; tests may call it directly.
+  void sample_window();
+  // Capture the trailing partial window and compute phases. Idempotent;
+  // called automatically by the first write_*().
+  void finish();
+
+  std::size_t windows() const { return windows_; }
+  std::size_t dropped_windows() const {
+    return windows_ > cfg_.max_windows ? windows_ - cfg_.max_windows : 0;
+  }
+  // Value of series `path` in (absolute) window w; 0 before the series
+  // existed. For histograms, the delta event count.
+  double value(const std::string& path, std::size_t w) const;
+  const std::vector<PhaseSegment>& phases() const { return phases_; }
+  const std::string& phase_series() const { return phase_key_; }
+
+  // One `ordma.timeseries.v1` document / CSV block for this run.
+  void write_json(std::ostream& os, const std::string& run);
+  void write_csv(std::ostream& os, const std::string& run);
+
+ private:
+  struct Column {
+    MetricsRegistry::Kind kind{};
+    std::size_t first = 0;       // window index when the series appeared
+    std::vector<double> v;       // delta / sample value (hist: count)
+    std::vector<double> h_sum_us, h_p50_us, h_p99_us;  // histogram only
+    void store(std::size_t w, std::size_t cap, double x,
+               std::vector<double>& ring) {
+      if (ring.size() < cap) {
+        ring.push_back(x);
+      } else {
+        ring[(w - first) % cap] = x;
+      }
+    }
+  };
+
+  static void hook(void* self);
+  double col_value(const Column& c, const std::vector<double>& ring,
+                   std::size_t w) const;
+  std::size_t first_kept() const { return dropped_windows(); }
+
+  sim::Engine& eng_;
+  MetricsRegistry& reg_;
+  TimeseriesConfig cfg_;
+  std::int64_t base_ns_ = 0;  // grid start of window 0 (multiple of interval)
+  std::size_t windows_ = 0;
+  bool finished_ = false;
+  std::int64_t end_ns_ = 0;  // engine now at finish()
+  MetricsRegistry::DeltaCursor cursor_;
+  std::vector<MetricsRegistry::Delta> scratch_;
+  std::map<std::string, Column> cols_;  // deterministic series order
+  std::vector<PhaseSegment> phases_;
+  std::string phase_key_;
+};
+
+// ---------------------------------------------------------------------------
+// Session sink + per-run scope
+// ---------------------------------------------------------------------------
+
+// Session-level collector: holds the output format/config and accumulates
+// one serialized document per finished run. Installed thread-locally
+// (common/tls_ctx.h) like the trace recorder and metrics registry, so each
+// parallel-runner worker is its own isolated timeseries domain.
+class TimeseriesSink {
+ public:
+  enum class Format { json, csv };
+
+  explicit TimeseriesSink(Format f = Format::json, TimeseriesConfig cfg = {})
+      : format_(f), cfg_(cfg) {}
+  ~TimeseriesSink();
+
+  Format format() const { return format_; }
+  const TimeseriesConfig& config() const { return cfg_; }
+
+  void add(std::string doc) { docs_.push_back(std::move(doc)); }
+  std::size_t runs() const { return docs_.size(); }
+  const std::string& doc(std::size_t i) const { return docs_.at(i); }
+
+  // JSON: array of run documents. CSV: run blocks concatenated.
+  void write(std::ostream& os) const;
+  bool write_file(const std::string& path) const;
+
+ private:
+  Format format_;
+  TimeseriesConfig cfg_;
+  std::vector<std::string> docs_;
+};
+
+inline TimeseriesSink* sink() { return tls().ts_sink; }
+// Install `s` as the calling thread's sink (nullptr disables). Caller
+// keeps ownership; a sink uninstalls itself on destruction if still
+// installed on the destroying thread.
+void install(TimeseriesSink* s);
+
+// Per-run RAII wiring: when a sink is installed on this thread, owns a
+// fresh MetricsRegistry for the run's gauges (so gauge closures never
+// outlive the components they read) and a sampler on the run's engine; on
+// destruction finishes the sampler and appends the serialized document —
+// in the sink's format — under `label`. With no sink installed every
+// member stays null and the scope is free. Destroy the scope *before* the
+// cluster whose components were exported into registry().
+class RunScope {
+ public:
+  RunScope(sim::Engine& eng, std::string label);
+  ~RunScope();
+  RunScope(const RunScope&) = delete;
+  RunScope& operator=(const RunScope&) = delete;
+
+  bool active() const { return sampler_ != nullptr; }
+  MetricsRegistry& registry() { return *reg_; }     // valid iff active()
+  TimeseriesSampler& sampler() { return *sampler_; }  // valid iff active()
+
+ private:
+  std::string label_;
+  TimeseriesSink* sink_ = nullptr;
+  std::unique_ptr<MetricsRegistry> reg_;
+  std::unique_ptr<TimeseriesSampler> sampler_;
+};
+
+}  // namespace ordma::obs::ts

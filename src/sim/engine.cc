@@ -131,7 +131,7 @@ std::uint64_t Engine::run() {
       const std::int64_t when = heap_[0];
       heap_pop();
       ORDMA_CHECK(when >= now_.ns);
-      now_.ns = when;
+      advance_clock(when);
       cur_head_ = take_bucket(when);
       node = cur_head_;
       cur_head_ = node->next;
@@ -162,7 +162,7 @@ std::uint64_t Engine::run_until(SimTime until) {
       const std::int64_t when = heap_[0];
       heap_pop();
       ORDMA_CHECK(when >= now_.ns);
-      now_.ns = when;
+      advance_clock(when);
       cur_head_ = take_bucket(when);
       node = cur_head_;
       cur_head_ = node->next;
@@ -174,7 +174,7 @@ std::uint64_t Engine::run_until(SimTime until) {
     ++fired;
     reap_finished();
   }
-  if (now_ < until) now_ = until;
+  if (now_ < until) advance_clock(until.ns);
   return fired;
 }
 

@@ -155,6 +155,36 @@ class Engine {
     return heap_.empty() && ring_empty() && cur_head_ == nullptr;
   }
 
+  // --- periodic sampling hook -------------------------------------------
+  // Observer-only callback on a fixed simulated-time grid (multiples of
+  // `interval`, anchored at t=0), used by obs/timeseries.h. The hook lives
+  // *outside* the event queues: the run loop invokes it whenever advancing
+  // the clock to the next event instant crosses one or more grid
+  // boundaries, with now() set to each boundary in turn before its call.
+  // Arming it therefore adds no queue entries, changes no (when, seq)
+  // firing order, and cannot keep run() alive past the last real event —
+  // zero perturbation by construction (pinned by golden-hash tests). A
+  // boundary coinciding with an event instant fires *before* the entries
+  // at that instant, so those events land in the window the boundary
+  // opens, not the one it closes. The callback must not schedule, spawn or
+  // otherwise touch simulation state; reading lazily-integrated component
+  // counters (resource busy time) is safe because the clock already sits
+  // on the boundary when it runs.
+  using SampleFn = void (*)(void* ctx);
+  void set_sampling_hook(Duration interval, void* ctx, SampleFn fn) {
+    ORDMA_CHECK(interval.ns > 0);
+    ORDMA_CHECK(sample_fn_ == nullptr);  // one sampler per engine
+    sample_interval_ns_ = interval.ns;
+    next_sample_ns_ = (now_.ns / interval.ns + 1) * interval.ns;
+    sample_ctx_ = ctx;
+    sample_fn_ = fn;
+  }
+  void clear_sampling_hook() {
+    sample_fn_ = nullptr;
+    sample_ctx_ = nullptr;
+  }
+  std::int64_t sampling_interval_ns() const { return sample_interval_ns_; }
+
  private:
   // --- future calendar --------------------------------------------------
   // Hand-rolled 4-ary min-heap over distinct timestamps: half the depth of
@@ -320,6 +350,19 @@ class Engine {
   void fire(TimerNode* node);
   void reap_finished();
 
+  // Advance the clock to `to`, invoking the sampling hook at every grid
+  // boundary crossed (see set_sampling_hook for the ordering contract).
+  void advance_clock(std::int64_t to) {
+    if (sample_fn_) {
+      while (next_sample_ns_ <= to) {
+        now_.ns = next_sample_ns_;
+        next_sample_ns_ += sample_interval_ns_;
+        sample_fn_(sample_ctx_);
+      }
+    }
+    now_.ns = to;
+  }
+
   // All engine-internal bulk storage (timer slabs, calendar heap, bucket
   // table, ring) draws from one arena: the thread's installed per-run
   // arena when a harness put one up (mem::ScopedSimArena), else a private
@@ -355,6 +398,13 @@ class Engine {
   // hold non-trivial captures — before the arena reclaims the bytes.
   std::vector<TimerNode*> slabs_;
   TimerNode* free_nodes_ = nullptr;
+
+  // Periodic sampling hook (cold: only the run loop's time advance reads
+  // it, and only when armed).
+  std::int64_t sample_interval_ns_ = 0;
+  std::int64_t next_sample_ns_ = 0;
+  void* sample_ctx_ = nullptr;
+  SampleFn sample_fn_ = nullptr;
 
   // Detached process bookkeeping -----------------------------------------
   struct ProcessState {

@@ -23,6 +23,7 @@
 #include "obs/explain.h"
 #include "obs/flight.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "run/runner.h"
 
@@ -150,6 +151,68 @@ TEST(ParallelDeterminism, ArenaOnMatchesArenaOffBitForBit) {
     EXPECT_EQ(bare[i].metrics_json, arena_reused[i].metrics_json)
         << "run " << i;
   }
+}
+
+// One sweep cell producing a timeseries document: installs its own
+// thread-local TimeseriesSink (the TlsCtx isolation contract — each worker
+// is its own timeseries domain), runs a small observed cluster workload
+// under a RunScope, and returns the serialized document.
+std::string timeseries_run(std::size_t index) {
+  mem::ScopedSimArena arena;
+  obs::ts::TimeseriesConfig cfg;
+  cfg.interval = usec(20);
+  obs::ts::TimeseriesSink sink(obs::ts::TimeseriesSink::Format::json, cfg);
+  obs::ts::install(&sink);
+
+  {
+    core::ClusterConfig cc;
+    cc.fs.block_size = KiB(4);
+    core::Cluster c(cc);
+    c.start_nfs();
+    const Bytes io = KiB(4) * (1 + index % 4);
+    const Bytes fsize = KiB(64);
+    auto client = c.make_nfs_client(0, io);
+
+    obs::ts::RunScope ts_run(c.engine(), "cell" + std::to_string(index));
+    EXPECT_TRUE(ts_run.active());
+    c.export_metrics(ts_run.registry());
+
+    bool done = false;
+    c.engine().spawn([](core::Cluster& c, core::FileClient& client, Bytes io,
+                        Bytes fsize, bool& done) -> sim::Task<void> {
+      co_await c.make_file("f", fsize, /*warm=*/true);
+      auto open = co_await client.open("f");
+      ORDMA_CHECK(open.ok());
+      auto& h = c.client(0);
+      const mem::Vaddr buf = h.map_new(h.user_as(), io);
+      for (Bytes off = 0; off + io <= fsize; off += io) {
+        auto n = co_await client.pread(open.value().fh, off, buf, io);
+        ORDMA_CHECK(n.ok());
+      }
+      done = true;
+    }(c, *client, io, fsize, done));
+    c.engine().run();
+    EXPECT_TRUE(done);
+  }
+
+  obs::ts::install(nullptr);
+  EXPECT_EQ(sink.runs(), 1u);
+  return sink.runs() ? sink.doc(0) : std::string();
+}
+
+TEST(ParallelDeterminism, TimeseriesDocumentsAreBitIdenticalToSerial) {
+  constexpr std::size_t kRuns = 8;
+  const auto serial = run::parallel_map(1, kRuns, timeseries_run);
+  const auto parallel = run::parallel_map(8, kRuns, timeseries_run);
+  ASSERT_EQ(serial.size(), kRuns);
+  ASSERT_EQ(parallel.size(), kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_FALSE(serial[i].empty()) << "run " << i;
+    EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
+  }
+  // Distinct workloads produced distinct documents, so byte-equality above
+  // is meaningful.
+  EXPECT_NE(serial[0], serial[1]);
 }
 
 TEST(ParallelDeterminism, ResultsArriveInSubmissionOrder) {

@@ -38,6 +38,7 @@
 #include "core/cluster.h"
 #include "mem/arena.h"
 #include "obs/flight.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "rpc/xdr.h"
 #include "run/runner.h"
@@ -180,6 +181,16 @@ TortureResult run_torture(const TortureOptions& opt) {
         break;
       }
     }
+
+    // Timeseries: inert unless the calling thread installed a sink
+    // (TimeseriesDoesNotPerturbTheRun does); then this run becomes one
+    // windowed document under the same (proto, seed) label as the flight
+    // recorder's. Declared after the cluster so the trailing gauge sample
+    // runs before teardown.
+    obs::ts::RunScope ts_run(cluster.engine(),
+                             std::string(proto_name(opt.proto)) + ".seed" +
+                                 std::to_string(opt.seed));
+    if (ts_run.active()) cluster.export_metrics(ts_run.registry());
 
     const Bytes fsize = KiB(160);
     std::vector<std::byte> model = file_pattern(fsize);
@@ -429,6 +440,35 @@ TEST(Torture, FlightRecorderDoesNotPerturbTheRun) {
     EXPECT_TRUE(on.completed && off.completed) << proto_name(proto);
     EXPECT_EQ(on.hash, off.hash) << proto_name(proto);
     EXPECT_EQ(on.injected, off.injected) << proto_name(proto);
+  }
+}
+
+TEST(Torture, TimeseriesDoesNotPerturbTheRun) {
+  // The windowed sampler rides the engine's time-advance hook: it adds no
+  // events, draws no randomness, and allocates only at series creation —
+  // so the golden hash and the injector's fired-fault count must be
+  // identical with a sink installed and without, under the full
+  // adversarial plan.
+  for (const Proto proto : kAllProtos) {
+    TortureOptions opt;
+    opt.proto = proto;
+    opt.seed = 13;
+    const TortureResult plain = run_torture(opt);
+
+    obs::ts::TimeseriesConfig cfg;
+    cfg.interval = usec(100);
+    obs::ts::TimeseriesSink sink(obs::ts::TimeseriesSink::Format::json, cfg);
+    obs::ts::install(&sink);
+    const TortureResult sampled = run_torture(opt);
+    obs::ts::install(nullptr);
+
+    EXPECT_TRUE(plain.completed && sampled.completed) << proto_name(proto);
+    EXPECT_EQ(plain.hash, sampled.hash) << proto_name(proto);
+    EXPECT_EQ(plain.injected, sampled.injected) << proto_name(proto);
+    ASSERT_EQ(sink.runs(), 1u) << proto_name(proto);
+    EXPECT_NE(sink.doc(0).find("\"schema\":\"ordma.timeseries.v1\""),
+              std::string::npos)
+        << proto_name(proto);
   }
 }
 
