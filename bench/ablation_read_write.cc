@@ -1,9 +1,23 @@
 // Ablation A5 — read/write ratio (§4.2.2: "Small read–write ratio. Writes
 // require the update of associated file state ... besides the actual data
-// transfer" — writes always take the RPC path, diluting ODAFS's benefit).
+// transfer").
+//
+// Re-anchored on the ORDMA write path: the historical claim was that writes
+// always travel by RPC, diluting ODAFS's benefit as the write share grows.
+// With writable references the client can put bytes straight into the
+// server's cache block and commit with one verified round trip — so this
+// sweep now pits, at each read fraction, RPC write-through against
+// optimistic put-through and write-back through the real put path (a
+// coherence-mode server: versioned refs, commit bookkeeping and all).
+//
+// --json=<file> emits ordma.bench.v1 gated by scripts/bench_compare.py
+// against the committed BENCH_write.json: the put path must keep beating
+// write-through RPC at every mixed grid point.
 #include <memory>
+#include <string_view>
 
 #include "bench_util.h"
+#include "bench_json.h"
 #include "common/rng.h"
 #include "nas/odafs/odafs_client.h"
 
@@ -15,20 +29,29 @@ namespace {
 constexpr std::size_t kNumFiles = 256;
 constexpr std::uint64_t kOps = 4000;
 
-double run_cell(bool use_ordma, double read_fraction) {
+using nas::odafs::WritePolicy;
+
+double run_cell(WritePolicy policy, double read_fraction) {
   core::ClusterConfig cc;
   cc.fs.block_size = KiB(4);
   cc.fs.cache_blocks = 8192;
   core::Cluster c(cc);
-  c.start_dafs({.piggyback_refs = true});
+  nas::dafs::DafsServerConfig scfg;
+  scfg.piggyback_refs = true;
+  if (policy != WritePolicy::rpc_through) {
+    scfg.writable_refs = true;
+    scfg.coherence = true;
+  }
+  c.start_dafs(scfg);
 
   nas::odafs::OdafsClientConfig cfg;
   cfg.cache.block_size = KiB(4);
   cfg.cache.data_blocks = kNumFiles / 4;  // 25% hit ratio
   cfg.cache.max_headers = kNumFiles * 4;
-  cfg.use_ordma = use_ordma;
+  cfg.use_ordma = true;
   cfg.dafs.completion = msg::Completion::block;
   cfg.read_ahead_window = 1;
+  cfg.write_policy = policy;
   auto client = c.make_odafs_client(0, cfg);
 
   double out = 0;
@@ -42,6 +65,8 @@ double run_cell(bool use_ordma, double read_fraction) {
       auto open = co_await client->open(name);
       ORDMA_CHECK(open.ok());
       fhs.push_back(open.value().fh);
+      // Warm-up read: caches some data, and — the put path's fuel — leaves
+      // a piggybacked (write-capable) reference in every block header.
       (void)co_await client->pread(open.value().fh, 0, buf, KiB(4));
     }
 
@@ -55,6 +80,9 @@ double run_cell(bool use_ordma, double read_fraction) {
         ORDMA_CHECK((co_await client->pwrite(fh, 0, buf, KiB(4))).ok());
       }
     }
+    // Write-back buffers are part of the bill: flush them inside the
+    // timed region so policies are compared on durable work.
+    ORDMA_CHECK((co_await client->sync()).ok());
     out = kOps / (c.engine().now() - t0).to_sec();
   });
   return out;
@@ -68,26 +96,60 @@ int main(int argc, char** argv) {
 
   using namespace ordma;
   using namespace ordma::bench;
+  using nas::odafs::WritePolicy;
 
-  Table t("Ablation A5: ODAFS gain vs read/write mix (4KB ops, 25% client"
-          " cache hit ratio)",
-          {"reads", "DAFS ops/s", "ODAFS ops/s", "ODAFS gain"});
-  const double fracs[] = {1.0, 0.9, 0.75, 0.5};
-  auto cells = sweep(obs_session.jobs(), std::size(fracs) * 2,
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 7) == "--json=") json_path = std::string(arg.substr(7));
+  }
+
+  Table t("Ablation A5: ORDMA write path vs write-through RPC by read/write"
+          " mix (4KB ops, 25% client cache hit ratio)",
+          {"reads", "RPC-wt ops/s", "put ops/s", "wb ops/s", "put gain",
+           "wb gain"});
+  BenchReport report("ablation_read_write");
+  const double fracs[] = {0.9, 0.75, 0.5, 0.25};
+  const WritePolicy policies[] = {WritePolicy::rpc_through,
+                                  WritePolicy::put_through,
+                                  WritePolicy::write_back};
+  auto cells = sweep(obs_session.jobs(), std::size(fracs) * 3,
                      [&](std::size_t i) {
-                       return run_cell(/*use_ordma=*/i % 2 == 1,
-                                       fracs[i / 2]);
+                       return run_cell(policies[i % 3], fracs[i / 3]);
                      });
   for (std::size_t i = 0; i < std::size(fracs); ++i) {
-    const double dafs = cells[i * 2];
-    const double odafs = cells[i * 2 + 1];
-    t.add_row({pct(fracs[i]), fmt("%.0f", dafs), fmt("%.0f", odafs),
-               fmt("%+.0f%%", (odafs - dafs) / dafs * 100.0)});
+    const double rpc = cells[i * 3];
+    const double put = cells[i * 3 + 1];
+    const double wb = cells[i * 3 + 2];
+    t.add_row({pct(fracs[i]), fmt("%.0f", rpc), fmt("%.0f", put),
+               fmt("%.0f", wb), fmt("%+.0f%%", (put - rpc) / rpc * 100.0),
+               fmt("%+.0f%%", (wb - rpc) / rpc * 100.0)});
+    const std::string r = std::to_string(static_cast<int>(fracs[i] * 100));
+    // Simulated-time results reproduce bit-identically: tight bands.
+    report.add("ops_per_sec_rpc_r" + r, rpc, "ops/s",
+               /*higher_is_better=*/true, 0.02);
+    report.add("ops_per_sec_put_r" + r, put, "ops/s",
+               /*higher_is_better=*/true, 0.02);
+    report.add("ops_per_sec_wb_r" + r, wb, "ops/s",
+               /*higher_is_better=*/true, 0.02);
+    report.add("put_vs_rpc_gain_r" + r, put / rpc, "x",
+               /*higher_is_better=*/true, 0.02);
+    report.add("wb_vs_rpc_gain_r" + r, wb / rpc, "x",
+               /*higher_is_better=*/true, 0.02);
   }
   t.print();
   std::printf(
-      "\ntakeaway: writes always travel by RPC (server must update file"
-      " state, §4.2.2), so the ODAFS advantage shrinks with the read"
-      " fraction\n");
+      "\ntakeaway: with writable references a commit is one verified round"
+      " trip instead of a data-bearing RPC (no per-byte server CPU), so the"
+      " write share no longer erases the ODAFS advantage\n");
+
+  if (!json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::printf("bench json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

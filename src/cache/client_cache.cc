@@ -73,6 +73,7 @@ void ClientCache::detach_data(Header& h) {
   free_slots_.push_back(h.data_slot);
   h.data_slot = -1;
   h.valid = 0;
+  h.version = 0;  // version tags the data copy, not the header
 }
 
 mem::Vaddr ClientCache::attach_data(Header& h, Bytes valid_len) {

@@ -9,6 +9,7 @@
 // open/close of the file local — §5.2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -63,8 +64,20 @@ class ClientCache {
     Bytes valid = 0;             // bytes of data valid in the slot
     int pin = 0;                 // pinned blocks are not stolen
     std::optional<RemoteRef> ref;
+    // Coherence bookkeeping (ORDMA write path): the server-block commit
+    // version this data was fetched at (0 = untagged — always dropped by
+    // an invalidation), and the dirty byte range of a write-back block.
+    // Dirty blocks hold a pin (taken by mark_dirty, released by
+    // clear_dirty) so cache pressure cannot steal unflushed data.
+    std::uint64_t version = 0;
+    // Commit version piggybacked with the ref (the newest version this
+    // client has been told about for the block; tags ORDMA refills).
+    std::uint64_t ref_version = 0;
+    Bytes dirty_lo = 0;
+    Bytes dirty_hi = 0;
 
     bool has_data() const { return data_slot >= 0; }
+    bool dirty() const { return dirty_hi > dirty_lo; }
 
    private:
     friend class ClientCache;
@@ -89,6 +102,12 @@ class ClientCache {
 
   // Lookup; counts a hit iff the header holds data. Touches policies.
   Header* find(BlockKey key);
+  // Lookup without perturbing hit/miss counters or replacement state
+  // (used by the invalidation handler, which is not an access).
+  Header* peek(BlockKey key) {
+    auto it = map_.find(key);
+    return it == map_.end() ? nullptr : it->second.get();
+  }
   // Lookup or create the header (possibly evicting a colder header).
   Header& ensure(BlockKey key);
 
@@ -104,6 +123,38 @@ class ClientCache {
 
   // Drop a file's blocks (close without delegation, invalidation).
   void drop_file(std::uint64_t file);
+
+  // Drop just the data copy (server-initiated invalidation): the header —
+  // and its remote ref — survive, so revalidation is one ORDMA, not an
+  // RPC round trip. No-op on dirty or pinned-by-dirty blocks.
+  void drop_data(Header& h) {
+    ORDMA_CHECK(!h.dirty());
+    detach_data(h);
+    h.version = 0;
+  }
+
+  // Write-back dirty tracking. mark_dirty widens the dirty range and pins
+  // the block on the clean→dirty edge; clear_dirty resets it and unpins.
+  void mark_dirty(Header& h, Bytes lo, Bytes hi) {
+    ORDMA_CHECK(h.has_data() && lo < hi && hi <= cfg_.block_size);
+    if (!h.dirty()) {
+      ++h.pin;
+      ++dirty_blocks_;
+      h.dirty_lo = lo;
+      h.dirty_hi = hi;
+    } else {
+      h.dirty_lo = std::min(h.dirty_lo, lo);
+      h.dirty_hi = std::max(h.dirty_hi, hi);
+    }
+  }
+  void clear_dirty(Header& h) {
+    if (!h.dirty()) return;
+    ORDMA_CHECK(h.pin > 0 && dirty_blocks_ > 0);
+    --h.pin;
+    --dirty_blocks_;
+    h.dirty_lo = h.dirty_hi = 0;
+  }
+  std::size_t dirty_blocks() const { return dirty_blocks_; }
 
   // Remote-reference bookkeeping (the ORDMA directory lives in headers).
   std::size_t refs_held() const { return refs_held_; }
@@ -134,6 +185,7 @@ class ClientCache {
   mem::Vaddr slab_ = 0;
   std::vector<int> free_slots_;
   std::size_t refs_held_ = 0;
+  std::size_t dirty_blocks_ = 0;
   std::uint64_t data_hits_ = 0;
   std::uint64_t data_misses_ = 0;
 };

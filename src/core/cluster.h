@@ -190,6 +190,31 @@ class Cluster {
         return static_cast<double>(srv.rpc_server().cksum_drops());
       }, kCumulative);
     }
+    if (dafs_server_) {
+      nas::dafs::DafsServer& srv = *dafs_server_;
+      reg.gauge("server/dafs/put_commits", [&srv] {
+        return static_cast<double>(srv.put_commits());
+      }, kCumulative);
+      reg.gauge("server/dafs/put_rejects", [&srv] {
+        return static_cast<double>(srv.put_rejects());
+      }, kCumulative);
+      reg.gauge("server/dafs/invalidations_sent", [&srv] {
+        return static_cast<double>(srv.invalidations_sent());
+      }, kCumulative);
+      reg.gauge("server/dafs/invalidation_giveups", [&srv] {
+        return static_cast<double>(srv.invalidation_giveups());
+      }, kCumulative);
+      reg.gauge("server/dafs/wb_syncs", [&srv] {
+        return static_cast<double>(srv.wb_syncs());
+      }, kCumulative);
+      nic::Nic& snic = *server_nic_;
+      reg.gauge("server/nic/puts_served", [&snic] {
+        return static_cast<double>(snic.puts_served());
+      }, kCumulative);
+      reg.gauge("server/nic/put_dups_dropped", [&snic] {
+        return static_cast<double>(snic.put_dups_dropped());
+      }, kCumulative);
+    }
     if (injector_) {
       fault::FaultInjector& inj = *injector_;
       reg.gauge("fault/frames_dropped", [&inj] {
@@ -216,6 +241,9 @@ class Cluster {
       }, kCumulative);
       reg.gauge("fault/disk_errors", [&inj] {
         return static_cast<double>(inj.disk_errors());
+      }, kCumulative);
+      reg.gauge("fault/put_revokes", [&inj] {
+        return static_cast<double>(inj.put_revokes());
       }, kCumulative);
     }
     net::Fabric& fab = fabric_;
@@ -259,6 +287,25 @@ class Cluster {
     reg.gauge(p + "/cache/refs_held", [&cl] {
       return static_cast<double>(cl.block_cache().refs_held());
     });
+    // Write path / coherence traffic.
+    reg.gauge(p + "/odafs/puts_issued",
+              [&cl] { return static_cast<double>(cl.puts_issued()); },
+              kCumulative);
+    reg.gauge(p + "/odafs/put_commits",
+              [&cl] { return static_cast<double>(cl.put_commits()); },
+              kCumulative);
+    reg.gauge(p + "/odafs/put_fallbacks",
+              [&cl] { return static_cast<double>(cl.put_fallbacks()); },
+              kCumulative);
+    reg.gauge(p + "/odafs/invalidates_rx",
+              [&cl] { return static_cast<double>(cl.invalidates_rx()); },
+              kCumulative);
+    reg.gauge(p + "/odafs/inval_drops",
+              [&cl] { return static_cast<double>(cl.inval_drops()); },
+              kCumulative);
+    reg.gauge(p + "/odafs/wb_flushes",
+              [&cl] { return static_cast<double>(cl.wb_flushes()); },
+              kCumulative);
   }
 
   // --- experiment helpers ---------------------------------------------------

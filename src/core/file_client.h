@@ -39,6 +39,10 @@ class FileClient {
   virtual sim::Task<Result<OpenResult>> create(const std::string& path) = 0;
   virtual sim::Task<Status> unlink(const std::string& path) = 0;
 
+  // Push any client-side buffered writes to the server (write-back
+  // caches). Write-through protocols have nothing buffered.
+  virtual sim::Task<Status> sync() { co_return Status::Ok(); }
+
   virtual const char* protocol_name() const = 0;
 };
 

@@ -34,6 +34,7 @@ FaultPlan FaultPlan::adversarial(std::uint64_t seed) {
   p.nic.stall = usec(20);
   p.nic.tlb_invalidate = 0.01;
   p.nic.cap_revoke = 0.01;
+  p.nic.put_cap_revoke = 0.01;
   return p;
 }
 
@@ -97,6 +98,16 @@ bool FaultInjector::spurious_cap_revoke() {
   if (armed_ && plan_.nic.cap_revoke > 0 && nic_rng_.chance(plan_.nic.cap_revoke)) {
     ++cap_revokes_;
     note(obs::flight::Ev::fault_cap_revoke);
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::spurious_put_revoke() {
+  if (armed_ && plan_.nic.put_cap_revoke > 0 &&
+      nic_rng_.chance(plan_.nic.put_cap_revoke)) {
+    ++put_revokes_;
+    note(obs::flight::Ev::fault_put_revoke);
     return true;
   }
   return false;

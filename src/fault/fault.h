@@ -44,6 +44,11 @@ struct NicFaults {
   Duration stall = usec(20);
   double tlb_invalidate = 0.0;  // P(spurious TPT/TLB shootdown in resolve)
   double cap_revoke = 0.0;      // P(capability spuriously revoked mid-op)
+  // P(capability spuriously revoked while a put resolves) — fires only on
+  // the write path, so revoke-during-put recovery (partial-put rollback at
+  // the target, replay at the initiator) stays exercised even in plans
+  // that keep reads clean.
+  double put_cap_revoke = 0.0;
 };
 
 struct DiskFaults {
@@ -106,6 +111,7 @@ class FaultInjector {
   // NIC hooks.
   Duration doorbell_stall();      // zero = no stall
   bool spurious_cap_revoke();     // pretend the capability was revoked
+  bool spurious_put_revoke();     // revoke-during-put (write resolve only)
   bool spurious_tlb_invalidate();  // shoot down the segment's TLB entries
 
   // Disk hooks.
@@ -122,6 +128,7 @@ class FaultInjector {
   std::uint64_t frames_delayed() const { return frames_delayed_; }
   std::uint64_t doorbell_stalls() const { return doorbell_stalls_; }
   std::uint64_t cap_revokes() const { return cap_revokes_; }
+  std::uint64_t put_revokes() const { return put_revokes_; }
   std::uint64_t tlb_invalidates() const { return tlb_invalidates_; }
   std::uint64_t disk_errors() const { return disk_errors_; }
   std::uint64_t disk_spikes() const { return disk_spikes_; }
@@ -145,6 +152,7 @@ class FaultInjector {
   std::uint64_t frames_delayed_ = 0;
   std::uint64_t doorbell_stalls_ = 0;
   std::uint64_t cap_revokes_ = 0;
+  std::uint64_t put_revokes_ = 0;
   std::uint64_t tlb_invalidates_ = 0;
   std::uint64_t disk_errors_ = 0;
   std::uint64_t disk_spikes_ = 0;

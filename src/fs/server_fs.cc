@@ -273,6 +273,23 @@ sim::Task<Result<Bytes>> ServerFs::write(Ino ino, Bytes off,
   co_return done;
 }
 
+Status ServerFs::note_put_commit(Ino ino, std::uint64_t fbn,
+                                 Bytes valid_end) {
+  Inode* node = inode(ino);
+  if (!node) return Status(Errc::stale);
+  if (node->attr.type != FileType::regular) {
+    return Status(Errc::invalid_argument);
+  }
+  if (fbn >= node->blocks.size() || valid_end > cfg_.block_size) {
+    return Status(Errc::invalid_argument);  // puts only hit resident blocks
+  }
+  node->attr.size = std::max<Bytes>(node->attr.size,
+                                    fbn * cfg_.block_size + valid_end);
+  node->attr.mtime = host_.engine().now();
+  sync_attr(ino);
+  return Status::Ok();
+}
+
 sim::Task<Status> ServerFs::truncate(Ino ino, Bytes new_size) {
   Inode* node = inode(ino);
   if (!node) co_return Status(Errc::stale);

@@ -77,6 +77,11 @@ class ServerFs {
                                                  bool for_write,
                                                  obs::OpId trace_op = 0);
 
+  // An ORDMA put landed directly in a resident cache block (DAFS
+  // kPutCommit): fold in the metadata effects of a write — size extension
+  // within the block and mtime — without touching the data path.
+  Status note_put_commit(Ino ino, std::uint64_t fbn, Bytes valid_end);
+
   // --- attribute store -------------------------------------------------------
   // Marshalled per-inode attribute records in kernel memory, kept in sync
   // with every metadata mutation, so a NIC can serve getattr by remote

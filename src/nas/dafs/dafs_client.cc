@@ -28,6 +28,28 @@ sim::Task<void> DafsClient::rx_loop() {
     rpc::XdrDecoder dec(msg);
     const std::uint32_t req_id = dec.u32();
     if (!dec.ok()) continue;  // runt frame
+    if ((req_id & kSrvReqBit) != 0) {
+      // Server-initiated frame (cache invalidation). Handled synchronously
+      // — the handler must drop/flag stale state before the ack goes back,
+      // and the receive loop cannot park on an RPC of its own (replies
+      // would never be matched). Retransmitted invalidations re-ack: the
+      // handler is idempotent.
+      const std::uint32_t proc = dec.u32();
+      if (proc == kInvalidate) {
+        const InvalidateMsg inv = decode_invalidate(dec);
+        if (!dec.ok()) continue;
+        ++invalidates_rx_;
+        host_.flight().record(host_.engine().now().ns,
+                              obs::flight::Ev::inval_recv, inv.ino, inv.fbn,
+                              static_cast<std::uint32_t>(inv.version));
+        if (on_invalidate_) on_invalidate_(inv.ino, inv.fbn, inv.version);
+        rpc::XdrEncoder ack;
+        ack.u32(req_id);
+        ack.u32(kInvalidateAck);
+        co_await conn_->send(ack.finish(), /*trace_op=*/0);
+      }
+      continue;
+    }
     auto it = waiting_.find(req_id);
     if (it == waiting_.end()) continue;   // late/duplicate: already answered
     if (it->second->done.is_set()) continue;  // duplicate of this attempt
@@ -100,10 +122,16 @@ sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
 
 void DafsClient::decode_refs(rpc::XdrDecoder& dec, std::uint32_t count,
                              DafsReadResult& out) {
+  // The high bit of the count marks the wider per-record layout with a
+  // trailing commit version (coherence servers only), so plain replies
+  // keep their exact wire size.
+  const bool versioned = (count & kVersionedRefsBit) != 0;
+  count &= ~kVersionedRefsBit;
   out.refs.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::uint64_t fbn = dec.u64();
     out.refs.emplace_back(fbn, decode_ref(dec));
+    if (versioned) out.ref_versions.push_back(dec.u64());
   }
 }
 
@@ -229,6 +257,26 @@ sim::Task<Result<Bytes>> DafsClient::write_direct(
   const auto status = static_cast<Errc>(dec.u32());
   if (status != Errc::ok) co_return status;
   co_return Bytes{dec.u32()};
+}
+
+sim::Task<Result<DafsClient::PutCommitResult>> DafsClient::put_commit(
+    std::uint64_t fh, std::uint64_t fbn, Bytes off, Bytes len,
+    std::uint32_t cksum, std::uint32_t flags, obs::OpId trace_op) {
+  rpc::XdrEncoder args;
+  encode_put_commit(args, PutCommitArgs{fh, fbn,
+                                        static_cast<std::uint32_t>(off),
+                                        static_cast<std::uint32_t>(len),
+                                        cksum, flags});
+  auto reply = co_await call(kPutCommit, std::move(args), trace_op);
+  if (!reply.ok()) co_return reply.status();
+  rpc::XdrDecoder dec(reply.value());
+  const auto status = static_cast<Errc>(dec.u32());
+  if (status != Errc::ok) co_return status;
+  PutCommitResult out;
+  out.n = dec.u32();
+  out.version = dec.u64();
+  if (!dec.ok()) co_return Errc::io_error;
+  co_return out;
 }
 
 sim::Task<Result<std::vector<Bytes>>> DafsClient::read_batch(

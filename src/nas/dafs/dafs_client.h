@@ -8,6 +8,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -59,6 +60,9 @@ struct DafsReadResult {
   net::Buffer inline_data;  // in-line reads only
   // Piggybacked references: (server file block number, reference).
   std::vector<std::pair<std::uint64_t, cache::RemoteRef>> refs;
+  // Per-ref commit versions (coherence mode only; parallel to `refs`,
+  // empty when the server sent unversioned records).
+  std::vector<std::uint64_t> ref_versions;
 };
 
 class DafsClient : public core::FileClient {
@@ -86,6 +90,33 @@ class DafsClient : public core::FileClient {
                                         Bytes len, mem::Vaddr nic_va,
                                         const crypto::Capability& cap,
                                         obs::OpId trace_op = 0);
+
+  // Commit an optimistic ORDMA put (kPutCommit): the client has already
+  // RDMA-written `len` bytes at offset `off` into server block (fh, fbn)
+  // through a piggybacked write reference; this one round trip asks the
+  // server to verify the NIC's placement record against `cksum` and make
+  // the bytes durable-visible. Returns the block's new commit version
+  // (0 when the server runs without coherence).
+  struct PutCommitResult {
+    Bytes n = 0;
+    std::uint64_t version = 0;
+  };
+  sim::Task<Result<PutCommitResult>> put_commit(std::uint64_t fh,
+                                                std::uint64_t fbn, Bytes off,
+                                                Bytes len, std::uint32_t cksum,
+                                                std::uint32_t flags,
+                                                obs::OpId trace_op = 0);
+
+  // Server-initiated invalidation callback (coherence): called from the
+  // receive loop — synchronously, before the ack goes back — with the
+  // server block's (ino, fbn, new version). Must not await.
+  using InvalidateHandler =
+      std::function<void(std::uint64_t ino, std::uint64_t fbn,
+                         std::uint64_t version)>;
+  void set_invalidate_handler(InvalidateHandler h) {
+    on_invalidate_ = std::move(h);
+  }
+  std::uint64_t invalidates_rx() const { return invalidates_rx_; }
 
   struct BatchEntry {
     std::uint64_t fh = 0;
@@ -180,6 +211,8 @@ class DafsClient : public core::FileClient {
   std::uint64_t retransmits_ = 0;
   std::uint64_t timeouts_ = 0;
   std::uint64_t integrity_retries_ = 0;
+  std::uint64_t invalidates_rx_ = 0;
+  InvalidateHandler on_invalidate_;
 
   std::deque<Registered> regs_;
   cache::DelegationTable delegations_;

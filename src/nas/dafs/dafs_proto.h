@@ -26,6 +26,24 @@ enum Proc : std::uint32_t {
   kCreate = 8,       // (path) → (fh u64, size u64)
   kRemove = 9,       // (path) → ()
   kReadBatch = 10,   // (count u32, [fh,off,len,va,cap]...) → ([n u32]...)
+  // ORDMA write path (§4 capability design, optimistic puts): the client
+  // RDMA-writes into an exported server cache block, then asks the server
+  // to commit what landed. The server verifies the NIC's last-put record
+  // (O(1), no per-byte CPU) instead of touching the data.
+  kPutCommit = 11,   // (PutCommitArgs) → (n u32, version u64)
+  // Server→client coherence traffic. These ride the data connection with
+  // the high req_id bit set (kSrvReqBit) so the client's reply-matching
+  // loop can tell them from RPC replies. kInvalidateAck is the client's
+  // response frame; it carries no reply of its own.
+  kInvalidate = 12,     // (InvalidateMsg) — server-initiated
+  kInvalidateAck = 13,  // (echoed server req_id | proc) — client → server
 };
+
+// Server-initiated frames use req_ids with this bit set; client-chosen
+// req_ids start at 1 and never reach it.
+inline constexpr std::uint32_t kSrvReqBit = 0x80000000u;
+
+// PutCommitArgs flag bits.
+inline constexpr std::uint32_t kPutFlagWriteback = 1u;  // write-back flush
 
 }  // namespace ordma::nas::dafs

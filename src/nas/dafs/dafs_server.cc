@@ -28,6 +28,17 @@ DafsServer::DafsServer(host::Host& host, fs::ServerFs& fs,
     }
   });
   host_.engine().spawn(accept_loop());
+  if (cfg_.flush_interval.ns > 0) host_.engine().spawn(flush_loop());
+}
+
+sim::Task<void> DafsServer::flush_loop() {
+  // Deferred write-back of put-dirtied blocks: committed puts sit dirty in
+  // the buffer cache until the periodic sweep (or eviction) flushes them.
+  for (;;) {
+    co_await host_.engine().delay(cfg_.flush_interval);
+    auto st = co_await fs_.cache().sync();
+    if (st.ok()) ++wb_syncs_;
+  }
 }
 
 sim::Task<void> DafsServer::accept_loop() {
@@ -44,10 +55,34 @@ sim::Task<void> DafsServer::serve_connection(
   // replies to requests by req_id.
   msg::ViConnection& c = *conn;
   auto cache = std::make_shared<ConnCache>();
+  auto state = std::make_shared<ConnState>();
+  state->id = next_conn_id_++;
+  state->conn = &c;
+  conns_.emplace(state->id, state);
   for (;;) {
     nic::Nic::GmMessage msg = co_await c.recv_msg();
+    {
+      // Frames answering a server-initiated request (req_id high bit) are
+      // matched to their waiter right here — they are acks, not requests:
+      // no dedup cache, no handler, no reply.
+      rpc::XdrDecoder peek(msg.data);
+      const std::uint32_t rid = peek.u32();
+      const std::uint32_t proc = peek.u32();
+      if (peek.ok() && (rid & kSrvReqBit) != 0) {
+        if (proc == kInvalidateAck) {
+          host_.flight().record(host_.engine().now().ns,
+                                obs::flight::Ev::inval_ack, rid);
+          if (auto it = state->waiting.find(rid);
+              it != state->waiting.end() && !it->second->done.is_set()) {
+            it->second->done.set();  // re-acked duplicates are ignored
+          }
+        }
+        continue;
+      }
+    }
     host_.engine().spawn([](DafsServer& srv, msg::ViConnection& c,
                             std::shared_ptr<ConnCache> cache,
+                            std::shared_ptr<ConnState> state,
                             nic::Nic::GmMessage msg) -> sim::Task<void> {
       const obs::OpId op = msg.trace_op;
       std::uint32_t req_id = 0;
@@ -67,7 +102,8 @@ sim::Task<void> DafsServer::serve_connection(
         ++srv.dup_drops_;  // original still executing; its reply will do
         co_return;
       }
-      net::Buffer reply = co_await srv.handle(c, std::move(msg.data), op);
+      net::Buffer reply =
+          co_await srv.handle(c, std::move(msg.data), op, state->id);
       cache->in_progress.erase(req_id);
       // Large replies (inline read data) are not worth caching; those
       // requests are idempotent and simply re-execute on a late duplicate.
@@ -80,16 +116,23 @@ sim::Task<void> DafsServer::serve_connection(
         }
       }
       co_await c.send(std::move(reply), op);
-    }(*this, c, cache, std::move(msg)));
+    }(*this, c, cache, state, std::move(msg)));
   }
 }
 
 void DafsServer::piggyback(rpc::XdrEncoder& out, fs::Ino ino,
-                           std::uint64_t fbn, fs::CacheBlock& blk) {
+                           std::uint64_t fbn, fs::CacheBlock& blk,
+                           std::uint64_t version) {
+  // With the write path on, blocks are exported read-write so the same
+  // reference serves gets and optimistic puts. Coherence appends the
+  // block's commit version to each record (kVersionedRefsBit signals the
+  // wider layout so plain ODAFS replies keep their exact wire size).
+  const auto perm = cfg_.writable_refs ? crypto::SegPerm::read_write
+                                       : crypto::SegPerm::read;
   if (blk.export_seg == 0) {
-    auto cap = host_.nic().export_segment(
-        fs_.cache().space(), blk.va, fs_.block_size(),
-        crypto::SegPerm::read, /*pin_now=*/false);
+    auto cap = host_.nic().export_segment(fs_.cache().space(), blk.va,
+                                          fs_.block_size(), perm,
+                                          /*pin_now=*/false);
     if (!cap.ok()) return;  // can't export (e.g. TPT pressure): no ref
     blk.export_seg = cap.value().segment_id;
     ++exported_;
@@ -97,6 +140,7 @@ void DafsServer::piggyback(rpc::XdrEncoder& out, fs::Ino ino,
     encode_ref(out, cache::RemoteRef{cap.value().segment_id,
                                      cap.value().base, fs_.block_size(),
                                      cap.value()});
+    if (cfg_.coherence) out.u64(version);
     return;
   }
   auto cap = host_.nic().capability_for(blk.export_seg);
@@ -104,6 +148,7 @@ void DafsServer::piggyback(rpc::XdrEncoder& out, fs::Ino ino,
   out.u64(fbn);
   encode_ref(out, cache::RemoteRef{blk.export_seg, cap.value().base,
                                    fs_.block_size(), cap.value()});
+  if (cfg_.coherence) out.u64(version);
 }
 
 void DafsServer::encode_attr_ref(rpc::XdrEncoder& out, fs::Ino ino) {
@@ -134,7 +179,8 @@ void DafsServer::encode_attr_ref(rpc::XdrEncoder& out, fs::Ino ino) {
 sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
                                     rpc::XdrDecoder& dec,
                                     rpc::XdrEncoder& out, bool direct,
-                                    obs::OpId trace_op) {
+                                    obs::OpId trace_op,
+                                    std::uint64_t conn_id) {
   const fs::Ino ino = dec.u64();
   const Bytes off = dec.u64();
   const Bytes len = dec.u32();
@@ -172,13 +218,23 @@ sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
       out.u32(err_u32(blk.code()));
       co_return;
     }
+    // Coherence: capture the commit version BEFORE reading the bytes (both
+    // in the same instant — no await point between them), so the version
+    // tag can never be newer than the data it describes, and register this
+    // connection as a holder so later writers invalidate it.
+    std::uint64_t version = 0;
+    if (cfg_.coherence) {
+      auto& se = share_[fs::CacheKey{ino, fbn}];
+      version = se.version;
+      se.holders.insert(conn_id);
+    }
     ORDMA_CHECK(host_.kernel_as()
                     .read(blk.value()->va + boff,
                           std::span<std::byte>(data.data() + done, chunk))
                     .ok());
     if (cfg_.piggyback_refs) {
       const auto before = refs.size();
-      piggyback(refs, ino, fbn, *blk.value());
+      piggyback(refs, ino, fbn, *blk.value(), version);
       if (refs.size() > before) ++ref_count;
     }
     done += chunk;
@@ -189,7 +245,9 @@ sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
   // Direct reads deliver the data by unacked RDMA write; the checksum lets
   // the client verify the bytes actually landed (and retry if not).
   out.u32(data_checksum(data));
-  out.u32(ref_count);
+  out.u32(cfg_.coherence && cfg_.piggyback_refs
+              ? (ref_count | kVersionedRefsBit)
+              : ref_count);
   const auto ref_bytes = refs.take();
   out.raw(ref_bytes);
 
@@ -212,7 +270,8 @@ sim::Task<void> DafsServer::do_read(msg::ViConnection& conn,
 sim::Task<void> DafsServer::do_write(msg::ViConnection& conn,
                                      rpc::XdrDecoder& dec,
                                      rpc::XdrEncoder& out, bool direct,
-                                     obs::OpId trace_op) {
+                                     obs::OpId trace_op,
+                                     std::uint64_t conn_id) {
   const fs::Ino ino = dec.u64();
   const Bytes off = dec.u64();
 
@@ -241,6 +300,16 @@ sim::Task<void> DafsServer::do_write(msg::ViConnection& conn,
   if (!n.ok()) {
     out.u32(err_u32(n.code()));
     co_return;
+  }
+  if (cfg_.coherence && n.value() > 0) {
+    // RPC writes commit through the same per-block protocol as puts: bump
+    // the version and invalidate every other holder before replying.
+    const Bytes bs = fs_.block_size();
+    const std::uint64_t first = off / bs;
+    const std::uint64_t last = (off + n.value() - 1) / bs;
+    for (std::uint64_t fbn = first; fbn <= last; ++fbn) {
+      co_await commit_block(ino, fbn, conn_id, trace_op);
+    }
   }
   out.u32(0);
   out.u32(static_cast<std::uint32_t>(n.value()));
@@ -297,9 +366,159 @@ sim::Task<void> DafsServer::do_read_batch(msg::ViConnection& conn,
   for (auto n : ns) out.u32(n);
 }
 
+sim::Task<void> DafsServer::do_put_commit(msg::ViConnection& conn,
+                                          rpc::XdrDecoder& dec,
+                                          rpc::XdrEncoder& out,
+                                          obs::OpId trace_op,
+                                          std::uint64_t conn_id) {
+  const PutCommitArgs a = decode_put_commit(dec);
+  if (!dec.ok() || a.len == 0 ||
+      static_cast<Bytes>(a.off) + a.len > fs_.block_size()) {
+    out.u32(err_u32(Errc::invalid_argument));
+    co_return;
+  }
+  if (!cfg_.writable_refs) {
+    out.u32(err_u32(Errc::not_supported));
+    co_return;
+  }
+  const fs::Ino ino = a.fh;
+  const auto reject = [&](Errc e) {
+    ++put_rejects_;
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::put_reject, ino, a.fbn,
+                          static_cast<std::uint32_t>(e));
+    out.u32(err_u32(e));
+  };
+
+  // The put must have landed in the (still resident, still exported) cache
+  // block this reference named. `revoked` tells the client its reference
+  // is dead — fall back to an RPC write; `io_error` means the put itself
+  // went missing or was overtaken (fault, loss, concurrent writer) — the
+  // client simply replays the put.
+  fs::CacheBlock* blk = fs_.cache().peek(fs::CacheKey{ino, a.fbn});
+  if (blk == nullptr || !blk->valid || blk->export_seg == 0) {
+    reject(Errc::revoked);
+    co_return;
+  }
+  auto cap = host_.nic().capability_for(blk->export_seg);
+  if (!cap.ok()) {
+    reject(Errc::revoked);
+    co_return;
+  }
+  const nic::Nic::PutRecord* rec = host_.nic().last_put(blk->export_seg);
+  if (rec == nullptr || rec->src != conn.peer_node() ||
+      rec->va != cap.value().base + a.off || rec->len != a.len ||
+      rec->cksum != a.cksum) {
+    reject(Errc::io_error);
+    co_return;
+  }
+
+  // Verified by the NIC's placement record: commit without ever touching
+  // the data on the host CPU. The block stays dirty in the cache for the
+  // deferred flush.
+  fs::BufferCache::pin(*blk);
+  fs_.cache().mark_dirty(*blk);
+  blk->valid_len = std::max<Bytes>(blk->valid_len, a.off + a.len);
+  auto st = fs_.note_put_commit(ino, a.fbn, a.off + a.len);
+  fs::BufferCache::unpin(*blk);
+  if (!st.ok()) {
+    reject(st.code());
+    co_return;
+  }
+  ++put_commits_;
+  std::uint64_t version = 0;
+  if (cfg_.coherence) {
+    version = co_await commit_block(ino, a.fbn, conn_id, trace_op);
+  }
+  out.u32(0);
+  out.u32(a.len);
+  out.u64(version);
+}
+
+sim::Task<std::uint64_t> DafsServer::commit_block(fs::Ino ino,
+                                                  std::uint64_t fbn,
+                                                  std::uint64_t writer_conn,
+                                                  obs::OpId trace_op) {
+  const fs::CacheKey key{ino, fbn};
+  const std::uint64_t version = ++share_[key].version;
+  // Content fingerprint for the oracle, captured at the bump instant (the
+  // commit's content) — later puts can overwrite the block while we await
+  // invalidation acks below.
+  std::uint32_t cksum = 0;
+  if (observer_) {
+    if (const auto* blk = fs_.cache().peek(key);
+        blk != nullptr && blk->valid && blk->valid_len > 0) {
+      std::vector<std::byte> bytes(blk->valid_len);
+      ORDMA_CHECK(host_.kernel_as().read(blk->va, bytes).ok());
+      cksum = data_checksum(bytes);
+    }
+  }
+  // Snapshot the holders (sorted: deterministic delivery order) and
+  // invalidate everyone but the writer BEFORE declaring the commit, so no
+  // stale cached copy survives past the commit point. share_ may rehash
+  // while we await acks, so re-look-up instead of holding a reference.
+  std::vector<std::uint64_t> holders;
+  {
+    const auto& se = share_[key];
+    holders.assign(se.holders.begin(), se.holders.end());
+  }
+  std::sort(holders.begin(), holders.end());
+  for (const auto h : holders) {
+    if (h == writer_conn) continue;
+    if (!co_await send_invalidate(h, ino, fbn, version, trace_op)) {
+      share_[key].holders.erase(h);  // unresponsive: stop notifying it
+    }
+  }
+  if (writer_conn != 0) share_[key].holders.insert(writer_conn);
+  host_.flight().record(host_.engine().now().ns,
+                        obs::flight::Ev::put_commit, ino, fbn,
+                        static_cast<std::uint32_t>(version));
+  if (observer_) {
+    observer_(ino, fbn, version, writer_conn, host_.engine().now(), cksum);
+  }
+  co_return version;
+}
+
+sim::Task<bool> DafsServer::send_invalidate(std::uint64_t conn_id,
+                                            fs::Ino ino, std::uint64_t fbn,
+                                            std::uint64_t version,
+                                            obs::OpId trace_op) {
+  auto cit = conns_.find(conn_id);
+  if (cit == conns_.end()) co_return true;  // connection gone: nothing holds
+  auto cs = cit->second;
+  const std::uint32_t rid = kSrvReqBit | cs->next_srv_req++;
+  auto waiter = std::make_unique<SrvWaiter>(host_.engine());
+  SrvWaiter& w = *waiter;
+  cs->waiting.emplace(rid, std::move(waiter));
+
+  rpc::XdrEncoder enc;
+  enc.u32(rid);
+  enc.u32(kInvalidate);
+  encode_invalidate(enc, InvalidateMsg{ino, fbn, version});
+  const net::Buffer frame = enc.finish();
+
+  // Lossy network: retransmit the invalidation (same server req_id — the
+  // client side is idempotent and re-acks) a bounded number of times, then
+  // give up and drop the holder: its next read re-registers it.
+  bool acked = false;
+  for (unsigned attempt = 1; attempt <= cfg_.inval_max_attempts; ++attempt) {
+    ++invals_sent_;
+    host_.flight().record(host_.engine().now().ns,
+                          obs::flight::Ev::inval_send, ino, fbn, attempt);
+    co_await cs->conn->send(net::Buffer(frame), trace_op);
+    if (co_await w.done.wait_for(cfg_.inval_timeout)) {
+      acked = true;
+      break;
+    }
+  }
+  cs->waiting.erase(rid);
+  if (!acked) ++inval_giveups_;
+  co_return acked;
+}
+
 sim::Task<net::Buffer> DafsServer::handle(msg::ViConnection& conn,
-                                          net::Buffer msg,
-                                          obs::OpId trace_op) {
+                                          net::Buffer msg, obs::OpId trace_op,
+                                          std::uint64_t conn_id) {
   const auto& cm = host_.costs();
   rpc::XdrDecoder dec(msg);
   const std::uint32_t req_id = dec.u32();
@@ -352,16 +571,19 @@ sim::Task<net::Buffer> DafsServer::handle(msg::ViConnection& conn,
       out.u32(0);
       break;
     case kReadInline:
-      co_await do_read(conn, dec, out, /*direct=*/false, trace_op);
+      co_await do_read(conn, dec, out, /*direct=*/false, trace_op, conn_id);
       break;
     case kReadDirect:
-      co_await do_read(conn, dec, out, /*direct=*/true, trace_op);
+      co_await do_read(conn, dec, out, /*direct=*/true, trace_op, conn_id);
       break;
     case kWriteInline:
-      co_await do_write(conn, dec, out, /*direct=*/false, trace_op);
+      co_await do_write(conn, dec, out, /*direct=*/false, trace_op, conn_id);
       break;
     case kWriteDirect:
-      co_await do_write(conn, dec, out, /*direct=*/true, trace_op);
+      co_await do_write(conn, dec, out, /*direct=*/true, trace_op, conn_id);
+      break;
+    case kPutCommit:
+      co_await do_put_commit(conn, dec, out, trace_op, conn_id);
       break;
     case kGetattr: {
       auto attr = fs_.getattr(dec.u64());

@@ -21,7 +21,20 @@ OdafsClient::OdafsClient(host::Host& host, net::NodeId server,
       cfg_(cfg),
       dafs_(host, server, cfg.dafs),
       cache_(host, cfg.cache),
-      trk_app_(host.name(), "app") {}
+      trk_app_(host.name(), "app") {
+  dafs_.set_invalidate_handler(
+      [this](std::uint64_t ino, std::uint64_t fbn, std::uint64_t version) {
+        handle_invalidate(ino, fbn, version);
+      });
+}
+
+std::size_t OdafsClient::writeback_high_water() const {
+  const std::size_t cap = std::max<std::size_t>(1, cache_.data_capacity() / 2);
+  if (cfg_.writeback_high_water != 0) {
+    return std::min(cfg_.writeback_high_water, cap);
+  }
+  return std::max<std::size_t>(1, cache_.data_capacity() / 4);
+}
 
 sim::Task<Status> OdafsClient::ensure_slab_registered(obs::OpId op) {
   if (slab_reg_) co_return Status::Ok();
@@ -50,7 +63,8 @@ void OdafsClient::store_refs(std::uint64_t fh,
   const Bytes cbs = cache_.block_size();
   const Bytes sbs = server_block_;
   if (cbs > sbs) return;  // one client block would need multiple ORDMAs
-  for (const auto& [server_fbn, ref] : res.refs) {
+  for (std::size_t r = 0; r < res.refs.size(); ++r) {
+    const auto& [server_fbn, ref] = res.refs[r];
     const Bytes server_off = server_fbn * sbs;
     for (Bytes sub = 0; sub + cbs <= sbs; sub += cbs) {
       const std::uint64_t idx = (server_off + sub) / cbs;
@@ -59,6 +73,11 @@ void OdafsClient::store_refs(std::uint64_t fh,
       sub_ref.va = ref.va + sub;
       sub_ref.len = cbs;
       cache_.set_ref(hdr, sub_ref);
+      // Coherence servers piggyback the block's commit version; remember
+      // the newest one seen so refills can be tagged conservatively.
+      if (r < res.ref_versions.size()) {
+        hdr.ref_version = std::max(hdr.ref_version, res.ref_versions[r]);
+      }
     }
   }
 }
@@ -124,78 +143,98 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     co_return &hdr;
   }
 
-  // --- ORDMA fast path (§4.2) --------------------------------------------
-  if (cfg_.use_ordma && hdr.ref) {
-    const auto ref = *hdr.ref;
-    auto res = co_await host_.nic().gm_get(dafs_.server_node(), ref.va,
-                                           want, ref.cap, op);
-    co_await charge_pickup(op);
-    if (res.ok()) {
-      ++ordma_reads_;
-      cache_.attach_data(hdr, want);
-      cache_.write_block(hdr, res.value().view());  // NIC-placed: no copy
-      co_return &hdr;
-    }
-    // Recoverable exception: drop the stale reference, retry via RPC.
-    ++ordma_faults_;
-    cache_.clear_ref(hdr);
-  }
+  // The fill runs in rounds: normally exactly one, but a server
+  // invalidation that races the fill poisons it (the gathered bytes may
+  // predate the committed write) and the round repeats. Bounded so a
+  // revalidation storm surfaces as a clean error instead of livelock.
+  constexpr unsigned kMaxPoisonRounds = 16;
+  for (unsigned round = 0;; ++round) {
+    flight->poisoned = false;
+    bool filled = false;
 
-  // --- RPC path (bounded retry; direct fills verified by checksum) ---------
-  ++rpc_reads_;
-  dafs::DafsReadResult result;
-  bool filled = false;
-  Status last = Status(Errc::io_error);
-  for (unsigned attempt = 1;
-       !filled && attempt <= cfg_.max_fetch_attempts; ++attempt) {
-    if (cfg_.inline_rpc) {
-      auto res = co_await dafs_.read_inline(fh, block_off, want, op);
-      if (!res.ok()) {
-        last = res.status();
-        if (fetch_retryable(last.code())) continue;
-        co_return last;
+    // --- ORDMA fast path (§4.2) --------------------------------------------
+    if (cfg_.use_ordma && hdr.ref) {
+      const auto ref = *hdr.ref;
+      auto res = co_await host_.nic().gm_get(dafs_.server_node(), ref.va,
+                                             want, ref.cap, op);
+      co_await charge_pickup(op);
+      if (res.ok()) {
+        ++ordma_reads_;
+        cache_.attach_data(hdr, want);
+        cache_.write_block(hdr, res.value().view());  // NIC-placed: no copy
+        filled = true;
+      } else {
+        // Recoverable exception: drop the stale reference, retry via RPC.
+        ++ordma_faults_;
+        cache_.clear_ref(hdr);
       }
-      result = std::move(res.value());
-      cache_.attach_data(hdr, result.n);
-      // In-line data must be copied from the communication buffer into the
-      // file cache (the Table 3 "in cache" copy).
-      co_await host_.copy(result.n, op);
-      cache_.write_block(hdr, result.inline_data.view().subspan(0, result.n));
-      filled = true;
-    } else {
-      const mem::Vaddr va = cache_.attach_data(hdr, want);
-      auto res = co_await dafs_.read_direct(fh, block_off, want,
-                                            slab_reg_->nic_va(va),
-                                            slab_reg_->cap, op);
-      if (!res.ok()) {
-        last = res.status();
-        if (fetch_retryable(last.code())) continue;
-        co_return last;
-      }
-      // The server's RDMA write into the cache slab is unacked: verify the
-      // landed bytes before exposing the block to readers.
-      std::vector<std::byte> landed(res.value().n);
-      if (!landed.empty() && !host_.user_as().read(va, landed).ok()) {
-        co_return Errc::access_fault;
-      }
-      if (data_checksum(landed) != res.value().data_cksum) {
-        ++integrity_retries_;
-        last = Status(Errc::io_error);
-        continue;
-      }
-      result = std::move(res.value());
-      hdr.valid = result.n;
-      filled = true;
     }
+
+    // --- RPC path (bounded retry; direct fills verified by checksum) -------
+    if (!filled) {
+      ++rpc_reads_;
+      dafs::DafsReadResult result;
+      Status last = Status(Errc::io_error);
+      for (unsigned attempt = 1;
+           !filled && attempt <= cfg_.max_fetch_attempts; ++attempt) {
+        if (cfg_.inline_rpc) {
+          auto res = co_await dafs_.read_inline(fh, block_off, want, op);
+          if (!res.ok()) {
+            last = res.status();
+            if (fetch_retryable(last.code())) continue;
+            co_return last;
+          }
+          result = std::move(res.value());
+          cache_.attach_data(hdr, result.n);
+          // In-line data must be copied from the communication buffer into
+          // the file cache (the Table 3 "in cache" copy).
+          co_await host_.copy(result.n, op);
+          cache_.write_block(hdr,
+                             result.inline_data.view().subspan(0, result.n));
+          filled = true;
+        } else {
+          const mem::Vaddr va = cache_.attach_data(hdr, want);
+          auto res = co_await dafs_.read_direct(fh, block_off, want,
+                                                slab_reg_->nic_va(va),
+                                                slab_reg_->cap, op);
+          if (!res.ok()) {
+            last = res.status();
+            if (fetch_retryable(last.code())) continue;
+            co_return last;
+          }
+          // The server's RDMA write into the cache slab is unacked: verify
+          // the landed bytes before exposing the block to readers.
+          std::vector<std::byte> landed(res.value().n);
+          if (!landed.empty() && !host_.user_as().read(va, landed).ok()) {
+            co_return Errc::access_fault;
+          }
+          if (data_checksum(landed) != res.value().data_cksum) {
+            ++integrity_retries_;
+            last = Status(Errc::io_error);
+            continue;
+          }
+          result = std::move(res.value());
+          hdr.valid = result.n;
+          filled = true;
+        }
+      }
+      if (!filled) {
+        ++fetch_give_ups_;
+        obs::flight::note_giveup(host_.flight(), host_.engine().now().ns, op,
+                                 static_cast<std::uint64_t>(last.code()));
+        co_return last;
+      }
+      store_refs(fh, result);
+    }
+
+    // Tag the data copy with the newest commit version this client knows
+    // for the block (conservative: the gathered bytes are at least this
+    // new), so invalidations can tell stale copies from fresh ones.
+    hdr.version = hdr.ref_version;
+    if (!flight->poisoned) co_return &hdr;
+    if (round + 1 >= kMaxPoisonRounds) co_return Errc::io_error;
+    ++inval_refetches_;
   }
-  if (!filled) {
-    ++fetch_give_ups_;
-    obs::flight::note_giveup(host_.flight(), host_.engine().now().ns, op,
-                             static_cast<std::uint64_t>(last.code()));
-    co_return last;
-  }
-  store_refs(fh, result);
-  co_return &hdr;
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +258,12 @@ sim::Task<Result<core::OpenResult>> OdafsClient::open(
 }
 
 sim::Task<Status> OdafsClient::close(std::uint64_t fh) {
+  if (cfg_.use_ordma && cfg_.write_policy == WritePolicy::write_back) {
+    // close-to-open consistency: dirty blocks reach the server before the
+    // close RPC does.
+    auto st = co_await sync();
+    if (!st.ok()) co_return st;
+  }
   co_return co_await dafs_.close(fh);
 }
 
@@ -324,9 +369,41 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite(std::uint64_t fh, Bytes off,
   co_return r;
 }
 
+void OdafsClient::apply_local_write(std::uint64_t fh, Bytes off,
+                                    std::span<const std::byte> data,
+                                    std::uint64_t version) {
+  // Update any cached blocks the write covers (in place — outstanding
+  // references stay usable). A non-zero commit version retags the copies:
+  // they now hold the committed bytes.
+  const Bytes cbs = cache_.block_size();
+  Bytes done = 0;
+  while (done < data.size()) {
+    const Bytes pos = off + done;
+    const std::uint64_t idx = pos / cbs;
+    const Bytes boff = pos % cbs;
+    const Bytes chunk = std::min<Bytes>(data.size() - done, cbs - boff);
+    if (auto* h = cache_.find(cache::BlockKey{fh, idx});
+        h && h->has_data()) {
+      ORDMA_CHECK(host_.user_as()
+                      .write(cache_.block_va(*h) + boff,
+                             data.subspan(done, chunk))
+                      .ok());
+      h->valid = std::max<Bytes>(h->valid, boff + chunk);
+      if (version != 0) {
+        h->version = std::max(h->version, version);
+        h->ref_version = std::max(h->ref_version, version);
+      }
+    }
+    done += chunk;
+  }
+}
+
 sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
                                                 mem::Vaddr user_va, Bytes len,
                                                 obs::OpId op) {
+  if (cfg_.use_ordma && cfg_.write_policy == WritePolicy::write_back) {
+    co_return co_await pwrite_wb(fh, off, user_va, len, op);
+  }
   co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
   // Write-through: update the server, then refresh our cached copy. Server
   // cache blocks are updated in place so outstanding references stay
@@ -335,6 +412,42 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
   if (!host_.user_as().read(user_va, data).ok()) {
     co_return Errc::access_fault;
   }
+
+  if (cfg_.use_ordma && cfg_.write_policy == WritePolicy::put_through &&
+      server_block_ != 0 && len > 0) {
+    // Optimistic ORDMA write-through: per covered server block, put the
+    // bytes straight into the server's cache block and commit with one
+    // round trip; pieces without a usable reference degrade to RPC.
+    const Bytes sbs = server_block_;
+    Bytes done = 0;
+    while (done < len) {
+      const Bytes pos = off + done;
+      const Bytes piece = std::min<Bytes>(len - done, sbs - pos % sbs);
+      const std::span<const std::byte> bytes(data.data() + done, piece);
+      std::uint64_t version = 0;
+      auto v = co_await put_piece(fh, pos, bytes, 0, op);
+      if (v.ok()) {
+        version = v.value();
+      } else if (v.code() == Errc::not_found || v.code() == Errc::revoked ||
+                 v.code() == Errc::not_supported) {
+        ++put_fallbacks_;
+        Result<Bytes> n = Errc::io_error;
+        for (unsigned a = 1; a <= cfg_.max_fetch_attempts; ++a) {
+          n = co_await dafs_.write_inline(fh, pos, bytes, op);
+          if (n.ok() || !fetch_retryable(n.code())) break;
+        }
+        if (!n.ok()) co_return n.status();
+      } else {
+        co_return v.status();
+      }
+      apply_local_write(fh, pos, bytes, version);
+      done += piece;
+    }
+    auto& size = sizes_[fh];
+    size = std::max<Bytes>(size, off + len);
+    co_return len;
+  }
+
   // Idempotent write-through: re-issue (bounded) when the request gave up
   // on retransmits or hit a transient error.
   Result<Bytes> n = Errc::io_error;
@@ -347,26 +460,275 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
   auto& size = sizes_[fh];
   size = std::max<Bytes>(size, off + n.value());
 
-  // Update any cached blocks the write covers.
+  apply_local_write(
+      fh, off, std::span<const std::byte>(data.data(), n.value()), 0);
+  co_return n.value();
+}
+
+sim::Task<Result<std::uint64_t>> OdafsClient::put_piece(
+    std::uint64_t fh, Bytes pos, std::span<const std::byte> data,
+    std::uint32_t flags, obs::OpId op) {
+  if (!cfg_.use_ordma || server_block_ == 0) co_return Errc::not_supported;
   const Bytes cbs = cache_.block_size();
+  const Bytes sbs = server_block_;
+  if (cbs > sbs || data.empty()) co_return Errc::not_supported;
+  const std::uint64_t sfbn = pos / sbs;
+  const Bytes soff = pos % sbs;
+  ORDMA_CHECK(soff + data.size() <= sbs);
+
+  // Any sibling client block of the server block may hold a usable write
+  // reference: the piggybacked capability covers the whole exported server
+  // block, so cap.base is the block's base NIC address.
+  const std::uint64_t first = sfbn * sbs / cbs;
+  const std::uint64_t count = sbs / cbs;
+  std::optional<crypto::Capability> cap;
+  for (std::uint64_t i = 0; i < count && !cap; ++i) {
+    if (auto* h = cache_.peek(cache::BlockKey{fh, first + i});
+        h && h->ref &&
+        crypto::allows(h->ref->cap.perm, crypto::SegPerm::write)) {
+      cap = h->ref->cap;
+    }
+  }
+  if (!cap) co_return Errc::not_found;
+
+  const std::uint32_t cksum = data_checksum(data);
+  Status last = Status(Errc::io_error);
+  for (unsigned attempt = 1; attempt <= cfg_.max_fetch_attempts; ++attempt) {
+    // Unacked put: VI in-order delivery guarantees the commit RPC below
+    // arrives at the server after the written bytes did.
+    ++puts_issued_;
+    auto put = co_await host_.nic().gm_put(dafs_.server_node(),
+                                           cap->base + soff,
+                                           net::Buffer::copy_of(data), *cap,
+                                           /*wait_ack=*/false, op);
+    if (!put.ok()) {
+      last = put;
+      if (fetch_retryable(put.code())) continue;
+      break;
+    }
+    auto res = co_await dafs_.put_commit(fh, sfbn, soff, data.size(), cksum,
+                                         flags, op);
+    if (res.ok()) {
+      ++put_commits_;
+      co_return res.value().version;
+    }
+    const Errc e = res.code();
+    if (e != Errc::timed_out) ++put_rejects_;
+    if (e == Errc::revoked || e == Errc::not_supported) {
+      // Reference dead server-side: drop every covered reference so the
+      // caller (and future writes) go straight to RPC until refreshed.
+      for (std::uint64_t i = 0; i < count; ++i) {
+        if (auto* h = cache_.peek(cache::BlockKey{fh, first + i});
+            h && h->ref) {
+          cache_.clear_ref(*h);
+        }
+      }
+      co_return e;
+    }
+    // io_error = the put was lost or overtaken at the NIC (e.g. a revoke
+    // fault between placement and commit); timed_out = commit gave up on
+    // retransmits. Both: replay put + commit.
+    last = res.status();
+    if (!fetch_retryable(e)) break;
+  }
+  co_return last;
+}
+
+sim::Task<Result<Bytes>> OdafsClient::pwrite_wb(std::uint64_t fh, Bytes off,
+                                                mem::Vaddr user_va, Bytes len,
+                                                obs::OpId op) {
+  co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
+  std::vector<std::byte> data(len);
+  if (!host_.user_as().read(user_va, data).ok()) {
+    co_return Errc::access_fault;
+  }
+  const Bytes cbs = cache_.block_size();
+  const std::size_t high_water = writeback_high_water();
+
   Bytes done = 0;
-  while (done < n.value()) {
+  while (done < len) {
     const Bytes pos = off + done;
     const std::uint64_t idx = pos / cbs;
     const Bytes boff = pos % cbs;
-    const Bytes chunk = std::min<Bytes>(n.value() - done, cbs - boff);
-    if (auto* h = cache_.find(cache::BlockKey{fh, idx});
-        h && h->has_data()) {
-      ORDMA_CHECK(host_.user_as()
-                      .write(cache_.block_va(*h) + boff,
-                             std::span<const std::byte>(data.data() + done,
-                                                        chunk))
-                      .ok());
-      h->valid = std::max<Bytes>(h->valid, boff + chunk);
+    const Bytes chunk = std::min<Bytes>(len - done, cbs - boff);
+
+    // Dirty-pool pressure: flush the oldest dirty block first so fills and
+    // fresh writes always find stealable blocks.
+    while (cache_.dirty_blocks() >= high_water && !wb_fifo_.empty()) {
+      auto st = co_await flush_oldest(op);
+      if (!st.ok()) co_return st;
     }
+
+    const cache::BlockKey key{fh, idx};
+    auto* h = cache_.find(key);
+    if (!(h && h->has_data())) {
+      auto size_it = sizes_.find(fh);
+      const Bytes file_size =
+          size_it == sizes_.end() ? Bytes{0} : size_it->second;
+      if (chunk < cbs && idx * cbs < file_size) {
+        // Partial write into a block with existing bytes: read-modify-write
+        // through the normal fill path.
+        auto fb = co_await fetch_block(fh, idx, op);
+        if (!fb.ok()) co_return fb.status();
+        h = fb.value();
+      } else {
+        // Full overwrite, or the block lies at/beyond EOF: no fetch. Zero
+        // the leading gap so stale slab bytes are never exposed.
+        h = &cache_.ensure(key);
+        const mem::Vaddr va = cache_.attach_data(*h, 0);
+        if (boff > 0) {
+          const std::vector<std::byte> zero(boff);
+          ORDMA_CHECK(host_.user_as().write(va, zero).ok());
+          h->valid = boff;
+        }
+      }
+    }
+    // Byte write, valid extension and dirty marking happen with no await
+    // between them, so eviction can never steal the block part-way.
+    ORDMA_CHECK(host_.user_as()
+                    .write(cache_.block_va(*h) + boff,
+                           std::span<const std::byte>(data.data() + done,
+                                                      chunk))
+                    .ok());
+    h->valid = std::max<Bytes>(h->valid, boff + chunk);
+    const bool newly_dirty = !h->dirty();
+    cache_.mark_dirty(*h, boff, boff + chunk);
+    if (newly_dirty) wb_fifo_.push_back(key);
+    co_await host_.copy(chunk, op);  // user buffer → cache block
     done += chunk;
   }
-  co_return n.value();
+  auto& size = sizes_[fh];
+  size = std::max<Bytes>(size, off + len);
+  co_return len;
+}
+
+sim::Task<Status> OdafsClient::flush_block(cache::BlockKey key, obs::OpId op,
+                                           bool drop_after) {
+  auto* h = cache_.peek(key);
+  if (!h || !h->dirty()) co_return Status::Ok();
+  const Bytes lo = h->dirty_lo;
+  const Bytes hi = h->dirty_hi;
+  std::vector<std::byte> data(hi - lo);
+  ORDMA_CHECK(host_.user_as().read(cache_.block_va(*h) + lo, data).ok());
+  // Clean before the first await: writes landing mid-flush re-dirty the
+  // block and re-queue it, so their bytes are never silently lost.
+  cache_.clear_dirty(*h);
+  ++wb_flushes_;
+  host_.flight().record(host_.engine().now().ns, obs::flight::Ev::wb_flush,
+                        key.file, key.idx,
+                        static_cast<std::uint32_t>(hi - lo));
+
+  const Bytes pos = key.idx * cache_.block_size() + lo;
+  std::uint64_t version = 0;
+  Status st = Status::Ok();
+  auto v = co_await put_piece(key.file, pos, data, dafs::kPutFlagWriteback, op);
+  if (v.ok()) {
+    version = v.value();
+  } else if (v.code() == Errc::not_found || v.code() == Errc::revoked ||
+             v.code() == Errc::not_supported) {
+    ++put_fallbacks_;
+    Result<Bytes> n = Errc::io_error;
+    for (unsigned a = 1; a <= cfg_.max_fetch_attempts; ++a) {
+      n = co_await dafs_.write_inline(key.file, pos, data, op);
+      if (n.ok() || !fetch_retryable(n.code())) break;
+    }
+    if (!n.ok()) st = n.status();
+  } else {
+    st = v.status();
+  }
+
+  h = cache_.peek(key);  // awaits above: re-establish the header
+  if (!st.ok()) {
+    // Total failure: restore the dirty range (unless a concurrent write
+    // already re-dirtied, which widens over ours anyway) and re-queue.
+    if (h && h->has_data()) {
+      const bool newly_dirty = !h->dirty();
+      cache_.mark_dirty(*h, lo, hi);
+      if (newly_dirty) wb_fifo_.push_back(key);
+    }
+    co_return st;
+  }
+  if (h != nullptr) {
+    if (version != 0) {
+      h->version = std::max(h->version, version);
+      h->ref_version = std::max(h->ref_version, version);
+    }
+    // Invalidation-triggered flush: drop the local copy so the next read
+    // refetches the merge of our bytes with the conflicting writer's.
+    if (drop_after && h->has_data() && !h->dirty() && h->pin == 0) {
+      cache_.drop_data(*h);
+      ++inval_drops_;
+    }
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> OdafsClient::flush_oldest(obs::OpId op) {
+  while (!wb_fifo_.empty()) {
+    const cache::BlockKey key = wb_fifo_.front();
+    wb_fifo_.pop_front();
+    auto* h = cache_.peek(key);
+    if (!h || !h->dirty()) continue;  // flushed or invalidated meanwhile
+    co_return co_await flush_block(key, op, /*drop_after=*/false);
+  }
+  co_return Status::Ok();
+}
+
+sim::Task<Status> OdafsClient::sync() {
+  const obs::OpId op = obs::new_op();
+  const SimTime b = host_.engine().now();
+  auto st = co_await sync_op(op);
+  obs::root(trk_app_, op, "op/sync", b, host_.engine().now());
+  co_return st;
+}
+
+sim::Task<Status> OdafsClient::sync_op(obs::OpId op) {
+  // Drain a snapshot: failed flushes re-queue themselves, and draining the
+  // live FIFO would livelock on a permanently failing block.
+  const std::vector<cache::BlockKey> snap(wb_fifo_.begin(), wb_fifo_.end());
+  wb_fifo_.clear();
+  Status last = Status::Ok();
+  for (const auto& key : snap) {
+    auto* h = cache_.peek(key);
+    if (!h || !h->dirty()) continue;
+    auto st = co_await flush_block(key, op, /*drop_after=*/false);
+    if (!st.ok()) last = st;
+  }
+  co_return last;
+}
+
+void OdafsClient::handle_invalidate(std::uint64_t ino, std::uint64_t fbn,
+                                    std::uint64_t version) {
+  if (server_block_ == 0 || cache_.block_size() > server_block_) return;
+  const Bytes cbs = cache_.block_size();
+  const Bytes sbs = server_block_;
+  const std::uint64_t first = fbn * sbs / cbs;
+  const std::uint64_t count = std::max<Bytes>(1, sbs / cbs);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const cache::BlockKey key{ino, first + i};  // fh == ino in this protocol
+    if (auto it = inflight_.find(key); it != inflight_.end()) {
+      // A racing fill: poison it — never drop its slot, the in-flight RDMA
+      // gather would land in freed (possibly reassigned) memory.
+      it->second->poisoned = true;
+      continue;
+    }
+    auto* h = cache_.peek(key);
+    if (h == nullptr) continue;
+    if (h->dirty()) {
+      // Conflicting writer committed while we hold dirty bytes: push ours
+      // out, then drop the copy so the next read sees the merged result.
+      host_.engine().spawn(
+          [](OdafsClient& self, cache::BlockKey k) -> sim::Task<void> {
+            (void)co_await self.flush_block(k, 0, /*drop_after=*/true);
+          }(*this, key));
+      continue;
+    }
+    if (h->pin > 0) continue;  // mid-use (fill/flush): conservative skip
+    if (h->has_data() && h->version < version) {
+      cache_.drop_data(*h);
+      ++inval_drops_;
+    }
+  }
 }
 
 sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {

@@ -15,6 +15,7 @@
 // compares against in Figures 6 and 7.
 #pragma once
 
+#include <deque>
 #include <unordered_map>
 
 #include "cache/client_cache.h"
@@ -22,6 +23,17 @@
 #include "nas/dafs/dafs_client.h"
 
 namespace ordma::nas::odafs {
+
+// How pwrite reaches the server (§4.2.2 writes):
+//  * rpc_through  — classic write-through RPC (the pre-existing path).
+//  * put_through  — optimistic ORDMA put into the server's cache block via
+//    a piggybacked write reference, then a 1-RTT kPutCommit the server
+//    verifies against the NIC's placement record (no per-byte server CPU).
+//    Falls back to rpc_through when no reference is held or it is revoked.
+//  * write_back   — dirty the client's cache block and return; a bounded
+//    dirty pool is flushed through the put path on pressure, sync(), close
+//    and server invalidations.
+enum class WritePolicy { rpc_through, put_through, write_back };
 
 struct OdafsClientConfig {
   cache::ClientCache::Config cache;
@@ -36,6 +48,13 @@ struct OdafsClientConfig {
   // re-issues) under faults; exhausting it surfaces the last error (or
   // Errc::io_error for integrity failures) to the caller.
   unsigned max_fetch_attempts = 3;
+  // Write path (requires a server with writable_refs for the put paths;
+  // puts degrade to RPC write-through when the server refuses them).
+  WritePolicy write_policy = WritePolicy::rpc_through;
+  // write_back: flush the oldest dirty block once this many are dirty
+  // (0 = data_blocks/4; clamped to data_blocks/2 so fills always have
+  // unpinned blocks to steal).
+  std::size_t writeback_high_water = 0;
 };
 
 class OdafsClient : public core::FileClient {
@@ -52,6 +71,9 @@ class OdafsClient : public core::FileClient {
   sim::Task<Result<fs::Attr>> getattr(std::uint64_t fh) override;
   sim::Task<Result<core::OpenResult>> create(const std::string& path) override;
   sim::Task<Status> unlink(const std::string& path) override;
+  // Flush every dirty write-back block through the put path (RPC fallback
+  // per block); returns the last flush error, Ok when all landed.
+  sim::Task<Status> sync() override;
   const char* protocol_name() const override {
     return cfg_.use_ordma ? "ODAFS" : "DAFS (cached)";
   }
@@ -73,6 +95,19 @@ class OdafsClient : public core::FileClient {
   // and block fetches that exhausted max_fetch_attempts.
   std::uint64_t integrity_retries() const { return integrity_retries_; }
   std::uint64_t fetch_give_ups() const { return fetch_give_ups_; }
+  // --- ORDMA write path / coherence counters -------------------------------
+  std::uint64_t puts_issued() const { return puts_issued_; }
+  std::uint64_t put_commits() const { return put_commits_; }
+  // Commit attempts the server refused (put overtaken/lost → replayed).
+  std::uint64_t put_rejects() const { return put_rejects_; }
+  // Writes that degraded to RPC write-through (no/revoked reference).
+  std::uint64_t put_fallbacks() const { return put_fallbacks_; }
+  // Server-initiated invalidations processed / clean copies dropped /
+  // poisoned fills refetched.
+  std::uint64_t invalidates_rx() const { return dafs_.invalidates_rx(); }
+  std::uint64_t inval_drops() const { return inval_drops_; }
+  std::uint64_t inval_refetches() const { return inval_refetches_; }
+  std::uint64_t wb_flushes() const { return wb_flushes_; }
 
  private:
   sim::Task<Status> ensure_slab_registered(obs::OpId op);
@@ -90,9 +125,40 @@ class OdafsClient : public core::FileClient {
                                      obs::OpId op);
   sim::Task<Result<fs::Attr>> getattr_op(std::uint64_t fh, obs::OpId op);
 
+  // --- ORDMA write path ----------------------------------------------------
+  // Optimistic put of `data` at absolute file offset `pos` (all within one
+  // server block) + kPutCommit, through a held write reference. Returns
+  // the block's new commit version; not_found = no usable reference and
+  // revoked/not_supported = reference dead server-side (both: the caller
+  // falls back to an RPC write).
+  sim::Task<Result<std::uint64_t>> put_piece(std::uint64_t fh, Bytes pos,
+                                             std::span<const std::byte> data,
+                                             std::uint32_t flags,
+                                             obs::OpId op);
+  // Write-back pwrite body and flush machinery.
+  sim::Task<Result<Bytes>> pwrite_wb(std::uint64_t fh, Bytes off,
+                                     mem::Vaddr user_va, Bytes len,
+                                     obs::OpId op);
+  sim::Task<Status> flush_block(cache::BlockKey key, obs::OpId op,
+                                bool drop_after);
+  sim::Task<Status> flush_oldest(obs::OpId op);
+  sim::Task<Status> sync_op(obs::OpId op);
+  // Update locally cached blocks covered by a completed write (in place).
+  void apply_local_write(std::uint64_t fh, Bytes off,
+                         std::span<const std::byte> data,
+                         std::uint64_t version);
+  // Server-initiated invalidation (called from the DAFS client's receive
+  // loop; must not await — flushes are spawned, not awaited).
+  void handle_invalidate(std::uint64_t ino, std::uint64_t fbn,
+                         std::uint64_t version);
+  std::size_t writeback_high_water() const;
+
   struct Inflight {
     explicit Inflight(sim::Engine& eng) : done(eng) {}
     sim::Event<> done;
+    // Set by a racing invalidation: the bytes this fill gathered may
+    // predate the committed write — discard and refetch.
+    bool poisoned = false;
   };
 
   host::Host& host_;
@@ -114,6 +180,17 @@ class OdafsClient : public core::FileClient {
   std::uint64_t attr_ordma_ = 0;
   std::uint64_t integrity_retries_ = 0;
   std::uint64_t fetch_give_ups_ = 0;
+
+  // FIFO of blocks dirtied by write_back (clean→dirty edges only; entries
+  // whose block was flushed or invalidated meanwhile are skipped).
+  std::deque<cache::BlockKey> wb_fifo_;
+  std::uint64_t puts_issued_ = 0;
+  std::uint64_t put_commits_ = 0;
+  std::uint64_t put_rejects_ = 0;
+  std::uint64_t put_fallbacks_ = 0;
+  std::uint64_t inval_drops_ = 0;
+  std::uint64_t inval_refetches_ = 0;
+  std::uint64_t wb_flushes_ = 0;
 };
 
 }  // namespace ordma::nas::odafs

@@ -71,4 +71,87 @@ inline std::uint32_t data_checksum(std::span<const std::byte> data) {
   return rpc::checksum32(data);
 }
 
+// --- ORDMA write-path messages (kPutCommit / kInvalidate) -------------------
+
+// Commit request for an optimistic put: the client already RDMA-wrote
+// `len` bytes at offset `off` into the server cache block (fh, fbn); the
+// checksum lets the server verify against the NIC's last-put record that
+// exactly those bytes landed (and weren't overtaken by a competing put).
+struct PutCommitArgs {
+  std::uint64_t fh = 0;
+  std::uint64_t fbn = 0;       // server file block number
+  std::uint32_t off = 0;       // byte offset within the server block
+  std::uint32_t len = 0;
+  std::uint32_t cksum = 0;     // data_checksum of the put payload
+  std::uint32_t flags = 0;     // kPutFlagWriteback etc.
+};
+
+inline void encode_put_commit(rpc::XdrEncoder& enc, const PutCommitArgs& a) {
+  enc.u64(a.fh);
+  enc.u64(a.fbn);
+  enc.u32(a.off);
+  enc.u32(a.len);
+  enc.u32(a.cksum);
+  enc.u32(a.flags);
+}
+
+inline PutCommitArgs decode_put_commit(rpc::XdrDecoder& dec) {
+  PutCommitArgs a;
+  a.fh = dec.u64();
+  a.fbn = dec.u64();
+  a.off = dec.u32();
+  a.len = dec.u32();
+  a.cksum = dec.u32();
+  a.flags = dec.u32();
+  return a;
+}
+
+// Server→client invalidation: block (ino, fbn) committed `version`; any
+// cached copy tagged with an older version is stale.
+struct InvalidateMsg {
+  std::uint64_t ino = 0;
+  std::uint64_t fbn = 0;       // server file block number
+  std::uint64_t version = 0;
+};
+
+inline void encode_invalidate(rpc::XdrEncoder& enc, const InvalidateMsg& m) {
+  enc.u64(m.ino);
+  enc.u64(m.fbn);
+  enc.u64(m.version);
+}
+
+inline InvalidateMsg decode_invalidate(rpc::XdrDecoder& dec) {
+  InvalidateMsg m;
+  m.ino = dec.u64();
+  m.fbn = dec.u64();
+  m.version = dec.u64();
+  return m;
+}
+
+// Piggybacked reference record with the block's commit version (coherence
+// mode): (fbn u64, ref, version u64). The read reply flags versioned
+// records by setting kVersionedRefsBit in the ref count.
+inline constexpr std::uint32_t kVersionedRefsBit = 0x80000000u;
+
+struct VersionedRef {
+  std::uint64_t fbn = 0;
+  cache::RemoteRef ref;
+  std::uint64_t version = 0;
+};
+
+inline void encode_versioned_ref(rpc::XdrEncoder& enc,
+                                 const VersionedRef& r) {
+  enc.u64(r.fbn);
+  encode_ref(enc, r.ref);
+  enc.u64(r.version);
+}
+
+inline VersionedRef decode_versioned_ref(rpc::XdrDecoder& dec) {
+  VersionedRef r;
+  r.fbn = dec.u64();
+  r.ref = decode_ref(dec);
+  r.version = dec.u64();
+  return r;
+}
+
 }  // namespace ordma::nas

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/log.h"
+#include "rpc/xdr.h"
 
 namespace ordma::nic {
 
@@ -349,6 +350,12 @@ sim::Task<Result<std::vector<Nic::PageRun>>> Nic::resolve_ordma(
   // path — both recoverable NIC-to-NIC exceptions of §4.1.
   if (faults_) {
     if (faults_->spurious_cap_revoke()) co_return Errc::revoked;
+    // Revoke-during-put: fired only on the write path, so plans can keep
+    // puts under fire while reads stay clean. The put's bytes are fully
+    // reassembled but never placed — an all-or-nothing rollback the
+    // initiator recovers from by replaying the put (or falling back to
+    // RPC write).
+    if (write && faults_->spurious_put_revoke()) co_return Errc::revoked;
     if (faults_->spurious_tlb_invalidate()) {
       for (const auto& e : tlb_.invalidate_segment(seg->id)) unpin_evicted(e);
     }
@@ -474,6 +481,23 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
   gm_rx_.erase(key);
   gm_rx_received_.erase(key);
 
+  // A duplicated frame arriving after the tracker above was erased would
+  // reassemble the whole message again (single-fragment puts trivially so)
+  // and re-apply stale bytes over whatever landed since. Drop replays of
+  // recently completed puts instead; the original's ack already answers
+  // the initiator.
+  const RxKey put_key{p.src, ctrl.op_id};
+  if (put_done_.count(put_key) != 0) {
+    ++put_dups_dropped_;
+    co_return;
+  }
+  put_done_.emplace(put_key, true);
+  put_done_order_.push_back(put_key);
+  while (put_done_order_.size() > kPutDedupCap) {
+    put_done_.erase(put_done_order_.front());
+    put_done_order_.pop_front();
+  }
+
   co_await fw_.consume(cm_.nic_put_service, p.trace_op, "nic/put_service");
   auto runs = co_await resolve_ordma(ctrl.remote_va, data.size(), ctrl.cap,
                                      /*write=*/true, p.trace_op);
@@ -499,6 +523,7 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
     co_return;
   }
   ++ordma_served_;
+  ++puts_served_;
   const auto dv = data.view();
   Bytes off = 0;
   auto& phys = seg->as->phys();
@@ -507,6 +532,12 @@ sim::Task<void> Nic::handle_put_req(net::Packet p) {
                dv.subspan(off, run.chunk));
     off += run.chunk;
   }
+  // Remember what landed (checksummed during placement — no host CPU):
+  // the server's put-commit handler verifies a client's claim against this
+  // record instead of re-reading the data.
+  last_put_[seg->id] =
+      PutRecord{p.src, ctrl.op_id, ctrl.remote_va, data.size(),
+                rpc::checksum32(dv)};
   send_ctrl_packet(p.src, reply, 0, p.trace_op);
 }
 
@@ -610,6 +641,10 @@ void Nic::revoke_segment(std::uint64_t seg_id) {
                         seg_id);
   for (const auto& e : tlb_.invalidate_segment(seg_id)) unpin_evicted(e);
   tpt_.remove(seg_id);
+  // A put into a revoked segment can never commit: drop its record so a
+  // commit racing the revocation is rejected instead of blessing bytes
+  // whose backing memory is being reused.
+  last_put_.erase(seg_id);
 }
 
 Result<crypto::Capability> Nic::capability_for(std::uint64_t seg_id) const {

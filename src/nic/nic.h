@@ -122,6 +122,24 @@ class Nic {
   // Re-mint the current capability of a live segment.
   Result<crypto::Capability> capability_for(std::uint64_t seg_id) const;
 
+  // Per-segment record of the most recent inbound put the NIC landed:
+  // who wrote, where, how much, and the checksum of the landed bytes
+  // (computed during placement — free of host CPU). A server commits an
+  // optimistic client put by comparing this record against the client's
+  // claim: O(1), no per-byte work on the authorize path. Erased when the
+  // segment is revoked (a revoked put can never commit).
+  struct PutRecord {
+    net::NodeId src = net::kInvalidNode;
+    std::uint64_t op_id = 0;
+    mem::Vaddr va = 0;
+    Bytes len = 0;
+    std::uint32_t cksum = 0;
+  };
+  const PutRecord* last_put(std::uint64_t seg_id) const {
+    auto it = last_put_.find(seg_id);
+    return it == last_put_.end() ? nullptr : &it->second;
+  }
+
   // ---------------------------------------------------------------------
   // Ethernet emulation + RDDP-RPC pre-posting
   // ---------------------------------------------------------------------
@@ -164,6 +182,11 @@ class Nic {
   std::uint64_t ordma_served() const { return ordma_served_; }
   std::uint64_t ordma_faults() const { return ordma_faults_; }
   std::uint64_t ordma_timeouts() const { return ordma_timeouts_; }
+  std::uint64_t puts_served() const { return puts_served_; }
+  // Replayed put frames discarded by the (src, op_id) dedup window — a
+  // duplicated frame arriving after reassembly completed must not re-apply
+  // stale bytes over newer data.
+  std::uint64_t put_dups_dropped() const { return put_dups_dropped_; }
   Duration fw_busy() { return fw_.busy_time(); }
   // Packets delivered by the fabric and not yet pulled by the firmware
   // loop — the instantaneous receive queue depth a time-series sampler
@@ -295,9 +318,19 @@ class Nic {
 
   fault::FaultInjector* faults_ = nullptr;
 
+  // ORDMA write-path state: last landed put per segment, and a bounded
+  // FIFO of recently completed (src, op_id) puts so a duplicated frame
+  // that resurrects an erased fragment tracker cannot re-apply its bytes.
+  static constexpr std::size_t kPutDedupCap = 512;
+  std::unordered_map<std::uint64_t, PutRecord> last_put_;
+  std::unordered_map<RxKey, bool, RxKeyHash> put_done_;
+  std::deque<RxKey> put_done_order_;
+
   std::uint64_t ordma_served_ = 0;
   std::uint64_t ordma_faults_ = 0;
   std::uint64_t ordma_timeouts_ = 0;
+  std::uint64_t puts_served_ = 0;
+  std::uint64_t put_dups_dropped_ = 0;
 };
 
 }  // namespace ordma::nic

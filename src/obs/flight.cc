@@ -97,6 +97,13 @@ const char* ev_name(Ev e) {
     case Ev::fault_disk_error: return "fault_disk_error";
     case Ev::fault_disk_spike: return "fault_disk_spike";
     case Ev::op_giveup: return "op_giveup";
+    case Ev::put_commit: return "put_commit";
+    case Ev::put_reject: return "put_reject";
+    case Ev::inval_send: return "inval_send";
+    case Ev::inval_recv: return "inval_recv";
+    case Ev::inval_ack: return "inval_ack";
+    case Ev::wb_flush: return "wb_flush";
+    case Ev::fault_put_revoke: return "fault_put_revoke";
   }
   return "?";
 }

@@ -97,6 +97,14 @@ enum class Ev : std::uint16_t {
   fault_disk_spike,  // b=spike ns
   // Protocol clients
   op_giveup,  // a=trace op b=errc — bounded whole-op retries exhausted
+  // ORDMA write path + coherence protocol
+  put_commit,  // a=ino b=fbn aux=version (server accepted an optimistic put)
+  put_reject,  // a=ino b=fbn aux=errc (NIC record mismatch / not resident)
+  inval_send,  // a=ino b=fbn aux=attempt (server → holder)
+  inval_recv,  // a=ino b=fbn aux=version (client received invalidation)
+  inval_ack,   // a=srv req id (client acked)
+  wb_flush,    // a=file b=block (client write-back flush issued)
+  fault_put_revoke,  // injected revoke-during-put
 };
 
 const char* ev_name(Ev e);

@@ -49,7 +49,10 @@ namespace {
 using core::Cluster;
 using core::ClusterConfig;
 
-enum class Proto { nfs, prepost, dafs, odafs };
+// odafs_put / odafs_wb run the ORDMA write path (optimistic put-through /
+// write-back) against a coherence server; plain odafs keeps the historical
+// RPC write-through behavior.
+enum class Proto { nfs, prepost, dafs, odafs, odafs_put, odafs_wb };
 
 const char* proto_name(Proto p) {
   switch (p) {
@@ -57,6 +60,8 @@ const char* proto_name(Proto p) {
     case Proto::prepost: return "prepost";
     case Proto::dafs: return "dafs";
     case Proto::odafs: return "odafs";
+    case Proto::odafs_put: return "odafs_put";
+    case Proto::odafs_wb: return "odafs_wb";
   }
   return "?";
 }
@@ -168,8 +173,16 @@ TortureResult run_torture(const TortureOptions& opt) {
         cluster.start_dafs();
         client = cluster.make_dafs_client(0, dafs_cfg);
         break;
-      case Proto::odafs: {
-        cluster.start_dafs({.piggyback_refs = true});
+      case Proto::odafs:
+      case Proto::odafs_put:
+      case Proto::odafs_wb: {
+        nas::dafs::DafsServerConfig scfg;
+        scfg.piggyback_refs = true;
+        if (opt.proto != Proto::odafs) {
+          scfg.writable_refs = true;
+          scfg.coherence = true;
+        }
+        cluster.start_dafs(scfg);
         nas::odafs::OdafsClientConfig cfg;
         cfg.cache.block_size = KiB(4);
         cfg.cache.data_blocks = 24;
@@ -177,6 +190,11 @@ TortureResult run_torture(const TortureOptions& opt) {
         cfg.dafs = dafs_cfg;
         cfg.max_fetch_attempts =
             opt.faults == TortureOptions::Faults::brutal ? 2 : 4;
+        if (opt.proto == Proto::odafs_put) {
+          cfg.write_policy = nas::odafs::WritePolicy::put_through;
+        } else if (opt.proto == Proto::odafs_wb) {
+          cfg.write_policy = nas::odafs::WritePolicy::write_back;
+        }
         client = cluster.make_odafs_client(0, cfg);
         break;
       }
@@ -265,6 +283,14 @@ TortureResult run_torture(const TortureOptions& opt) {
                            cluster.engine().now().ns));
       }
 
+      // Flush while still under fire (write-back buffers; a no-op for
+      // write-through protocols). A failed flush counts as a failed op.
+      {
+        auto st = co_await client.sync();
+        fold(out.hash, static_cast<std::uint64_t>(st.code()));
+        if (!st.ok()) ++out.failures;
+      }
+
       // Final sweep with faults off: the file must match the model exactly
       // (catches damage that in-flight verification couldn't see, e.g. a
       // write torn server-side).
@@ -336,8 +362,9 @@ void report_failure(Proto proto, std::uint64_t seed,
                         : "\nflight-recorder postmortem: " + dump_path);
 }
 
-constexpr Proto kAllProtos[] = {Proto::nfs, Proto::prepost, Proto::dafs,
-                                Proto::odafs};
+constexpr Proto kAllProtos[] = {Proto::nfs,   Proto::prepost,
+                                Proto::dafs,  Proto::odafs,
+                                Proto::odafs_put, Proto::odafs_wb};
 
 // --- the seed matrix --------------------------------------------------------
 
