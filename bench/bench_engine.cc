@@ -16,6 +16,8 @@
 #include "bench_json.h"
 #include "bench_util.h"
 #include "nas/odafs/odafs_client.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
 #include "sim/channel.h"
 #include "sim/engine.h"
 #include "sim/task.h"
@@ -187,6 +189,21 @@ MicroResult bench_postmark() {
   return {"fig6_postmark", kTxns, secs_since(t0)};
 }
 
+// The same PostMark cell with --sample-traces-style observability attached
+// (recorder + tail sampler on this thread): measures the fully-sampled obs
+// tax on an end-to-end run. The sampled_obs_overhead metric gates the
+// "sampling costs <= 5% of obs-off throughput" budget in CI.
+MicroResult bench_postmark_sampled() {
+  obs::TraceRecorder rec;
+  obs::TraceSampler sampler(rec);
+  obs::install(&rec);
+  MicroResult r = bench_postmark();
+  obs::install(static_cast<obs::TraceRecorder*>(nullptr));
+  sampler.finish();
+  r.name = "fig6_postmark_sampled";
+  return r;
+}
+
 }  // namespace
 }  // namespace ordma
 
@@ -211,7 +228,19 @@ int main(int argc, char** argv) {
   results.push_back(bench_yields(kMicroEvents));
   results.push_back(bench_channels(kMicroEvents));
   results.push_back(bench_mixed(kMicroEvents));
-  results.push_back(bench_postmark());
+  // The sampled/plain ratio below gates the sampling overhead budget, so
+  // this pair needs walls that survive a preempted shared runner: run the
+  // halves interleaved and keep each one's best wall.
+  MicroResult postmark_plain = bench_postmark();
+  MicroResult postmark_sampled = bench_postmark_sampled();
+  for (int rep = 1; rep < 5; ++rep) {
+    MicroResult p = bench_postmark();
+    if (p.wall_s < postmark_plain.wall_s) postmark_plain = p;
+    MicroResult s = bench_postmark_sampled();
+    if (s.wall_s < postmark_sampled.wall_s) postmark_sampled = s;
+  }
+  results.push_back(postmark_plain);
+  results.push_back(postmark_sampled);
 
   Table t("Engine throughput (events/sec, higher is better)",
           {"workload", "events", "wall (s)", "events/sec"});
@@ -220,6 +249,15 @@ int main(int argc, char** argv) {
                fmt("%.3f", r.wall_s), fmt("%.3g", r.events_per_sec())});
   }
   t.print();
+
+  // Sampled-vs-plain throughput on the same cell: both halves run in this
+  // process back to back, so shared-runner noise largely cancels out of
+  // the ratio.
+  const double sampled_overhead =
+      results[results.size() - 1].events_per_sec() /
+      results[results.size() - 2].events_per_sec();
+  std::printf("\nsampled obs throughput ratio (sampled/plain): %.3f\n",
+              sampled_overhead);
 
   if (!json_path.empty()) {
     BenchReport report("bench_engine");
@@ -230,6 +268,13 @@ int main(int argc, char** argv) {
       report.add(r.name + "_events_per_sec", r.events_per_sec(), "events/s",
                  /*higher_is_better=*/true, 0.6);
     }
+    // The ratio is noise-cancelled (see above) so it takes a band an order
+    // of magnitude tighter than the raw rates: nominal is ~0.95-1.0 (the
+    // sampling budget is <= ~5% of obs-off throughput), and an 8% band
+    // below the committed baseline still catches every real staging-path
+    // regression while tolerating shared-runner cache pollution.
+    report.add("sampled_obs_overhead", sampled_overhead, "ratio",
+               /*higher_is_better=*/true, 0.08);
     if (report.write_file(json_path)) {
       std::printf("\nbench json written to %s\n", json_path.c_str());
     } else {

@@ -95,14 +95,17 @@ CellResult run_cell(bench::System sys, Bytes block) {
     }
   }
 
-  // Under --timeseries each cell emits one run document (jobs=1 level
-  // only — run_level detaches the sink for the parallel levels), and the
-  // grid-hash check across levels then doubles as proof that sampling left
-  // the simulation untouched.
+  // Under --timeseries each cell emits one run document at every level
+  // (the global sink is mutexed and label-sorted; repeat labels across
+  // levels dedup deterministically), and the grid-hash check across levels
+  // then doubles as proof that sampling left the simulation untouched.
   obs::ts::RunScope ts_run(c.engine(),
                            std::string("sweep.") + bench::system_slug(sys) +
                                "." + std::to_string(block / 1024) + "KB");
-  if (ts_run.active()) c.export_metrics(ts_run.registry());
+  if (ts_run.active()) {
+    c.export_metrics(ts_run.registry());
+    c.export_file_client_metrics(ts_run.registry(), 0, *client);
+  }
 
   double tput = 0, cpu = 0;
   out.events += drive_counting(c, [&]() -> sim::Task<void> {
@@ -138,18 +141,14 @@ LevelResult run_level(unsigned jobs) {
   constexpr std::size_t kCols = std::size(kSystems);
   constexpr std::size_t kCells = kCols * std::size(bench::kFig3Blocks);
 
-  // Capture timeseries runs only at the jobs=1 level: the work-stealing
-  // runner lets the calling thread take cells at every level, which would
-  // otherwise re-record duplicate run labels per level.
-  obs::ts::TimeseriesSink* saved = obs::ts::sink();
-  if (jobs != 1) obs::ts::install(nullptr);
-
+  // Every level records into the (mutexed, label-sorted) global sinks;
+  // labels repeating across levels pick up a deterministic "#n" suffix
+  // because levels run strictly in sequence.
   const auto t0 = std::chrono::steady_clock::now();
   auto cells = bench::sweep(jobs, kCells, [&](std::size_t i) {
     return run_cell(kSystems[i % kCols], bench::kFig3Blocks[i / kCols]);
   });
   const auto t1 = std::chrono::steady_clock::now();
-  obs::ts::install(saved);
 
   LevelResult lvl;
   lvl.wall_ms =

@@ -87,7 +87,10 @@ inline Fig3Cell run_fig3_cell(System sys, Bytes block) {
   obs::ts::RunScope ts_run(c.engine(),
                            std::string(system_slug(sys)) + "." +
                                std::to_string(block / 1024) + "KB");
-  if (ts_run.active()) c.export_metrics(ts_run.registry());
+  if (ts_run.active()) {
+    c.export_metrics(ts_run.registry());
+    c.export_file_client_metrics(ts_run.registry(), 0, *client);
+  }
 
   Fig3Cell cell;
   drive(c, [&]() -> sim::Task<void> {

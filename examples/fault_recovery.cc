@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   obs::ts::RunScope ts_run(cluster.engine(), "fault_recovery");
   if (ts_run.active()) {
     cluster.export_metrics(ts_run.registry());
+    cluster.export_file_client_metrics(ts_run.registry(), 0, *client);
     cluster.export_odafs_client_metrics(ts_run.registry(), 0, *client);
   }
 

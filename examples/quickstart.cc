@@ -85,7 +85,6 @@ int main(int argc, char** argv) {
   cfg.fs.block_size = KiB(4);
   core::Cluster cluster(cfg);
   cluster.start_dafs({.piggyback_refs = true});  // ODAFS mode
-  if (obs_session.metrics()) cluster.export_metrics(*obs_session.registry());
 
   nas::odafs::OdafsClientConfig cc;
   cc.cache.block_size = KiB(4);
@@ -104,6 +103,7 @@ int main(int argc, char** argv) {
     obs::ts::RunScope ts_run(cluster.engine(), "quickstart");
     if (ts_run.active()) {
       cluster.export_metrics(ts_run.registry());
+      cluster.export_file_client_metrics(ts_run.registry(), 0, *client);
       cluster.export_odafs_client_metrics(ts_run.registry(), 0, *client);
     }
     cluster.engine().spawn(run(cluster, *client, done));

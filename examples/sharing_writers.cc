@@ -93,7 +93,6 @@ int main(int argc, char** argv) {
   cluster.start_dafs({.piggyback_refs = true,
                       .writable_refs = true,
                       .coherence = true});
-  if (obs_session.metrics()) cluster.export_metrics(*obs_session.registry());
 
   std::vector<std::unique_ptr<nas::odafs::OdafsClient>> clients;
   for (unsigned i = 0; i < cfg.num_clients; ++i) {
@@ -112,6 +111,7 @@ int main(int argc, char** argv) {
     if (ts_run.active()) {
       cluster.export_metrics(ts_run.registry());
       for (unsigned i = 0; i < cfg.num_clients; ++i) {
+        cluster.export_file_client_metrics(ts_run.registry(), i, *clients[i]);
         cluster.export_odafs_client_metrics(ts_run.registry(), i, *clients[i]);
       }
     }

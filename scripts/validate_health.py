@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate an ordma.health.v1 document produced by --health=<file>
+(src/obs/health.h).
+
+The file is a JSON array of per-run health documents (one per RunScope /
+sweep cell). Checked per document, beyond "it parses":
+  * schema is "ordma.health.v1" and the run label is a nonempty string;
+  * windows is a nonnegative integer;
+  * every SLO instance has a name, a known kind ("p99_latency" or
+    "ratio"), a series path, numeric threshold/burn rates, and
+    evaluated <= windows (an instance cannot be judged more often than
+    windows closed);
+  * bad_windows <= evaluated (a window must be evaluated to be bad);
+  * an uncalibrated instance (still collecting its auto-threshold
+    baseline) reports threshold 0 and no bad windows blamed on it;
+  * trips reference a declared SLO name, carry window ranges with
+    begin < end <= windows, and peak_burn > 0;
+  * healthy is true iff the trips array is empty (the summary bit and
+    the evidence must agree);
+  * with --expect-healthy / --expect-trips, assert fleet-wide health or
+    at least one trip across all documents (opt-in, for CI smoke runs).
+
+Usage: python3 scripts/validate_health.py [--expect-healthy|--expect-trips] <health.json>
+Exit status 0 iff all checks pass. Stdlib only.
+"""
+import json
+import sys
+
+KINDS = {"p99_latency", "ratio"}
+
+
+def fail(msg):
+    print(f"validate_health: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_num(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def check_doc(doc, i):
+    where = f"doc[{i}]"
+    if not isinstance(doc, dict):
+        fail(f"{where}: not an object")
+    if doc.get("schema") != "ordma.health.v1":
+        fail(f"{where}: schema is {doc.get('schema')!r}")
+    run = doc.get("run")
+    if not isinstance(run, str) or not run:
+        fail(f"{where}: run label missing or empty")
+    where = f"doc[{i}] ({run})"
+    windows = doc.get("windows")
+    if not isinstance(windows, int) or windows < 0:
+        fail(f"{where}: windows is {windows!r}")
+    slos = doc.get("slos")
+    trips = doc.get("trips")
+    if not isinstance(slos, list) or not isinstance(trips, list):
+        fail(f"{where}: slos/trips missing")
+
+    names = set()
+    for s in slos:
+        name = s.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: SLO without a name")
+        names.add(name)
+        if s.get("kind") not in KINDS:
+            fail(f"{where}: SLO {name}: unknown kind {s.get('kind')!r}")
+        if not isinstance(s.get("series"), str) or not s["series"]:
+            fail(f"{where}: SLO {name}: missing series")
+        for k in ("threshold", "burn_fast", "burn_slow"):
+            if not is_num(s.get(k)):
+                fail(f"{where}: SLO {name}: {k} is {s.get(k)!r}")
+        evaluated = s.get("evaluated")
+        bad = s.get("bad_windows")
+        if not isinstance(evaluated, int) or not isinstance(bad, int):
+            fail(f"{where}: SLO {name}: evaluated/bad_windows not ints")
+        if evaluated > windows:
+            fail(f"{where}: SLO {name}: evaluated {evaluated} > "
+                 f"windows {windows}")
+        if bad > evaluated:
+            fail(f"{where}: SLO {name}: bad_windows {bad} > "
+                 f"evaluated {evaluated}")
+        if s.get("calibrated") is False:
+            if s["threshold"] != 0:
+                fail(f"{where}: SLO {name}: uncalibrated but "
+                     f"threshold {s['threshold']}")
+            if bad != 0:
+                fail(f"{where}: SLO {name}: uncalibrated but "
+                     f"{bad} bad windows")
+
+    for t in trips:
+        slo = t.get("slo")
+        if slo not in names:
+            fail(f"{where}: trip references unknown SLO {slo!r}")
+        b, e = t.get("begin"), t.get("end")
+        if not isinstance(b, int) or not isinstance(e, int):
+            fail(f"{where}: trip {slo}: begin/end not ints")
+        if not (0 <= b < e <= windows):
+            fail(f"{where}: trip {slo}: window range [{b}, {e}) outside "
+                 f"[0, {windows})")
+        if not is_num(t.get("peak_burn")) or t["peak_burn"] <= 0:
+            fail(f"{where}: trip {slo}: peak_burn {t.get('peak_burn')!r}")
+
+    healthy = doc.get("healthy")
+    if healthy is not (len(trips) == 0):
+        fail(f"{where}: healthy={healthy!r} but {len(trips)} trips")
+    return len(trips)
+
+
+def main(argv):
+    expect_healthy = "--expect-healthy" in argv
+    expect_trips = "--expect-trips" in argv
+    paths = [a for a in argv if not a.startswith("--")]
+    if len(paths) != 1 or (expect_healthy and expect_trips):
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(paths[0]) as f:
+            docs = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {paths[0]}: {e}")
+    if not isinstance(docs, list):
+        fail("top level is not an array of health documents")
+    if not docs:
+        fail("no health documents (empty array)")
+    trips = sum(check_doc(d, i) for i, d in enumerate(docs))
+    if expect_healthy and trips:
+        fail(f"--expect-healthy but {trips} trip(s) recorded")
+    if expect_trips and not trips:
+        fail("--expect-trips but every document is healthy")
+    print(f"validate_health: OK: {len(docs)} run(s), {trips} trip(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

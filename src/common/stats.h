@@ -5,6 +5,7 @@
 #pragma once
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -101,16 +102,28 @@ class Samples {
 // upper edge of bucket b.
 class LatencyHistogram {
  public:
-  void add(Duration d) {
-    const double us = d.to_us();
-    std::size_t b = 0;
-    double edge = 1.0;
-    while (b + 1 < kBuckets && us >= edge) {
-      edge *= 2.0;
-      ++b;
-    }
+  void add(Duration d) { add(d, 0); }
+
+  // `exemplar` optionally tags the bucket this sample lands in with an
+  // opaque reference (obs uses the trace op id of a *retained* op, so a
+  // p99 bucket in the metrics JSON links to an inspectable trace). 0 means
+  // "no exemplar"; the most recent non-zero exemplar per bucket wins.
+  void add(Duration d, std::uint64_t exemplar) {
+    const std::size_t b = bucket_for(d);
     ++buckets_[b];
-    stats_.add(us);
+    if (exemplar != 0) exemplars_[b] = exemplar;
+    stats_.add(d.to_us());
+  }
+
+  // Bucket index a sample of duration d lands in. Branch-free bit math
+  // rather than an edge-doubling loop: this runs per recorded sample, and
+  // under trace sampling once per completed op.
+  static constexpr std::size_t bucket_for(Duration d) {
+    const double us = d.to_us();
+    if (us < 1.0) return 0;  // also catches negatives, defensively
+    const auto b =
+        static_cast<std::size_t>(std::bit_width(static_cast<std::uint64_t>(us)));
+    return b < kBuckets - 1 ? b : kBuckets - 1;
   }
 
   std::uint64_t count() const { return stats_.count(); }
@@ -123,6 +136,8 @@ class LatencyHistogram {
 
   static constexpr std::size_t bucket_count() { return kBuckets; }
   std::uint64_t bucket_value(std::size_t b) const { return buckets_[b]; }
+  // Most recent exemplar tag recorded into bucket b (0 = none).
+  std::uint64_t bucket_exemplar(std::size_t b) const { return exemplars_[b]; }
   static double upper_edge_us(std::size_t b) {
     if (b + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
     return std::ldexp(1.0, static_cast<int>(b));  // 2^b
@@ -133,6 +148,7 @@ class LatencyHistogram {
  private:
   static constexpr std::size_t kBuckets = 24;  // up to ~2^22 us ≈ 4 s
   std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t exemplars_[kBuckets] = {};
   RunningStats stats_;
 };
 

@@ -130,8 +130,14 @@ class Cluster {
   }
   std::unique_ptr<nas::odafs::OdafsClient> make_odafs_client(
       unsigned i, nas::odafs::OdafsClientConfig cfg = {}) {
-    return std::make_unique<nas::odafs::OdafsClient>(*client_hosts_[i],
-                                                     server_node(), cfg);
+    auto cl = std::make_unique<nas::odafs::OdafsClient>(*client_hosts_[i],
+                                                        server_node(), cfg);
+    // Server-CPU echo for the client's signal plane: the client differences
+    // this cumulative busy time between its own ops.
+    host::Host& srv = *server_host_;
+    cl->set_server_cpu_probe(
+        [&srv] { return static_cast<double>(srv.cpu().busy_time().ns) / 1e3; });
+    return cl;
   }
 
   // Register pull-gauges for every component's counters under
@@ -264,6 +270,24 @@ class Cluster {
     }
   }
 
+  // Uniform per-client op accounting: op/error/retry rates plus the op
+  // latency histogram, under "<client>/io/...". Works for every protocol
+  // client (core::FileClient::OpStats); these are the series the health
+  // engine's stock SLOs (obs/health.h) suffix-match on.
+  void export_file_client_metrics(obs::MetricsRegistry& reg, unsigned i,
+                                  const core::FileClient& cl) {
+    constexpr bool kCumulative = true;
+    const std::string p = client_hosts_.at(i)->name();
+    const core::FileClient::OpStats& st = cl.op_stats();
+    reg.gauge(p + "/io/ops",
+              [&st] { return static_cast<double>(st.ops); }, kCumulative);
+    reg.gauge(p + "/io/errors",
+              [&st] { return static_cast<double>(st.errors); }, kCumulative);
+    reg.gauge(p + "/io/retries",
+              [&st] { return static_cast<double>(st.retries); }, kCumulative);
+    reg.histogram_view(p + "/io/latency_us", &st.latency_us);
+  }
+
   // Per-ODAFS-client series. The client objects are built by the caller
   // (they live outside the cluster), so they are exported separately; the
   // reference-directory hit behaviour these expose — data hits vs RPC
@@ -306,6 +330,17 @@ class Cluster {
     reg.gauge(p + "/odafs/wb_flushes",
               [&cl] { return static_cast<double>(cl.wb_flushes()); },
               kCumulative);
+    // Signal plane (obs/signals.h): the EWMA estimators ROADMAP item 4's
+    // adaptive policy reads. Point samples, not deltas.
+    const obs::OpSignals& sig = cl.signals();
+    reg.gauge(p + "/signals/ref_hit_rate",
+              [&sig] { return sig.ref_hit_rate.value(); });
+    reg.gauge(p + "/signals/op_bytes",
+              [&sig] { return sig.op_bytes.value(); });
+    reg.gauge(p + "/signals/server_cpu",
+              [&sig] { return sig.server_cpu.value(); });
+    reg.gauge(p + "/signals/exception_rate",
+              [&sig] { return sig.exception_rate.value(); });
   }
 
   // --- experiment helpers ---------------------------------------------------

@@ -8,9 +8,11 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/stats.h"
 #include "common/units.h"
 #include "fs/server_fs.h"
 #include "mem/physical_memory.h"
+#include "obs/sampler.h"
 #include "sim/task.h"
 
 namespace ordma::core {
@@ -23,6 +25,17 @@ struct OpenResult {
 class FileClient {
  public:
   virtual ~FileClient() = default;
+
+  // Uniform per-client op accounting, fed by each protocol's op wrappers
+  // via record_op(). The cluster exports these as "<client>/io/..." —
+  // the series the health engine's stock SLOs (obs/health.h) watch.
+  struct OpStats {
+    std::uint64_t ops = 0;      // completed file ops (any outcome)
+    std::uint64_t errors = 0;   // ops that returned a failure Status
+    std::uint64_t retries = 0;  // protocol-level retries within ops
+    LatencyHistogram latency_us;
+  };
+  const OpStats& op_stats() const { return stats_; }
 
   virtual sim::Task<Result<OpenResult>> open(const std::string& path) = 0;
   virtual sim::Task<Status> close(std::uint64_t fh) = 0;
@@ -44,6 +57,21 @@ class FileClient {
   virtual sim::Task<Status> sync() { co_return Status::Ok(); }
 
   virtual const char* protocol_name() const = 0;
+
+ protected:
+  // Called by protocol op wrappers at op completion, after the op's trace
+  // root (so the sampler has decided keep/drop and the exemplar resolves).
+  // Marks the op errored for the trace sampler *iff* !ok has not already
+  // been noted — callers that classify failures earlier (retry give-ups)
+  // call obs::note_op_error at the decision site instead.
+  void record_op(obs::OpId op, Duration d, bool ok) {
+    ++stats_.ops;
+    if (!ok) ++stats_.errors;
+    stats_.latency_us.add(d, obs::exemplar_for(op));
+  }
+  void note_retry() { ++stats_.retries; }
+
+  OpStats stats_;
 };
 
 }  // namespace ordma::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nas/wire_util.h"
+#include "obs/sampler.h"
 
 namespace ordma::nas::dafs {
 
@@ -108,6 +109,7 @@ sim::Task<Result<net::Buffer>> DafsClient::call(std::uint32_t proc,
       break;
     }
     ++retransmits_;
+    obs::note_op_retry(trace_op);
     host_.flight().record(host_.engine().now().ns,
                           obs::flight::Ev::rpc_retransmit, req_id, 0,
                           attempt + 1);
@@ -360,7 +362,10 @@ sim::Task<Result<Bytes>> DafsClient::pread(std::uint64_t fh, Bytes off,
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await pread_op(fh, off, user_va, len, op);
-  obs::root(trk_app_, op, "op/pread", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/pread", b, e);
+  record_op(op, e - b, r.ok());
   co_return r;
 }
 
@@ -382,7 +387,11 @@ sim::Task<Result<Bytes>> DafsClient::pread_op(std::uint64_t fh, Bytes off,
       auto res = co_await read_inline(fh, off, len, op);
       if (!res.ok()) {
         last = res.status();
-        if (retryable(last.code())) continue;
+        if (retryable(last.code())) {
+          note_retry();
+          obs::note_op_retry(op);
+          continue;
+        }
         co_return last;
       }
       // Copy from the communication buffer into the user buffer.
@@ -411,7 +420,11 @@ sim::Task<Result<Bytes>> DafsClient::pread_op(std::uint64_t fh, Bytes off,
                                     reg.value()->cap, op);
     if (!res.ok()) {
       last = res.status();
-      if (retryable(last.code())) continue;
+      if (retryable(last.code())) {
+        note_retry();
+        obs::note_op_retry(op);
+        continue;
+      }
       co_return last;
     }
     const Bytes n = res.value().n;
@@ -421,6 +434,8 @@ sim::Task<Result<Bytes>> DafsClient::pread_op(std::uint64_t fh, Bytes off,
     }
     if (data_checksum(landed) == res.value().data_cksum) co_return n;
     ++integrity_retries_;
+    note_retry();
+    obs::note_op_retry(op);
     last = Status(Errc::io_error);
   }
   co_return last;
@@ -431,7 +446,10 @@ sim::Task<Result<Bytes>> DafsClient::pwrite(std::uint64_t fh, Bytes off,
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await pwrite_op(fh, off, user_va, len, op);
-  obs::root(trk_app_, op, "op/pwrite", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/pwrite", b, e);
+  record_op(op, e - b, r.ok());
   co_return r;
 }
 
@@ -456,6 +474,10 @@ sim::Task<Result<Bytes>> DafsClient::pwrite_op(std::uint64_t fh, Bytes off,
                                    reg.value()->cap, op);
     }
     if (last.ok() || !retryable(last.code())) co_return last;
+    if (attempt < cfg_.max_io_attempts) {
+      note_retry();
+      obs::note_op_retry(op);
+    }
   }
   co_return last;
 }
@@ -464,7 +486,10 @@ sim::Task<Result<fs::Attr>> DafsClient::getattr(std::uint64_t fh) {
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await getattr_op(fh, op);
-  obs::root(trk_app_, op, "op/getattr", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/getattr", b, e);
+  record_op(op, e - b, r.ok());
   co_return r;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "nas/wire_util.h"
+#include "obs/sampler.h"
 
 namespace ordma::nas::nfs {
 
@@ -91,7 +92,10 @@ sim::Task<Result<Bytes>> NfsClientBase::pread(std::uint64_t fh, Bytes off,
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await pread_op(fh, off, user_va, len, op);
-  obs::root(trk_app_, op, "op/pread", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/pread", b, e);
+  record_op(op, e - b, r.ok());
   co_return r;
 }
 
@@ -116,7 +120,10 @@ sim::Task<Result<Bytes>> NfsClientBase::pwrite(std::uint64_t fh, Bytes off,
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await pwrite_op(fh, off, user_va, len, op);
-  obs::root(trk_app_, op, "op/pwrite", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/pwrite", b, e);
+  record_op(op, e - b, r.ok());
   co_return r;
 }
 
@@ -154,7 +161,10 @@ sim::Task<Result<fs::Attr>> NfsClientBase::getattr(std::uint64_t fh) {
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await getattr_op(fh, op);
-  obs::root(trk_app_, op, "op/getattr", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/getattr", b, e);
+  record_op(op, e - b, r.ok());
   co_return r;
 }
 
@@ -339,6 +349,8 @@ sim::Task<Result<Bytes>> NfsHybridClient::read_chunk(std::uint64_t ino,
     }
     if (data_checksum(landed) == want) co_return n;
     ++integrity_retries_;
+    note_retry();
+    obs::note_op_retry(op);
     if (attempt >= kReadAttempts) co_return Errc::io_error;
   }
 }

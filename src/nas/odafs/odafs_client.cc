@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/sampler.h"
+
 #include "nas/wire_util.h"
 
 namespace ordma::nas::odafs {
@@ -160,12 +162,16 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
       co_await charge_pickup(op);
       if (res.ok()) {
         ++ordma_reads_;
+        signals_.ref_hit_rate.update(1.0);
+        signals_.exception_rate.update(0.0);
         cache_.attach_data(hdr, want);
         cache_.write_block(hdr, res.value().view());  // NIC-placed: no copy
         filled = true;
       } else {
         // Recoverable exception: drop the stale reference, retry via RPC.
         ++ordma_faults_;
+        signals_.exception_rate.update(1.0);
+        obs::note_op_exception(op);
         cache_.clear_ref(hdr);
       }
     }
@@ -173,6 +179,7 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     // --- RPC path (bounded retry; direct fills verified by checksum) -------
     if (!filled) {
       ++rpc_reads_;
+      signals_.ref_hit_rate.update(0.0);
       dafs::DafsReadResult result;
       Status last = Status(Errc::io_error);
       for (unsigned attempt = 1;
@@ -181,7 +188,11 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
           auto res = co_await dafs_.read_inline(fh, block_off, want, op);
           if (!res.ok()) {
             last = res.status();
-            if (fetch_retryable(last.code())) continue;
+            if (fetch_retryable(last.code())) {
+              note_retry();
+              obs::note_op_retry(op);
+              continue;
+            }
             co_return last;
           }
           result = std::move(res.value());
@@ -199,7 +210,11 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
                                                 slab_reg_->cap, op);
           if (!res.ok()) {
             last = res.status();
-            if (fetch_retryable(last.code())) continue;
+            if (fetch_retryable(last.code())) {
+              note_retry();
+              obs::note_op_retry(op);
+              continue;
+            }
             co_return last;
           }
           // The server's RDMA write into the cache slab is unacked: verify
@@ -210,6 +225,8 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
           }
           if (data_checksum(landed) != res.value().data_cksum) {
             ++integrity_retries_;
+            note_retry();
+            obs::note_op_retry(op);
             last = Status(Errc::io_error);
             continue;
           }
@@ -220,6 +237,10 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
       }
       if (!filled) {
         ++fetch_give_ups_;
+        // Mark at the decision site: a give-up inside a spawned prefetch
+        // never propagates to the wrapper, but its op must still be
+        // retained by the trace sampler.
+        obs::note_op_error(op);
         obs::flight::note_giveup(host_.flight(), host_.engine().now().ns, op,
                                  static_cast<std::uint64_t>(last.code()));
         co_return last;
@@ -272,7 +293,12 @@ sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await pread_op(fh, off, user_va, len, op);
-  obs::root(trk_app_, op, "op/pread", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/pread", b, e);
+  record_op(op, e - b, r.ok());
+  signals_.op_bytes.update(static_cast<double>(len));
+  update_server_cpu_signal();
   co_return r;
 }
 
@@ -365,7 +391,12 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite(std::uint64_t fh, Bytes off,
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await pwrite_op(fh, off, user_va, len, op);
-  obs::root(trk_app_, op, "op/pwrite", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/pwrite", b, e);
+  record_op(op, e - b, r.ok());
+  signals_.op_bytes.update(static_cast<double>(len));
+  update_server_cpu_signal();
   co_return r;
 }
 
@@ -678,7 +709,10 @@ sim::Task<Status> OdafsClient::sync() {
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto st = co_await sync_op(op);
-  obs::root(trk_app_, op, "op/sync", b, host_.engine().now());
+  if (!st.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/sync", b, e);
+  record_op(op, e - b, st.ok());
   co_return st;
 }
 
@@ -731,11 +765,31 @@ void OdafsClient::handle_invalidate(std::uint64_t ino, std::uint64_t fbn,
   }
 }
 
+void OdafsClient::update_server_cpu_signal() {
+  if (!server_cpu_probe_) return;
+  const double busy_us = server_cpu_probe_();
+  const double wall_us =
+      static_cast<double>(host_.engine().now().ns) / 1000.0;
+  if (probe_primed_ && wall_us > last_probe_wall_us_) {
+    const double util = std::clamp(
+        (busy_us - last_probe_busy_us_) / (wall_us - last_probe_wall_us_),
+        0.0, 1.0);
+    signals_.server_cpu.update(util);
+  }
+  last_probe_busy_us_ = busy_us;
+  last_probe_wall_us_ = wall_us;
+  probe_primed_ = true;
+}
+
 sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
   auto r = co_await getattr_op(fh, op);
-  obs::root(trk_app_, op, "op/getattr", b, host_.engine().now());
+  if (!r.ok()) obs::note_op_error(op);
+  const SimTime e = host_.engine().now();
+  obs::root(trk_app_, op, "op/getattr", b, e);
+  record_op(op, e - b, r.ok());
+  update_server_cpu_signal();
   co_return r;
 }
 
@@ -755,9 +809,12 @@ sim::Task<Result<fs::Attr>> OdafsClient::getattr_op(std::uint64_t fh,
         auto attr = fs::ServerFs::decode_attr_record(res.value().view(), fh);
         if (attr.ok()) {
           ++attr_ordma_;
+          signals_.exception_rate.update(0.0);
           co_return attr.value();
         }
       }
+      signals_.exception_rate.update(1.0);
+      obs::note_op_exception(op);
       attr_refs_.erase(fh);  // stale: drop and fall through to RPC
     }
   }

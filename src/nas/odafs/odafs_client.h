@@ -16,11 +16,13 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <unordered_map>
 
 #include "cache/client_cache.h"
 #include "core/file_client.h"
 #include "nas/dafs/dafs_client.h"
+#include "obs/signals.h"
 
 namespace ordma::nas::odafs {
 
@@ -109,6 +111,19 @@ class OdafsClient : public core::FileClient {
   std::uint64_t inval_refetches() const { return inval_refetches_; }
   std::uint64_t wb_flushes() const { return wb_flushes_; }
 
+  // --- Signal plane (obs/signals.h) ----------------------------------------
+  // Always-on EWMA estimators of the mechanism-selection signals (ref hit
+  // rate, op size, server CPU echo, ORDMA exception rate); exported as
+  // "<client>/signals/..." gauges and intended for ROADMAP item 4's
+  // adaptive protocol policy.
+  const obs::OpSignals& signals() const { return signals_; }
+  // `fn` returns the server's cumulative CPU busy time in us; the client
+  // differences it against wall time between its own ops (the utilization
+  // a real server would echo in replies).
+  void set_server_cpu_probe(std::function<double()> fn) {
+    server_cpu_probe_ = std::move(fn);
+  }
+
  private:
   sim::Task<Status> ensure_slab_registered(obs::OpId op);
   // Harvest piggybacked references into cache headers.
@@ -152,6 +167,8 @@ class OdafsClient : public core::FileClient {
   void handle_invalidate(std::uint64_t ino, std::uint64_t fbn,
                          std::uint64_t version);
   std::size_t writeback_high_water() const;
+  // Fold the server-CPU echo into signals_ (called from op wrappers).
+  void update_server_cpu_signal();
 
   struct Inflight {
     explicit Inflight(sim::Engine& eng) : done(eng) {}
@@ -191,6 +208,12 @@ class OdafsClient : public core::FileClient {
   std::uint64_t inval_drops_ = 0;
   std::uint64_t inval_refetches_ = 0;
   std::uint64_t wb_flushes_ = 0;
+
+  obs::OpSignals signals_;
+  std::function<double()> server_cpu_probe_;
+  double last_probe_busy_us_ = 0;
+  double last_probe_wall_us_ = 0;
+  bool probe_primed_ = false;
 };
 
 }  // namespace ordma::nas::odafs

@@ -26,7 +26,15 @@ void print_help(const char* prog) {
       "shared observability flags (obs/cli.h, consumed before the binary's\n"
       "own argument parsing):\n"
       "  --trace=<file>     record a Chrome trace against simulated time\n"
-      "  --metrics=<file>   write a metrics-registry JSON snapshot on exit\n"
+      "  --sample-traces=<file>[:N]\n"
+      "                     tail-based sampled tracing: keep every op that\n"
+      "                     exceeded the rolling p99, errored, retried, or\n"
+      "                     took an ORDMA exception, plus a deterministic\n"
+      "                     1-in-N reservoir of the rest (default N=64,\n"
+      "                     :0 disables the reservoir). Same Chrome trace\n"
+      "                     output as --trace, a fraction of the size.\n"
+      "  --metrics=<file>   ordma.metrics.v1 JSON: one registry snapshot\n"
+      "                     per run, merged across sweep workers\n"
       "  --flight=<file>    dump the flight-recorder rings on exit\n"
       "  --timeseries=<file>[:interval]\n"
       "                     windowed time-series telemetry: per-interval\n"
@@ -35,10 +43,14 @@ void print_help(const char* prog) {
       "                     (CSV if <file> ends in .csv). interval takes\n"
       "                     ns/us/ms/s suffixes; default 1ms of simulated\n"
       "                     time. Example: --timeseries=ts.json:500us\n"
+      "  --health=<file>[:interval]\n"
+      "                     online SLO/burn-rate evaluation per run (op p99\n"
+      "                     latency, op error rate, ORDMA exception rate)\n"
+      "                     as ordma.health.v1 JSON. interval as above.\n"
       "  --log=<level>      off | error | info | trace\n"
       "  --jobs=<n>         sweep worker threads (default: ORDMA_JOBS, else\n"
-      "                     all cores; forced to 1 while --trace/--metrics/\n"
-      "                     --flight/--timeseries is active)\n"
+      "                     all cores; forced to 1 while --trace/\n"
+      "                     --sample-traces/--flight is active)\n"
       "  --help             this message\n",
       prog);
 }
@@ -48,6 +60,8 @@ ObsSession::ObsSession(int& argc, char** argv) {
   std::string log_level;
   std::string jobs_arg;
   std::string ts_arg;
+  std::string sample_arg;
+  std::string health_arg;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -55,12 +69,15 @@ ObsSession::ObsSession(int& argc, char** argv) {
       print_help(argv[0]);
       std::exit(0);
     }
-    const bool consumed = take_value(arg, "--trace=", &trace_path_) ||
-                          take_value(arg, "--metrics=", &metrics_path_) ||
-                          take_value(arg, "--flight=", &flight_path_) ||
-                          take_value(arg, "--timeseries=", &ts_arg) ||
-                          take_value(arg, "--log=", &log_level) ||
-                          take_value(arg, "--jobs=", &jobs_arg);
+    const bool consumed =
+        take_value(arg, "--trace=", &trace_path_) ||
+        take_value(arg, "--sample-traces=", &sample_arg) ||
+        take_value(arg, "--metrics=", &metrics_path_) ||
+        take_value(arg, "--flight=", &flight_path_) ||
+        take_value(arg, "--timeseries=", &ts_arg) ||
+        take_value(arg, "--health=", &health_arg) ||
+        take_value(arg, "--log=", &log_level) ||
+        take_value(arg, "--jobs=", &jobs_arg);
     if (!consumed) argv[kept++] = argv[i];
   }
   argc = kept;
@@ -87,13 +104,38 @@ ObsSession::ObsSession(int& argc, char** argv) {
                    jobs_arg.c_str());
     }
   }
+  if (!sample_arg.empty() && !trace_path_.empty()) {
+    std::fprintf(stderr,
+                 "obs: --trace and --sample-traces are exclusive; keeping "
+                 "--trace (full recording)\n");
+    sample_arg.clear();
+  }
   if (!trace_path_.empty()) {
     recorder_ = std::make_unique<TraceRecorder>();
     install(recorder_.get());
   }
+  if (!sample_arg.empty()) {
+    // --sample-traces=<file>[:N] — the suffix after the last ':' is the
+    // reservoir period iff it parses as a non-negative integer.
+    trace_path_ = sample_arg;
+    TraceSampler::Config cfg;
+    const auto colon = sample_arg.rfind(':');
+    if (colon != std::string::npos && colon + 1 < sample_arg.size()) {
+      char* end = nullptr;
+      const std::string tail = sample_arg.substr(colon + 1);
+      const long n = std::strtol(tail.c_str(), &end, 10);
+      if (end != tail.c_str() && *end == '\0' && n >= 0) {
+        cfg.reservoir_n = static_cast<std::uint32_t>(n);
+        trace_path_ = sample_arg.substr(0, colon);
+      }
+    }
+    recorder_ = std::make_unique<TraceRecorder>();
+    install(recorder_.get());
+    sampler_ = std::make_unique<TraceSampler>(*recorder_, cfg);
+  }
   if (!metrics_path_.empty()) {
-    registry_ = std::make_unique<MetricsRegistry>();
-    install(registry_.get());
+    msink_ = std::make_unique<MetricsSink>();
+    install_metrics_sink(msink_.get());
   }
   if (!ts_arg.empty()) {
     // --timeseries=<file>[:interval] — the suffix after the last ':' is an
@@ -116,22 +158,33 @@ ObsSession::ObsSession(int& argc, char** argv) {
         csv ? ts::TimeseriesSink::Format::csv
             : ts::TimeseriesSink::Format::json,
         cfg);
-    ts::install(ts_sink_.get());
+    ts::install_global(ts_sink_.get());
   }
-  // Observability sinks are installed on this (the main) thread; a
-  // simulation running on a pool worker would bypass them. Force the sweep
-  // serial so every cell is observed — and name the specific flag(s) that
-  // forced it, so the user knows which one to drop to get parallelism back.
-  if (jobs_ > 1 &&
-      (recorder_ || registry_ || ts_sink_ || !flight_path_.empty())) {
+  if (!health_arg.empty()) {
+    Duration iv = msec(1);
+    health_path_ = health_arg;
+    const auto colon = health_arg.rfind(':');
+    if (colon != std::string::npos) {
+      Duration parsed;
+      if (ts::parse_duration(health_arg.substr(colon + 1), &parsed)) {
+        iv = parsed;
+        health_path_ = health_arg.substr(0, colon);
+      }
+    }
+    hsink_ = std::make_unique<health::HealthSink>(iv);
+    health::install_health_sink(hsink_.get());
+  }
+  // Trace surfaces are installed on this (the main) thread and record one
+  // timeline; a simulation running on a pool worker would bypass them.
+  // Force the sweep serial so every cell is observed — and name the
+  // specific flag(s) that forced it. The snapshot-driven sinks
+  // (--metrics/--timeseries/--health) merge thread-safely and keep
+  // parallel sweeps.
+  if (jobs_ > 1 && (recorder_ || !flight_path_.empty())) {
     std::string cause;
-    if (recorder_) cause += "--trace";
-    if (registry_) cause += std::string(cause.empty() ? "" : ", ") + "--metrics";
+    if (recorder_) cause += sampler_ ? "--sample-traces" : "--trace";
     if (!flight_path_.empty()) {
       cause += std::string(cause.empty() ? "" : ", ") + "--flight";
-    }
-    if (ts_sink_) {
-      cause += std::string(cause.empty() ? "" : ", ") + "--timeseries";
     }
     std::fprintf(stderr,
                  "obs: %s installs a main-thread sink; running serial "
@@ -145,9 +198,22 @@ void ObsSession::flush() {
   if (flushed_) return;
   flushed_ = true;
   if (recorder_) {
+    // Replay kept spans for any ops still staged (nothing should be, after
+    // a clean run) before serializing.
+    if (sampler_) sampler_->finish();
     if (recorder_->write_chrome_json_file(trace_path_)) {
-      std::fprintf(stderr, "obs: trace written to %s (%zu events)\n",
-                   trace_path_.c_str(), recorder_->event_count());
+      if (sampler_) {
+        std::fprintf(
+            stderr,
+            "obs: sampled trace written to %s (%zu events; kept %zu of "
+            "%zu ops, %zu of %zu events)\n",
+            trace_path_.c_str(), recorder_->event_count(),
+            sampler_->ops_kept(), sampler_->ops_decided(),
+            sampler_->events_kept(), sampler_->events_staged());
+      } else {
+        std::fprintf(stderr, "obs: trace written to %s (%zu events)\n",
+                     trace_path_.c_str(), recorder_->event_count());
+      }
     } else {
       std::fprintf(stderr, "obs: failed to write trace to %s\n",
                    trace_path_.c_str());
@@ -165,10 +231,15 @@ void ObsSession::flush() {
                    flight_path_.c_str());
     }
   }
-  if (registry_) {
-    if (registry_->write_json_file(metrics_path_)) {
-      std::fprintf(stderr, "obs: metrics written to %s (%zu entries)\n",
-                   metrics_path_.c_str(), registry_->size());
+  if (msink_) {
+    if (msink_->runs() == 0) {
+      std::fprintf(stderr,
+                   "obs: --metrics produced no runs — this binary has no "
+                   "obs::ts::RunScope around its measured region yet\n");
+    }
+    if (msink_->write_file(metrics_path_)) {
+      std::fprintf(stderr, "obs: metrics written to %s (%zu runs)\n",
+                   metrics_path_.c_str(), msink_->runs());
     } else {
       std::fprintf(stderr, "obs: failed to write metrics to %s\n",
                    metrics_path_.c_str());
@@ -186,6 +257,21 @@ void ObsSession::flush() {
     } else {
       std::fprintf(stderr, "obs: failed to write timeseries to %s\n",
                    timeseries_path_.c_str());
+    }
+  }
+  if (hsink_) {
+    if (hsink_->runs() == 0) {
+      std::fprintf(stderr,
+                   "obs: --health produced no runs — this binary has no "
+                   "obs::ts::RunScope around its measured region yet\n");
+    }
+    if (hsink_->write_file(health_path_)) {
+      std::fprintf(stderr, "obs: health written to %s (%zu runs%s)\n",
+                   health_path_.c_str(), hsink_->runs(),
+                   hsink_->any_trips() ? ", SLO trips recorded" : "");
+    } else {
+      std::fprintf(stderr, "obs: failed to write health to %s\n",
+                   health_path_.c_str());
     }
   }
 }

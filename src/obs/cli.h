@@ -2,7 +2,16 @@
 // binaries:
 //
 //   --trace=<file>     record a Chrome trace (open in Perfetto / chrome://tracing)
-//   --metrics=<file>   write a metrics-registry JSON snapshot on exit
+//   --sample-traces=<file>[:N]
+//                      tail-based sampled tracing (obs/sampler.h): spans
+//                      stage per op and the keep/drop decision happens at
+//                      op completion — ops slower than the rolling p99,
+//                      errored, retried, or ORDMA-faulted are always kept,
+//                      plus a deterministic 1-in-N reservoir of the rest
+//                      (default N=64; :0 disables the reservoir). Output
+//                      is the same Chrome trace format as --trace.
+//   --metrics=<file>   ordma.metrics.v1 JSON: one registry snapshot per
+//                      RunScope-wired run, merged across sweep workers
 //   --flight=<file>    dump the flight-recorder rings on exit (obs/flight.h)
 //   --timeseries=<file>[:interval]
 //                      windowed time-series telemetry (obs/timeseries.h):
@@ -11,24 +20,32 @@
 //                      ordma.timeseries.v1 JSON (or CSV if <file> ends in
 //                      .csv). interval takes ns/us/ms/s suffixes, default
 //                      1ms of simulated time.
+//   --health=<file>[:interval]
+//                      online SLO evaluation (obs/health.h): per run, the
+//                      stock SLOs (op p99 latency, op error rate, ORDMA
+//                      exception rate) are judged over delta windows with
+//                      multi-window burn-rate alerting; one
+//                      ordma.health.v1 document per run.
 //   --log=<level>      off | error | info | trace (simulated-time stamped)
 //   --jobs=<n>         sweep worker threads (default: ORDMA_JOBS, else all
-//                      cores; forced to 1 while --trace/--metrics/--flight/
-//                      --timeseries is active, since those install on the
-//                      main thread)
+//                      cores; forced to 1 while --trace/--sample-traces/
+//                      --flight is active, since those install on the main
+//                      thread — --metrics/--timeseries/--health merge
+//                      thread-safely and sweep in parallel)
 //   --help             print these shared flags and exit
 //
 // Usage: construct one ObsSession at the top of main(). It consumes its own
 // flags (compacting argc/argv so positional parsing downstream is
-// unaffected), ignores everything else, installs the calling thread's
-// TraceRecorder / MetricsRegistry / TimeseriesSink as requested, and writes
-// the output files when it goes out of scope.
+// unaffected), ignores everything else, installs the requested recorders
+// and sinks, and writes the output files when it goes out of scope.
 #pragma once
 
 #include <memory>
 #include <string>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 
@@ -42,16 +59,21 @@ class ObsSession {
   ObsSession& operator=(const ObsSession&) = delete;
 
   bool tracing() const { return recorder_ != nullptr; }
-  bool metrics() const { return registry_ != nullptr; }
+  bool sampling() const { return sampler_ != nullptr; }
+  bool metrics() const { return msink_ != nullptr; }
   bool timeseries() const { return ts_sink_ != nullptr; }
+  bool health() const { return hsink_ != nullptr; }
   TraceRecorder* recorder() { return recorder_.get(); }
-  MetricsRegistry* registry() { return registry_.get(); }
+  TraceSampler* sampler() { return sampler_.get(); }
+  MetricsSink* metrics_sink() { return msink_.get(); }
   ts::TimeseriesSink* timeseries_sink() { return ts_sink_.get(); }
+  health::HealthSink* health_sink() { return hsink_.get(); }
 
   // Worker count for this binary's sweep (bench/bench_util.h sweep()).
-  // Never 0; 1 whenever an observability sink is installed, because the
-  // session installs it on the main thread only and a worker-thread
-  // simulation would silently record nothing.
+  // Never 0; 1 whenever a trace surface is on, because the recorder is a
+  // main-thread single-timeline instrument — the snapshot-driven sinks
+  // (--metrics/--timeseries/--health) are thread-safe and don't force
+  // serial.
   unsigned jobs() const { return jobs_; }
 
   // Write the outputs now (instead of at destruction) — used by binaries
@@ -63,9 +85,12 @@ class ObsSession {
   std::string metrics_path_;
   std::string flight_path_;
   std::string timeseries_path_;
+  std::string health_path_;
   std::unique_ptr<TraceRecorder> recorder_;
-  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<TraceSampler> sampler_;  // after recorder_: detaches first
+  std::unique_ptr<MetricsSink> msink_;
   std::unique_ptr<ts::TimeseriesSink> ts_sink_;
+  std::unique_ptr<health::HealthSink> hsink_;
   unsigned jobs_ = 1;
   bool flushed_ = false;
 };

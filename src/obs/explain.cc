@@ -224,7 +224,26 @@ void write_explain_json(std::ostream& os, const char* label,
      << "},\n";
   os << "  \"causes_us\": ";
   write_causes(os, causes);
-  os << ",\n  \"slowest\": [";
+  // Per-cause exemplar: the slowest op dominated by each cause. With the
+  // tail sampler on, these are by construction *kept* op ids — a reader can
+  // jump from "disk_queue is the tail's problem" straight to a retained
+  // trace that shows it (ties to the smaller op id for determinism).
+  OpId exemplar[kCauseCount] = {};
+  double exemplar_us[kCauseCount] = {};
+  for (const auto& [op, bd] : ops) {
+    const auto d = static_cast<std::size_t>(bd.dominant());
+    if (exemplar[d] == 0 || bd.total_us > exemplar_us[d]) {
+      exemplar[d] = op;
+      exemplar_us[d] = bd.total_us;
+    }
+  }
+  os << ",\n  \"exemplars\": {";
+  for (std::size_t i = 0; i < kCauseCount; ++i) {
+    if (i) os << ", ";
+    os << "\"" << cause_name(static_cast<Cause>(i))
+       << "\": " << exemplar[i];
+  }
+  os << "},\n  \"slowest\": [";
   const auto top = slowest(ops, k);
   for (std::size_t i = 0; i < top.size(); ++i) {
     const CauseBreakdown& bd = top[i];

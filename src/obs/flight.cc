@@ -104,6 +104,10 @@ const char* ev_name(Ev e) {
     case Ev::inval_ack: return "inval_ack";
     case Ev::wb_flush: return "wb_flush";
     case Ev::fault_put_revoke: return "fault_put_revoke";
+    case Ev::sample_keep: return "sample_keep";
+    case Ev::sample_drop: return "sample_drop";
+    case Ev::slo_trip: return "slo_trip";
+    case Ev::slo_clear: return "slo_clear";
   }
   return "?";
 }

@@ -105,6 +105,12 @@ enum class Ev : std::uint16_t {
   inval_ack,   // a=srv req id (client acked)
   wb_flush,    // a=file b=block (client write-back flush issued)
   fault_put_revoke,  // injected revoke-during-put
+  // Tail sampler decisions (obs/sampler.h)
+  sample_keep,  // a=trace op b=latency ns aux=reason bitmask
+  sample_drop,  // a=trace op b=latency ns aux=0
+  // SLO burn-rate alerting (obs/health.h)
+  slo_trip,   // a=slo index b=window index aux=burn rate x1000
+  slo_clear,  // a=slo index b=window index
 };
 
 const char* ev_name(Ev e);

@@ -25,6 +25,11 @@ LatencyHistogram& MetricsRegistry::histogram(const std::string& path) {
   return *e.h;
 }
 
+void MetricsRegistry::histogram_view(const std::string& path,
+                                     const LatencyHistogram* h) {
+  entries_[path].hv = h;
+}
+
 void MetricsRegistry::gauge(const std::string& path,
                             std::function<double()> fn, bool cumulative) {
   Entry& e = entries_[path];
@@ -54,14 +59,14 @@ void MetricsRegistry::delta_snapshot(DeltaCursor& cursor,
       const double v = static_cast<double>(e.c->get());
       d.value = v - base.value;
       base.value = v;
-    } else if (e.h) {
+    } else if (const LatencyHistogram* h = e.hist()) {
       d.kind = Kind::histogram;
-      const double sum = e.h->sum_us();
+      const double sum = h->sum_us();
       d.h_sum_us = sum - base.h_sum_us;
       base.h_sum_us = sum;
       std::uint64_t count = 0;
       for (std::size_t b = 0; b < LatencyHistogram::bucket_count(); ++b) {
-        const std::uint64_t n = e.h->bucket_value(b);
+        const std::uint64_t n = h->bucket_value(b);
         d.h_buckets[b] = n - base.h_buckets[b];
         base.h_buckets[b] = n;
         count += d.h_buckets[b];
@@ -126,24 +131,31 @@ void MetricsRegistry::write_json(std::ostream& os) const {
   }
 
   auto emit_entry = [&](const Entry& e) {
+    const LatencyHistogram* h = e.hist();
     if (e.g) {
       emit_number(os, e.g());
     } else if (e.c) {
       os << e.c->get();
-    } else if (e.h) {
-      os << R"({"count":)" << e.h->count() << R"(,"mean_us":)";
-      emit_number(os, e.h->mean_us());
+    } else if (h) {
+      os << R"({"count":)" << h->count() << R"(,"mean_us":)";
+      emit_number(os, h->mean_us());
       os << R"(,"max_us":)";
-      emit_number(os, e.h->max_us());
+      emit_number(os, h->max_us());
       os << R"(,"buckets":[)";
       bool first = true;
       for (std::size_t b = 0; b < LatencyHistogram::bucket_count(); ++b) {
-        if (e.h->bucket_value(b) == 0) continue;
+        if (h->bucket_value(b) == 0) continue;
         if (!first) os << ",";
         first = false;
         os << R"({"le_us":)";
         emit_number(os, LatencyHistogram::upper_edge_us(b));
-        os << R"(,"n":)" << e.h->bucket_value(b) << "}";
+        os << R"(,"n":)" << h->bucket_value(b);
+        // Exemplar: the most recent *retained* trace op that landed in
+        // this bucket — the p99-bucket-to-trace hop (obs/sampler.h).
+        if (h->bucket_exemplar(b) != 0) {
+          os << R"(,"exemplar":)" << h->bucket_exemplar(b);
+        }
+        os << "}";
       }
       os << "]}";
     } else {
@@ -176,6 +188,56 @@ bool MetricsRegistry::write_json_file(const std::string& path) const {
   std::ofstream f(path);
   if (!f) return false;
   write_json(f);
+  return f.good();
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSink
+// ---------------------------------------------------------------------------
+
+namespace {
+MetricsSink* g_metrics_sink = nullptr;
+}  // namespace
+
+MetricsSink* metrics_sink() { return g_metrics_sink; }
+void install_metrics_sink(MetricsSink* s) { g_metrics_sink = s; }
+
+void MetricsSink::add(const std::string& label, std::string doc) {
+  // Trim the trailing newline write_json appends: docs embed in an object.
+  while (!doc.empty() && (doc.back() == '\n' || doc.back() == ' ')) {
+    doc.pop_back();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = label;
+  for (int n = 2; docs_.count(key) != 0; ++n) {
+    key = label + "#" + std::to_string(n);
+  }
+  docs_.emplace(std::move(key), std::move(doc));
+}
+
+std::size_t MetricsSink::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+void MetricsSink::write(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << R"({"schema":"ordma.metrics.v1","runs":{)";
+  bool first = true;
+  for (const auto& [label, doc] : docs_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n\"";
+    json_escaped(os, label);
+    os << "\":" << doc;
+  }
+  os << (docs_.empty() ? "}}" : "\n}}") << "\n";
+}
+
+bool MetricsSink::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  write(f);
   return f.good();
 }
 

@@ -17,6 +17,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,10 @@ class MetricsRegistry {
   // Find-or-create. References stay valid for the registry's lifetime.
   Counter& counter(const std::string& path);
   LatencyHistogram& histogram(const std::string& path);
+  // Register a *view* of a histogram owned elsewhere (a component's op
+  // stats): snapshots read through the pointer, which must outlive the
+  // registry. Same snapshot/delta semantics as an owned histogram.
+  void histogram_view(const std::string& path, const LatencyHistogram* h);
   // Register (or replace) a gauge sampled at snapshot time. A *cumulative*
   // gauge exposes a monotonically nondecreasing total (resource busy time,
   // hit counts exported from component-owned counters); delta consumers
@@ -95,8 +100,10 @@ class MetricsRegistry {
   struct Entry {
     std::unique_ptr<Counter> c;
     std::unique_ptr<LatencyHistogram> h;
+    const LatencyHistogram* hv = nullptr;  // non-owned view
     std::function<double()> g;
     bool g_cumulative = false;
+    const LatencyHistogram* hist() const { return h ? h.get() : hv; }
   };
   // std::map: deterministic order and stable addresses.
   std::map<std::string, Entry> entries_;
@@ -111,5 +118,37 @@ inline MetricsRegistry* registry() { return tls().registry; }
 // keeps ownership; a registry uninstalls itself on destruction if still
 // installed on the destroying thread.
 void install(MetricsRegistry* r);
+
+// ---------------------------------------------------------------------------
+// Session-level metrics sink
+// ---------------------------------------------------------------------------
+// Collects one serialized metrics document per finished run (sweep cell)
+// under a run label, and writes them all as one
+//   {"schema":"ordma.metrics.v1","runs":{<label>:<snapshot>,...}}
+// object at session end. Unlike the per-thread registry install, the sink
+// is *process-global* and add() is thread-safe, so parallel sweep workers
+// each snapshot their own run's registry and merge here — `--metrics` no
+// longer forces a serial sweep. Output order is label-sorted, hence
+// deterministic at any worker count.
+class MetricsSink {
+ public:
+  // Thread-safe. `doc` is one JSON value (a registry write_json snapshot);
+  // a duplicate label gets a "#<n>" suffix so no run is silently lost.
+  void add(const std::string& label, std::string doc);
+  std::size_t runs() const;
+
+  void write(std::ostream& os) const;
+  bool write_file(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> docs_;
+};
+
+// Process-global sink installed by obs/cli.h under --metrics (nullptr when
+// absent). Reads are racy-free: the pointer is set once before workers
+// start and cleared after they join.
+MetricsSink* metrics_sink();
+void install_metrics_sink(MetricsSink* s);
 
 }  // namespace ordma::obs

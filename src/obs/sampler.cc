@@ -1,0 +1,154 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ordma::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TraceSampler::TraceSampler(TraceRecorder& rec) : TraceSampler(rec, Config()) {}
+
+TraceSampler::TraceSampler(TraceRecorder& rec, const Config& cfg)
+    : rec_(rec), cfg_(cfg), rng_(Rng(cfg.seed).fork()) {
+  if (cfg_.max_staged_ops == 0) cfg_.max_staged_ops = 1;
+  if (cfg_.max_events_per_op == 0) cfg_.max_events_per_op = 1;
+  cfg_.max_staged_ops = round_up_pow2(cfg_.max_staged_ops);
+  cfg_.max_events_per_op = round_up_pow2(cfg_.max_events_per_op);
+  slot_mask_ = static_cast<OpId>(cfg_.max_staged_ops - 1);
+  ev_mask_ = cfg_.max_events_per_op - 1;
+  pool_.resize(cfg_.max_staged_ops);
+  slots_ = pool_.data();
+  rec_.set_sampler(this);
+}
+
+TraceSampler::~TraceSampler() {
+  finish();
+  if (rec_.sampler() == this) rec_.set_sampler(nullptr);
+}
+
+std::int64_t TraceSampler::threshold_ns() const {
+  const std::uint64_t n = lat_n_;
+  if (n == 0) return 0;
+  // Walk the histogram top-down: the keep threshold is the upper edge of
+  // the bucket holding the tail quantile. The tail lives in the top few
+  // buckets, so this stops after a handful of iterations.
+  const auto above_budget = static_cast<std::uint64_t>(
+      static_cast<double>(n) * (1.0 - cfg_.tail_quantile));
+  std::uint64_t above = 0;
+  std::size_t b = top_bucket_;  // buckets above the max-so-far are empty
+  while (b > 0) {
+    above += lat_counts_[b - 1];
+    if (above > above_budget) break;
+    --b;
+  }
+  if (b == 0) b = 1;
+  // The overflow bucket has no finite upper edge; clamp to its lower edge
+  // (matching histogram_quantile_from_counts).
+  if (b == LatencyHistogram::bucket_count()) --b;
+  // Bucket i spans [2^(i-1), 2^i) us (bucket 0 is < 1us); the upper edge of
+  // bucket b-1 is 2^(b-1) us.
+  const double edge_us = std::ldexp(1.0, static_cast<int>(b) - 1);
+  return static_cast<std::int64_t>(edge_us * 1000.0);
+}
+
+void TraceSampler::stage_slow(TraceRecorder::Kind kind, TrackId track,
+                              OpId op, const char* name,
+                              std::int64_t begin_ns, std::int64_t end_ns) {
+  // Only reached post-finish(): stragglers bypass staging entirely.
+  rec_.record_direct(kind, track, op, name, begin_ns, end_ns);
+}
+
+void TraceSampler::mark(OpId op, std::uint32_t bit) {
+  if (op == 0 || finished_) return;
+  Slot& s = slots_[static_cast<std::size_t>(op & slot_mask_)];
+  if (s.op != op) admit(s, op);
+  s.marks |= bit;
+}
+
+void TraceSampler::decide(Slot& s, const char* name, TrackId track,
+                          std::int64_t begin_ns, std::int64_t end_ns) {
+  Decision d;
+  d.op = s.op;
+  d.latency_ns = end_ns - begin_ns;
+  d.threshold_ns = threshold_ns();
+  if (d.latency_ns >= d.threshold_ns) d.reasons |= kTail;
+  d.reasons |= s.marks & (kError | kRetry | kException);
+  if (d.reasons == 0 && cfg_.reservoir_n != 0 &&
+      rng_.below(cfg_.reservoir_n) == 0) {
+    d.reasons |= kReservoir;
+  }
+  d.kept = d.reasons != 0;
+  ++ops_decided_;
+  if (d.kept) {
+    ++ops_kept_;
+    // No exact-size reserve here: push_back's geometric growth keeps the
+    // total copy cost linear over a long run (an exact reserve per kept op
+    // would reallocate + copy the whole kept set every time).
+    for (const RingEv& ev : s.ring) kept_.push_back(KeptEv{ev, d.op});
+    kept_.push_back(KeptEv{
+        RingEv{begin_ns, end_ns, name, track,
+               static_cast<std::uint32_t>(TraceRecorder::Kind::root)},
+        d.op});
+    events_kept_ += s.ring.size() + 1;
+    kept_ops_.insert(d.op);
+  }
+  // The threshold is over *previously* completed ops; fold this op in only
+  // after its own decision.
+  const std::size_t b = LatencyHistogram::bucket_for(Duration{d.latency_ns});
+  if (b >= top_bucket_) top_bucket_ = b + 1;
+  ++lat_counts_[b];
+  ++lat_n_;
+  if (cfg_.decay_every != 0 && ++since_decay_ >= cfg_.decay_every) {
+    since_decay_ = 0;
+    lat_n_ = 0;
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < top_bucket_; ++i) {
+      lat_counts_[i] >>= 1;
+      lat_n_ += lat_counts_[i];
+      if (lat_counts_[i] != 0) top = i + 1;
+    }
+    top_bucket_ = top;
+  }
+  flight_.record(end_ns,
+                 d.kept ? flight::Ev::sample_keep : flight::Ev::sample_drop,
+                 d.op, static_cast<std::uint64_t>(d.latency_ns), d.reasons);
+  if (hook_ != nullptr) hook_(hook_ctx_, d);
+  s.op = 0;  // release the slot; ring storage stays for reuse
+  s.marks = 0;
+  s.count = 0;
+  s.ring.clear();
+}
+
+void TraceSampler::finish() {
+  if (finished_) return;
+  finished_ = true;
+  // Replay kept events in nondecreasing end order, the contract
+  // record_direct()'s lane assignment relies on. Ties keep kept_ append
+  // order (ring order within an op, decision order across ops) — itself
+  // deterministic, so sampled replays are reproducible.
+  std::stable_sort(kept_.begin(), kept_.end(),
+                   [](const KeptEv& a, const KeptEv& b) {
+                     return a.ev.end_ns < b.ev.end_ns;
+                   });
+  for (const KeptEv& k : kept_) {
+    rec_.record_direct(static_cast<TraceRecorder::Kind>(k.ev.kind),
+                       k.ev.track, k.op, k.ev.name, k.ev.begin_ns,
+                       k.ev.end_ns);
+  }
+  kept_.clear();
+  kept_.shrink_to_fit();
+  pool_.clear();
+  pool_.shrink_to_fit();
+  slots_ = nullptr;
+}
+
+}  // namespace ordma::obs

@@ -1,0 +1,310 @@
+// Tail-based trace sampling: keep the interesting 1% at ~0% cost.
+//
+// Full-span tracing (obs/trace.h) records every span of every op — perfect
+// for one diagnosed run, too heavy to leave on across a fleet-scale sweep.
+// A TraceSampler attaches to a TraceRecorder and turns it into a
+// keep-the-tail recorder: every op's spans *stage* into a small per-op ring
+// and the keep/drop decision happens at op completion (the "op/..." root
+// span, which clients record last). An op is kept when it
+//
+//   * exceeded the rolling latency quantile (cfg.tail_quantile, default
+//     p99) over recently completed ops (an exponentially decayed window,
+//     cfg.decay_every — so the threshold tracks workload shifts mid-sweep),
+//   * errored (note_error), retried (note_retry), or suffered an ORDMA
+//     exception (note_exception) — marked at the recovery sites themselves,
+//   * or wins the 1-in-N reservoir draw for otherwise-boring ops
+//     (cfg.reservoir_n), so the body of the distribution stays represented.
+//
+// Everything else is dropped before it ever reaches trace storage.
+//
+// Determinism contract (same as every obs surface): the sampler is an
+// observer. It never schedules, never reads the engine clock (decision
+// thresholds come from the simulated-time stamps already on the events),
+// and its reservoir draws come from a private Rng forked off a fixed
+// config seed — zero draws are made from any simulation stream, and zero
+// draws at all when no sampler is attached, so golden event-stream hashes
+// are bit-identical with sampling on vs off (pinned by
+// tests/sampler_test.cc and tests/integration/parallel_determinism_test.cc).
+//
+// Memory is bounded by construction: ops stage into a direct-mapped table
+// of max_staged_ops slots (rounded up to a power of two; a newly arriving
+// op evicts whatever op collides with its slot) and each op stages at most
+// max_events_per_op events (ring overwrite beyond that) — staging never
+// grows with run length. The direct map keeps the per-event cost to one
+// masked index + compare, which is what lets sampling stay within the ~5%
+// overhead budget of running with observability off.
+//
+// Kept events are committed to the recorder at finish() (or destruction):
+// staged events are replayed in nondecreasing end_ns order through
+// TraceRecorder::record_direct(), which preserves the recorder's
+// nondecreasing-end-order lane discipline, so sampled traces pass
+// scripts/validate_trace.py unchanged.
+//
+// Every decision is also dropped into a flight-recorder ring ("sampler"),
+// so a postmortem dump shows why a trace was (or was not) retained.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "obs/flight.h"
+#include "obs/trace.h"
+
+namespace ordma::obs {
+
+class TraceSampler {
+ public:
+  struct Config {
+    // Keep every op at or above this rolling quantile of completed-op
+    // latency. The threshold is the histogram bucket upper edge — a
+    // conservative bound, so the sampler over-keeps rather than losing a
+    // genuine tail op. The first completed op always keeps (no history).
+    double tail_quantile = 0.99;
+    // Halve the threshold histogram every this many decisions, making the
+    // quantile genuinely *rolling* (an exponential window of roughly
+    // 2 × decay_every ops). Without decay a long sweep's early cells
+    // pollute the threshold for later, slower cells and every one of their
+    // ops keeps as "tail" until the cumulative histogram catches up.
+    // 0 disables decay (cumulative-since-start threshold).
+    std::uint32_t decay_every = 2048;
+    // Keep 1-in-N of the unmarked (fast, clean) ops. 0 disables the
+    // reservoir entirely — and with it every RNG draw.
+    std::uint32_t reservoir_n = 64;
+    // Seed for the private reservoir stream. Fixed default: sampling the
+    // same run twice keeps the same ops.
+    std::uint64_t seed = 0x5eedda7a;
+    // Staging bounds (see header comment). Both are rounded up to powers
+    // of two so the hot path is a mask, not a division. max_staged_ops is
+    // an in-flight-op concurrency bound, not a volume bound — it is kept
+    // small deliberately so the slot headers and recycled rings the
+    // staging path cycles through stay cache-resident (sequential op ids
+    // walk the whole table even at concurrency 1).
+    std::size_t max_staged_ops = 128;
+    std::size_t max_events_per_op = 256;
+  };
+
+  // Why an op was kept (bitmask; 0 = no reason, dropped unless reservoir).
+  enum Reason : std::uint32_t {
+    kTail = 1u << 0,       // latency >= rolling quantile threshold
+    kError = 1u << 1,      // note_error
+    kRetry = 1u << 2,      // note_retry
+    kException = 1u << 3,  // note_exception (ORDMA fault path)
+    kReservoir = 1u << 4,  // won the 1-in-N draw
+  };
+
+  struct Decision {
+    OpId op = 0;
+    std::int64_t latency_ns = 0;
+    std::int64_t threshold_ns = 0;  // rolling threshold the op was judged by
+    std::uint32_t reasons = 0;
+    bool kept = false;
+  };
+
+  // Attaches to `rec` (rec.set_sampler(this)). The recorder must outlive
+  // the sampler; the sampler detaches and flushes kept events on
+  // destruction.
+  explicit TraceSampler(TraceRecorder& rec);
+  TraceSampler(TraceRecorder& rec, const Config& cfg);
+  ~TraceSampler();
+  TraceSampler(const TraceSampler&) = delete;
+  TraceSampler& operator=(const TraceSampler&) = delete;
+
+  // Called by TraceRecorder::record() while attached. Kind::root triggers
+  // the keep/drop decision for `op`; everything else stages. This runs once
+  // per trace event of the whole run, so the body is inline and branch-lean:
+  // a masked slot lookup, a struct store, and counter bumps.
+  void stage(TraceRecorder::Kind kind, TrackId track, OpId op,
+             const char* name, std::int64_t begin_ns, std::int64_t end_ns) {
+    if (finished_) {  // post-flush stragglers bypass staging
+      stage_slow(kind, track, op, name, begin_ns, end_ns);
+      return;
+    }
+    if (op == 0) {
+      // Ambient work has no completion point to decide at; under sampling
+      // it is dropped (and counted) rather than staged forever.
+      ++ambient_dropped_;
+      return;
+    }
+    Slot& s = slots_[static_cast<std::size_t>(op & slot_mask_)];
+    if (s.op != op) admit(s, op);
+    if (kind == TraceRecorder::Kind::root) {
+      decide(s, name, track, begin_ns, end_ns);
+      return;
+    }
+    ++events_staged_;
+    const std::size_t pos = s.count & ev_mask_;
+    const RingEv ev{begin_ns, end_ns, name, track,
+                    static_cast<std::uint32_t>(kind)};
+    if (s.ring.size() <= pos) {
+      s.ring.push_back(ev);
+    } else {
+      s.ring[pos] = ev;
+      ++events_overwritten_;
+    }
+    ++s.count;
+  }
+
+  // Mark the in-flight op as interesting; any mark forces retention at
+  // completion. Safe for op 0 / unstaged ops (no-ops / creates the slot).
+  void note_error(OpId op) { mark(op, kError); }
+  void note_retry(OpId op) { mark(op, kRetry); }
+  void note_exception(OpId op) { mark(op, kException); }
+
+  // True iff `op` completed and was kept. (In-flight ops report false.)
+  bool kept(OpId op) const { return kept_ops_.count(op) != 0; }
+
+  // Commit kept events to the recorder (idempotent; destruction calls it).
+  // Ops still in flight are discarded — their decision never happened.
+  void finish();
+
+  // The rolling keep threshold the *next* completing op will be judged by.
+  std::int64_t threshold_ns() const;
+
+  // --- accounting --------------------------------------------------------
+  std::uint64_t ops_decided() const { return ops_decided_; }
+  std::uint64_t ops_kept() const { return ops_kept_; }
+  std::uint64_t ops_evicted() const { return ops_evicted_; }
+  std::uint64_t events_staged() const { return events_staged_; }
+  std::uint64_t events_kept() const { return events_kept_; }
+  std::uint64_t events_overwritten() const { return events_overwritten_; }
+  std::uint64_t ambient_dropped() const { return ambient_dropped_; }
+
+  // Test hook: observe every Decision as it is made.
+  void set_decision_hook(void* ctx, void (*fn)(void*, const Decision&)) {
+    hook_ctx_ = ctx;
+    hook_ = fn;
+  }
+
+ private:
+  // Ring entries are deliberately 32 bytes: staging happens once per trace
+  // event of the whole run, so the write traffic per event is the cost
+  // floor. The op id lives on the Slot (identical for every entry in one
+  // ring) and is re-attached when a kept ring is copied out.
+  struct RingEv {
+    std::int64_t begin_ns;
+    std::int64_t end_ns;
+    const char* name;
+    TrackId track;
+    std::uint32_t kind;  // TraceRecorder::Kind
+  };
+  struct KeptEv {
+    RingEv ev;
+    OpId op;
+  };
+  // One cache line per slot: the per-event lookup touches exactly this
+  // line plus the ring's write position.
+  struct alignas(64) Slot {
+    OpId op = 0;
+    std::uint32_t marks = 0;
+    std::size_t count = 0;      // events ever staged (ring head)
+    std::vector<RingEv> ring;   // grows to max_events_per_op, then wraps
+  };
+
+  // (Re)claim a direct-map slot for `op`. Whoever occupied it loses: with
+  // sequential op ids, a collision means the occupant outlived
+  // max_staged_ops newer ops without completing — the bounded-memory
+  // bargain sacrifices its staged spans (counted in ops_evicted_).
+  void admit(Slot& s, OpId op) {
+    if (s.op != 0) ++ops_evicted_;
+    s.op = op;
+    s.marks = 0;
+    s.count = 0;
+    s.ring.clear();
+  }
+
+  void stage_slow(TraceRecorder::Kind kind, TrackId track, OpId op,
+                  const char* name, std::int64_t begin_ns,
+                  std::int64_t end_ns);
+  void mark(OpId op, std::uint32_t bit);
+  void decide(Slot& s, const char* name, TrackId track,
+              std::int64_t begin_ns, std::int64_t end_ns);
+
+  // Hot per-event state first, packed together: stage() touches only these,
+  // the pool slot, and the ring line.
+  Slot* slots_ = nullptr;  // = pool_.data(); direct map: slot = op & mask
+  OpId slot_mask_ = 0;
+  std::size_t ev_mask_ = 0;
+  bool finished_ = false;
+  std::uint64_t events_staged_ = 0;
+  std::uint64_t events_overwritten_ = 0;
+
+  TraceRecorder& rec_;
+  Config cfg_;
+  Rng rng_;
+  std::vector<Slot> pool_;
+
+  std::vector<KeptEv> kept_;  // decided-keep events awaiting flush
+  std::unordered_set<OpId> kept_ops_;
+  // Rolling completed-op latency histogram, the threshold source: raw
+  // power-of-two bucket counts (LatencyHistogram's convention), halved in
+  // place every cfg.decay_every decisions.
+  std::uint64_t lat_counts_[LatencyHistogram::bucket_count()] = {};
+  std::uint64_t lat_n_ = 0;
+  std::size_t top_bucket_ = 0;  // highest occupied bucket + 1
+  std::uint32_t since_decay_ = 0;
+
+  std::uint64_t ops_decided_ = 0;
+  std::uint64_t ops_kept_ = 0;
+  std::uint64_t ops_evicted_ = 0;
+  std::uint64_t events_kept_ = 0;
+  std::uint64_t ambient_dropped_ = 0;
+
+  void* hook_ctx_ = nullptr;
+  void (*hook_)(void*, const Decision&) = nullptr;
+
+  flight::Ring flight_{"sampler"};
+};
+
+// --- instrumentation helpers ------------------------------------------------
+// Route retention marks through the installed recorder's sampler; all
+// compile to a couple of well-predicted null checks when observability is
+// off (the common case).
+
+inline TraceSampler* sampler() {
+  TraceRecorder* r = tls().recorder;
+  return r ? r->sampler() : nullptr;
+}
+
+inline void note_op_error(OpId op) {
+  if (op == 0) return;
+  if (TraceSampler* s = sampler()) s->note_error(op);
+}
+
+inline void note_op_retry(OpId op) {
+  if (op == 0) return;
+  if (TraceSampler* s = sampler()) s->note_retry(op);
+}
+
+inline void note_op_exception(OpId op) {
+  if (op == 0) return;
+  if (TraceSampler* s = sampler()) s->note_exception(op);
+}
+
+// Exemplar tag for a *completed* op: the op id when its trace is (or will
+// be) inspectable — tracing on and either unsampled or kept — else 0.
+// Clients call this right after recording the op root, i.e. right after
+// the sampler's decision.
+inline OpId exemplar_for(OpId op) {
+  TraceRecorder* r = tls().recorder;
+  if (r == nullptr || op == 0) return 0;
+  TraceSampler* s = r->sampler();
+  return (s == nullptr || s->kept(op)) ? op : 0;
+}
+
+// Out-of-line declaration lives in obs/trace.h; defined here so the
+// sampler staging fast path inlines straight into the span()/root()
+// helpers (trace.h includes this header at its bottom).
+inline void TraceRecorder::record(Kind kind, TrackId track, OpId op,
+                                  const char* name, std::int64_t begin_ns,
+                                  std::int64_t end_ns) {
+  if (sampler_ != nullptr) {
+    sampler_->stage(kind, track, op, name, begin_ns, end_ns);
+    return;
+  }
+  record_direct(kind, track, op, name, begin_ns, end_ns);
+}
+
+}  // namespace ordma::obs

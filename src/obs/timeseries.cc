@@ -5,10 +5,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <ostream>
 #include <sstream>
 
 #include "common/assert.h"
+#include "obs/health.h"
 #include "sim/engine.h"
 
 namespace ordma::obs::ts {
@@ -212,6 +214,7 @@ void TimeseriesSampler::sample_window() {
     }
   }
   ++windows_;
+  if (obs_fn_ != nullptr) obs_fn_(obs_ctx_, eng_.now().ns);
 }
 
 void TimeseriesSampler::finish() {
@@ -267,6 +270,19 @@ void TimeseriesSampler::finish() {
     for (PhaseSegment& s : phases_) {
       s.begin += fk;
       s.end += fk;
+    }
+  }
+}
+
+void TimeseriesSampler::annotate_slo(const std::vector<SloMark>& marks) {
+  for (PhaseSegment& s : phases_) {
+    for (const SloMark& m : marks) {
+      const std::size_t m_end = m.end == 0 ? windows_ : m.end;
+      if (s.begin < m_end && m.begin < s.end) {
+        s.label = Phase::degraded;
+        s.slo = m.slo;
+        break;
+      }
     }
   }
 }
@@ -359,6 +375,11 @@ void TimeseriesSampler::write_json(std::ostream& os, const std::string& run) {
     os << R"(,"begin_ns":)" << b_ns << R"(,"end_ns":)" << e_ns
        << R"(,"mean":)";
     emit_number(os, s.mean);
+    if (!s.slo.empty()) {
+      os << R"(,"slo":")";
+      json_escaped(os, s.slo);
+      os << "\"";
+    }
     os << "}";
   }
   os << "]}}";
@@ -372,7 +393,9 @@ void TimeseriesSampler::write_csv(std::ostream& os, const std::string& run) {
      << fk << "\n";
   for (const PhaseSegment& s : phases_) {
     os << "# phase " << phase_name(s.label) << " " << s.begin - fk << " "
-       << s.end - fk << " mean " << s.mean << "\n";
+       << s.end - fk << " mean " << s.mean;
+    if (!s.slo.empty()) os << " slo " << s.slo;
+    os << "\n";
   }
   os << "t_ns";
   for (const auto& [name, c] : cols_) {
@@ -409,20 +432,55 @@ void TimeseriesSampler::write_csv(std::ostream& os, const std::string& run) {
 // Sink + RunScope
 // ---------------------------------------------------------------------------
 
+namespace {
+TimeseriesSink* g_ts_sink = nullptr;
+}  // namespace
+
+TimeseriesSink* sink() {
+  TimeseriesSink* s = tls().ts_sink;
+  return s != nullptr ? s : g_ts_sink;
+}
+
 void install(TimeseriesSink* s) { tls().ts_sink = s; }
+void install_global(TimeseriesSink* s) { g_ts_sink = s; }
 
 TimeseriesSink::~TimeseriesSink() {
   if (tls().ts_sink == this) install(nullptr);
+  if (g_ts_sink == this) g_ts_sink = nullptr;
+}
+
+void TimeseriesSink::add(const std::string& label, std::string doc) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key = label;
+  for (int n = 2; docs_.count(key) != 0; ++n) {
+    key = label + "#" + std::to_string(n);
+  }
+  docs_.emplace(std::move(key), std::move(doc));
+}
+
+std::size_t TimeseriesSink::runs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return docs_.size();
+}
+
+std::string TimeseriesSink::doc(std::size_t i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = docs_.begin();
+  std::advance(it, i);
+  return it->second;
 }
 
 void TimeseriesSink::write(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (format_ == Format::csv) {
-    for (const std::string& d : docs_) os << d;
+    for (const auto& [label, d] : docs_) os << d;
     return;
   }
   os << "[";
-  for (std::size_t i = 0; i < docs_.size(); ++i) {
-    os << (i ? ",\n" : "\n") << docs_[i];
+  bool first = true;
+  for (const auto& [label, d] : docs_) {
+    os << (first ? "\n" : ",\n") << d;
+    first = false;
   }
   os << (docs_.empty() ? "]" : "\n]") << "\n";
 }
@@ -435,23 +493,67 @@ bool TimeseriesSink::write_file(const std::string& path) const {
 }
 
 RunScope::RunScope(sim::Engine& eng, std::string label)
-    : label_(std::move(label)), sink_(sink()) {
-  if (!sink_) return;
+    : label_(std::move(label)),
+      sink_(sink()),
+      msink_(metrics_sink()),
+      hsink_(health::health_sink()) {
+  if (sink_ == nullptr && msink_ == nullptr && hsink_ == nullptr) return;
   reg_ = std::make_unique<MetricsRegistry>();
-  sampler_ =
-      std::make_unique<TimeseriesSampler>(eng, *reg_, sink_->config());
+  if (sink_ != nullptr) {
+    sampler_ =
+        std::make_unique<TimeseriesSampler>(eng, *reg_, sink_->config());
+  }
+  if (hsink_ != nullptr) {
+    monitor_ =
+        std::make_unique<health::HealthMonitor>(*reg_, hsink_->slos());
+    if (sampler_) {
+      // One engine hook: the monitor rides the sampler's window grid.
+      sampler_->set_window_observer(
+          monitor_.get(), [](void* m, std::int64_t t_ns) {
+            static_cast<health::HealthMonitor*>(m)->sample_window(t_ns);
+          });
+    } else {
+      monitor_->arm(eng, hsink_->interval());
+    }
+  }
 }
 
 RunScope::~RunScope() {
-  if (!sampler_) return;
-  sampler_->finish();
-  std::ostringstream os;
-  if (sink_->format() == TimeseriesSink::Format::csv) {
-    sampler_->write_csv(os, label_);
-  } else {
-    sampler_->write_json(os, label_);
+  if (!reg_) return;
+  // The trace sampler (if any) decided keeps at op completion already;
+  // nothing here depends on trace state, but the monitor must close its
+  // trips before the phase report is annotated and serialized.
+  if (sampler_) sampler_->finish();
+  if (monitor_) {
+    monitor_->finish();
+    if (sampler_ && !monitor_->trips().empty()) {
+      std::vector<TimeseriesSampler::SloMark> marks;
+      marks.reserve(monitor_->trips().size());
+      for (const health::Trip& t : monitor_->trips()) {
+        marks.push_back({t.slo, t.begin, t.end});
+      }
+      sampler_->annotate_slo(marks);
+    }
+    std::ostringstream hos;
+    monitor_->write_json(hos, label_);
+    hsink_->add(label_, std::move(hos).str());
+    hsink_->note_trips(monitor_->trips().size());
   }
-  sink_->add(std::move(os).str());
+  if (sampler_) {
+    std::ostringstream os;
+    if (sink_->format() == TimeseriesSink::Format::csv) {
+      sampler_->write_csv(os, label_);
+    } else {
+      sampler_->write_json(os, label_);
+    }
+    sink_->add(label_, std::move(os).str());
+  }
+  if (msink_ != nullptr) {
+    std::ostringstream os;
+    reg_->write_json(os);
+    msink_->add(label_, std::move(os).str());
+  }
+  monitor_.reset();
   sampler_.reset();  // gauge closures die with reg_ before the components
   reg_.reset();
 }

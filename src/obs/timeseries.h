@@ -39,6 +39,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,15 @@
 namespace ordma::sim {
 class Engine;
 }
+
+namespace ordma::obs::health {
+class HealthMonitor;
+class HealthSink;
+}  // namespace ordma::obs::health
+
+namespace ordma::obs {
+class MetricsSink;
+}  // namespace ordma::obs
 
 namespace ordma::obs::ts {
 
@@ -64,6 +74,9 @@ struct PhaseSegment {
   std::size_t begin = 0;  // window index, inclusive
   std::size_t end = 0;    // window index, exclusive
   double mean = 0;        // mean of the key series over [begin, end)
+  // Violated SLO name when an obs/health.h trip overlaps this segment
+  // (annotate_slo); such segments are relabeled degraded.
+  std::string slo;
 };
 
 struct PhaseParams {
@@ -126,6 +139,26 @@ class TimeseriesSampler {
   // called automatically by the first write_*().
   void finish();
 
+  // Chain a second windowed consumer onto this sampler's grid: `fn` fires
+  // after every closed window (including the trailing partial one) with
+  // the engine's current time. The engine allows one sampling hook, so
+  // obs/health.h rides this instead of arming its own when both are on.
+  void set_window_observer(void* ctx, void (*fn)(void*, std::int64_t)) {
+    obs_ctx_ = ctx;
+    obs_fn_ = fn;
+  }
+
+  // Fold SLO trips (window-index ranges from obs/health.h) into the phase
+  // report: segments overlapping a trip are relabeled degraded and carry
+  // the violated SLO's name. Call after finish(); end == 0 means
+  // still-open (extends to the last window).
+  struct SloMark {
+    std::string slo;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  void annotate_slo(const std::vector<SloMark>& marks);
+
   std::size_t windows() const { return windows_; }
   std::size_t dropped_windows() const {
     return windows_ > cfg_.max_windows ? windows_ - cfg_.max_windows : 0;
@@ -173,6 +206,8 @@ class TimeseriesSampler {
   std::map<std::string, Column> cols_;  // deterministic series order
   std::vector<PhaseSegment> phases_;
   std::string phase_key_;
+  void* obs_ctx_ = nullptr;
+  void (*obs_fn_)(void*, std::int64_t) = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -180,9 +215,11 @@ class TimeseriesSampler {
 // ---------------------------------------------------------------------------
 
 // Session-level collector: holds the output format/config and accumulates
-// one serialized document per finished run. Installed thread-locally
-// (common/tls_ctx.h) like the trace recorder and metrics registry, so each
-// parallel-runner worker is its own isolated timeseries domain.
+// one serialized document per finished run, keyed and emitted in label
+// order. add() is thread-safe, so a single process-global sink can merge
+// parallel sweep workers deterministically; the thread-local install
+// (common/tls_ctx.h) still wins when present, giving tests an isolated
+// domain per thread.
 class TimeseriesSink {
  public:
   enum class Format { json, csv };
@@ -194,33 +231,46 @@ class TimeseriesSink {
   Format format() const { return format_; }
   const TimeseriesConfig& config() const { return cfg_; }
 
-  void add(std::string doc) { docs_.push_back(std::move(doc)); }
-  std::size_t runs() const { return docs_.size(); }
-  const std::string& doc(std::size_t i) const { return docs_.at(i); }
+  // Thread-safe; duplicate labels get a "#n" suffix.
+  void add(const std::string& label, std::string doc);
+  std::size_t runs() const;
+  // i-th document in label order (copy; test convenience).
+  std::string doc(std::size_t i) const;
 
   // JSON: array of run documents. CSV: run blocks concatenated.
+  // Both in label order.
   void write(std::ostream& os) const;
   bool write_file(const std::string& path) const;
 
  private:
   Format format_;
   TimeseriesConfig cfg_;
-  std::vector<std::string> docs_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> docs_;
 };
 
-inline TimeseriesSink* sink() { return tls().ts_sink; }
+// Thread-local sink first (test isolation), then the process global.
+TimeseriesSink* sink();
 // Install `s` as the calling thread's sink (nullptr disables). Caller
 // keeps ownership; a sink uninstalls itself on destruction if still
 // installed on the destroying thread.
 void install(TimeseriesSink* s);
+// Install `s` process-wide (obs/cli.h does this so every parallel worker
+// feeds one deterministic merged document).
+void install_global(TimeseriesSink* s);
 
-// Per-run RAII wiring: when a sink is installed on this thread, owns a
-// fresh MetricsRegistry for the run's gauges (so gauge closures never
-// outlive the components they read) and a sampler on the run's engine; on
-// destruction finishes the sampler and appends the serialized document —
-// in the sink's format — under `label`. With no sink installed every
-// member stays null and the scope is free. Destroy the scope *before* the
-// cluster whose components were exported into registry().
+// Per-run RAII wiring for every snapshot-driven obs surface: when a
+// timeseries, metrics, or health sink is present, owns a fresh
+// MetricsRegistry for the run's gauges (so gauge closures never outlive
+// the components they read) plus — per sink — a TimeseriesSampler on the
+// run's engine and/or a HealthMonitor (chained off the sampler's window
+// observer when both are on, since the engine allows one sampling hook).
+// On destruction: the trace sampler (if any) finalizes first so exemplars
+// resolve, then the monitor closes its trips, trip ranges annotate the
+// phase report, and each surface's serialized document lands in its sink
+// under `label`. With no sink installed every member stays null and the
+// scope is free. Destroy the scope *before* the cluster whose components
+// were exported into registry().
 class RunScope {
  public:
   RunScope(sim::Engine& eng, std::string label);
@@ -228,15 +278,23 @@ class RunScope {
   RunScope(const RunScope&) = delete;
   RunScope& operator=(const RunScope&) = delete;
 
-  bool active() const { return sampler_ != nullptr; }
-  MetricsRegistry& registry() { return *reg_; }     // valid iff active()
-  TimeseriesSampler& sampler() { return *sampler_; }  // valid iff active()
+  bool active() const { return reg_ != nullptr; }
+  MetricsRegistry& registry() { return *reg_; }  // valid iff active()
+  // Valid iff a timeseries sink was installed at construction.
+  TimeseriesSampler& sampler() { return *sampler_; }
+  bool has_sampler() const { return sampler_ != nullptr; }
+  // Valid iff a health sink was installed at construction.
+  health::HealthMonitor& monitor() { return *monitor_; }
+  bool has_monitor() const { return monitor_ != nullptr; }
 
  private:
   std::string label_;
   TimeseriesSink* sink_ = nullptr;
+  MetricsSink* msink_ = nullptr;
+  health::HealthSink* hsink_ = nullptr;
   std::unique_ptr<MetricsRegistry> reg_;
   std::unique_ptr<TimeseriesSampler> sampler_;
+  std::unique_ptr<health::HealthMonitor> monitor_;
 };
 
 }  // namespace ordma::obs::ts

@@ -7,6 +7,7 @@
 #include <ostream>
 
 #include "common/assert.h"
+#include "obs/sampler.h"
 
 namespace ordma::obs {
 
@@ -53,9 +54,9 @@ TrackId TraceRecorder::overflow_lane(TrackId t) {
   return lane;
 }
 
-void TraceRecorder::record(Kind kind, TrackId track, OpId op,
-                           const char* name, std::int64_t begin_ns,
-                           std::int64_t end_ns) {
+void TraceRecorder::record_direct(Kind kind, TrackId track, OpId op,
+                                  const char* name, std::int64_t begin_ns,
+                                  std::int64_t end_ns) {
   ORDMA_CHECK(track < tracks_.size() && end_ns >= begin_ns);
   if (kind == Kind::span || kind == Kind::root) {
     // Keep each lane's slices disjoint (see overlap discipline in trace.h).

@@ -56,6 +56,8 @@ using OpId = std::uint64_t;
 
 using TrackId = std::uint32_t;
 
+class TraceSampler;  // obs/sampler.h — tail-based keep/drop at op completion
+
 class TraceRecorder {
  public:
   enum class Kind : std::uint8_t {
@@ -88,8 +90,25 @@ class TraceRecorder {
   TrackId track(std::string_view process, std::string_view component);
 
   // --- recording (simulated-time stamps, ns) ----------------------------
+  // With a sampler attached, events are *staged* per op and only the kept
+  // ops' events reach storage (at sampler finish); without one this is
+  // record_direct().
+  // Defined inline at the bottom of obs/sampler.h (which this header
+  // includes at its end): the sampler's staging fast path runs once per
+  // trace event of the whole run, and keeping span() → record() → stage()
+  // one fully inlined chain is part of the sampling overhead budget.
   void record(Kind kind, TrackId track, OpId op, const char* name,
               std::int64_t begin_ns, std::int64_t end_ns);
+  // Bypass the sampler and commit an event to storage. Callers must
+  // preserve the recorder-wide nondecreasing-end-order contract (the
+  // sampler's flush sorts by end instant before replaying through here).
+  void record_direct(Kind kind, TrackId track, OpId op, const char* name,
+                     std::int64_t begin_ns, std::int64_t end_ns);
+
+  // Attach/detach a tail sampler (obs/sampler.h owns the lifecycle; the
+  // recorder never deletes it). Null detaches.
+  void set_sampler(TraceSampler* s) { sampler_ = s; }
+  TraceSampler* sampler() const { return sampler_; }
 
   // --- inspection -------------------------------------------------------
   std::size_t event_count() const { return count_; }
@@ -130,6 +149,7 @@ class TraceRecorder {
   TrackId overflow_lane(TrackId t);
 
   OpId next_op_ = 1;
+  TraceSampler* sampler_ = nullptr;
   std::vector<std::string> processes_;
   std::vector<TrackInfo> tracks_;
   std::vector<std::unique_ptr<Event[]>> chunks_;
@@ -221,3 +241,9 @@ inline void flow(Track& t, OpId op, const char* name, SimTime at) {
 }
 
 }  // namespace ordma::obs
+
+// Completes the inline definition of TraceRecorder::record() (see the
+// declaration above). Safe against inclusion order: when sampler.h is the
+// entry header its include of trace.h finishes first, so TraceSampler is
+// always complete by the time the definition appears.
+#include "obs/sampler.h"  // IWYU pragma: keep

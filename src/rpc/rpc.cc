@@ -4,6 +4,8 @@
 #include <array>
 #include <vector>
 
+#include "obs/sampler.h"
+
 namespace ordma::rpc {
 
 namespace {
@@ -144,6 +146,7 @@ sim::Task<Result<RpcReplyInfo>> RpcClient::call(net::NodeId server,
       break;
     }
     ++retransmits_;
+    obs::note_op_retry(trace_op);
     host_.flight().record(host_.engine().now().ns,
                           obs::flight::Ev::rpc_retransmit, xid, 0,
                           attempt + 1);

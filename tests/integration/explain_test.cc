@@ -7,6 +7,8 @@
 
 #include <map>
 #include <memory>
+#include <sstream>
+#include <string>
 #include <string_view>
 
 #include "common/assert.h"
@@ -15,6 +17,7 @@
 #include "fault/fault.h"
 #include "nas/odafs/odafs_client.h"
 #include "obs/explain.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 
 namespace ordma {
@@ -172,6 +175,70 @@ TEST(Explain, LossyRunBlamesTheTailOnRetransmits) {
   EXPECT_GT(top[0][obs::Cause::rpc_retransmit], 0.0);
   EXPECT_EQ(top[0].dominant(), obs::Cause::rpc_retransmit)
       << "slowest op dominated by " << obs::cause_name(top[0].dominant());
+}
+
+// With the tail sampler between the clients and the recorder, the explain
+// document's per-cause "exemplars" are op ids whose traces were *kept* —
+// the reader can jump from cause to retained trace.
+TEST(Explain, ExemplarsAreKeptOpIdsUnderSampling) {
+  ClusterConfig cc;
+  cc.faults = fault::FaultPlan{};  // deterministic seed 1
+  cc.faults->eth.drop = 0.05;
+  cc.rpc_retry.timeout = usec(500);
+  cc.rpc_retry.max_attempts = 8;
+  Cluster c(cc);
+  c.start_nfs();
+  auto client = c.make_nfs_client(0);
+
+  fault::FaultInjector* inj = c.fault_injector();
+  inj->set_armed(false);
+  constexpr int kSamples = 48;
+  drive(c, [&]() -> sim::Task<void> {
+    co_await c.make_file("f", static_cast<Bytes>(kSamples) * kIo,
+                         /*warm=*/true);
+  });
+
+  obs::TraceRecorder rec;
+  obs::TraceSampler sampler(rec);
+  drive(c, [&]() -> sim::Task<void> {
+    auto open = co_await client->open("f");
+    ORDMA_CHECK(open.ok());
+    auto& h = c.client(0);
+    const mem::Vaddr buf = h.map_new(h.user_as(), kIo);
+    inj->set_armed(true);
+    obs::install(&rec);
+    for (int i = 0; i < kSamples; ++i) {
+      auto r = co_await client->pread(open.value().fh,
+                                      static_cast<Bytes>(i) * kIo, buf, kIo);
+      ORDMA_CHECK(r.ok() && r.value() == kIo);
+    }
+    obs::install(static_cast<obs::TraceRecorder*>(nullptr));
+    inj->set_armed(false);
+  });
+  sampler.finish();
+
+  // The recorder now holds only kept ops; the seeded drops guarantee at
+  // least one retried (hence kept) op.
+  ASSERT_GT(sampler.ops_kept(), 0u);
+  ASSERT_LT(sampler.ops_kept(), sampler.ops_decided());
+  auto ops = obs::explain(rec);
+  ASSERT_FALSE(ops.empty());
+  for (const auto& [op, bd] : ops) {
+    EXPECT_TRUE(sampler.kept(op)) << "explained op " << op << " not kept";
+  }
+
+  std::ostringstream os;
+  obs::write_explain_json(os, "sampled", ops);
+  const std::string doc = os.str();
+  const auto ex = doc.find("\"exemplars\"");
+  ASSERT_NE(ex, std::string::npos);
+  // The retransmit-dominated tail has a nonzero exemplar, and it is kept.
+  const auto key = doc.find("\"rpc_retransmit\": ", ex);
+  ASSERT_NE(key, std::string::npos);
+  const obs::OpId exemplar = std::stoull(
+      doc.substr(key + std::string_view("\"rpc_retransmit\": ").size()));
+  EXPECT_NE(exemplar, 0u);
+  EXPECT_TRUE(sampler.kept(exemplar));
 }
 
 }  // namespace

@@ -22,7 +22,9 @@
 #include "mem/arena.h"
 #include "obs/explain.h"
 #include "obs/flight.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "run/runner.h"
@@ -213,6 +215,156 @@ TEST(ParallelDeterminism, TimeseriesDocumentsAreBitIdenticalToSerial) {
   // Distinct workloads produced distinct documents, so byte-equality above
   // is meaningful.
   EXPECT_NE(serial[0], serial[1]);
+}
+
+// The same observed run, but with a TraceSampler between the clients and
+// the recorder (the --sample-traces path). Returns the golden hash plus
+// the sampler's decision accounting — everything a worker-count change
+// could perturb.
+struct SampledOutput {
+  std::uint64_t hash = 0;
+  std::uint64_t ops_decided = 0;
+  std::uint64_t ops_kept = 0;
+  std::uint64_t events_kept = 0;
+  std::size_t trace_events = 0;
+  std::string explain_json;
+};
+
+SampledOutput sampled_run(std::size_t index) {
+  obs::TraceRecorder rec;
+  obs::TraceSampler sampler(rec);
+  obs::install(&rec);
+
+  SampledOutput out;
+  out.hash = 0xcbf29ce484222325ull;
+  {
+    core::ClusterConfig cc;
+    cc.fs.block_size = KiB(4);
+    core::Cluster c(cc);
+    c.start_nfs();
+
+    // The workload mirrors observed_run exactly (same construction order,
+    // same I/O sequence) so the two golden hashes are comparable.
+    const Bytes io = KiB(4) * (1 + index % 4);
+    const Bytes fsize = KiB(64);
+
+    bool done = false;
+    c.engine().spawn([](core::Cluster& c, Bytes io, Bytes fsize,
+                        SampledOutput& out, bool& done) -> sim::Task<void> {
+      co_await c.make_file("f", fsize, /*warm=*/true);
+      auto client = c.make_nfs_client(0, io);
+      auto open = co_await client->open("f");
+      ORDMA_CHECK(open.ok());
+      auto& h = c.client(0);
+      const mem::Vaddr buf = h.map_new(h.user_as(), io);
+      for (Bytes off = 0; off + io <= fsize; off += io) {
+        auto n = co_await client->pread(open.value().fh, off, buf, io);
+        ORDMA_CHECK(n.ok());
+        fold(out.hash, n.value());
+        fold(out.hash, static_cast<std::uint64_t>(c.engine().now().ns));
+      }
+      done = true;
+    }(c, io, fsize, out, done));
+    fold(out.hash, c.engine().run());
+    ORDMA_CHECK(done);
+    fold(out.hash, static_cast<std::uint64_t>(c.engine().now().ns));
+  }
+  obs::install(static_cast<obs::TraceRecorder*>(nullptr));
+
+  sampler.finish();
+  out.ops_decided = sampler.ops_decided();
+  out.ops_kept = sampler.ops_kept();
+  out.events_kept = sampler.events_kept();
+  out.trace_events = rec.event_count();
+  std::ostringstream es;
+  obs::write_explain_json(es, "sampled parallel determinism probe",
+                          obs::explain(rec));
+  out.explain_json = es.str();
+  return out;
+}
+
+// --sample-traces at jobs=8 vs jobs=1: bit-identical golden hashes,
+// decisions, kept sets, and explain documents — and the golden hash
+// matches the *unsampled* runs, pinning "sampling never perturbs the
+// simulation" across worker counts.
+TEST(ParallelDeterminism, SampledRunsAreBitIdenticalToSerial) {
+  constexpr std::size_t kRuns = 8;
+  const auto serial = run::parallel_map(1, kRuns, sampled_run);
+  const auto parallel = run::parallel_map(8, kRuns, sampled_run);
+  const auto unsampled = run::parallel_map(8, kRuns, observed_run);
+
+  ASSERT_EQ(serial.size(), kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(serial[i].hash, parallel[i].hash) << "run " << i;
+    EXPECT_EQ(serial[i].hash, unsampled[i].hash) << "run " << i;
+    EXPECT_EQ(serial[i].ops_decided, parallel[i].ops_decided) << "run " << i;
+    EXPECT_EQ(serial[i].ops_kept, parallel[i].ops_kept) << "run " << i;
+    EXPECT_EQ(serial[i].events_kept, parallel[i].events_kept)
+        << "run " << i;
+    EXPECT_EQ(serial[i].trace_events, parallel[i].trace_events)
+        << "run " << i;
+    EXPECT_EQ(serial[i].explain_json, parallel[i].explain_json)
+        << "run " << i;
+    // Sampling genuinely dropped something and kept something.
+    EXPECT_GT(serial[i].ops_decided, 0u) << "run " << i;
+    EXPECT_GT(serial[i].ops_kept, 0u) << "run " << i;
+    EXPECT_LT(serial[i].trace_events, unsampled[i].trace_events)
+        << "run " << i;
+  }
+}
+
+// Health documents collected through the process-global HealthSink are
+// byte-identical whether the sweep ran serial or 8-wide: the sink is
+// mutexed and label-sorted, so worker interleaving cannot reorder output.
+std::string health_run(std::size_t index) {
+  mem::ScopedSimArena arena;
+  core::ClusterConfig cc;
+  cc.fs.block_size = KiB(4);
+  core::Cluster c(cc);
+  c.start_nfs();
+  const Bytes io = KiB(4) * (1 + index % 4);
+  const Bytes fsize = KiB(64);
+  auto client = c.make_nfs_client(0, io);
+
+  obs::MetricsRegistry reg;
+  c.export_metrics(reg);
+  c.export_file_client_metrics(reg, 0, *client);
+  obs::health::HealthMonitor mon(reg);
+  mon.arm(c.engine(), usec(20));
+
+  bool done = false;
+  c.engine().spawn([](core::Cluster& c, core::FileClient& client, Bytes io,
+                      Bytes fsize, bool& done) -> sim::Task<void> {
+    co_await c.make_file("f", fsize, /*warm=*/true);
+    auto open = co_await client.open("f");
+    ORDMA_CHECK(open.ok());
+    auto& h = c.client(0);
+    const mem::Vaddr buf = h.map_new(h.user_as(), io);
+    for (Bytes off = 0; off + io <= fsize; off += io) {
+      auto n = co_await client.pread(open.value().fh, off, buf, io);
+      ORDMA_CHECK(n.ok());
+    }
+    done = true;
+  }(c, *client, io, fsize, done));
+  c.engine().run();
+  ORDMA_CHECK(done);
+
+  std::ostringstream os;
+  mon.write_json(os, "cell" + std::to_string(index));
+  return os.str();
+}
+
+TEST(ParallelDeterminism, HealthDocumentsAreBitIdenticalToSerial) {
+  constexpr std::size_t kRuns = 8;
+  const auto serial = run::parallel_map(1, kRuns, health_run);
+  const auto parallel = run::parallel_map(8, kRuns, health_run);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_FALSE(serial[i].empty()) << "run " << i;
+    EXPECT_EQ(serial[i], parallel[i]) << "run " << i;
+    EXPECT_NE(serial[i].find("\"schema\":\"ordma.health.v1\""),
+              std::string::npos)
+        << "run " << i;
+  }
 }
 
 TEST(ParallelDeterminism, ResultsArriveInSubmissionOrder) {
