@@ -5,9 +5,14 @@
 // A skewed PostMark-like workload (80% of reads hit 20% of files) with a
 // reference directory smaller than the file set: MQ protects the hot
 // files' references from the scan of cold files, so more misses go via
-// ORDMA instead of falling back to RPC.
+// ORDMA instead of falling back to RPC. ARC (cache/policy.h) adapts its
+// recency/frequency split online and is the third arm.
+//
+// --json=<file> emits ordma.bench.v1 for perf-regression gating.
 #include <memory>
+#include <string_view>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "nas/odafs/odafs_client.h"
@@ -111,23 +116,52 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 7) == "--json=") json_path = std::string(arg.substr(7));
+  }
+
   Table t("Ablation A2: ORDMA directory replacement policy"
           " (skewed access, directory covers half the file set)",
           {"policy", "txns/s", "working-set misses via ORDMA"});
-  const char* policies[] = {"lru", "mq"};
+  const char* policies[] = {"lru", "mq", "arc"};
   auto cells = sweep(obs_session.jobs(), std::size(policies),
                      [&](std::size_t i) { return run_cell(policies[i]); });
   const Cell& lru = cells[0];
   const Cell& mq = cells[1];
+  const Cell& arc = cells[2];
   t.add_row({"LRU (paper)", fmt("%.0f", lru.txns_per_sec),
              pct(lru.ordma_fraction)});
   t.add_row({"Multi-Queue (paper's suggestion)", fmt("%.0f", mq.txns_per_sec),
              pct(mq.ordma_fraction)});
+  t.add_row({"ARC (ghost lists, self-tuning)", fmt("%.0f", arc.txns_per_sec),
+             pct(arc.ordma_fraction)});
   t.print();
   std::printf(
       "\ntakeaway: under scan pressure MQ keeps hot references resident,"
-      " serving %.0f%% of working-set misses by ORDMA vs %.0f%% for LRU —"
-      " the paper's §4.2 conjecture holds\n",
-      mq.ordma_fraction * 100.0, lru.ordma_fraction * 100.0);
+      " serving %.0f%% of working-set misses by ORDMA vs %.0f%% for LRU;"
+      " ARC (%.0f%%) tracks LRU here — a pure scan re-hits its ghost lists"
+      " too rarely to move the recency/frequency split; it self-tunes only"
+      " when the miss history has structure to learn\n",
+      mq.ordma_fraction * 100.0, lru.ordma_fraction * 100.0,
+      arc.ordma_fraction * 100.0);
+
+  if (!json_path.empty()) {
+    BenchReport report("ablation_replacement");
+    for (std::size_t i = 0; i < std::size(policies); ++i) {
+      const std::string p = policies[i];
+      report.add(p + "_txns_per_sec", cells[i].txns_per_sec, "txns/s",
+                 /*higher_is_better=*/true, 0.02);
+      report.add(p + "_ordma_fraction", cells[i].ordma_fraction, "fraction",
+                 /*higher_is_better=*/true, 0.02);
+    }
+    if (report.write_file(json_path)) {
+      std::printf("bench json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

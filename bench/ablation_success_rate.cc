@@ -4,10 +4,14 @@
 // and subsequent RPCs is masked by the high latency of server disk I/O").
 //
 // We shrink the server cache below the file set so references go stale at
-// increasing rates, and measure both ODAFS and plain DAFS: the curves must
-// converge as faults dominate.
+// increasing rates, and measure ODAFS (LRU and ARC reference directories)
+// against plain DAFS: the curves must converge as faults dominate.
+//
+// --json=<file> emits ordma.bench.v1 for perf-regression gating.
 #include <memory>
+#include <string_view>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "nas/odafs/odafs_client.h"
@@ -26,7 +30,8 @@ struct Cell {
   double fault_rate = 0;  // faults / ORDMA attempts
 };
 
-Cell run_cell(bool use_ordma, double server_cache_fraction) {
+Cell run_cell(bool use_ordma, const std::string& ref_policy,
+              double server_cache_fraction) {
   core::ClusterConfig cc;
   cc.fs.block_size = kBlock;
   cc.fs.cache_blocks = static_cast<std::size_t>(
@@ -41,6 +46,7 @@ Cell run_cell(bool use_ordma, double server_cache_fraction) {
   cfg.cache.block_size = kBlock;
   cfg.cache.data_blocks = 64;
   cfg.cache.max_headers = 2 * kFileSize / kBlock;
+  cfg.cache.ref_policy = ref_policy;
   cfg.use_ordma = use_ordma;
   cfg.dafs.completion = msg::Completion::block;
   cfg.read_ahead_window = 1;
@@ -81,29 +87,64 @@ int main(int argc, char** argv) {
   using namespace ordma;
   using namespace ordma::bench;
 
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 7) == "--json=") json_path = std::string(arg.substr(7));
+  }
+
   Table t("Ablation A4: ODAFS vs DAFS as ORDMA success rate falls"
           " (server cache as a fraction of the file set)",
           {"server cache", "ODAFS avg read (us)", "fault rate",
-           "DAFS avg read (us)", "ODAFS advantage"});
+           "ODAFS/arc avg read (us)", "DAFS avg read (us)",
+           "ODAFS advantage"});
+  // Per grid point: ODAFS with an LRU reference directory, ODAFS with ARC,
+  // plain DAFS (the arms the fig7 convergence argument compares).
+  struct Arm {
+    bool use_ordma;
+    const char* ref_policy;
+  };
+  const Arm arms[] = {{true, "lru"}, {true, "arc"}, {false, "lru"}};
   const double fracs[] = {1.0, 0.75, 0.5, 0.25};
-  auto cells = sweep(obs_session.jobs(), std::size(fracs) * 2,
+  auto cells = sweep(obs_session.jobs(), std::size(fracs) * std::size(arms),
                      [&](std::size_t i) {
-                       return run_cell(/*use_ordma=*/i % 2 == 0,
-                                       fracs[i / 2]);
+                       const Arm& a = arms[i % std::size(arms)];
+                       return run_cell(a.use_ordma, a.ref_policy,
+                                       fracs[i / std::size(arms)]);
                      });
+  BenchReport report("ablation_success_rate");
   for (std::size_t i = 0; i < std::size(fracs); ++i) {
-    const Cell& odafs = cells[i * 2];
-    const Cell& dafs = cells[i * 2 + 1];
+    const Cell& odafs = cells[i * std::size(arms)];
+    const Cell& arc = cells[i * std::size(arms) + 1];
+    const Cell& dafs = cells[i * std::size(arms) + 2];
     const double frac = fracs[i];
     t.add_row({pct(frac), us(odafs.avg_latency_us), pct(odafs.fault_rate),
-               us(dafs.avg_latency_us),
+               us(arc.avg_latency_us), us(dafs.avg_latency_us),
                fmt("%+.0f%%", (dafs.avg_latency_us - odafs.avg_latency_us) /
                                   dafs.avg_latency_us * 100.0)});
+    const std::string key = "cache" + std::to_string(
+        static_cast<int>(frac * 100));
+    report.add(key + "_odafs_lru_us", odafs.avg_latency_us, "us",
+               /*higher_is_better=*/false, 0.02);
+    report.add(key + "_odafs_arc_us", arc.avg_latency_us, "us",
+               /*higher_is_better=*/false, 0.02);
+    report.add(key + "_dafs_us", dafs.avg_latency_us, "us",
+               /*higher_is_better=*/false, 0.02);
   }
   t.print();
   std::printf(
       "\ntakeaway: as stale references make ORDMA fault, disk latency"
       " dominates both systems and the ODAFS advantage collapses —"
-      " exactly §4.2.2's limitation\n");
+      " exactly §4.2.2's limitation (the ARC directory tracks LRU here:"
+      " uniform random access has no frequency structure to exploit)\n");
+
+  if (!json_path.empty()) {
+    if (report.write_file(json_path)) {
+      std::printf("bench json written to %s\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -5,8 +5,8 @@ namespace ordma::cache {
 ClientCache::ClientCache(host::Host& host, Config cfg)
     : host_(host),
       cfg_(cfg),
-      data_policy_(make_policy(cfg.data_policy)),
-      hdr_policy_(make_policy(cfg.ref_policy)) {
+      data_policy_(make_policy(cfg.data_policy, cfg.data_blocks)),
+      hdr_policy_(make_policy(cfg.ref_policy, cfg.max_headers)) {
   ORDMA_CHECK(cfg_.max_headers >= cfg_.data_blocks);
   slab_ = host_.map_new(host_.user_as(), slab_len());
   free_slots_.reserve(cfg_.data_blocks);
@@ -61,6 +61,8 @@ ClientCache::Header& ClientCache::ensure(BlockKey key) {
   h->key = key;
   h->data_node.owner = h.get();
   h->hdr_node.owner = h.get();
+  // Stable identity for ghost-list policies (ARC history outlives headers).
+  h->data_node.key = h->hdr_node.key = BlockKeyHash{}(key);
   hdr_policy_->insert(&h->hdr_node);
   Header& ref = *h;
   map_.emplace(key, std::move(h));

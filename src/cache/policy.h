@@ -1,11 +1,19 @@
 // Replacement policies for the client cache and the ORDMA reference
 // directory. The paper uses LRU for both and suggests the Multi-Queue
 // algorithm (Zhou et al., USENIX '01) would fit the directory better
-// (§4.2); we implement both and compare them in an ablation bench.
+// (§4.2); we implement both, plus a ghost-list ARC (Megiddo & Modha,
+// FAST '03) that adapts its recency/frequency split online, and compare
+// them in an ablation bench.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <list>
 #include <memory>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/assert.h"
@@ -16,7 +24,11 @@ namespace ordma::cache {
 struct PolicyNode : ListNode {
   std::uint64_t freq = 0;       // MQ: access count
   std::uint64_t expire = 0;     // MQ: logical expiry time
-  std::uint8_t queue = 0;       // MQ: current queue index
+  std::uint8_t queue = 0;       // MQ: queue index; ARC: resident list tag
+  // Stable identity of the cached entry (the cache sets it to a hash of
+  // the block key). ARC keys its ghost lists on this, so history survives
+  // the node itself being erased and re-inserted.
+  std::uint64_t key = 0;
 };
 
 // Hot/cold ordering over intrusive nodes. All operations O(1) except MQ's
@@ -81,7 +93,7 @@ class MultiQueuePolicy final : public ReplacementPolicy {
  private:
   static std::uint8_t level_of(std::uint64_t freq, std::size_t m) {
     std::uint8_t l = 0;
-    while ((freq >>= 1) != 0 && l + 1 < m) ++l;
+    while ((freq >>= 1) != 0 && static_cast<std::size_t>(l) + 1 < m) ++l;
     return l;
   }
 
@@ -110,10 +122,147 @@ class MultiQueuePolicy final : public ReplacementPolicy {
   std::uint64_t now_ = 0;
 };
 
+// Adaptive Replacement Cache over intrusive nodes. Residents live on two
+// LRU lists — T1 (seen once, recency) and T2 (seen twice+, frequency) —
+// and erased entries leave a ghost (key only) on the matching history
+// list B1/B2. A miss whose key hits a ghost is promoted straight to T2
+// and moves the target size `p` of T1: a B1 hit means recency was evicted
+// too eagerly (grow p), a B2 hit the reverse. Invariants (c = capacity):
+// |T1|+|B1| <= c and |T1|+|T2|+|B1|+|B2| <= 2c, p in [0, c].
+class ArcPolicy final : public ReplacementPolicy {
+ public:
+  explicit ArcPolicy(std::size_t capacity)
+      : c_(capacity == 0 ? 1 : capacity) {}
+
+  void insert(PolicyNode* n) override {
+    if (auto it = ghosts_.find(n->key); it != ghosts_.end()) {
+      // Ghost hit: adapt toward the history list that hit, resurrect the
+      // entry with its frequency standing (straight into T2).
+      adapt(it->second.from_t2);
+      (it->second.from_t2 ? b2_ : b1_).erase(it->second.pos);
+      ghosts_.erase(it);
+      n->queue = kT2;
+      t2_.push_back(n);
+      ++t2_size_;
+    } else {
+      n->queue = kT1;
+      t1_.push_back(n);
+      ++t1_size_;
+    }
+  }
+
+  void touch(PolicyNode* n) override {
+    // Any hit on a resident promotes to T2 MRU (a T1 hit is the second
+    // access; a T2 hit refreshes recency within the frequency list).
+    if (n->queue == kT2) {
+      t2_.touch(n);
+      return;
+    }
+    t1_.erase(n);
+    --t1_size_;
+    n->queue = kT2;
+    t2_.push_back(n);
+    ++t2_size_;
+  }
+
+  void erase(PolicyNode* n) override {
+    if (n->queue == kT2) {
+      t2_.erase(n);
+      --t2_size_;
+    } else {
+      t1_.erase(n);
+      --t1_size_;
+    }
+    remember(n->key, /*from_t2=*/n->queue == kT2);
+  }
+
+  PolicyNode* victim() override {
+    if (t1_size_ == 0 && t2_size_ == 0) return nullptr;
+    if (t2_size_ == 0) return t1_.front();
+    if (t1_size_ == 0) return t2_.front();
+    // Classic ARC replacement: shrink T1 while it exceeds its target p.
+    return t1_size_ > p_ ? t1_.front() : t2_.front();
+  }
+
+  const char* name() const override { return "arc"; }
+
+  // Introspection (tests, debugging).
+  std::size_t t1_size() const { return t1_size_; }
+  std::size_t t2_size() const { return t2_size_; }
+  std::size_t b1_size() const { return b1_.size(); }
+  std::size_t b2_size() const { return b2_.size(); }
+  std::size_t target_t1() const { return p_; }
+  std::size_t capacity() const { return c_; }
+
+ private:
+  static constexpr std::uint8_t kT1 = 0;
+  static constexpr std::uint8_t kT2 = 1;
+
+  struct Ghost {
+    std::uint64_t key = 0;
+    bool from_t2 = false;
+  };
+  struct GhostRef {
+    std::list<Ghost>::iterator pos;
+    bool from_t2 = false;
+  };
+
+  void adapt(bool hit_in_b2) {
+    if (hit_in_b2) {
+      const std::size_t delta =
+          b2_.empty() ? 1 : std::max<std::size_t>(1, b1_.size() / b2_.size());
+      p_ = p_ > delta ? p_ - delta : 0;
+    } else {
+      const std::size_t delta =
+          b1_.empty() ? 1 : std::max<std::size_t>(1, b2_.size() / b1_.size());
+      p_ = std::min(c_, p_ + delta);
+    }
+  }
+
+  void remember(std::uint64_t key, bool from_t2) {
+    if (auto it = ghosts_.find(key); it != ghosts_.end()) {
+      (it->second.from_t2 ? b2_ : b1_).erase(it->second.pos);
+      ghosts_.erase(it);
+    }
+    auto& list = from_t2 ? b2_ : b1_;
+    list.push_back(Ghost{key, from_t2});
+    ghosts_.emplace(key, GhostRef{std::prev(list.end()), from_t2});
+    // Enforce |T1|+|B1| <= c, then the 2c total, dropping history LRU-first.
+    while (!b1_.empty() && t1_size_ + b1_.size() > c_) forget(b1_);
+    while (t1_size_ + t2_size_ + b1_.size() + b2_.size() > 2 * c_) {
+      forget(b2_.empty() ? b1_ : b2_);
+    }
+  }
+
+  void forget(std::list<Ghost>& list) {
+    ORDMA_CHECK(!list.empty());
+    ghosts_.erase(list.front().key);
+    list.pop_front();
+  }
+
+  std::size_t c_;
+  std::size_t p_ = 0;  // target size of T1, adapted online
+  IntrusiveList<PolicyNode> t1_;
+  IntrusiveList<PolicyNode> t2_;
+  std::size_t t1_size_ = 0;
+  std::size_t t2_size_ = 0;
+  std::list<Ghost> b1_;  // ghosts of T1 evictions (front = oldest)
+  std::list<Ghost> b2_;  // ghosts of T2 evictions
+  std::unordered_map<std::uint64_t, GhostRef> ghosts_;
+};
+
+// `capacity` is the resident-entry budget the policy manages (data blocks
+// or header slots); only ARC uses it (ghost-list sizing).
 inline std::unique_ptr<ReplacementPolicy> make_policy(
-    const std::string& name) {
+    const std::string& name, std::size_t capacity) {
   if (name == "lru") return std::make_unique<LruPolicy>();
   if (name == "mq") return std::make_unique<MultiQueuePolicy>();
+  if (name == "arc") return std::make_unique<ArcPolicy>(capacity);
+  // A config typo must be a loud startup error, not a silent LRU.
+  std::fprintf(stderr,
+               "fatal: unknown replacement policy \"%s\""
+               " (valid: lru, mq, arc)\n",
+               name.c_str());
   ORDMA_CHECK_MSG(false, "unknown replacement policy");
 }
 

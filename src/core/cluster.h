@@ -102,41 +102,52 @@ class Cluster {
   nas::nfs::NfsServer& nfs_server() { return *nfs_server_; }
 
   // --- client factories ----------------------------------------------------
+  // Every factory wires the server-CPU echo for the client's signal plane:
+  // the client differences this cumulative busy time between its own ops.
+  void attach_server_cpu_probe(core::FileClient& cl) {
+    host::Host& srv = *server_host_;
+    cl.set_server_cpu_probe(
+        [&srv] { return static_cast<double>(srv.cpu().busy_time().ns) / 1e3; });
+  }
   std::unique_ptr<nas::nfs::NfsClient> make_nfs_client(
       unsigned i, Bytes transfer = KiB(512)) {
-    return std::make_unique<nas::nfs::NfsClient>(
+    auto cl = std::make_unique<nas::nfs::NfsClient>(
         *client_hosts_[i], client_udp(i), server_node(),
         static_cast<std::uint16_t>(700 + next_port_++), transfer,
         cfg_.rpc_retry);
+    attach_server_cpu_probe(*cl);
+    return cl;
   }
   std::unique_ptr<nas::nfs::NfsPrepostClient> make_prepost_client(
       unsigned i, Bytes transfer = KiB(512)) {
-    return std::make_unique<nas::nfs::NfsPrepostClient>(
+    auto cl = std::make_unique<nas::nfs::NfsPrepostClient>(
         *client_hosts_[i], client_udp(i), server_node(),
         static_cast<std::uint16_t>(700 + next_port_++), transfer,
         cfg_.rpc_retry);
+    attach_server_cpu_probe(*cl);
+    return cl;
   }
   std::unique_ptr<nas::nfs::NfsHybridClient> make_hybrid_client(
       unsigned i, Bytes transfer = KiB(512)) {
-    return std::make_unique<nas::nfs::NfsHybridClient>(
+    auto cl = std::make_unique<nas::nfs::NfsHybridClient>(
         *client_hosts_[i], client_udp(i), server_node(),
         static_cast<std::uint16_t>(700 + next_port_++), transfer,
         cfg_.rpc_retry);
+    attach_server_cpu_probe(*cl);
+    return cl;
   }
   std::unique_ptr<nas::dafs::DafsClient> make_dafs_client(
       unsigned i, nas::dafs::DafsClientConfig cfg = {}) {
-    return std::make_unique<nas::dafs::DafsClient>(*client_hosts_[i],
-                                                   server_node(), cfg);
+    auto cl = std::make_unique<nas::dafs::DafsClient>(*client_hosts_[i],
+                                                      server_node(), cfg);
+    attach_server_cpu_probe(*cl);
+    return cl;
   }
   std::unique_ptr<nas::odafs::OdafsClient> make_odafs_client(
       unsigned i, nas::odafs::OdafsClientConfig cfg = {}) {
     auto cl = std::make_unique<nas::odafs::OdafsClient>(*client_hosts_[i],
                                                         server_node(), cfg);
-    // Server-CPU echo for the client's signal plane: the client differences
-    // this cumulative busy time between its own ops.
-    host::Host& srv = *server_host_;
-    cl->set_server_cpu_probe(
-        [&srv] { return static_cast<double>(srv.cpu().busy_time().ns) / 1e3; });
+    attach_server_cpu_probe(*cl);
     return cl;
   }
 
@@ -286,6 +297,20 @@ class Cluster {
     reg.gauge(p + "/io/retries",
               [&st] { return static_cast<double>(st.retries); }, kCumulative);
     reg.histogram_view(p + "/io/latency_us", &st.latency_us);
+    // Signal plane (obs/signals.h): the EWMA estimators the adaptive policy
+    // (policy/policy.h) reads. Exported for every protocol so benches can
+    // trace comparable signal blocks across arms; ORDMA-only series stay at
+    // their unprimed zero for protocols without an ORDMA path. Point
+    // samples, not deltas.
+    const obs::OpSignals& sig = cl.signals();
+    reg.gauge(p + "/signals/ref_hit_rate",
+              [&sig] { return sig.ref_hit_rate.value(); });
+    reg.gauge(p + "/signals/op_bytes",
+              [&sig] { return sig.op_bytes.value(); });
+    reg.gauge(p + "/signals/server_cpu",
+              [&sig] { return sig.server_cpu.value(); });
+    reg.gauge(p + "/signals/exception_rate",
+              [&sig] { return sig.exception_rate.value(); });
   }
 
   // Per-ODAFS-client series. The client objects are built by the caller
@@ -330,17 +355,36 @@ class Cluster {
     reg.gauge(p + "/odafs/wb_flushes",
               [&cl] { return static_cast<double>(cl.wb_flushes()); },
               kCumulative);
-    // Signal plane (obs/signals.h): the EWMA estimators ROADMAP item 4's
-    // adaptive policy reads. Point samples, not deltas.
-    const obs::OpSignals& sig = cl.signals();
-    reg.gauge(p + "/signals/ref_hit_rate",
-              [&sig] { return sig.ref_hit_rate.value(); });
-    reg.gauge(p + "/signals/op_bytes",
-              [&sig] { return sig.op_bytes.value(); });
-    reg.gauge(p + "/signals/server_cpu",
-              [&sig] { return sig.server_cpu.value(); });
-    reg.gauge(p + "/signals/exception_rate",
-              [&sig] { return sig.exception_rate.value(); });
+    // Adaptive policy engine (policy/policy.h): decision/flip/exploration
+    // counters as cumulative series, plus the current read preference as a
+    // point gauge (1.0 = ORDMA, 0.0 = RPC) so a timeseries trace shows the
+    // mid-run mechanism flip as a step edge.
+    const policy::PolicyEngine& pol = cl.protocol_policy();
+    const policy::PolicyEngine::Counters& pn = pol.counters();
+    reg.gauge(p + "/policy/read_decisions",
+              [&pn] { return static_cast<double>(pn.read_decisions); },
+              kCumulative);
+    reg.gauge(p + "/policy/read_flips",
+              [&pn] { return static_cast<double>(pn.read_flips); },
+              kCumulative);
+    reg.gauge(p + "/policy/read_explored",
+              [&pn] { return static_cast<double>(pn.read_explored); },
+              kCumulative);
+    reg.gauge(p + "/policy/read_vetoes",
+              [&pn] { return static_cast<double>(pn.read_vetoes); },
+              kCumulative);
+    reg.gauge(p + "/policy/write_decisions",
+              [&pn] { return static_cast<double>(pn.write_decisions); },
+              kCumulative);
+    reg.gauge(p + "/policy/write_flips",
+              [&pn] { return static_cast<double>(pn.write_flips); },
+              kCumulative);
+    reg.gauge(p + "/policy/write_explored",
+              [&pn] { return static_cast<double>(pn.write_explored); },
+              kCumulative);
+    reg.gauge(p + "/policy/read_pref", [&pol] {
+      return pol.read_pref() == policy::ReadMech::ordma ? 1.0 : 0.0;
+    });
   }
 
   // --- experiment helpers ---------------------------------------------------

@@ -23,7 +23,8 @@ OdafsClient::OdafsClient(host::Host& host, net::NodeId server,
       cfg_(cfg),
       dafs_(host, server, cfg.dafs),
       cache_(host, cfg.cache),
-      trk_app_(host.name(), "app") {
+      trk_app_(host.name(), "app"),
+      policy_(cfg.policy, &signals_) {
   dafs_.set_invalidate_handler(
       [this](std::uint64_t ino, std::uint64_t fbn, std::uint64_t version) {
         handle_invalidate(ino, fbn, version);
@@ -36,6 +37,10 @@ std::size_t OdafsClient::writeback_high_water() const {
     return std::min(cfg_.writeback_high_water, cap);
   }
   return std::max<std::size_t>(1, cache_.data_capacity() / 4);
+}
+
+double OdafsClient::wall_us() const {
+  return static_cast<double>(host_.engine().now().ns) / 1000.0;
 }
 
 sim::Task<Status> OdafsClient::ensure_slab_registered(obs::OpId op) {
@@ -155,15 +160,27 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     bool filled = false;
 
     // --- ORDMA fast path (§4.2) --------------------------------------------
-    if (cfg_.use_ordma && hdr.ref) {
+    // The adaptive policy may veto a held reference (e.g. a fault storm
+    // made exceptions dearer than straight RPC); vetoed fetches take the
+    // RPC path below, whose reply refreshes the reference anyway.
+    bool try_ordma = cfg_.use_ordma && hdr.ref;
+    if (try_ordma && policy_.enabled() && round == 0) {
+      try_ordma = policy_.choose_read() == policy::ReadMech::ordma;
+    }
+    if (try_ordma) {
       const auto ref = *hdr.ref;
+      const SimTime ot0 = host_.engine().now();
       auto res = co_await host_.nic().gm_get(dafs_.server_node(), ref.va,
                                              want, ref.cap, op);
       co_await charge_pickup(op);
+      const double ordma_us = (host_.engine().now() - ot0).to_us();
       if (res.ok()) {
         ++ordma_reads_;
         signals_.ref_hit_rate.update(1.0);
         signals_.exception_rate.update(0.0);
+        if (policy_.enabled()) {
+          policy_.observe_read(policy::ReadMech::ordma, ordma_us, false);
+        }
         cache_.attach_data(hdr, want);
         cache_.write_block(hdr, res.value().view());  // NIC-placed: no copy
         filled = true;
@@ -171,6 +188,9 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
         // Recoverable exception: drop the stale reference, retry via RPC.
         ++ordma_faults_;
         signals_.exception_rate.update(1.0);
+        if (policy_.enabled()) {
+          policy_.observe_read(policy::ReadMech::ordma, ordma_us, true);
+        }
         obs::note_op_exception(op);
         cache_.clear_ref(hdr);
       }
@@ -180,6 +200,7 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
     if (!filled) {
       ++rpc_reads_;
       signals_.ref_hit_rate.update(0.0);
+      const SimTime rt0 = host_.engine().now();
       dafs::DafsReadResult result;
       Status last = Status(Errc::io_error);
       for (unsigned attempt = 1;
@@ -245,6 +266,10 @@ sim::Task<Result<cache::ClientCache::Header*>> OdafsClient::fetch_block(
                                  static_cast<std::uint64_t>(last.code()));
         co_return last;
       }
+      if (policy_.enabled()) {
+        policy_.observe_read(policy::ReadMech::rpc,
+                             (host_.engine().now() - rt0).to_us(), false);
+      }
       store_refs(fh, result);
     }
 
@@ -279,9 +304,11 @@ sim::Task<Result<core::OpenResult>> OdafsClient::open(
 }
 
 sim::Task<Status> OdafsClient::close(std::uint64_t fh) {
-  if (cfg_.use_ordma && cfg_.write_policy == WritePolicy::write_back) {
+  if (cfg_.use_ordma && (cfg_.write_policy == WritePolicy::write_back ||
+                         policy_.may_write_back())) {
     // close-to-open consistency: dirty blocks reach the server before the
-    // close RPC does.
+    // close RPC does. With the adaptive policy, *any* op may have taken
+    // the write-back arm, so the sync must not depend on the static arm.
     auto st = co_await sync();
     if (!st.ok()) co_return st;
   }
@@ -297,8 +324,7 @@ sim::Task<Result<Bytes>> OdafsClient::pread(std::uint64_t fh, Bytes off,
   const SimTime e = host_.engine().now();
   obs::root(trk_app_, op, "op/pread", b, e);
   record_op(op, e - b, r.ok());
-  signals_.op_bytes.update(static_cast<double>(len));
-  update_server_cpu_signal();
+  update_op_signals(len, wall_us());
   co_return r;
 }
 
@@ -395,8 +421,7 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite(std::uint64_t fh, Bytes off,
   const SimTime e = host_.engine().now();
   obs::root(trk_app_, op, "op/pwrite", b, e);
   record_op(op, e - b, r.ok());
-  signals_.op_bytes.update(static_cast<double>(len));
-  update_server_cpu_signal();
+  update_op_signals(len, wall_us());
   co_return r;
 }
 
@@ -429,10 +454,46 @@ void OdafsClient::apply_local_write(std::uint64_t fh, Bytes off,
   }
 }
 
+namespace {
+policy::WriteArm to_arm(WritePolicy wp) {
+  switch (wp) {
+    case WritePolicy::rpc_through: return policy::WriteArm::rpc;
+    case WritePolicy::put_through: return policy::WriteArm::put;
+    case WritePolicy::write_back: return policy::WriteArm::write_back;
+  }
+  return policy::WriteArm::rpc;
+}
+WritePolicy to_write_policy(policy::WriteArm arm) {
+  switch (arm) {
+    case policy::WriteArm::rpc: return WritePolicy::rpc_through;
+    case policy::WriteArm::put: return WritePolicy::put_through;
+    case policy::WriteArm::write_back: return WritePolicy::write_back;
+  }
+  return WritePolicy::rpc_through;
+}
+}  // namespace
+
 sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
                                                 mem::Vaddr user_va, Bytes len,
                                                 obs::OpId op) {
-  if (cfg_.use_ordma && cfg_.write_policy == WritePolicy::write_back) {
+  WritePolicy wp = cfg_.write_policy;
+  const bool adaptive = cfg_.use_ordma && policy_.adapts_writes();
+  if (adaptive) wp = to_write_policy(policy_.choose_write());
+  const SimTime t0 = host_.engine().now();
+  const std::uint64_t fallbacks0 = put_fallbacks_;
+  auto r = co_await pwrite_arm(fh, off, user_va, len, wp, op);
+  if (adaptive && r.ok()) {
+    policy_.observe_write(to_arm(wp), (host_.engine().now() - t0).to_us(),
+                          put_fallbacks_ > fallbacks0);
+  }
+  co_return r;
+}
+
+sim::Task<Result<Bytes>> OdafsClient::pwrite_arm(std::uint64_t fh, Bytes off,
+                                                 mem::Vaddr user_va,
+                                                 Bytes len, WritePolicy wp,
+                                                 obs::OpId op) {
+  if (cfg_.use_ordma && wp == WritePolicy::write_back) {
     co_return co_await pwrite_wb(fh, off, user_va, len, op);
   }
   co_await host_.cpu_consume(host_.costs().cpu_syscall, op, "io/syscall");
@@ -444,7 +505,7 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
     co_return Errc::access_fault;
   }
 
-  if (cfg_.use_ordma && cfg_.write_policy == WritePolicy::put_through &&
+  if (cfg_.use_ordma && wp == WritePolicy::put_through &&
       server_block_ != 0 && len > 0) {
     // Optimistic ORDMA write-through: per covered server block, put the
     // bytes straight into the server's cache block and commit with one
@@ -459,8 +520,11 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
       auto v = co_await put_piece(fh, pos, bytes, 0, op);
       if (v.ok()) {
         version = v.value();
-      } else if (v.code() == Errc::not_found || v.code() == Errc::revoked ||
-                 v.code() == Errc::not_supported) {
+      } else {
+        // Any exhausted put failure degrades to RPC, not just a dead
+        // reference: an uncommitted put is never applied server-side, so
+        // replaying the bytes inline is safe even when the put was lost
+        // mid-resolve (revoke fire) or the commit ack went missing.
         ++put_fallbacks_;
         Result<Bytes> n = Errc::io_error;
         for (unsigned a = 1; a <= cfg_.max_fetch_attempts; ++a) {
@@ -468,8 +532,6 @@ sim::Task<Result<Bytes>> OdafsClient::pwrite_op(std::uint64_t fh, Bytes off,
           if (n.ok() || !fetch_retryable(n.code())) break;
         }
         if (!n.ok()) co_return n.status();
-      } else {
-        co_return v.status();
       }
       apply_local_write(fh, pos, bytes, version);
       done += piece;
@@ -637,6 +699,7 @@ sim::Task<Status> OdafsClient::flush_block(cache::BlockKey key, obs::OpId op,
                                            bool drop_after) {
   auto* h = cache_.peek(key);
   if (!h || !h->dirty()) co_return Status::Ok();
+  const SimTime flush_t0 = host_.engine().now();
   const Bytes lo = h->dirty_lo;
   const Bytes hi = h->dirty_hi;
   std::vector<std::byte> data(hi - lo);
@@ -655,8 +718,9 @@ sim::Task<Status> OdafsClient::flush_block(cache::BlockKey key, obs::OpId op,
   auto v = co_await put_piece(key.file, pos, data, dafs::kPutFlagWriteback, op);
   if (v.ok()) {
     version = v.value();
-  } else if (v.code() == Errc::not_found || v.code() == Errc::revoked ||
-             v.code() == Errc::not_supported) {
+  } else {
+    // Same recovery as write-through: every exhausted put failure replays
+    // inline over RPC (an uncommitted put is never applied server-side).
     ++put_fallbacks_;
     Result<Bytes> n = Errc::io_error;
     for (unsigned a = 1; a <= cfg_.max_fetch_attempts; ++a) {
@@ -664,8 +728,6 @@ sim::Task<Status> OdafsClient::flush_block(cache::BlockKey key, obs::OpId op,
       if (n.ok() || !fetch_retryable(n.code())) break;
     }
     if (!n.ok()) st = n.status();
-  } else {
-    st = v.status();
   }
 
   h = cache_.peek(key);  // awaits above: re-establish the header
@@ -690,6 +752,10 @@ sim::Task<Status> OdafsClient::flush_block(cache::BlockKey key, obs::OpId op,
       cache_.drop_data(*h);
       ++inval_drops_;
     }
+  }
+  if (policy_.enabled()) {
+    // The deferred bill of the write-back arm, fed to its cost estimate.
+    policy_.observe_flush((host_.engine().now() - flush_t0).to_us());
   }
   co_return Status::Ok();
 }
@@ -765,22 +831,6 @@ void OdafsClient::handle_invalidate(std::uint64_t ino, std::uint64_t fbn,
   }
 }
 
-void OdafsClient::update_server_cpu_signal() {
-  if (!server_cpu_probe_) return;
-  const double busy_us = server_cpu_probe_();
-  const double wall_us =
-      static_cast<double>(host_.engine().now().ns) / 1000.0;
-  if (probe_primed_ && wall_us > last_probe_wall_us_) {
-    const double util = std::clamp(
-        (busy_us - last_probe_busy_us_) / (wall_us - last_probe_wall_us_),
-        0.0, 1.0);
-    signals_.server_cpu.update(util);
-  }
-  last_probe_busy_us_ = busy_us;
-  last_probe_wall_us_ = wall_us;
-  probe_primed_ = true;
-}
-
 sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {
   const obs::OpId op = obs::new_op();
   const SimTime b = host_.engine().now();
@@ -789,7 +839,7 @@ sim::Task<Result<fs::Attr>> OdafsClient::getattr(std::uint64_t fh) {
   const SimTime e = host_.engine().now();
   obs::root(trk_app_, op, "op/getattr", b, e);
   record_op(op, e - b, r.ok());
-  update_server_cpu_signal();
+  sample_server_cpu(wall_us());
   co_return r;
 }
 

@@ -23,6 +23,7 @@
 #include "core/file_client.h"
 #include "nas/dafs/dafs_client.h"
 #include "obs/signals.h"
+#include "policy/policy.h"
 
 namespace ordma::nas::odafs {
 
@@ -57,6 +58,12 @@ struct OdafsClientConfig {
   // (0 = data_blocks/4; clamped to data_blocks/2 so fills always have
   // unpinned blocks to steal).
   std::size_t writeback_high_water = 0;
+  // Adaptive per-op protocol selection (policy/policy.h). Disabled by
+  // default: with policy.enabled=false the client behaves bit-identically
+  // to one built before the engine existed (no decisions, no extra state
+  // transitions, no RNG either way). When enabled, `write_policy` above
+  // still names the static arm used if policy.adapt_writes is off.
+  policy::PolicyConfig policy;
 };
 
 class OdafsClient : public core::FileClient {
@@ -111,18 +118,10 @@ class OdafsClient : public core::FileClient {
   std::uint64_t inval_refetches() const { return inval_refetches_; }
   std::uint64_t wb_flushes() const { return wb_flushes_; }
 
-  // --- Signal plane (obs/signals.h) ----------------------------------------
-  // Always-on EWMA estimators of the mechanism-selection signals (ref hit
-  // rate, op size, server CPU echo, ORDMA exception rate); exported as
-  // "<client>/signals/..." gauges and intended for ROADMAP item 4's
-  // adaptive protocol policy.
-  const obs::OpSignals& signals() const { return signals_; }
-  // `fn` returns the server's cumulative CPU busy time in us; the client
-  // differences it against wall time between its own ops (the utilization
-  // a real server would echo in replies).
-  void set_server_cpu_probe(std::function<double()> fn) {
-    server_cpu_probe_ = std::move(fn);
-  }
+  // --- Adaptive policy (policy/policy.h) -----------------------------------
+  // The per-op protocol-selection engine fed by the signal plane the
+  // FileClient base exports; enabled via OdafsClientConfig::policy.
+  const policy::PolicyEngine& protocol_policy() const { return policy_; }
 
  private:
   sim::Task<Status> ensure_slab_registered(obs::OpId op);
@@ -138,6 +137,11 @@ class OdafsClient : public core::FileClient {
   sim::Task<Result<Bytes>> pwrite_op(std::uint64_t fh, Bytes off,
                                      mem::Vaddr user_va, Bytes len,
                                      obs::OpId op);
+  // pwrite body for one concrete arm (`wp` is the effective policy for
+  // this op — the static config, or the engine's per-op choice).
+  sim::Task<Result<Bytes>> pwrite_arm(std::uint64_t fh, Bytes off,
+                                      mem::Vaddr user_va, Bytes len,
+                                      WritePolicy wp, obs::OpId op);
   sim::Task<Result<fs::Attr>> getattr_op(std::uint64_t fh, obs::OpId op);
 
   // --- ORDMA write path ----------------------------------------------------
@@ -167,8 +171,7 @@ class OdafsClient : public core::FileClient {
   void handle_invalidate(std::uint64_t ino, std::uint64_t fbn,
                          std::uint64_t version);
   std::size_t writeback_high_water() const;
-  // Fold the server-CPU echo into signals_ (called from op wrappers).
-  void update_server_cpu_signal();
+  double wall_us() const;
 
   struct Inflight {
     explicit Inflight(sim::Engine& eng) : done(eng) {}
@@ -209,11 +212,7 @@ class OdafsClient : public core::FileClient {
   std::uint64_t inval_refetches_ = 0;
   std::uint64_t wb_flushes_ = 0;
 
-  obs::OpSignals signals_;
-  std::function<double()> server_cpu_probe_;
-  double last_probe_busy_us_ = 0;
-  double last_probe_wall_us_ = 0;
-  bool probe_primed_ = false;
+  policy::PolicyEngine policy_;
 };
 
 }  // namespace ordma::nas::odafs

@@ -2,10 +2,13 @@
 // separation, remote-reference retention across data eviction, delegations.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/client_cache.h"
 #include "cache/policy.h"
+#include "common/rng.h"
 #include "host/host.h"
 #include "sim/engine.h"
 
@@ -52,8 +55,133 @@ TEST(MultiQueuePolicy, IdleNodesAreDemoted) {
 }
 
 TEST(Policy, FactoryNames) {
-  EXPECT_STREQ(make_policy("lru")->name(), "lru");
-  EXPECT_STREQ(make_policy("mq")->name(), "multi-queue");
+  EXPECT_STREQ(make_policy("lru", 16)->name(), "lru");
+  EXPECT_STREQ(make_policy("mq", 16)->name(), "multi-queue");
+  EXPECT_STREQ(make_policy("arc", 16)->name(), "arc");
+}
+
+// --- ARC -------------------------------------------------------------------
+
+TEST(ArcPolicy, GhostHitPromotesToFrequencyList) {
+  ArcPolicy p(3);
+  PolicyNode a, b, c;
+  a.key = 1;
+  b.key = 2;
+  c.key = 3;
+  p.insert(&a);
+  p.insert(&b);
+  p.insert(&c);  // T1 = {a, b, c}
+  EXPECT_EQ(p.t1_size(), 3u);
+  EXPECT_EQ(p.victim(), &a);
+  p.erase(&a);  // leaves a ghost on B1
+  EXPECT_EQ(p.b1_size(), 1u);
+  PolicyNode a2;
+  a2.key = 1;     // same identity, fresh node (the old header is gone)
+  p.insert(&a2);  // B1 ghost hit: resurrected straight into T2...
+  EXPECT_EQ(p.t2_size(), 1u);
+  EXPECT_EQ(p.t1_size(), 2u);
+  EXPECT_EQ(p.b1_size(), 0u);
+  EXPECT_EQ(p.target_t1(), 1u);  // ...and p adapted toward recency.
+  // T1 (2 entries) still exceeds its grown target (1): the oldest one-hit
+  // wonder b is the victim, never the resurrected frequency entry a2.
+  EXPECT_EQ(p.victim(), &b);
+}
+
+TEST(ArcPolicy, AdaptationParameterStaysBounded) {
+  ArcPolicy p(4);
+  std::vector<std::unique_ptr<PolicyNode>> keep;
+  // insert → (optionally touch into T2) → erase → re-insert: the second
+  // insert of the same key is a ghost hit on whichever history list the
+  // erase fed.
+  auto cycle = [&](std::uint64_t key, bool through_t2) {
+    auto n = std::make_unique<PolicyNode>();
+    n->key = key;
+    p.insert(n.get());
+    if (through_t2 && n->queue == 0) p.touch(n.get());
+    p.erase(n.get());
+    keep.push_back(std::move(n));
+  };
+  // Hammer B1 ghost hits with fresh keys (each resurrection lands in T2, so
+  // a key only ever yields one B1 hit): every hit pushes the T1 target up;
+  // it must saturate at capacity instead of growing without bound.
+  for (std::uint64_t k = 1; k <= 16; ++k) {
+    cycle(k, /*through_t2=*/false);  // T1 eviction -> B1 ghost
+    cycle(k, /*through_t2=*/false);  // B1 hit -> T2 -> B2 ghost
+    EXPECT_LE(p.target_t1(), p.capacity());
+  }
+  EXPECT_EQ(p.target_t1(), p.capacity());  // saturated high...
+  // ...then hammer B2 ghost hits (touch → T2 → erase → re-insert): p walks
+  // back down and, being unsigned, must never wrap below zero.
+  for (std::uint64_t k = 100; k < 116; ++k) {
+    cycle(k, /*through_t2=*/true);  // T2 eviction -> B2 ghost
+    cycle(k, /*through_t2=*/true);  // B2 hit
+    EXPECT_LE(p.target_t1(), p.capacity());
+  }
+  EXPECT_EQ(p.target_t1(), 0u);  // saturated low
+}
+
+TEST(ArcPolicy, GhostListsRespectCapacityInvariants) {
+  constexpr std::size_t kCap = 8;
+  ArcPolicy p(kCap);
+  Rng rng(42);
+  std::vector<std::unique_ptr<PolicyNode>> pool;
+  std::unordered_map<std::uint64_t, PolicyNode*> resident;
+  for (int step = 0; step < 4000; ++step) {
+    const std::uint64_t key = rng.below(32) + 1;
+    if (auto it = resident.find(key); it != resident.end()) {
+      p.touch(it->second);
+    } else {
+      pool.push_back(std::make_unique<PolicyNode>());
+      pool.back()->key = key;
+      p.insert(pool.back().get());
+      resident.emplace(key, pool.back().get());
+      while (resident.size() > kCap) {
+        auto* v = p.victim();
+        ASSERT_NE(v, nullptr);
+        p.erase(v);
+        resident.erase(v->key);
+      }
+    }
+    // The ARC invariants: |T1|+|B1| <= c, everything <= 2c, p in [0, c].
+    ASSERT_LE(p.t1_size() + p.b1_size(), kCap);
+    ASSERT_LE(p.t1_size() + p.t2_size() + p.b1_size() + p.b2_size(),
+              2 * kCap);
+    ASSERT_LE(p.target_t1(), kCap);
+    ASSERT_EQ(p.t1_size() + p.t2_size(), resident.size());
+  }
+  // The workload has reuse, so history must actually have been consulted.
+  EXPECT_GT(p.t2_size(), 0u);
+}
+
+TEST(ArcPolicy, EvictionSequenceIsDeterministic) {
+  auto run = [] {
+    ArcPolicy p(8);
+    Rng rng(7);
+    std::vector<std::unique_ptr<PolicyNode>> pool;
+    std::unordered_map<std::uint64_t, PolicyNode*> resident;
+    std::vector<std::uint64_t> victims;
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t key = rng.below(24) + 1;
+      if (auto it = resident.find(key); it != resident.end()) {
+        p.touch(it->second);
+        continue;
+      }
+      pool.push_back(std::make_unique<PolicyNode>());
+      pool.back()->key = key;
+      p.insert(pool.back().get());
+      resident.emplace(key, pool.back().get());
+      if (resident.size() > 8) {
+        auto* v = p.victim();
+        victims.push_back(v->key);
+        p.erase(v);
+        resident.erase(v->key);
+      }
+    }
+    return victims;
+  };
+  const auto a = run();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, run());
 }
 
 class ClientCacheTest : public ::testing::Test {
@@ -163,6 +291,23 @@ TEST_F(ClientCacheTest, MultiQueueDirectoryKeepsHotRefs) {
     cache.set_ref(cache.ensure(BlockKey{1, i}), ref);
   }
   // The hot header survived the scan of one-hit wonders.
+  EXPECT_NE(cache.find(BlockKey{1, 0}), nullptr);
+}
+
+TEST_F(ClientCacheTest, ArcDirectoryKeepsHotRefsUnderScan) {
+  auto cfg = small_cfg();
+  cfg.max_headers = 4;
+  cfg.ref_policy = "arc";
+  ClientCache cache(host_, cfg);
+  RemoteRef ref;
+  auto& hot = cache.ensure(BlockKey{1, 0});
+  cache.set_ref(hot, ref);
+  for (int i = 0; i < 3; ++i) cache.find(BlockKey{1, 0});  // → T2
+  // A one-touch scan twice the directory size: ARC evicts from the recency
+  // side, so the hot header's reference survives the whole sweep.
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    cache.set_ref(cache.ensure(BlockKey{1, i}), ref);
+  }
   EXPECT_NE(cache.find(BlockKey{1, 0}), nullptr);
 }
 

@@ -367,6 +367,131 @@ TEST(ParallelDeterminism, HealthDocumentsAreBitIdenticalToSerial) {
   }
 }
 
+// One ODAFS run with the adaptive protocol-selection engine in a given
+// state: a mixed read/write workload against a coherent, writable-refs
+// server, fully observed. The policy engine decides per-op mechanisms from
+// observed history only (no RNG, no sim time), so its presence must never
+// perturb parallel determinism — and with enabled=false it must leave the
+// simulation bit-identical to one that predates the engine.
+RunOutput odafs_run(std::size_t index, const policy::PolicyConfig& pol) {
+  mem::ScopedSimArena arena;
+  obs::MetricsRegistry reg;
+  obs::install(&reg);
+
+  RunOutput out;
+  {
+    core::ClusterConfig cc;
+    cc.fs.block_size = KiB(4);
+    core::Cluster c(cc);
+    c.start_dafs({.piggyback_refs = true,
+                  .writable_refs = true,
+                  .coherence = true});
+
+    nas::odafs::OdafsClientConfig cfg;
+    cfg.cache.block_size = KiB(4);
+    cfg.cache.data_blocks = 16;  // small: plenty of refetches to decide on
+    cfg.cache.ref_policy = "arc";
+    cfg.dafs.completion = msg::Completion::block;
+    cfg.read_ahead_window = 1;
+    cfg.write_policy = nas::odafs::WritePolicy::put_through;
+    cfg.policy = pol;
+    auto client = c.make_odafs_client(0, cfg);
+    c.export_metrics(reg);
+    c.export_file_client_metrics(reg, 0, *client);
+    c.export_odafs_client_metrics(reg, 0, *client);
+
+    const Bytes io = KiB(4);
+    const Bytes fsize = KiB(4) * 48 * (1 + index % 2);
+
+    bool done = false;
+    c.engine().spawn([](core::Cluster& c, nas::odafs::OdafsClient& client,
+                        Bytes io, Bytes fsize, RunOutput& out,
+                        bool& done) -> sim::Task<void> {
+      co_await c.make_file("f", fsize, /*warm=*/true);
+      auto open = co_await client.open("f");
+      ORDMA_CHECK(open.ok());
+      auto& h = c.client(0);
+      const mem::Vaddr buf = h.map_new(h.user_as(), io);
+      // Two passes (second one re-reads through held references, so the
+      // engine sees real ORDMA latencies) with a write every 4th op.
+      for (int pass = 0; pass < 2; ++pass) {
+        for (Bytes off = 0; off + io <= fsize; off += io) {
+          if ((off / io) % 4 == 3) {
+            auto n = co_await client.pwrite(open.value().fh, off, buf, io);
+            ORDMA_CHECK(n.ok());
+            fold(out.hash, 0x77);
+          } else {
+            auto n = co_await client.pread(open.value().fh, off, buf, io);
+            ORDMA_CHECK(n.ok());
+            fold(out.hash, n.value());
+          }
+          fold(out.hash, static_cast<std::uint64_t>(c.engine().now().ns));
+        }
+      }
+      ORDMA_CHECK((co_await client.sync()).ok());
+      done = true;
+    }(c, *client, io, fsize, out, done));
+    fold(out.hash, c.engine().run());
+    ORDMA_CHECK(done);
+    fold(out.hash, static_cast<std::uint64_t>(c.engine().now().ns));
+    fold(out.hash, client->ordma_reads());
+    fold(out.hash, client->rpc_reads());
+    fold(out.hash, client->puts_issued());
+    fold(out.hash, client->protocol_policy().counters().read_decisions);
+    fold(out.hash, client->protocol_policy().counters().write_decisions);
+
+    std::ostringstream ms;
+    reg.write_json(ms);
+    out.metrics_json = ms.str();
+  }
+  obs::install(static_cast<obs::MetricsRegistry*>(nullptr));
+  return out;
+}
+
+// Adaptive policy on: jobs=8 bit-identical to jobs=1 — the engine's
+// decisions are pure functions of per-run history, so worker count cannot
+// perturb them.
+TEST(ParallelDeterminism, AdaptivePolicyRunsAreBitIdenticalToSerial) {
+  constexpr std::size_t kRuns = 8;
+  auto adaptive = [](std::size_t i) {
+    policy::PolicyConfig pol;
+    pol.enabled = true;
+    pol.explore_every = 16;
+    return odafs_run(i, pol);
+  };
+  const auto serial = run::parallel_map(1, kRuns, adaptive);
+  const auto parallel = run::parallel_map(8, kRuns, adaptive);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(serial[i].hash, parallel[i].hash) << "run " << i;
+    EXPECT_EQ(serial[i].metrics_json, parallel[i].metrics_json)
+        << "run " << i;
+  }
+  EXPECT_NE(serial[0].hash, serial[1].hash);
+}
+
+// Policy off: the engine must be invisible. A config that never mentions
+// the policy and one with enabled=false but wildly different tunables must
+// produce byte-identical runs (no decisions, no extra state transitions,
+// no RNG draws either way).
+TEST(ParallelDeterminism, DisabledPolicyLeavesRunsBitIdentical) {
+  constexpr std::size_t kRuns = 4;
+  const auto plain = run::parallel_map(8, kRuns, [](std::size_t i) {
+    return odafs_run(i, policy::PolicyConfig{});
+  });
+  const auto tuned_off = run::parallel_map(8, kRuns, [](std::size_t i) {
+    policy::PolicyConfig pol;  // enabled stays false
+    pol.prior_ordma_us = 999.0;
+    pol.guard_band = 0.5;
+    pol.explore_every = 1;
+    return odafs_run(i, pol);
+  });
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(plain[i].hash, tuned_off[i].hash) << "run " << i;
+    EXPECT_EQ(plain[i].metrics_json, tuned_off[i].metrics_json)
+        << "run " << i;
+  }
+}
+
 TEST(ParallelDeterminism, ResultsArriveInSubmissionOrder) {
   auto out = run::parallel_map(4, 64, [](std::size_t i) { return i * 3; });
   ASSERT_EQ(out.size(), 64u);

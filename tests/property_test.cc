@@ -82,8 +82,8 @@ TEST_P(Seeded, ChannelDeliversEveryMessageExactlyOnceInSendOrder) {
 
 TEST_P(Seeded, PoliciesTrackEveryNodeExactlyOnce) {
   Rng rng(GetParam());
-  for (const char* name : {"lru", "mq"}) {
-    auto policy = cache::make_policy(name);
+  for (const char* name : {"lru", "mq", "arc"}) {
+    auto policy = cache::make_policy(name, 64);
     std::vector<std::unique_ptr<cache::PolicyNode>> nodes;
     std::set<cache::PolicyNode*> inside;
 
@@ -91,6 +91,8 @@ TEST_P(Seeded, PoliciesTrackEveryNodeExactlyOnce) {
       const auto op = rng.below(4);
       if (op == 0 || inside.empty()) {
         nodes.push_back(std::make_unique<cache::PolicyNode>());
+        // Distinct identities so ARC's ghost lists behave as in the cache.
+        nodes.back()->key = nodes.size();
         policy->insert(nodes.back().get());
         inside.insert(nodes.back().get());
       } else if (op == 1) {

@@ -51,8 +51,13 @@ using core::ClusterConfig;
 
 // odafs_put / odafs_wb run the ORDMA write path (optimistic put-through /
 // write-back) against a coherence server; plain odafs keeps the historical
-// RPC write-through behavior.
-enum class Proto { nfs, prepost, dafs, odafs, odafs_put, odafs_wb };
+// RPC write-through behavior. odafs_policy layers the adaptive per-op
+// protocol-selection engine (policy/policy.h, all arms unlocked including
+// write-back) plus the ARC reference directory on top of the coherence
+// server — the faults must not confuse the engine into losing data.
+enum class Proto {
+  nfs, prepost, dafs, odafs, odafs_put, odafs_wb, odafs_policy
+};
 
 const char* proto_name(Proto p) {
   switch (p) {
@@ -62,6 +67,7 @@ const char* proto_name(Proto p) {
     case Proto::odafs: return "odafs";
     case Proto::odafs_put: return "odafs_put";
     case Proto::odafs_wb: return "odafs_wb";
+    case Proto::odafs_policy: return "odafs_policy";
   }
   return "?";
 }
@@ -175,7 +181,8 @@ TortureResult run_torture(const TortureOptions& opt) {
         break;
       case Proto::odafs:
       case Proto::odafs_put:
-      case Proto::odafs_wb: {
+      case Proto::odafs_wb:
+      case Proto::odafs_policy: {
         nas::dafs::DafsServerConfig scfg;
         scfg.piggyback_refs = true;
         if (opt.proto != Proto::odafs) {
@@ -194,6 +201,15 @@ TortureResult run_torture(const TortureOptions& opt) {
           cfg.write_policy = nas::odafs::WritePolicy::put_through;
         } else if (opt.proto == Proto::odafs_wb) {
           cfg.write_policy = nas::odafs::WritePolicy::write_back;
+        } else if (opt.proto == Proto::odafs_policy) {
+          // Every arm unlocked under fire: the engine may flip between
+          // RPC, put and write-back mid-run while the ARC directory churns
+          // references; integrity and bounded retries must hold anyway.
+          cfg.cache.ref_policy = "arc";
+          cfg.write_policy = nas::odafs::WritePolicy::put_through;
+          cfg.policy.enabled = true;
+          cfg.policy.allow_write_back = true;
+          cfg.policy.explore_every = 8;  // faults per-arm stay observed
         }
         client = cluster.make_odafs_client(0, cfg);
         break;
@@ -362,9 +378,10 @@ void report_failure(Proto proto, std::uint64_t seed,
                         : "\nflight-recorder postmortem: " + dump_path);
 }
 
-constexpr Proto kAllProtos[] = {Proto::nfs,   Proto::prepost,
-                                Proto::dafs,  Proto::odafs,
-                                Proto::odafs_put, Proto::odafs_wb};
+constexpr Proto kAllProtos[] = {Proto::nfs,       Proto::prepost,
+                                Proto::dafs,      Proto::odafs,
+                                Proto::odafs_put, Proto::odafs_wb,
+                                Proto::odafs_policy};
 
 // --- the seed matrix --------------------------------------------------------
 
